@@ -1,0 +1,45 @@
+//! E3 — testbench generation speed ("AutoSVA generates FTs in under a
+//! second", Section III-C of the paper).
+//!
+//! Criterion measures the full annotation-to-files pipeline per module and
+//! for the whole corpus.
+//!
+//! Run with `cargo bench -p autosva-bench --bench ft_generation_time`.
+
+use autosva::{generate_ft, AutosvaOptions};
+use autosva_designs::all_cases;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ft_generation");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    for case in all_cases() {
+        group.bench_function(case.module, |b| {
+            b.iter(|| {
+                let ft = generate_ft(black_box(case.source), &AutosvaOptions::default())
+                    .expect("generation succeeds");
+                black_box(ft.stats().properties)
+            })
+        });
+    }
+    group.bench_function("whole_corpus", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for case in all_cases() {
+                let ft = generate_ft(black_box(case.source), &AutosvaOptions::default())
+                    .expect("generation succeeds");
+                total += ft.stats().properties;
+            }
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Debug driver: run every Table III case and print the detailed reports.
+//!
+//! Usage: `cargo run --release -p autosva-bench --example table3_debug [ID]`
+
+use autosva_bench::run_case;
+use autosva_designs::{all_cases, Variant};
+
+fn main() {
+    let filter = std::env::args().nth(1);
+    for case in all_cases() {
+        if let Some(f) = &filter {
+            if &case.id.to_string() != f && case.module != f {
+                continue;
+            }
+        }
+        let variants: &[Variant] = if case.has_bug_parameter {
+            &[Variant::Buggy, Variant::Fixed]
+        } else {
+            &[Variant::Fixed]
+        };
+        for &variant in variants {
+            let t0 = std::time::Instant::now();
+            let run = run_case(&case, variant);
+            println!("==== {} ({:?}) in {:.1?} ====", case.id, variant, t0.elapsed());
+            println!("{}", run.report.render());
+            println!("{}", run.table_row());
+            if filter.is_some() {
+                for r in &run.report.results {
+                    if let Some(trace) = r.status.trace() {
+                        if r.status.is_violation() {
+                            println!("--- trace for {} ---\n{}", r.name, trace.render(true));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Error types for the AutoSVA pipeline.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while generating a formal testbench.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AutosvaError {
+    /// The RTL source failed to lex or parse.
+    Parse(svparse::ParseError),
+    /// An AutoSVA annotation line could not be understood.
+    Annotation {
+        /// Human-readable description of the problem.
+        message: String,
+        /// 1-based line number of the annotation within its source file, if
+        /// known.
+        line: Option<usize>,
+    },
+    /// The annotations were syntactically valid but semantically inconsistent
+    /// (e.g. a `transid` defined on only one side of a transaction).
+    Validation {
+        /// Name of the offending transaction.
+        transaction: String,
+        /// Human-readable description of the inconsistency.
+        message: String,
+    },
+    /// The requested module was not found in the parsed source.
+    ModuleNotFound(String),
+    /// No AutoSVA annotations were found in the source.
+    NoAnnotations,
+}
+
+impl fmt::Display for AutosvaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AutosvaError::Parse(e) => write!(f, "failed to parse RTL source: {e}"),
+            AutosvaError::Annotation { message, line } => match line {
+                Some(line) => write!(f, "invalid annotation at line {line}: {message}"),
+                None => write!(f, "invalid annotation: {message}"),
+            },
+            AutosvaError::Validation {
+                transaction,
+                message,
+            } => write!(f, "invalid transaction `{transaction}`: {message}"),
+            AutosvaError::ModuleNotFound(name) => write!(f, "module `{name}` not found in source"),
+            AutosvaError::NoAnnotations => {
+                write!(f, "no AutoSVA annotations found in the source")
+            }
+        }
+    }
+}
+
+impl Error for AutosvaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AutosvaError::Parse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<svparse::ParseError> for AutosvaError {
+    fn from(e: svparse::ParseError) -> Self {
+        AutosvaError::Parse(e)
+    }
+}
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, AutosvaError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = AutosvaError::Annotation {
+            message: "bad suffix".into(),
+            line: Some(12),
+        };
+        assert!(e.to_string().contains("line 12"));
+        let e = AutosvaError::Validation {
+            transaction: "lsu_load".into(),
+            message: "transid on one side only".into(),
+        };
+        assert!(e.to_string().contains("lsu_load"));
+        assert!(AutosvaError::NoAnnotations.to_string().contains("annotations"));
+        assert!(AutosvaError::ModuleNotFound("mmu".into())
+            .to_string()
+            .contains("mmu"));
+    }
+
+    #[test]
+    fn from_parse_error() {
+        let pe = svparse::parse("module ;").unwrap_err();
+        let ae: AutosvaError = pe.clone().into();
+        assert_eq!(ae, AutosvaError::Parse(pe));
+        assert!(Error::source(&ae).is_some());
+    }
+}

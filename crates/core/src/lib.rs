@@ -1,0 +1,89 @@
+//! `autosva` — automatic generation of SVA formal testbenches for RTL module
+//! interactions.
+//!
+//! This crate reproduces the AutoSVA framework (Orenes-Vera et al., DAC
+//! 2021): given an RTL module whose interface-declaration section carries
+//! AutoSVA annotations, it generates a complete formal testbench —
+//! SystemVerilog Assertions verifying the *liveness* and *safety* of the
+//! module's transactions, the auxiliary modeling code those assertions need,
+//! a bind file, and tool configuration for JasperGold, SymbiYosys, or the
+//! SAT-based model checker bundled in the `autosva-formal` crate.
+//!
+//! # The annotation language
+//!
+//! A transaction relates a request interface (P) to a response interface (Q)
+//! with a temporal implication.  The designer annotates the RTL with comments
+//! such as (Fig. 3 of the paper):
+//!
+//! ```text
+//! /*AUTOSVA
+//! lsu_load: lsu_req -in> lsu_res
+//! lsu_req_val = lsu_valid_i && fu_data_i.fu == LOAD
+//! lsu_req_rdy = lsu_ready_o
+//! [TRANS_ID_BITS-1:0] lsu_req_transid = fu_data_i.trans_id
+//! lsu_res_val = load_valid_o
+//! [TRANS_ID_BITS-1:0] lsu_res_transid = load_trans_id_o
+//! */
+//! ```
+//!
+//! See [`annotation`] for the grammar and [`propgen`] for the properties each
+//! attribute produces.
+//!
+//! # Quick start
+//!
+//! ```
+//! use autosva::{generate_ft, AutosvaOptions};
+//!
+//! let rtl = "\
+//! /*AUTOSVA
+//! req_txn: req -in> res
+//! */
+//! module adapter (
+//!   input  logic clk_i,
+//!   input  logic rst_ni,
+//!   input  logic req_val,
+//!   output logic req_ack,
+//!   output logic res_val
+//! );
+//! endmodule";
+//!
+//! let testbench = generate_ft(rtl, &AutosvaOptions::default())?;
+//! println!("{}", testbench.property_file);
+//! assert!(testbench.stats().properties >= 3);
+//! # Ok::<(), autosva::AutosvaError>(())
+//! ```
+//!
+//! # Crate layout
+//!
+//! | module | pipeline step (Fig. 5) |
+//! |--------|------------------------|
+//! | [`annotation`] | step 1 — parse annotations and interface signals |
+//! | [`transaction`] | step 2 — build and validate transaction objects |
+//! | [`signals`] | step 3 — generate auxiliary signals (symbolics, counters) |
+//! | [`propgen`] | step 4 — generate liveness/safety properties (Table II) |
+//! | [`emit`], [`tools`] | step 5 — render property/bind files and tool setup |
+//! | [`pipeline`] | the end-to-end driver |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod annotation;
+pub mod emit;
+pub mod error;
+pub mod pipeline;
+pub mod propgen;
+pub mod signals;
+pub mod sva;
+pub mod tools;
+pub mod transaction;
+
+pub use annotation::{AttributeSuffix, RelationDir};
+pub use error::AutosvaError;
+pub use pipeline::{
+    generate_ft, AutosvaOptions, FormalTestbench, FtStats, SubmoduleLink, SubmoduleMode,
+};
+pub use propgen::{FtModel, PropgenOptions, TransactionModel};
+pub use signals::{AuxKind, AuxSignal, ClockingContext};
+pub use sva::{Consequent, Directive, PropertyBody, PropertyClass, SvaProperty};
+pub use tools::{FormalTool, ToolFile};
+pub use transaction::{InterfaceSide, SignalRef, Transaction};

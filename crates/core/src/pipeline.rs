@@ -1,0 +1,418 @@
+//! The end-to-end AutoSVA pipeline (Fig. 5 of the paper).
+//!
+//! The five steps are: (1) parse the annotated RTL, (2) build transaction
+//! objects, (3) generate auxiliary signals, (4) generate properties, and
+//! (5) set up the formal tool.  [`generate_ft`] runs all of them and returns
+//! a [`FormalTestbench`] containing both the structured model (consumed by
+//! the bundled formal substrate) and the rendered files (for external tools).
+
+use crate::annotation::{parse_annotations, AnnotationBlock};
+use crate::emit::{render_bind_file, render_property_file, render_wrapper_file};
+use crate::error::{AutosvaError, Result};
+use crate::propgen::{generate, FtModel, PropgenOptions};
+use crate::signals::ClockingContext;
+use crate::sva::{Directive, PropertyClass, SvaProperty};
+use crate::tools::{generate_tool_files, FormalTool, ToolFile};
+use crate::transaction::{build_transactions, Transaction};
+use svparse::ast::Module;
+use svparse::parse_with_comments;
+
+/// How a previously generated submodule testbench is linked into the parent
+/// DUT's testbench (the `-AM`/`-AS` script parameters of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmoduleMode {
+    /// `-AM`: include the submodule's environment assumptions (its
+    /// assumptions over outgoing requests become assumptions of the parent).
+    Assume,
+    /// `-AS`: include the submodule's properties with every assumption turned
+    /// into an assertion, since the submodule's inputs are now driven by real
+    /// logic.
+    Assert,
+}
+
+/// A submodule testbench to link into the parent's.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmoduleLink {
+    /// The already-generated testbench of the submodule.
+    pub testbench: FormalTestbench,
+    /// Hierarchical instance path of the submodule inside the parent DUT.
+    pub instance_path: String,
+    /// Linking mode.
+    pub mode: SubmoduleMode,
+}
+
+/// Options for a full testbench generation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AutosvaOptions {
+    /// Name of the module to use as DUT; `None` picks the first module in the
+    /// source file.
+    pub dut: Option<String>,
+    /// Formal tool to generate configuration for.
+    pub tool: FormalTool,
+    /// Clock/reset context.
+    pub clocking: ClockingContext,
+    /// Property-generation options (polarity flipping, counter widths,
+    /// X-propagation).
+    pub propgen: PropgenOptions,
+    /// RTL file names to reference from the tool scripts.
+    pub rtl_files: Vec<String>,
+    /// Previously generated submodule testbenches to link in.
+    pub submodules: Vec<SubmoduleLink>,
+}
+
+impl Default for AutosvaOptions {
+    fn default() -> Self {
+        AutosvaOptions {
+            dut: None,
+            tool: FormalTool::Builtin,
+            clocking: ClockingContext::default(),
+            propgen: PropgenOptions::default(),
+            rtl_files: Vec::new(),
+            submodules: Vec::new(),
+        }
+    }
+}
+
+/// Summary statistics for a generated testbench, matching the metrics the
+/// paper reports (annotation effort in LoC, number of unique properties).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FtStats {
+    /// Number of non-empty annotation lines the designer wrote.
+    pub annotation_loc: usize,
+    /// Number of transactions defined.
+    pub transactions: usize,
+    /// Number of unique generated properties (including those linked from
+    /// submodules).
+    pub properties: usize,
+    /// Number of generated assertions.
+    pub assertions: usize,
+    /// Number of generated assumptions.
+    pub assumptions: usize,
+    /// Number of generated cover points.
+    pub covers: usize,
+    /// Number of auxiliary modeling signals.
+    pub aux_signals: usize,
+}
+
+/// The complete generated formal testbench for one DUT.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FormalTestbench {
+    /// Name of the DUT module.
+    pub dut_name: String,
+    /// Parsed DUT module (header and body).
+    pub dut: Module,
+    /// The parsed annotation block.
+    pub annotations: AnnotationBlock,
+    /// Validated transactions.
+    pub transactions: Vec<Transaction>,
+    /// Structured model: auxiliary signals and properties per transaction.
+    pub model: FtModel,
+    /// Properties contributed by linked submodules (already polarity
+    /// adjusted according to the link mode).
+    pub linked_properties: Vec<SvaProperty>,
+    /// Rendered property file (`<dut>_prop.sv`).
+    pub property_file: String,
+    /// Rendered bind file (`<dut>_bind.svh`).
+    pub bind_file: String,
+    /// Rendered formal wrapper (`<dut>_formal_top.sv`).
+    pub wrapper_file: String,
+    /// Tool-specific configuration files.
+    pub tool_files: Vec<ToolFile>,
+    /// Options used for generation.
+    pub options: AutosvaOptions,
+}
+
+impl FormalTestbench {
+    /// All properties of the testbench: generated plus linked from
+    /// submodules.
+    pub fn all_properties(&self) -> Vec<&SvaProperty> {
+        self.model
+            .properties()
+            .into_iter()
+            .chain(self.linked_properties.iter())
+            .collect()
+    }
+
+    /// Summary statistics (annotation LoC, property counts, ...).
+    pub fn stats(&self) -> FtStats {
+        let props = self.all_properties();
+        FtStats {
+            annotation_loc: self.annotations.annotation_loc,
+            transactions: self.transactions.len(),
+            properties: props.len(),
+            assertions: props
+                .iter()
+                .filter(|p| p.directive == Directive::Assert)
+                .count(),
+            assumptions: props
+                .iter()
+                .filter(|p| p.directive == Directive::Assume)
+                .count(),
+            covers: props
+                .iter()
+                .filter(|p| p.directive == Directive::Cover)
+                .count(),
+            aux_signals: self.model.aux_signals().len(),
+        }
+    }
+
+    /// Properties of a given class.
+    pub fn properties_of_class(&self, class: PropertyClass) -> Vec<&SvaProperty> {
+        self.all_properties()
+            .into_iter()
+            .filter(|p| p.class == class)
+            .collect()
+    }
+}
+
+/// Runs the full AutoSVA pipeline on annotated RTL source text.
+///
+/// # Errors
+///
+/// Fails if the source does not parse, the requested DUT module is missing,
+/// the annotations are malformed, or a transaction is inconsistent.
+///
+/// # Examples
+///
+/// ```
+/// use autosva::{generate_ft, AutosvaOptions};
+///
+/// let src = "\
+/// /*AUTOSVA
+/// fifo_txn: push -in> pop
+/// */
+/// module fifo (
+///   input  logic clk_i,
+///   input  logic rst_ni,
+///   input  logic push_val,
+///   output logic push_ack,
+///   output logic pop_val,
+///   input  logic pop_ack
+/// );
+/// endmodule";
+/// let ft = generate_ft(src, &AutosvaOptions::default())?;
+/// assert_eq!(ft.dut_name, "fifo");
+/// assert!(ft.stats().properties > 0);
+/// assert!(ft.property_file.contains("module fifo_prop"));
+/// # Ok::<(), autosva::AutosvaError>(())
+/// ```
+pub fn generate_ft(source: &str, options: &AutosvaOptions) -> Result<FormalTestbench> {
+    // Step 1: parse the annotated RTL.
+    let (file, comments) = parse_with_comments(source)?;
+    let dut = match &options.dut {
+        Some(name) => file
+            .module(name)
+            .ok_or_else(|| AutosvaError::ModuleNotFound(name.clone()))?,
+        None => file
+            .modules()
+            .next()
+            .ok_or_else(|| AutosvaError::ModuleNotFound("<first module>".to_string()))?,
+    }
+    .clone();
+    let annotations = parse_annotations(&comments, &dut)?;
+
+    // Step 2: build transaction objects.
+    let transactions = build_transactions(&annotations)?;
+
+    // Steps 3 and 4: auxiliary signals and properties.
+    let model = generate(&transactions, &options.propgen);
+
+    // Submodule linking.
+    let mut linked_properties = Vec::new();
+    for link in &options.submodules {
+        for prop in link.testbench.all_properties() {
+            let adjusted = match link.mode {
+                SubmoduleMode::Assume => {
+                    // Only the submodule's assumptions (environment
+                    // constraints) are imported.
+                    if prop.directive != Directive::Assume {
+                        continue;
+                    }
+                    prop.clone()
+                }
+                SubmoduleMode::Assert => prop.asserted(),
+            };
+            let mut namespaced = adjusted;
+            namespaced.name = format!("{}__{}", link.instance_path, namespaced.name);
+            linked_properties.push(namespaced);
+        }
+    }
+
+    // Step 5: render files and tool configuration.
+    let property_file = render_property_file(&dut, &model, &options.clocking);
+    let bind_file = render_bind_file(&dut);
+    let wrapper_file = render_wrapper_file(&dut);
+    let tool_files = generate_tool_files(options.tool, &dut, &options.rtl_files, &options.clocking);
+
+    Ok(FormalTestbench {
+        dut_name: dut.name.clone(),
+        dut,
+        annotations,
+        transactions,
+        model,
+        linked_properties,
+        property_file,
+        bind_file,
+        wrapper_file,
+        tool_files,
+        options: options.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MMU: &str = r#"
+/*AUTOSVA
+mmu_lsu: lsu_req -in> lsu_res
+lsu_req_val = lsu_req_i
+lsu_req_ack = lsu_gnt_o
+[2:0] lsu_req_transid = lsu_tid_i
+lsu_res_val = lsu_valid_o
+[2:0] lsu_res_transid = lsu_tid_o
+ptw_dcache: ptw_req -out> dcache_res
+ptw_req_val = dcache_req_o
+ptw_req_ack = dcache_gnt_i
+dcache_res_val = dcache_rvalid_i
+*/
+module mmu (
+  input  logic clk_i,
+  input  logic rst_ni,
+  input  logic lsu_req_i,
+  output logic lsu_gnt_o,
+  input  logic [2:0] lsu_tid_i,
+  output logic lsu_valid_o,
+  output logic [2:0] lsu_tid_o,
+  output logic dcache_req_o,
+  input  logic dcache_gnt_i,
+  input  logic dcache_rvalid_i
+);
+endmodule
+"#;
+
+    #[test]
+    fn full_pipeline_on_two_transactions() {
+        let ft = generate_ft(MMU, &AutosvaOptions::default()).unwrap();
+        assert_eq!(ft.dut_name, "mmu");
+        assert_eq!(ft.transactions.len(), 2);
+        let stats = ft.stats();
+        assert_eq!(stats.transactions, 2);
+        assert!(stats.properties >= 8);
+        assert!(stats.assertions > 0);
+        assert!(stats.assumptions > 0);
+        assert!(stats.covers >= 2);
+        assert!(stats.annotation_loc >= 9);
+        assert!(ft.property_file.contains("module mmu_prop"));
+        assert!(ft.bind_file.contains("bind mmu"));
+        assert!(ft.wrapper_file.contains("module mmu_formal_top"));
+    }
+
+    #[test]
+    fn dut_selection_by_name() {
+        let src = format!("{MMU}\nmodule other (input logic x);\nendmodule");
+        let options = AutosvaOptions {
+            dut: Some("mmu".to_string()),
+            ..AutosvaOptions::default()
+        };
+        let ft = generate_ft(&src, &options).unwrap();
+        assert_eq!(ft.dut_name, "mmu");
+        let missing = AutosvaOptions {
+            dut: Some("nonexistent".to_string()),
+            ..AutosvaOptions::default()
+        };
+        assert!(matches!(
+            generate_ft(&src, &missing).unwrap_err(),
+            AutosvaError::ModuleNotFound(_)
+        ));
+    }
+
+    #[test]
+    fn tool_files_for_each_backend() {
+        for tool in [FormalTool::JasperGold, FormalTool::SymbiYosys, FormalTool::Builtin] {
+            let options = AutosvaOptions {
+                tool,
+                rtl_files: vec!["rtl/mmu.sv".to_string()],
+                ..AutosvaOptions::default()
+            };
+            let ft = generate_ft(MMU, &options).unwrap();
+            assert!(!ft.tool_files.is_empty(), "{tool} produced no files");
+        }
+    }
+
+    #[test]
+    fn submodule_link_assert_mode_flips_assumptions() {
+        let sub = generate_ft(MMU, &AutosvaOptions::default()).unwrap();
+        let parent_src = r#"
+/*AUTOSVA
+top_txn: in -in> out
+in_val = in_valid
+out_val = out_valid
+*/
+module top (
+  input  logic clk_i,
+  input  logic rst_ni,
+  input  logic in_valid,
+  output logic out_valid
+);
+endmodule
+"#;
+        let sub_assumption_count = sub
+            .all_properties()
+            .iter()
+            .filter(|p| p.directive == Directive::Assume)
+            .count();
+        assert!(sub_assumption_count > 0);
+
+        let options = AutosvaOptions {
+            submodules: vec![SubmoduleLink {
+                testbench: sub.clone(),
+                instance_path: "u_mmu".to_string(),
+                mode: SubmoduleMode::Assert,
+            }],
+            ..AutosvaOptions::default()
+        };
+        let parent = generate_ft(parent_src, &options).unwrap();
+        assert!(!parent.linked_properties.is_empty());
+        assert!(parent
+            .linked_properties
+            .iter()
+            .all(|p| p.directive != Directive::Assume));
+        assert!(parent
+            .linked_properties
+            .iter()
+            .all(|p| p.name.starts_with("u_mmu__")));
+
+        let options_am = AutosvaOptions {
+            submodules: vec![SubmoduleLink {
+                testbench: sub.clone(),
+                instance_path: "u_mmu".to_string(),
+                mode: SubmoduleMode::Assume,
+            }],
+            ..AutosvaOptions::default()
+        };
+        let parent_am = generate_ft(parent_src, &options_am).unwrap();
+        assert_eq!(parent_am.linked_properties.len(), sub_assumption_count);
+        assert!(parent_am
+            .linked_properties
+            .iter()
+            .all(|p| p.directive == Directive::Assume));
+    }
+
+    #[test]
+    fn properties_of_class_filter() {
+        let ft = generate_ft(MMU, &AutosvaOptions::default()).unwrap();
+        let liveness = ft.properties_of_class(PropertyClass::Liveness);
+        assert!(!liveness.is_empty());
+        assert!(liveness.iter().all(|p| p.class == PropertyClass::Liveness));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_ft(MMU, &AutosvaOptions::default()).unwrap();
+        let b = generate_ft(MMU, &AutosvaOptions::default()).unwrap();
+        assert_eq!(a.property_file, b.property_file);
+        assert_eq!(a.bind_file, b.bind_file);
+        assert_eq!(a.stats(), b.stats());
+    }
+}

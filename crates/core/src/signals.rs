@@ -1,0 +1,346 @@
+//! Auxiliary signal generation (Section III step 3 of the paper).
+//!
+//! The properties of Table II cannot all be expressed over interface signals
+//! alone: tracking outstanding transactions needs counters, matching a
+//! response to *its* request needs a symbolic (unconstrained) transaction-ID
+//! variable, and data-integrity checks need sampling registers.  This module
+//! defines the auxiliary-signal model shared by the SVA emitter and the
+//! formal substrate.
+
+use crate::annotation::WidthSpec;
+use std::fmt;
+use svparse::ast::Expr;
+use svparse::pretty::print_expr;
+
+/// Default width, in bits, of the outstanding-transaction counters.
+///
+/// The paper's generated code sizes these with a `TRANS_WIDTH` parameter; a
+/// 4-bit counter (up to 15 outstanding transactions) matches the generated
+/// testbenches of the AutoSVA repository.
+pub const DEFAULT_COUNTER_WIDTH: u32 = 4;
+
+/// How an auxiliary signal gets its value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AuxKind {
+    /// A combinational alias: `wire name = def;`
+    Wire {
+        /// Defining expression.
+        def: Expr,
+    },
+    /// A free symbolic variable: declared but never assigned, so a formal
+    /// tool explores every value.  Constrained to be stable over time
+    /// (`assume property ($stable(name))`), matching the generated code of
+    /// the paper.
+    Symbolic,
+    /// An up/down counter register: increments when `incr` holds, decrements
+    /// when `decr` holds, reset to zero.
+    Counter {
+        /// Increment condition.
+        incr: Expr,
+        /// Decrement condition.
+        decr: Expr,
+    },
+    /// A sampling register: captures `value` when `enable` holds, otherwise
+    /// keeps its previous value.  Reset to zero.
+    Sample {
+        /// Capture condition.
+        enable: Expr,
+        /// Captured expression.
+        value: Expr,
+    },
+}
+
+/// An auxiliary signal added by AutoSVA to the property file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuxSignal {
+    /// Signal name, e.g. `lsu_load_sampled` or `symb_lsu_load_transid`.
+    pub name: String,
+    /// Packed width; `None` means a single bit.
+    pub width: Option<WidthSpec>,
+    /// How the signal is driven.
+    pub kind: AuxKind,
+}
+
+impl AuxSignal {
+    /// Creates a combinational alias.
+    pub fn wire(name: impl Into<String>, def: Expr) -> Self {
+        AuxSignal {
+            name: name.into(),
+            width: None,
+            kind: AuxKind::Wire { def },
+        }
+    }
+
+    /// Creates a free symbolic variable of the given width.
+    pub fn symbolic(name: impl Into<String>, width: Option<WidthSpec>) -> Self {
+        AuxSignal {
+            name: name.into(),
+            width,
+            kind: AuxKind::Symbolic,
+        }
+    }
+
+    /// Creates an outstanding-transaction counter.
+    pub fn counter(name: impl Into<String>, width_bits: u32, incr: Expr, decr: Expr) -> Self {
+        AuxSignal {
+            name: name.into(),
+            width: Some(WidthSpec {
+                msb: Expr::number(u128::from(width_bits.saturating_sub(1))),
+                lsb: Expr::number(0),
+            }),
+            kind: AuxKind::Counter { incr, decr },
+        }
+    }
+
+    /// Creates a sampling register.
+    pub fn sample(
+        name: impl Into<String>,
+        width: Option<WidthSpec>,
+        enable: Expr,
+        value: Expr,
+    ) -> Self {
+        AuxSignal {
+            name: name.into(),
+            width,
+            kind: AuxKind::Sample { enable, value },
+        }
+    }
+
+    /// `true` for signals that hold state across cycles (registers and
+    /// symbolic variables); `false` for combinational wires.
+    pub fn is_stateful(&self) -> bool {
+        !matches!(self.kind, AuxKind::Wire { .. })
+    }
+}
+
+impl fmt::Display for AuxSignal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name, render_aux_decl_kind(&self.kind))
+    }
+}
+
+fn render_aux_decl_kind(kind: &AuxKind) -> &'static str {
+    match kind {
+        AuxKind::Wire { .. } => "wire",
+        AuxKind::Symbolic => "symbolic",
+        AuxKind::Counter { .. } => "counter",
+        AuxKind::Sample { .. } => "sample register",
+    }
+}
+
+fn render_width(width: &Option<WidthSpec>) -> String {
+    match width {
+        Some(w) => format!(" [{}:{}]", print_expr(&w.msb), print_expr(&w.lsb)),
+        None => String::new(),
+    }
+}
+
+/// Clock and reset context used when rendering sequential auxiliary logic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClockingContext {
+    /// Clock signal name.
+    pub clock: String,
+    /// Reset signal name.
+    pub reset: String,
+    /// `true` when the reset is active-low (e.g. `rst_ni`).
+    pub reset_active_low: bool,
+}
+
+impl Default for ClockingContext {
+    fn default() -> Self {
+        ClockingContext {
+            clock: "clk_i".to_string(),
+            reset: "rst_ni".to_string(),
+            reset_active_low: true,
+        }
+    }
+}
+
+impl ClockingContext {
+    /// The sensitivity-list term for the asynchronous reset, e.g.
+    /// `negedge rst_ni`.
+    pub fn reset_edge(&self) -> String {
+        if self.reset_active_low {
+            format!("negedge {}", self.reset)
+        } else {
+            format!("posedge {}", self.reset)
+        }
+    }
+
+    /// The reset-asserted condition, e.g. `!rst_ni`.
+    pub fn reset_condition(&self) -> String {
+        if self.reset_active_low {
+            format!("!{}", self.reset)
+        } else {
+            self.reset.clone()
+        }
+    }
+}
+
+/// Renders the SystemVerilog declaration and driving logic for an auxiliary
+/// signal using the given clock/reset context.
+pub fn render_aux_signal(sig: &AuxSignal, ctx: &ClockingContext) -> String {
+    let width = render_width(&sig.width);
+    match &sig.kind {
+        AuxKind::Wire { def } => {
+            format!("wire{width} {} = {};", sig.name, print_expr(def))
+        }
+        AuxKind::Symbolic => {
+            // Declared but unassigned: formal tools treat it as a free
+            // variable.  The stability assumption is emitted alongside so a
+            // single symbolic value is tracked for the whole trace.
+            format!(
+                "logic{width} {name};\nam__{name}_stable: assume property ($stable({name}));",
+                name = sig.name
+            )
+        }
+        AuxKind::Counter { incr, decr } => {
+            format!(
+                "reg{width} {name};\n\
+                 always_ff @(posedge {clock} or {redge}) begin\n\
+                 \x20 if ({rcond}) begin\n\
+                 \x20   {name} <= '0;\n\
+                 \x20 end else begin\n\
+                 \x20   {name} <= {name} + {{{{{pad}{{1'b0}}}}, {incr}}} - {{{{{pad}{{1'b0}}}}, {decr}}};\n\
+                 \x20 end\n\
+                 end",
+                name = sig.name,
+                clock = ctx.clock,
+                redge = ctx.reset_edge(),
+                rcond = ctx.reset_condition(),
+                incr = print_expr(incr),
+                decr = print_expr(decr),
+                pad = counter_pad(&sig.width),
+            )
+        }
+        AuxKind::Sample { enable, value } => {
+            format!(
+                "reg{width} {name};\n\
+                 always_ff @(posedge {clock} or {redge}) begin\n\
+                 \x20 if ({rcond}) begin\n\
+                 \x20   {name} <= '0;\n\
+                 \x20 end else if ({enable}) begin\n\
+                 \x20   {name} <= {value};\n\
+                 \x20 end\n\
+                 end",
+                name = sig.name,
+                clock = ctx.clock,
+                redge = ctx.reset_edge(),
+                rcond = ctx.reset_condition(),
+                enable = print_expr(enable),
+                value = print_expr(value),
+            )
+        }
+    }
+}
+
+fn counter_pad(width: &Option<WidthSpec>) -> String {
+    let bits = width
+        .as_ref()
+        .and_then(WidthSpec::const_width)
+        .unwrap_or(DEFAULT_COUNTER_WIDTH);
+    format!("{}", bits.saturating_sub(1).max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svparse::ast::BinaryOp;
+
+    #[test]
+    fn wire_renders_assignment() {
+        let sig = AuxSignal::wire(
+            "lsu_req_hsk",
+            Expr::binary(
+                BinaryOp::LogicalAnd,
+                Expr::ident("lsu_req_val"),
+                Expr::ident("lsu_req_rdy"),
+            ),
+        );
+        let text = render_aux_signal(&sig, &ClockingContext::default());
+        assert_eq!(text, "wire lsu_req_hsk = (lsu_req_val && lsu_req_rdy);");
+        assert!(!sig.is_stateful());
+    }
+
+    #[test]
+    fn symbolic_renders_free_variable_with_stability_assume() {
+        let sig = AuxSignal::symbolic(
+            "symb_lsu_load_transid",
+            Some(WidthSpec {
+                msb: Expr::number(2),
+                lsb: Expr::number(0),
+            }),
+        );
+        let text = render_aux_signal(&sig, &ClockingContext::default());
+        assert!(text.contains("logic [2:0] symb_lsu_load_transid;"));
+        assert!(text.contains("assume property ($stable(symb_lsu_load_transid))"));
+        assert!(sig.is_stateful());
+    }
+
+    #[test]
+    fn counter_renders_up_down_register() {
+        let sig = AuxSignal::counter(
+            "lsu_load_sampled",
+            4,
+            Expr::ident("lsu_load_set"),
+            Expr::ident("lsu_load_response"),
+        );
+        let text = render_aux_signal(&sig, &ClockingContext::default());
+        assert!(text.contains("reg [3:0] lsu_load_sampled;"));
+        assert!(text.contains("always_ff @(posedge clk_i or negedge rst_ni)"));
+        assert!(text.contains("if (!rst_ni)"));
+        assert!(text.contains("lsu_load_sampled <= '0;"));
+        assert!(text.contains("lsu_load_set"));
+        assert!(text.contains("lsu_load_response"));
+        assert!(sig.is_stateful());
+    }
+
+    #[test]
+    fn sample_register_renders_capture() {
+        let ctx = ClockingContext {
+            clock: "clk".into(),
+            reset: "rst".into(),
+            reset_active_low: false,
+        };
+        let sig = AuxSignal::sample(
+            "t_data_sampled",
+            Some(WidthSpec {
+                msb: Expr::number(7),
+                lsb: Expr::number(0),
+            }),
+            Expr::ident("t_set"),
+            Expr::ident("req_data"),
+        );
+        let text = render_aux_signal(&sig, &ctx);
+        assert!(text.contains("reg [7:0] t_data_sampled;"));
+        assert!(text.contains("posedge clk or posedge rst"));
+        assert!(text.contains("else if (t_set)"));
+        assert!(text.contains("t_data_sampled <= req_data;"));
+    }
+
+    #[test]
+    fn clocking_context_edges() {
+        let ctx = ClockingContext::default();
+        assert_eq!(ctx.reset_edge(), "negedge rst_ni");
+        assert_eq!(ctx.reset_condition(), "!rst_ni");
+        let high = ClockingContext {
+            clock: "clk".into(),
+            reset: "rst".into(),
+            reset_active_low: false,
+        };
+        assert_eq!(high.reset_edge(), "posedge rst");
+        assert_eq!(high.reset_condition(), "rst");
+    }
+
+    #[test]
+    fn display_names_kind() {
+        let sig = AuxSignal::symbolic("s", None);
+        assert_eq!(sig.to_string(), "s (symbolic)");
+    }
+
+    #[test]
+    fn default_counter_width_is_reasonable() {
+        assert!(DEFAULT_COUNTER_WIDTH >= 2);
+        assert!(DEFAULT_COUNTER_WIDTH <= 16);
+    }
+}

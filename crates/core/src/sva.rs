@@ -1,0 +1,337 @@
+//! SystemVerilog Assertion (SVA) property representation and rendering.
+//!
+//! AutoSVA generates a restricted, well-defined family of SVA properties
+//! (Table II of the paper): invariants, single-implication properties with
+//! optional `$stable`/`s_eventually` consequents, and cover points.  The
+//! structured representation here is consumed directly by the formal
+//! substrate (`autosva-formal`) and rendered to SVA text by
+//! [`render_property`] for use with external tools.
+
+use std::fmt;
+use svparse::ast::Expr;
+use svparse::pretty::print_expr;
+
+/// The SVA directive of a property.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Directive {
+    /// `assert property (...)` — the design must satisfy this.
+    Assert,
+    /// `assume property (...)` — the environment is constrained by this.
+    Assume,
+    /// `cover property (...)` — reachability check.
+    Cover,
+}
+
+impl Directive {
+    /// The property-name prefix the paper uses for each directive
+    /// (`as__`, `am__`, `co__`).
+    pub fn name_prefix(&self) -> &'static str {
+        match self {
+            Directive::Assert => "as__",
+            Directive::Assume => "am__",
+            Directive::Cover => "co__",
+        }
+    }
+
+    /// The SVA keyword.
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            Directive::Assert => "assert",
+            Directive::Assume => "assume",
+            Directive::Cover => "cover",
+        }
+    }
+}
+
+impl fmt::Display for Directive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// Classification of a generated property, used for reporting and for the
+/// formal engine to pick the right checking algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PropertyClass {
+    /// Something good eventually happens (requires liveness checking).
+    Liveness,
+    /// Nothing bad ever happens (safety/invariant checking).
+    Safety,
+    /// Request payload is stable until acknowledged.
+    Stability,
+    /// At most one outstanding transaction per ID.
+    Uniqueness,
+    /// Response data matches request data.
+    DataIntegrity,
+    /// Environment fairness (assumed liveness on outgoing interfaces).
+    Fairness,
+    /// X-propagation check (simulation only).
+    Xprop,
+    /// Reachability cover point.
+    Cover,
+}
+
+impl fmt::Display for PropertyClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PropertyClass::Liveness => "liveness",
+            PropertyClass::Safety => "safety",
+            PropertyClass::Stability => "stability",
+            PropertyClass::Uniqueness => "uniqueness",
+            PropertyClass::DataIntegrity => "data-integrity",
+            PropertyClass::Fairness => "fairness",
+            PropertyClass::Xprop => "x-propagation",
+            PropertyClass::Cover => "cover",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The consequent of an implication property.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Consequent {
+    /// A plain Boolean expression that must hold.
+    Expr(Expr),
+    /// `$stable({expr})` — the expression keeps its previous value.
+    Stable(Expr),
+    /// `s_eventually(expr)` — the expression must eventually hold (strong
+    /// eventuality).
+    Eventually(Expr),
+    /// `!$isunknown(expr)` — no X bits (simulation-only check).
+    NotUnknown(Expr),
+}
+
+impl Consequent {
+    /// The underlying expression.
+    pub fn expr(&self) -> &Expr {
+        match self {
+            Consequent::Expr(e)
+            | Consequent::Stable(e)
+            | Consequent::Eventually(e)
+            | Consequent::NotUnknown(e) => e,
+        }
+    }
+}
+
+/// The temporal shape of a property.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PropertyBody {
+    /// A plain invariant expression checked every cycle.
+    Invariant(Expr),
+    /// `antecedent |-> consequent` (or `|=>` when `non_overlap` is true).
+    Implication {
+        /// Enabling condition.
+        antecedent: Expr,
+        /// Obligation once enabled.
+        consequent: Consequent,
+        /// `true` renders `|=>` (consequent checked the following cycle).
+        non_overlap: bool,
+    },
+}
+
+/// A single generated SVA property.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SvaProperty {
+    /// Property label (without the directive prefix), e.g.
+    /// `lsu_load_eventual_response`.
+    pub name: String,
+    /// Assert / assume / cover.
+    pub directive: Directive,
+    /// Classification used for reporting and engine selection.
+    pub class: PropertyClass,
+    /// Temporal shape.
+    pub body: PropertyBody,
+    /// `true` if the property is only meaningful in simulation and must be
+    /// guarded by the `XPROP` macro.
+    pub xprop_only: bool,
+    /// Name of the transaction this property belongs to.
+    pub transaction: String,
+}
+
+impl SvaProperty {
+    /// The full label including the directive prefix, e.g.
+    /// `as__lsu_load_eventual_response`.
+    pub fn full_name(&self) -> String {
+        format!("{}{}", self.directive.name_prefix(), self.name)
+    }
+
+    /// Returns a copy with assumptions converted into assertions, which is
+    /// what the `ASSERT_INPUTS` parameter of the paper does for submodule
+    /// verification.
+    pub fn asserted(&self) -> SvaProperty {
+        let mut p = self.clone();
+        if p.directive == Directive::Assume {
+            p.directive = Directive::Assert;
+        }
+        p
+    }
+}
+
+/// Renders the body of a property as SVA text (without the directive).
+pub fn render_body(body: &PropertyBody) -> String {
+    match body {
+        PropertyBody::Invariant(e) => print_expr(e),
+        PropertyBody::Implication {
+            antecedent,
+            consequent,
+            non_overlap,
+        } => {
+            let arrow = if *non_overlap { "|=>" } else { "|->" };
+            let rhs = match consequent {
+                Consequent::Expr(e) => print_expr(e),
+                Consequent::Stable(e) => format!("$stable({})", print_expr(e)),
+                Consequent::Eventually(e) => format!("s_eventually({})", print_expr(e)),
+                Consequent::NotUnknown(e) => format!("!$isunknown({})", print_expr(e)),
+            };
+            format!("{} {arrow} {rhs}", print_expr(antecedent))
+        }
+    }
+}
+
+/// Renders a full labelled property statement, e.g.
+///
+/// ```text
+/// as__lsu_load_eventual_response: assert property (lsu_load_set |-> s_eventually(lsu_load_response));
+/// ```
+///
+/// The clocking and reset context is provided by a surrounding
+/// `default clocking`/`default disable iff` block emitted by the property
+/// file writer.
+pub fn render_property(prop: &SvaProperty) -> String {
+    let stmt = format!(
+        "{}: {} property ({});",
+        prop.full_name(),
+        prop.directive.keyword(),
+        render_body(&prop.body)
+    );
+    if prop.xprop_only {
+        format!("`ifdef XPROP\n  {stmt}\n`endif")
+    } else {
+        stmt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svparse::ast::BinaryOp;
+
+    fn sample_property() -> SvaProperty {
+        SvaProperty {
+            name: "lsu_load_eventual_response".into(),
+            directive: Directive::Assert,
+            class: PropertyClass::Liveness,
+            body: PropertyBody::Implication {
+                antecedent: Expr::ident("lsu_load_set"),
+                consequent: Consequent::Eventually(Expr::ident("lsu_load_response")),
+                non_overlap: false,
+            },
+            xprop_only: false,
+            transaction: "lsu_load".into(),
+        }
+    }
+
+    #[test]
+    fn render_liveness_property() {
+        let p = sample_property();
+        assert_eq!(
+            render_property(&p),
+            "as__lsu_load_eventual_response: assert property (lsu_load_set |-> s_eventually(lsu_load_response));"
+        );
+    }
+
+    #[test]
+    fn render_stability_assume() {
+        let p = SvaProperty {
+            name: "lsu_load_stability".into(),
+            directive: Directive::Assume,
+            class: PropertyClass::Stability,
+            body: PropertyBody::Implication {
+                antecedent: Expr::binary(
+                    BinaryOp::LogicalAnd,
+                    Expr::ident("lsu_req_val"),
+                    Expr::unary(svparse::ast::UnaryOp::LogicalNot, Expr::ident("lsu_req_ack")),
+                ),
+                consequent: Consequent::Stable(Expr::ident("lsu_req_stable")),
+                non_overlap: true,
+            },
+            xprop_only: false,
+            transaction: "lsu_load".into(),
+        };
+        let text = render_property(&p);
+        assert!(text.starts_with("am__lsu_load_stability: assume property ("));
+        assert!(text.contains("|=> $stable(lsu_req_stable)"));
+    }
+
+    #[test]
+    fn render_cover_invariant() {
+        let p = SvaProperty {
+            name: "lsu_load_request_happens".into(),
+            directive: Directive::Cover,
+            class: PropertyClass::Cover,
+            body: PropertyBody::Invariant(Expr::binary(
+                BinaryOp::Gt,
+                Expr::ident("lsu_load_sampled"),
+                Expr::number(0),
+            )),
+            xprop_only: false,
+            transaction: "lsu_load".into(),
+        };
+        assert_eq!(
+            render_property(&p),
+            "co__lsu_load_request_happens: cover property ((lsu_load_sampled > 0));"
+        );
+    }
+
+    #[test]
+    fn xprop_guard() {
+        let p = SvaProperty {
+            name: "req_xprop".into(),
+            directive: Directive::Assert,
+            class: PropertyClass::Xprop,
+            body: PropertyBody::Implication {
+                antecedent: Expr::ident("req_val"),
+                consequent: Consequent::NotUnknown(Expr::ident("req_data")),
+                non_overlap: false,
+            },
+            xprop_only: true,
+            transaction: "t".into(),
+        };
+        let text = render_property(&p);
+        assert!(text.starts_with("`ifdef XPROP"));
+        assert!(text.contains("!$isunknown(req_data)"));
+        assert!(text.ends_with("`endif"));
+    }
+
+    #[test]
+    fn asserted_flips_assume_only() {
+        let mut p = sample_property();
+        p.directive = Directive::Assume;
+        assert_eq!(p.asserted().directive, Directive::Assert);
+        let c = sample_property();
+        assert_eq!(c.asserted().directive, Directive::Assert);
+        let mut cover = sample_property();
+        cover.directive = Directive::Cover;
+        assert_eq!(cover.asserted().directive, Directive::Cover);
+    }
+
+    #[test]
+    fn directive_prefixes() {
+        assert_eq!(Directive::Assert.name_prefix(), "as__");
+        assert_eq!(Directive::Assume.name_prefix(), "am__");
+        assert_eq!(Directive::Cover.name_prefix(), "co__");
+        assert_eq!(Directive::Assume.to_string(), "assume");
+    }
+
+    #[test]
+    fn class_display() {
+        assert_eq!(PropertyClass::Liveness.to_string(), "liveness");
+        assert_eq!(PropertyClass::DataIntegrity.to_string(), "data-integrity");
+    }
+
+    #[test]
+    fn consequent_expr_accessor() {
+        let c = Consequent::Eventually(Expr::ident("x"));
+        assert_eq!(c.expr().as_ident(), Some("x"));
+    }
+}

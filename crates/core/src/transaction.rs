@@ -1,0 +1,443 @@
+//! The transaction model (Section III step 2 of the paper).
+//!
+//! The transaction builder turns the raw [`AnnotationBlock`] into validated
+//! [`Transaction`] objects.  Each transaction connects a request interface
+//! (P) to a response interface (Q) with an implication relation; each side
+//! carries a set of attribute signals resolved to RTL expressions.
+
+use crate::annotation::{
+    AnnotationBlock, AttributeDef, AttributeSuffix, RelationDir, TransactionDecl, WidthSpec,
+};
+use crate::error::{AutosvaError, Result};
+use std::fmt;
+use svparse::ast::Expr;
+
+/// A resolved attribute signal: the canonical name used in generated code and
+/// the RTL expression that defines it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SignalRef {
+    /// Canonical signal name, e.g. `lsu_req_val`.
+    pub name: String,
+    /// Defining RTL expression over the DUT interface.
+    pub expr: Expr,
+    /// Packed width; `None` means a single bit.
+    pub width: Option<WidthSpec>,
+}
+
+impl SignalRef {
+    fn from_attr(attr: &AttributeDef) -> Self {
+        SignalRef {
+            name: format!("{}_{}", attr.interface, attr.suffix.as_str()),
+            expr: attr.expr.clone(),
+            width: attr.width.clone(),
+        }
+    }
+}
+
+impl fmt::Display for SignalRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// One side (P or Q) of a transaction with its resolved attributes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterfaceSide {
+    /// Interface prefix (e.g. `lsu_req`).
+    pub name: String,
+    /// `val` attribute — presence of valid data.
+    pub val: Option<SignalRef>,
+    /// `ack` attribute — acceptance handshake.
+    pub ack: Option<SignalRef>,
+    /// `transid` attribute — transaction identifier.
+    pub transid: Option<SignalRef>,
+    /// `transid_unique` — at most one outstanding transaction per ID.
+    pub transid_unique: bool,
+    /// `active` attribute — level signal asserted while a transaction is in
+    /// flight.
+    pub active: Option<SignalRef>,
+    /// `stable` attribute — payload that must hold until acknowledged.
+    pub stable: Option<SignalRef>,
+    /// `data` attribute — payload checked for integrity between P and Q.
+    pub data: Option<SignalRef>,
+}
+
+impl InterfaceSide {
+    fn from_block(block: &AnnotationBlock, name: &str) -> Self {
+        let get = |suffix| block.attr(name, suffix).map(SignalRef::from_attr);
+        InterfaceSide {
+            name: name.to_string(),
+            val: get(AttributeSuffix::Val),
+            ack: get(AttributeSuffix::Ack),
+            transid: get(AttributeSuffix::Transid),
+            transid_unique: block.attr(name, AttributeSuffix::TransidUnique).is_some(),
+            active: get(AttributeSuffix::Active),
+            stable: get(AttributeSuffix::Stable),
+            data: get(AttributeSuffix::Data),
+        }
+    }
+
+    /// Returns the handshake expression for this side: `val && ack` when an
+    /// acknowledge signal is defined, otherwise just `val`.
+    pub fn handshake_expr(&self) -> Option<Expr> {
+        let val = self.val.as_ref()?;
+        Some(match &self.ack {
+            Some(ack) => Expr::binary(
+                svparse::ast::BinaryOp::LogicalAnd,
+                val.expr.clone(),
+                ack.expr.clone(),
+            ),
+            None => val.expr.clone(),
+        })
+    }
+
+    /// All attribute signals other than `val`, used by X-propagation checks.
+    pub fn payload_signals(&self) -> Vec<&SignalRef> {
+        [
+            self.ack.as_ref(),
+            self.transid.as_ref(),
+            self.active.as_ref(),
+            self.stable.as_ref(),
+            self.data.as_ref(),
+        ]
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+}
+
+/// A validated transaction between two interfaces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transaction {
+    /// Transaction name (the `TNAME` of the annotation).
+    pub name: String,
+    /// Direction relative to the DUT.
+    pub dir: RelationDir,
+    /// Request side (P).
+    pub request: InterfaceSide,
+    /// Response side (Q).
+    pub response: InterfaceSide,
+}
+
+impl Transaction {
+    /// Returns `true` when request/response matching uses a transaction ID.
+    pub fn tracks_transid(&self) -> bool {
+        self.request.transid.is_some() && self.response.transid.is_some()
+    }
+
+    /// Returns `true` when a data-integrity check applies.
+    pub fn checks_data(&self) -> bool {
+        self.request.data.is_some() && self.response.data.is_some()
+    }
+}
+
+impl fmt::Display for Transaction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} {} {}",
+            self.name, self.request.name, self.dir, self.response.name
+        )
+    }
+}
+
+/// Builds and validates transactions from a parsed annotation block.
+///
+/// # Errors
+///
+/// Returns [`AutosvaError::Validation`] when:
+///
+/// * a transaction's request side has no `val` attribute (nothing to reason
+///   about),
+/// * `transid` is defined on only one side of a transaction,
+/// * `data` is defined on only one side of a transaction,
+/// * `transid` or `data` widths are both constant and differ.
+pub fn build_transactions(block: &AnnotationBlock) -> Result<Vec<Transaction>> {
+    block.decls.iter().map(|d| build_one(block, d)).collect()
+}
+
+fn build_one(block: &AnnotationBlock, decl: &TransactionDecl) -> Result<Transaction> {
+    let request = InterfaceSide::from_block(block, &decl.request);
+    let response = InterfaceSide::from_block(block, &decl.response);
+    let txn = Transaction {
+        name: decl.name.clone(),
+        dir: decl.dir,
+        request,
+        response,
+    };
+    validate(&txn)?;
+    Ok(txn)
+}
+
+fn validation_err(txn: &Transaction, message: impl Into<String>) -> AutosvaError {
+    AutosvaError::Validation {
+        transaction: txn.name.clone(),
+        message: message.into(),
+    }
+}
+
+fn validate(txn: &Transaction) -> Result<()> {
+    if txn.request.val.is_none() {
+        return Err(validation_err(
+            txn,
+            format!(
+                "request interface `{}` has no `val` attribute",
+                txn.request.name
+            ),
+        ));
+    }
+    let one_sided = |p: &Option<SignalRef>, q: &Option<SignalRef>| p.is_some() != q.is_some();
+    if one_sided(&txn.request.transid, &txn.response.transid) {
+        return Err(validation_err(
+            txn,
+            "`transid` must be defined on both interfaces of the transaction or neither",
+        ));
+    }
+    if one_sided(&txn.request.data, &txn.response.data) {
+        return Err(validation_err(
+            txn,
+            "`data` must be defined on both interfaces of the transaction or neither",
+        ));
+    }
+    check_width_match(txn, &txn.request.transid, &txn.response.transid, "transid")?;
+    check_width_match(txn, &txn.request.data, &txn.response.data, "data")?;
+    Ok(())
+}
+
+fn check_width_match(
+    txn: &Transaction,
+    p: &Option<SignalRef>,
+    q: &Option<SignalRef>,
+    what: &str,
+) -> Result<()> {
+    if let (Some(p), Some(q)) = (p, q) {
+        let pw = p.width.as_ref().and_then(WidthSpec::const_width);
+        let qw = q.width.as_ref().and_then(WidthSpec::const_width);
+        if let (Some(pw), Some(qw)) = (pw, qw) {
+            if pw != qw {
+                return Err(validation_err(
+                    txn,
+                    format!("`{what}` width mismatch: request is {pw} bits, response is {qw} bits"),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotation::parse_annotations;
+    use svparse::parse_with_comments;
+
+    fn transactions(src: &str, module: &str) -> Result<Vec<Transaction>> {
+        let (file, comments) = parse_with_comments(src).unwrap();
+        let module = file.module(module).unwrap();
+        let block = parse_annotations(&comments, module)?;
+        build_transactions(&block)
+    }
+
+    const LSU: &str = r#"
+/*AUTOSVA
+lsu_load: lsu_req -in> lsu_res
+lsu_req_val = lsu_valid_i
+lsu_req_rdy = lsu_ready_o
+[2:0] lsu_req_transid = trans_id_i
+[4:0] lsu_req_stable = {trans_id_i, fu_i}
+lsu_res_val = load_valid_o
+[2:0] lsu_res_transid = load_trans_id_o
+*/
+module lsu (
+  input  logic clk_i,
+  input  logic rst_ni,
+  input  logic lsu_valid_i,
+  input  logic [2:0] trans_id_i,
+  input  logic [1:0] fu_i,
+  output logic lsu_ready_o,
+  output logic load_valid_o,
+  output logic [2:0] load_trans_id_o
+);
+endmodule
+"#;
+
+    #[test]
+    fn lsu_transaction_builds() {
+        let txns = transactions(LSU, "lsu").unwrap();
+        assert_eq!(txns.len(), 1);
+        let t = &txns[0];
+        assert_eq!(t.name, "lsu_load");
+        assert_eq!(t.dir, RelationDir::Incoming);
+        assert!(t.tracks_transid());
+        assert!(!t.checks_data());
+        assert!(t.request.ack.is_some());
+        assert!(t.request.stable.is_some());
+        assert!(t.response.ack.is_none());
+        assert_eq!(t.to_string(), "lsu_load: lsu_req -in> lsu_res");
+    }
+
+    #[test]
+    fn handshake_expr_forms() {
+        let txns = transactions(LSU, "lsu").unwrap();
+        let t = &txns[0];
+        let req_hsk = svparse::pretty::print_expr(&t.request.handshake_expr().unwrap());
+        assert_eq!(req_hsk, "(lsu_valid_i && lsu_ready_o)");
+        let res_hsk = svparse::pretty::print_expr(&t.response.handshake_expr().unwrap());
+        assert_eq!(res_hsk, "load_valid_o");
+    }
+
+    #[test]
+    fn transid_one_sided_rejected() {
+        let src = r#"
+/*AUTOSVA
+t: req -in> res
+req_val = a
+[3:0] req_transid = id_i
+res_val = b
+*/
+module m (input logic a, input logic [3:0] id_i, output logic b);
+endmodule
+"#;
+        let err = transactions(src, "m").unwrap_err();
+        match err {
+            AutosvaError::Validation { message, .. } => assert!(message.contains("transid")),
+            other => panic!("expected validation error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn data_one_sided_rejected() {
+        let src = r#"
+/*AUTOSVA
+t: req -in> res
+req_val = a
+[7:0] req_data = d_i
+res_val = b
+*/
+module m (input logic a, input logic [7:0] d_i, output logic b);
+endmodule
+"#;
+        assert!(matches!(
+            transactions(src, "m").unwrap_err(),
+            AutosvaError::Validation { .. }
+        ));
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let src = r#"
+/*AUTOSVA
+t: req -in> res
+req_val = a
+[3:0] req_transid = id_i
+res_val = b
+[2:0] res_transid = id_o
+*/
+module m (input logic a, input logic [3:0] id_i, output logic b, output logic [2:0] id_o);
+endmodule
+"#;
+        let err = transactions(src, "m").unwrap_err();
+        match err {
+            AutosvaError::Validation { message, .. } => {
+                assert!(message.contains("width mismatch"))
+            }
+            other => panic!("expected validation error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn symbolic_widths_are_not_compared() {
+        // Widths given as parameters cannot be compared statically and must
+        // be accepted.
+        let src = r#"
+/*AUTOSVA
+t: req -in> res
+req_val = a
+[W-1:0] req_transid = id_i
+res_val = b
+[W-1:0] res_transid = id_o
+*/
+module m #(parameter W = 4) (input logic a, input logic [W-1:0] id_i, output logic b, output logic [W-1:0] id_o);
+endmodule
+"#;
+        assert!(transactions(src, "m").is_ok());
+    }
+
+    #[test]
+    fn missing_val_rejected() {
+        let src = r#"
+/*AUTOSVA
+t: req -in> res
+req_ack = a
+res_val = b
+*/
+module m (input logic a, output logic b);
+endmodule
+"#;
+        let err = transactions(src, "m").unwrap_err();
+        match err {
+            AutosvaError::Validation { message, .. } => assert!(message.contains("`val`")),
+            other => panic!("expected validation error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_response_val_is_allowed() {
+        // A transaction may omit the response `val` (e.g. only checking the
+        // request handshake); generation simply produces fewer properties.
+        let src = r#"
+/*AUTOSVA
+t: req -in> res
+req_val = a
+req_ack = g
+*/
+module m (input logic a, input logic g);
+endmodule
+"#;
+        let txns = transactions(src, "m").unwrap();
+        assert!(txns[0].response.val.is_none());
+    }
+
+    #[test]
+    fn payload_signals_collects_defined_attributes() {
+        let txns = transactions(LSU, "lsu").unwrap();
+        let p = &txns[0].request;
+        let names: Vec<&str> = p.payload_signals().iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"lsu_req_ack"));
+        assert!(names.contains(&"lsu_req_transid"));
+        assert!(names.contains(&"lsu_req_stable"));
+        assert!(!names.contains(&"lsu_req_data"));
+    }
+
+    #[test]
+    fn fig7_mem_engine_three_lines() {
+        // The paper's Fig. 7 NoC-buffer transaction is defined with only
+        // three annotation lines (val/ack attributes match port names and are
+        // picked up implicitly).
+        let src = r#"
+/*AUTOSVA
+noc_txn: noc1buffer_req -in> noc1buffer_enc
+[2:0] noc1buffer_req_transid = noc1buffer_req_mshrid
+[2:0] noc1buffer_enc_transid = noc1buffer_enc_mshrid
+*/
+module noc_buffer (
+  input  logic clk_i,
+  input  logic rst_ni,
+  input  logic noc1buffer_req_val,
+  output logic noc1buffer_req_ack,
+  input  logic [2:0] noc1buffer_req_mshrid,
+  output logic noc1buffer_enc_val,
+  input  logic noc1buffer_enc_ack,
+  output logic [2:0] noc1buffer_enc_mshrid
+);
+endmodule
+"#;
+        let txns = transactions(src, "noc_buffer").unwrap();
+        let t = &txns[0];
+        assert!(t.tracks_transid());
+        assert!(t.request.val.is_some());
+        assert!(t.request.ack.is_some());
+        assert!(t.response.val.is_some());
+        assert!(t.response.ack.is_some());
+    }
+}

@@ -1,0 +1,339 @@
+//! `autosva-designs` — the RTL design corpus used to reproduce the AutoSVA
+//! paper's evaluation (Table III).
+//!
+//! Each entry is a simplified but behaviourally faithful model of one of the
+//! seven control-critical modules the paper verifies in Ariane and OpenPiton.
+//! Designs that the paper reports bugs for carry a `BUGGY` parameter: with
+//! `BUGGY = 1` (the default) the module exhibits the reported defect, with
+//! `BUGGY = 0` it contains the fix.  The AutoSVA annotations are embedded in
+//! the interface-declaration section of every file, exactly as a designer
+//! would write them.
+//!
+//! # Examples
+//!
+//! ```
+//! use autosva_designs::{all_cases, by_id, Variant};
+//!
+//! assert_eq!(all_cases().len(), 7);
+//! let mmu = by_id("A3").expect("MMU case exists");
+//! assert_eq!(mmu.module, "mmu");
+//! assert_eq!(mmu.params(Variant::Fixed), vec![("BUGGY".to_string(), 0)]);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// The open-source project a design comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Project {
+    /// The 64-bit RISC-V Ariane (CVA6) core.
+    Ariane,
+    /// The OpenPiton manycore framework.
+    OpenPiton,
+}
+
+impl std::fmt::Display for Project {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Project::Ariane => "Ariane",
+            Project::OpenPiton => "OpenPiton",
+        })
+    }
+}
+
+/// Which variant of a design to elaborate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// The design with the reported bug present (`BUGGY = 1`).
+    Buggy,
+    /// The design with the bug fixed (`BUGGY = 0`).
+    Fixed,
+}
+
+/// The outcome the paper reports for a module (Table III), used by the
+/// benchmark harness to compare against what the bundled engine finds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PaperOutcome {
+    /// 100% of the liveness/safety properties were proven.
+    FullProof,
+    /// A new bug was found and, once fixed, everything proved.
+    BugFoundThenProof,
+    /// A previously reported (known) bug was hit.
+    KnownBugHit,
+    /// Some properties proved while others produced counterexamples that
+    /// need extra designer assumptions.
+    PartialWithCex,
+}
+
+/// One design of the evaluation corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DesignCase {
+    /// Paper identifier (`A1`..`A5`, `O1`, `O2`).
+    pub id: &'static str,
+    /// Top module name.
+    pub module: &'static str,
+    /// Human-readable title as used in Table III.
+    pub title: &'static str,
+    /// Source project.
+    pub project: Project,
+    /// Annotated SystemVerilog source.
+    pub source: &'static str,
+    /// `true` when the module has a `BUGGY` parameter with a fixed variant.
+    pub has_bug_parameter: bool,
+    /// The outcome reported in Table III of the paper.
+    pub paper_outcome: PaperOutcome,
+    /// The literal Table III result text.
+    pub paper_result: &'static str,
+    /// Designer-added environment assumptions (SystemVerilog Boolean
+    /// expressions over the interface) required to remove unrealistic
+    /// counterexamples, as described in the paper's evaluation narrative.
+    pub extra_assumptions: &'static [&'static str],
+}
+
+impl DesignCase {
+    /// Parameter overrides selecting the requested variant.
+    ///
+    /// Designs without a `BUGGY` parameter return an empty list for either
+    /// variant.
+    pub fn params(&self, variant: Variant) -> Vec<(String, u128)> {
+        if !self.has_bug_parameter {
+            return Vec::new();
+        }
+        let value = match variant {
+            Variant::Buggy => 1,
+            Variant::Fixed => 0,
+        };
+        vec![("BUGGY".to_string(), value)]
+    }
+
+    /// `true` when the paper's headline result for this module is a proof
+    /// (possibly after fixing a bug).
+    pub fn proves_when_fixed(&self) -> bool {
+        matches!(
+            self.paper_outcome,
+            PaperOutcome::FullProof | PaperOutcome::BugFoundThenProof
+        )
+    }
+}
+
+/// Annotated RTL source of the simplified Ariane page-table walker.
+pub const PTW_SV: &str = include_str!("../rtl/ptw.sv");
+/// Annotated RTL source of the simplified Ariane TLB.
+pub const TLB_SV: &str = include_str!("../rtl/tlb.sv");
+/// Annotated RTL source of the simplified Ariane MMU (ghost-response bug).
+pub const MMU_SV: &str = include_str!("../rtl/mmu.sv");
+/// Annotated RTL source of the simplified Ariane LSU load path (known bug).
+pub const LSU_SV: &str = include_str!("../rtl/lsu.sv");
+/// Annotated RTL source of the simplified Ariane L1-I$ controller (known bug).
+pub const ICACHE_SV: &str = include_str!("../rtl/icache.sv");
+/// Annotated RTL source of the OpenPiton NoC buffer (deadlock bug).
+pub const NOC_BUFFER_SV: &str = include_str!("../rtl/noc_buffer.sv");
+/// Annotated RTL source of the OpenPiton L1.5 miss path.
+pub const L15_SV: &str = include_str!("../rtl/l15.sv");
+
+/// The assumption the paper adds to the MMU testbench to remove the
+/// DTLB-over-ITLB starvation counterexample ("one instruction cannot do many
+/// DTLB lookups"): the LSU does not issue translation requests while an ITLB
+/// miss is waiting for the walker.
+pub const MMU_NO_STARVATION_ASSUMPTION: &str = "!(lsu_req_i && itlb_access_i && itlb_miss_i)";
+
+/// All seven evaluated modules, in Table III order.
+pub fn all_cases() -> Vec<DesignCase> {
+    vec![
+        DesignCase {
+            id: "A1",
+            module: "ptw",
+            title: "Page Table Walker (PTW)",
+            project: Project::Ariane,
+            source: PTW_SV,
+            has_bug_parameter: false,
+            paper_outcome: PaperOutcome::FullProof,
+            paper_result: "100% liveness/safety properties proof",
+            extra_assumptions: &[],
+        },
+        DesignCase {
+            id: "A2",
+            module: "tlb",
+            title: "Trans. Look. Buffer (TLB)",
+            project: Project::Ariane,
+            source: TLB_SV,
+            has_bug_parameter: false,
+            paper_outcome: PaperOutcome::FullProof,
+            paper_result: "100% liveness/safety properties proof",
+            extra_assumptions: &[],
+        },
+        DesignCase {
+            id: "A3",
+            module: "mmu",
+            title: "Memory Mgmt. Unit (MMU)",
+            project: Project::Ariane,
+            source: MMU_SV,
+            has_bug_parameter: true,
+            paper_outcome: PaperOutcome::BugFoundThenProof,
+            paper_result: "Bug found and fixed -> 100% proof",
+            extra_assumptions: &[MMU_NO_STARVATION_ASSUMPTION],
+        },
+        DesignCase {
+            id: "A4",
+            module: "lsu",
+            title: "Load Store Unit (LSU)",
+            project: Project::Ariane,
+            source: LSU_SV,
+            has_bug_parameter: true,
+            paper_outcome: PaperOutcome::KnownBugHit,
+            paper_result: "Hit known bug (issue #538)",
+            extra_assumptions: &[],
+        },
+        DesignCase {
+            id: "A5",
+            module: "icache",
+            title: "L1-I$ (write-back)",
+            project: Project::Ariane,
+            source: ICACHE_SV,
+            has_bug_parameter: true,
+            paper_outcome: PaperOutcome::KnownBugHit,
+            paper_result: "Hit known bug (issue #474)",
+            extra_assumptions: &[],
+        },
+        DesignCase {
+            id: "O1",
+            module: "noc_buffer",
+            title: "NoC Buffer",
+            project: Project::OpenPiton,
+            source: NOC_BUFFER_SV,
+            has_bug_parameter: true,
+            paper_outcome: PaperOutcome::BugFoundThenProof,
+            paper_result: "Bug found and fixed -> 100% proof",
+            extra_assumptions: &[],
+        },
+        DesignCase {
+            id: "O2",
+            module: "l15",
+            title: "L1.5$ (private)",
+            project: Project::OpenPiton,
+            source: L15_SV,
+            has_bug_parameter: false,
+            paper_outcome: PaperOutcome::PartialWithCex,
+            paper_result: "NoC Buffer proof, other CEXs",
+            extra_assumptions: &[],
+        },
+    ]
+}
+
+/// Looks up a design case by its paper identifier (`A1`..`A5`, `O1`, `O2`).
+pub fn by_id(id: &str) -> Option<DesignCase> {
+    all_cases().into_iter().find(|c| c.id == id)
+}
+
+/// Looks up a design case by its top-module name.
+pub fn by_module(module: &str) -> Option<DesignCase> {
+    all_cases().into_iter().find(|c| c.module == module)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_seven_modules() {
+        let cases = all_cases();
+        assert_eq!(cases.len(), 7);
+        let ids: Vec<&str> = cases.iter().map(|c| c.id).collect();
+        assert_eq!(ids, vec!["A1", "A2", "A3", "A4", "A5", "O1", "O2"]);
+        assert_eq!(cases.iter().filter(|c| c.project == Project::Ariane).count(), 5);
+        assert_eq!(
+            cases.iter().filter(|c| c.project == Project::OpenPiton).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn lookup_by_id_and_module() {
+        assert_eq!(by_id("O1").unwrap().module, "noc_buffer");
+        assert_eq!(by_module("mmu").unwrap().id, "A3");
+        assert!(by_id("Z9").is_none());
+        assert!(by_module("missing").is_none());
+    }
+
+    #[test]
+    fn variant_parameters() {
+        let mmu = by_id("A3").unwrap();
+        assert_eq!(mmu.params(Variant::Buggy), vec![("BUGGY".to_string(), 1)]);
+        assert_eq!(mmu.params(Variant::Fixed), vec![("BUGGY".to_string(), 0)]);
+        let ptw = by_id("A1").unwrap();
+        assert!(ptw.params(Variant::Buggy).is_empty());
+        assert!(ptw.params(Variant::Fixed).is_empty());
+    }
+
+    #[test]
+    fn every_source_parses_and_contains_annotations() {
+        for case in all_cases() {
+            let file = svparse::parse(case.source)
+                .unwrap_or_else(|e| panic!("{}: parse error: {}", case.id, e.render(case.source)));
+            assert!(
+                file.module(case.module).is_some(),
+                "{}: module `{}` missing",
+                case.id,
+                case.module
+            );
+            assert!(
+                case.source.contains("AUTOSVA"),
+                "{}: missing AutoSVA annotations",
+                case.id
+            );
+        }
+    }
+
+    #[test]
+    fn bug_parameters_only_on_buggy_designs() {
+        for case in all_cases() {
+            assert_eq!(
+                case.has_bug_parameter,
+                case.source.contains("parameter BUGGY"),
+                "{}: BUGGY parameter flag mismatch",
+                case.id
+            );
+        }
+    }
+
+    #[test]
+    fn paper_outcomes_match_expectations() {
+        assert_eq!(by_id("A1").unwrap().paper_outcome, PaperOutcome::FullProof);
+        assert_eq!(
+            by_id("A3").unwrap().paper_outcome,
+            PaperOutcome::BugFoundThenProof
+        );
+        assert_eq!(by_id("A4").unwrap().paper_outcome, PaperOutcome::KnownBugHit);
+        assert_eq!(
+            by_id("O2").unwrap().paper_outcome,
+            PaperOutcome::PartialWithCex
+        );
+        assert!(by_id("A1").unwrap().proves_when_fixed());
+        assert!(!by_id("A4").unwrap().proves_when_fixed());
+    }
+
+    #[test]
+    fn mmu_carries_the_starvation_assumption() {
+        let mmu = by_id("A3").unwrap();
+        assert_eq!(mmu.extra_assumptions.len(), 1);
+        assert!(mmu.extra_assumptions[0].contains("itlb"));
+        // The assumption must be a valid expression over the interface.
+        assert!(svparse::parse_expr(mmu.extra_assumptions[0]).is_ok());
+    }
+
+    #[test]
+    fn noc_buffer_annotation_is_three_lines() {
+        // The paper highlights that the Mem Engine NoC-buffer testbench was
+        // generated from just 3 lines of annotations.
+        let src = by_id("O1").unwrap().source;
+        let start = src.find("/*AUTOSVA").unwrap();
+        let end = src[start..].find("*/").unwrap();
+        let block = &src[start..start + end];
+        let lines = block
+            .lines()
+            .skip(1)
+            .filter(|l| !l.trim().is_empty())
+            .count();
+        assert_eq!(lines, 3);
+    }
+}

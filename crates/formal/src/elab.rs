@@ -1,0 +1,1758 @@
+//! Elaboration of parsed SystemVerilog into an [`Aig`].
+//!
+//! The elaborator supports the synthesizable subset used by the design corpus
+//! of this reproduction: parameters, packed vectors, small unpacked arrays,
+//! `assign`, `always_comb`, `always_ff` with asynchronous reset, module
+//! instances, and the usual expression operators.  The output is a sequential
+//! AIG plus a symbol table mapping hierarchical signal names to their
+//! current-cycle bit vectors, which the property compiler uses to wire
+//! AutoSVA expressions into the model.
+//!
+//! Modelling decisions:
+//!
+//! * the clock is implicit (one AIG step = one clock edge);
+//! * the reset port is tied to its *inactive* level and the reset branch of
+//!   each `always_ff` provides the latch initial values — the standard
+//!   "reset as initial state" formal setup;
+//! * undriven signals (and unconnected submodule inputs) become free primary
+//!   inputs, which is the sound over-approximation for missing environment.
+
+use crate::aig::{Aig, Lit};
+use crate::words;
+use std::collections::{HashMap, HashSet};
+use std::error::Error;
+use std::fmt;
+use svparse::ast::{
+    AlwaysBlock, AlwaysKind, BinaryOp, CaseItem, DataType, Direction, Expr, Module, ModuleItem,
+    SourceFile, Stmt, UnaryOp,
+};
+
+/// Options controlling elaboration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElabOptions {
+    /// Name of the top module; `None` uses the first module in the file.
+    pub top: Option<String>,
+    /// Parameter overrides for the top module.
+    pub params: Vec<(String, u128)>,
+    /// Clock signal name (excluded from the model inputs).
+    pub clock: String,
+    /// Reset signal name (tied to its inactive level).
+    pub reset: String,
+    /// `true` when the reset is active low.
+    pub reset_active_low: bool,
+}
+
+impl Default for ElabOptions {
+    fn default() -> Self {
+        ElabOptions {
+            top: None,
+            params: Vec::new(),
+            clock: "clk_i".to_string(),
+            reset: "rst_ni".to_string(),
+            reset_active_low: true,
+        }
+    }
+}
+
+/// An elaboration error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElabError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ElabError {
+    fn new(message: impl Into<String>) -> Self {
+        ElabError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ElabError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "elaboration error: {}", self.message)
+    }
+}
+
+impl Error for ElabError {}
+
+/// Result alias for elaboration.
+pub type Result<T> = std::result::Result<T, ElabError>;
+
+/// The elaborated design: circuit plus symbol table.
+#[derive(Debug, Clone)]
+pub struct ElabDesign {
+    /// The sequential circuit.
+    pub aig: Aig,
+    /// Signal name (hierarchical, `inst.sig` for submodules) to current-cycle
+    /// bits, LSB first.
+    pub symbols: HashMap<String, Vec<Lit>>,
+    /// Name of the elaborated top module.
+    pub top: String,
+    /// Names of the top-level ports that became free model inputs.
+    pub free_inputs: Vec<String>,
+    /// Resolved parameter values of the top module.
+    pub params: HashMap<String, u128>,
+}
+
+impl ElabDesign {
+    /// Looks up a signal's bits by name.
+    pub fn signal(&self, name: &str) -> Option<&[Lit]> {
+        self.symbols.get(name).map(Vec::as_slice)
+    }
+
+    /// The width of a signal, if present.
+    pub fn width(&self, name: &str) -> Option<usize> {
+        self.symbols.get(name).map(Vec::len)
+    }
+}
+
+/// Elaborates `file` into an AIG.
+///
+/// # Errors
+///
+/// Returns an [`ElabError`] when the design uses constructs outside the
+/// supported subset, when widths cannot be determined, or when combinational
+/// cycles are detected.
+pub fn elaborate(file: &SourceFile, options: &ElabOptions) -> Result<ElabDesign> {
+    let top = match &options.top {
+        Some(name) => file
+            .module(name)
+            .ok_or_else(|| ElabError::new(format!("top module `{name}` not found")))?,
+        None => file
+            .modules()
+            .next()
+            .ok_or_else(|| ElabError::new("source contains no modules"))?,
+    };
+    let mut ctx = Elaborator {
+        file,
+        options,
+        aig: Aig::new(),
+        symbols: HashMap::new(),
+        free_inputs: Vec::new(),
+        top_params: HashMap::new(),
+    };
+    let params: Vec<(String, u128)> = options.params.clone();
+    ctx.elab_module(top, "", &params, &HashMap::new())?;
+    Ok(ElabDesign {
+        aig: ctx.aig,
+        symbols: ctx.symbols,
+        top: top.name.clone(),
+        free_inputs: ctx.free_inputs,
+        params: ctx.top_params,
+    })
+}
+
+/// A value during elaboration: a packed word or an unpacked array of words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Val {
+    Word(Vec<Lit>),
+    Array(Vec<Vec<Lit>>),
+}
+
+impl Val {
+    fn word(self) -> Result<Vec<Lit>> {
+        match self {
+            Val::Word(w) => Ok(w),
+            Val::Array(_) => Err(ElabError::new("expected a packed value, found an array")),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SigKind {
+    Input,
+    Reg,
+    Wire,
+}
+
+#[derive(Debug, Clone)]
+struct SigInfo {
+    width: usize,
+    /// Number of unpacked elements; `None` for scalars/vectors.
+    array: Option<usize>,
+    kind: SigKind,
+}
+
+struct Elaborator<'a> {
+    file: &'a SourceFile,
+    options: &'a ElabOptions,
+    aig: Aig,
+    symbols: HashMap<String, Vec<Lit>>,
+    free_inputs: Vec<String>,
+    top_params: HashMap<String, u128>,
+}
+
+/// Per-module-instance elaboration state.
+struct ModuleScope {
+    prefix: String,
+    params: HashMap<String, u128>,
+    infos: HashMap<String, SigInfo>,
+    /// Current-cycle values of signals.
+    values: HashMap<String, Val>,
+    /// Wires not yet evaluated: name -> driver.
+    pending: HashMap<String, usize>,
+    /// In-progress evaluations (combinational loop detection).
+    in_progress: HashSet<String>,
+}
+
+#[derive(Debug, Clone)]
+enum Driver {
+    /// `assign lhs = expr` — index of the module item.
+    Assign(usize),
+    /// A declaration initializer `wire x = expr;` — item index and declarator
+    /// index within the declaration.
+    DeclInit(usize, usize),
+    /// Driven inside an `always_comb`/`always @*` block (item index).
+    Comb(usize),
+    /// Driven by an instance output (item index, port name).
+    Instance(usize, String),
+}
+
+impl<'a> Elaborator<'a> {
+    /// Elaborates one module instance.  `bindings` maps input-port names to
+    /// parent-provided values; returns the values of the output ports.
+    fn elab_module(
+        &mut self,
+        module: &Module,
+        prefix: &str,
+        param_overrides: &[(String, u128)],
+        bindings: &HashMap<String, Vec<Lit>>,
+    ) -> Result<HashMap<String, Vec<Lit>>> {
+        // ------------------------------------------------------------------
+        // Parameters.
+        // ------------------------------------------------------------------
+        let mut params: HashMap<String, u128> = HashMap::new();
+        for p in &module.params {
+            let value = match param_overrides.iter().find(|(n, _)| n == &p.name) {
+                Some((_, v)) => *v,
+                None => match &p.value {
+                    Some(expr) => const_eval(expr, &params)?,
+                    None => {
+                        return Err(ElabError::new(format!(
+                            "parameter `{}` of `{}` has no value",
+                            p.name, module.name
+                        )))
+                    }
+                },
+            };
+            params.insert(p.name.clone(), value);
+        }
+        for item in &module.items {
+            if let ModuleItem::Param(p) = item {
+                if let Some(expr) = &p.value {
+                    let value = const_eval(expr, &params)?;
+                    params.insert(p.name.clone(), value);
+                }
+            }
+        }
+        if prefix.is_empty() {
+            self.top_params = params.clone();
+        }
+
+        // ------------------------------------------------------------------
+        // Signal inventory and driver classification.
+        // ------------------------------------------------------------------
+        let mut scope = ModuleScope {
+            prefix: prefix.to_string(),
+            params,
+            infos: HashMap::new(),
+            values: HashMap::new(),
+            pending: HashMap::new(),
+            in_progress: HashSet::new(),
+        };
+
+        for port in &module.ports {
+            let width = self.type_width(&port.ty, &scope.params)?;
+            let array = self.array_len(&port.unpacked_dims, &scope.params)?;
+            let kind = match port.direction {
+                Direction::Input => SigKind::Input,
+                Direction::Output | Direction::Inout => SigKind::Wire,
+            };
+            scope.infos.insert(
+                port.name.clone(),
+                SigInfo {
+                    width,
+                    array,
+                    kind,
+                },
+            );
+        }
+        for item in &module.items {
+            if let ModuleItem::Decl(decl) = item {
+                let width = self.type_width(&decl.ty, &scope.params)?;
+                for name in &decl.names {
+                    let array = self.array_len(&name.unpacked_dims, &scope.params)?;
+                    scope.infos.entry(name.name.clone()).or_insert(SigInfo {
+                        width,
+                        array,
+                        kind: SigKind::Wire,
+                    });
+                }
+            }
+        }
+
+        // Registers: targets of non-blocking assignments in always_ff.
+        let mut reg_names: Vec<String> = Vec::new();
+        for item in &module.items {
+            if let ModuleItem::Always(block) = item {
+                if is_sequential(block) {
+                    let mut targets = Vec::new();
+                    collect_assign_targets(&block.body, false, &mut targets);
+                    for t in targets {
+                        if let Some(info) = scope.infos.get_mut(&t) {
+                            if info.kind != SigKind::Input {
+                                info.kind = SigKind::Reg;
+                                if !reg_names.contains(&t) {
+                                    reg_names.push(t);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Drivers for wires.
+        for (idx, item) in module.items.iter().enumerate() {
+            match item {
+                ModuleItem::ContinuousAssign(assign) => {
+                    for target in lvalue_targets(&assign.lhs) {
+                        scope.pending.insert(target, idx);
+                    }
+                }
+                ModuleItem::Always(block) if !is_sequential(block) => {
+                    let mut targets = Vec::new();
+                    collect_assign_targets(&block.body, true, &mut targets);
+                    for t in targets {
+                        scope.pending.insert(t, idx);
+                    }
+                }
+                ModuleItem::Instance(inst) => {
+                    for conn in &inst.connections {
+                        if let Some(expr) = &conn.expr {
+                            if let Some(name) = expr.as_ident() {
+                                // Will be resolved when the instance output is
+                                // needed; classification happens lazily.
+                                let _ = name;
+                            }
+                        }
+                    }
+                    let _ = idx;
+                }
+                _ => {}
+            }
+        }
+        let drivers: HashMap<String, Driver> = {
+            let mut map = HashMap::new();
+            for (idx, item) in module.items.iter().enumerate() {
+                match item {
+                    ModuleItem::ContinuousAssign(assign) => {
+                        for target in lvalue_targets(&assign.lhs) {
+                            map.insert(target, Driver::Assign(idx));
+                        }
+                    }
+                    ModuleItem::Decl(decl) => {
+                        for (di, name) in decl.names.iter().enumerate() {
+                            if name.init.is_some() {
+                                map.insert(name.name.clone(), Driver::DeclInit(idx, di));
+                            }
+                        }
+                    }
+                    ModuleItem::Always(block) if !is_sequential(block) => {
+                        let mut targets = Vec::new();
+                        collect_assign_targets(&block.body, true, &mut targets);
+                        for t in targets {
+                            map.insert(t, Driver::Comb(idx));
+                        }
+                    }
+                    ModuleItem::Instance(inst) => {
+                        // The instantiated module's port directions determine
+                        // which connections drive parent signals.
+                        if let Some(child) = self.file.module(&inst.module_name) {
+                            for conn in &inst.connections {
+                                if let (Some(expr), Some(port)) =
+                                    (&conn.expr, child.port(&conn.name))
+                                {
+                                    if port.direction == Direction::Output {
+                                        if let Some(name) = expr.as_ident() {
+                                            map.insert(
+                                                name.to_string(),
+                                                Driver::Instance(idx, conn.name.clone()),
+                                            );
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            map
+        };
+
+        // ------------------------------------------------------------------
+        // Create input bits, latch bits, and constants for clock/reset.
+        // ------------------------------------------------------------------
+        let is_top = prefix.is_empty();
+        let port_names: Vec<String> = module.ports.iter().map(|p| p.name.clone()).collect();
+        for port in &module.ports {
+            let name = &port.name;
+            let info = scope.infos.get(name).expect("port info").clone();
+            if port.direction != Direction::Input {
+                continue;
+            }
+            if name == &self.options.clock {
+                scope
+                    .values
+                    .insert(name.clone(), Val::Word(vec![Lit::FALSE]));
+                continue;
+            }
+            if name == &self.options.reset {
+                let inactive = if self.options.reset_active_low {
+                    Lit::TRUE
+                } else {
+                    Lit::FALSE
+                };
+                scope.values.insert(name.clone(), Val::Word(vec![inactive]));
+                continue;
+            }
+            let value = if let Some(bound) = bindings.get(name) {
+                Val::Word(words::resize(bound, info.width))
+            } else if is_top {
+                let bits = self.new_inputs(&format!("{prefix}{name}"), info.width);
+                self.free_inputs.push(name.clone());
+                Val::Word(bits)
+            } else {
+                // Unconnected submodule input: free input.
+                let bits = self.new_inputs(&format!("{prefix}{name}"), info.width);
+                Val::Word(bits)
+            };
+            scope.values.insert(name.clone(), value);
+        }
+
+        // Latches for registers.  Initial values come from the reset branches
+        // of the always_ff blocks; default is zero.
+        let mut init_values: HashMap<String, u128> = HashMap::new();
+        let mut init_array_values: HashMap<String, Vec<u128>> = HashMap::new();
+        for item in &module.items {
+            if let ModuleItem::Always(block) = item {
+                if is_sequential(block) {
+                    self.collect_reset_inits(
+                        block,
+                        &scope.params,
+                        &mut init_values,
+                        &mut init_array_values,
+                    )?;
+                }
+            }
+        }
+        for name in &reg_names {
+            let info = scope.infos.get(name).expect("reg info").clone();
+            match info.array {
+                None => {
+                    let init = init_values.get(name).copied().unwrap_or(0);
+                    let bits = self.new_latches(&format!("{prefix}{name}"), info.width, init);
+                    scope.values.insert(name.clone(), Val::Word(bits));
+                }
+                Some(len) => {
+                    let inits = init_array_values
+                        .get(name)
+                        .cloned()
+                        .unwrap_or_else(|| vec![init_values.get(name).copied().unwrap_or(0); len]);
+                    let elems: Vec<Vec<Lit>> = (0..len)
+                        .map(|i| {
+                            let init = inits.get(i).copied().unwrap_or(0);
+                            self.new_latches(&format!("{prefix}{name}[{i}]"), info.width, init)
+                        })
+                        .collect();
+                    scope.values.insert(name.clone(), Val::Array(elems));
+                }
+            }
+        }
+
+        // ------------------------------------------------------------------
+        // Resolve every signal value (wires lazily, with cycle detection).
+        // ------------------------------------------------------------------
+        let all_names: Vec<String> = scope.infos.keys().cloned().collect();
+        for name in &all_names {
+            self.resolve_signal(module, &mut scope, &drivers, name)?;
+        }
+
+        // ------------------------------------------------------------------
+        // Sequential update: compute next-state values and wire the latches.
+        // ------------------------------------------------------------------
+        let mut next_values: HashMap<String, Val> = HashMap::new();
+        for name in &reg_names {
+            next_values.insert(name.clone(), scope.values[name].clone());
+        }
+        for item in &module.items {
+            if let ModuleItem::Always(block) = item {
+                if is_sequential(block) {
+                    let update = self.strip_reset_branch(block)?;
+                    self.exec_stmt(
+                        module,
+                        &mut scope,
+                        &drivers,
+                        &update,
+                        Lit::TRUE,
+                        &mut next_values,
+                    )?;
+                }
+            }
+        }
+        for name in &reg_names {
+            let current = scope.values[name].clone();
+            let next = next_values[name].clone();
+            match (current, next) {
+                (Val::Word(cur), Val::Word(next)) => {
+                    let next = words::resize(&next, cur.len());
+                    for (c, n) in cur.iter().zip(next.iter()) {
+                        self.aig.set_latch_next(*c, *n);
+                    }
+                }
+                (Val::Array(cur), Val::Array(next)) => {
+                    for (ce, ne) in cur.iter().zip(next.iter()) {
+                        let ne = words::resize(ne, ce.len());
+                        for (c, n) in ce.iter().zip(ne.iter()) {
+                            self.aig.set_latch_next(*c, *n);
+                        }
+                    }
+                }
+                _ => {
+                    return Err(ElabError::new(format!(
+                        "register `{name}` mixes array and scalar forms"
+                    )))
+                }
+            }
+        }
+
+        // ------------------------------------------------------------------
+        // Export symbols and collect output port values.
+        // ------------------------------------------------------------------
+        let mut outputs = HashMap::new();
+        for (name, value) in &scope.values {
+            match value {
+                Val::Word(bits) => {
+                    self.symbols.insert(format!("{prefix}{name}"), bits.clone());
+                }
+                Val::Array(elems) => {
+                    for (i, bits) in elems.iter().enumerate() {
+                        self.symbols
+                            .insert(format!("{prefix}{name}[{i}]"), bits.clone());
+                    }
+                }
+            }
+        }
+        for port in &module.ports {
+            if port.direction == Direction::Output {
+                if let Some(Val::Word(bits)) = scope.values.get(&port.name) {
+                    outputs.insert(port.name.clone(), bits.clone());
+                }
+            }
+        }
+        let _ = port_names;
+        Ok(outputs)
+    }
+
+    fn new_inputs(&mut self, name: &str, width: usize) -> Vec<Lit> {
+        (0..width)
+            .map(|i| {
+                if width == 1 {
+                    self.aig.add_input(name.to_string())
+                } else {
+                    self.aig.add_input(format!("{name}[{i}]"))
+                }
+            })
+            .collect()
+    }
+
+    fn new_latches(&mut self, name: &str, width: usize, init: u128) -> Vec<Lit> {
+        (0..width)
+            .map(|i| {
+                let bit_init = (init >> i) & 1 == 1;
+                let bit_name = if width == 1 {
+                    name.to_string()
+                } else {
+                    format!("{name}[{i}]")
+                };
+                self.aig.add_latch(bit_name, bit_init)
+            })
+            .collect()
+    }
+
+    fn type_width(&self, ty: &DataType, params: &HashMap<String, u128>) -> Result<usize> {
+        if ty.packed_dims.is_empty() {
+            return Ok(1);
+        }
+        let mut width = 1usize;
+        for dim in &ty.packed_dims {
+            let msb = const_eval(&dim.msb, params)?;
+            let lsb = const_eval(&dim.lsb, params)?;
+            let w = (msb.max(lsb) - msb.min(lsb) + 1) as usize;
+            width *= w;
+        }
+        Ok(width)
+    }
+
+    fn array_len(
+        &self,
+        dims: &[svparse::ast::Range],
+        params: &HashMap<String, u128>,
+    ) -> Result<Option<usize>> {
+        if dims.is_empty() {
+            return Ok(None);
+        }
+        let dim = &dims[0];
+        let msb = const_eval(&dim.msb, params)?;
+        let lsb = const_eval(&dim.lsb, params)?;
+        Ok(Some((msb.max(lsb) - msb.min(lsb) + 1) as usize))
+    }
+
+    /// Resolves the current-cycle value of a signal, evaluating its driver if
+    /// needed.
+    fn resolve_signal(
+        &mut self,
+        module: &Module,
+        scope: &mut ModuleScope,
+        drivers: &HashMap<String, Driver>,
+        name: &str,
+    ) -> Result<Val> {
+        if let Some(v) = scope.values.get(name) {
+            return Ok(v.clone());
+        }
+        if !scope.in_progress.insert(name.to_string()) {
+            return Err(ElabError::new(format!(
+                "combinational cycle through signal `{name}`"
+            )));
+        }
+        let info = scope
+            .infos
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ElabError::new(format!("unknown signal `{name}`")))?;
+        let value = match drivers.get(name).cloned() {
+            Some(Driver::DeclInit(idx, di)) => {
+                let init = match &module.items[idx] {
+                    ModuleItem::Decl(d) => d.names[di].init.clone().expect("declared initializer"),
+                    _ => unreachable!("driver index mismatch"),
+                };
+                let bits = self.eval_expr(module, scope, drivers, &init)?.word()?;
+                Val::Word(words::resize(&bits, info.width))
+            }
+            Some(Driver::Assign(idx)) => {
+                let assign = match &module.items[idx] {
+                    ModuleItem::ContinuousAssign(a) => a,
+                    _ => unreachable!("driver index mismatch"),
+                };
+                // Initialise the target with zeros, execute the single
+                // assignment, and read the result back — this handles partial
+                // (bit/element) targets uniformly.
+                let mut env: HashMap<String, Val> = HashMap::new();
+                env.insert(name.to_string(), default_value(&info));
+                let stmt = Stmt::Blocking(assign.clone());
+                self.exec_stmt(module, scope, drivers, &stmt, Lit::TRUE, &mut env)?;
+                env.remove(name).expect("assigned value")
+            }
+            Some(Driver::Comb(idx)) => {
+                let block = match &module.items[idx] {
+                    ModuleItem::Always(b) => b.clone(),
+                    _ => unreachable!("driver index mismatch"),
+                };
+                let mut targets = Vec::new();
+                collect_assign_targets(&block.body, true, &mut targets);
+                let mut env: HashMap<String, Val> = HashMap::new();
+                for t in &targets {
+                    if let Some(ti) = scope.infos.get(t) {
+                        env.insert(t.clone(), default_value(ti));
+                    }
+                }
+                self.exec_stmt(module, scope, drivers, &block.body, Lit::TRUE, &mut env)?;
+                // Publish every signal computed by this block.
+                let result = env
+                    .get(name)
+                    .cloned()
+                    .ok_or_else(|| ElabError::new(format!("block does not assign `{name}`")))?;
+                for (t, v) in env {
+                    if t != name {
+                        scope.values.entry(t).or_insert(v);
+                    }
+                }
+                result
+            }
+            Some(Driver::Instance(idx, port)) => {
+                let inst = match &module.items[idx] {
+                    ModuleItem::Instance(i) => i.clone(),
+                    _ => unreachable!("driver index mismatch"),
+                };
+                let outputs = self.elab_instance(module, scope, drivers, &inst)?;
+                // Publish all outputs of this instance.
+                for conn in &inst.connections {
+                    if let (Some(expr), Some(bits)) = (&conn.expr, outputs.get(&conn.name)) {
+                        if let Some(target) = expr.as_ident() {
+                            if target != name {
+                                scope
+                                    .values
+                                    .entry(target.to_string())
+                                    .or_insert(Val::Word(bits.clone()));
+                            }
+                        }
+                    }
+                }
+                let bits = outputs.get(&port).cloned().ok_or_else(|| {
+                    ElabError::new(format!(
+                        "instance `{}` has no output `{port}`",
+                        inst.instance_name
+                    ))
+                })?;
+                Val::Word(words::resize(&bits, info.width))
+            }
+            None => {
+                // Undriven: free input (sound over-approximation).
+                let prefix = scope.prefix.clone();
+                match info.array {
+                    None => Val::Word(self.new_inputs(&format!("{prefix}{name}"), info.width)),
+                    Some(len) => Val::Array(
+                        (0..len)
+                            .map(|i| self.new_inputs(&format!("{prefix}{name}[{i}]"), info.width))
+                            .collect(),
+                    ),
+                }
+            }
+        };
+        scope.in_progress.remove(name);
+        scope.values.insert(name.to_string(), value.clone());
+        Ok(value)
+    }
+
+    fn elab_instance(
+        &mut self,
+        module: &Module,
+        scope: &mut ModuleScope,
+        drivers: &HashMap<String, Driver>,
+        inst: &svparse::ast::Instance,
+    ) -> Result<HashMap<String, Vec<Lit>>> {
+        let child = self
+            .file
+            .module(&inst.module_name)
+            .ok_or_else(|| ElabError::new(format!("module `{}` not found", inst.module_name)))?
+            .clone();
+        let mut overrides = Vec::new();
+        for conn in &inst.param_overrides {
+            if let Some(expr) = &conn.expr {
+                overrides.push((conn.name.clone(), const_eval(expr, &scope.params)?));
+            }
+        }
+        let mut bindings = HashMap::new();
+        for conn in &inst.connections {
+            if let (Some(expr), Some(port)) = (&conn.expr, child.port(&conn.name)) {
+                if port.direction == Direction::Input {
+                    // The clock and reset of the child are tied inside
+                    // elab_module; skip binding them.
+                    if conn.name == self.options.clock || conn.name == self.options.reset {
+                        continue;
+                    }
+                    let value = self
+                        .eval_expr(module, scope, drivers, expr)?
+                        .word()?;
+                    bindings.insert(conn.name.clone(), value);
+                }
+            }
+        }
+        let child_prefix = format!("{}{}.", scope.prefix, inst.instance_name);
+        self.elab_module(&child, &child_prefix, &overrides, &bindings)
+    }
+
+    /// Extracts initial values from the reset branch of a sequential block.
+    fn collect_reset_inits(
+        &self,
+        block: &AlwaysBlock,
+        params: &HashMap<String, u128>,
+        inits: &mut HashMap<String, u128>,
+        array_inits: &mut HashMap<String, Vec<u128>>,
+    ) -> Result<()> {
+        let Some((reset_branch, _)) = self.split_reset(block) else {
+            return Ok(());
+        };
+        collect_const_assigns(&reset_branch, params, inits, array_inits);
+        Ok(())
+    }
+
+    /// Splits a sequential block into (reset branch, update branch) when it
+    /// follows the `if (!rst) ... else ...` idiom.
+    fn split_reset(&self, block: &AlwaysBlock) -> Option<(Stmt, Stmt)> {
+        let body = match &block.body {
+            Stmt::Block(stmts) if stmts.len() == 1 => &stmts[0],
+            other => other,
+        };
+        if let Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } = body
+        {
+            if expr_is_reset_condition(cond, &self.options.reset, self.options.reset_active_low) {
+                let update = else_branch
+                    .as_ref()
+                    .map(|b| (**b).clone())
+                    .unwrap_or(Stmt::Empty);
+                return Some(((**then_branch).clone(), update));
+            }
+        }
+        None
+    }
+
+    /// Returns the update (non-reset) portion of a sequential block.
+    fn strip_reset_branch(&self, block: &AlwaysBlock) -> Result<Stmt> {
+        match self.split_reset(block) {
+            Some((_, update)) => Ok(update),
+            None => Ok(block.body.clone()),
+        }
+    }
+
+    /// Symbolically executes a statement, updating `env` (the map of assigned
+    /// signals) under the path condition `cond`.
+    fn exec_stmt(
+        &mut self,
+        module: &Module,
+        scope: &mut ModuleScope,
+        drivers: &HashMap<String, Driver>,
+        stmt: &Stmt,
+        cond: Lit,
+        env: &mut HashMap<String, Val>,
+    ) -> Result<()> {
+        match stmt {
+            Stmt::Empty => Ok(()),
+            Stmt::Block(stmts) => {
+                for s in stmts {
+                    self.exec_stmt(module, scope, drivers, s, cond, env)?;
+                }
+                Ok(())
+            }
+            Stmt::Blocking(assign) | Stmt::NonBlocking(assign) => {
+                let rhs = self.eval_expr_env(module, scope, drivers, &assign.rhs, env)?;
+                self.assign_lvalue(module, scope, drivers, &assign.lhs, rhs, cond, env)
+            }
+            Stmt::If {
+                cond: c,
+                then_branch,
+                else_branch,
+            } => {
+                let c_bits = self
+                    .eval_expr_env(module, scope, drivers, c, env)?
+                    .word()?;
+                let c_lit = words::reduce_or(&mut self.aig, &c_bits);
+                let then_cond = self.aig.and(cond, c_lit);
+                self.exec_stmt(module, scope, drivers, then_branch, then_cond, env)?;
+                if let Some(else_branch) = else_branch {
+                    let not_c = c_lit.invert();
+                    let else_cond = self.aig.and(cond, not_c);
+                    self.exec_stmt(module, scope, drivers, else_branch, else_cond, env)?;
+                }
+                Ok(())
+            }
+            Stmt::Case { subject, items } => {
+                let subject_bits = self
+                    .eval_expr_env(module, scope, drivers, subject, env)?
+                    .word()?;
+                let mut matched_any = Lit::FALSE;
+                let mut default_item: Option<&CaseItem> = None;
+                for item in items {
+                    if item.is_default {
+                        default_item = Some(item);
+                        continue;
+                    }
+                    let mut this_match = Lit::FALSE;
+                    for label in &item.labels {
+                        let label_bits = self
+                            .eval_expr_env(module, scope, drivers, label, env)?
+                            .word()?;
+                        let m = words::eq(&mut self.aig, &subject_bits, &label_bits);
+                        this_match = self.aig.or(this_match, m);
+                    }
+                    let not_prev = matched_any.invert();
+                    let first_match = self.aig.and(this_match, not_prev);
+                    let item_cond = self.aig.and(cond, first_match);
+                    self.exec_stmt(module, scope, drivers, &item.body, item_cond, env)?;
+                    matched_any = self.aig.or(matched_any, this_match);
+                }
+                if let Some(item) = default_item {
+                    let not_matched = matched_any.invert();
+                    let item_cond = self.aig.and(cond, not_matched);
+                    self.exec_stmt(module, scope, drivers, &item.body, item_cond, env)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Assigns `rhs` to an lvalue under path condition `cond`.
+    fn assign_lvalue(
+        &mut self,
+        module: &Module,
+        scope: &mut ModuleScope,
+        drivers: &HashMap<String, Driver>,
+        lhs: &Expr,
+        rhs: Val,
+        cond: Lit,
+        env: &mut HashMap<String, Val>,
+    ) -> Result<()> {
+        match lhs {
+            Expr::Ident(name) => {
+                let info = scope
+                    .infos
+                    .get(name)
+                    .cloned()
+                    .ok_or_else(|| ElabError::new(format!("assignment to unknown signal `{name}`")))?;
+                let old = env
+                    .get(name)
+                    .cloned()
+                    .unwrap_or_else(|| default_value(&info));
+                let new = match (old, rhs) {
+                    (Val::Word(old), rhs) => {
+                        // The declared width of the target wins: the RHS is
+                        // truncated or zero-extended to fit.
+                        let rhs = words::resize(&rhs.word()?, old.len());
+                        Val::Word(words::mux(&mut self.aig, cond, &rhs, &old))
+                    }
+                    (Val::Array(old), Val::Array(new)) => {
+                        let merged: Vec<Vec<Lit>> = old
+                            .iter()
+                            .zip(new.iter())
+                            .map(|(o, n)| words::mux(&mut self.aig, cond, n, o))
+                            .collect();
+                        Val::Array(merged)
+                    }
+                    (Val::Array(_), Val::Word(_)) => {
+                        return Err(ElabError::new(format!(
+                            "cannot assign a packed value to the whole array `{name}`"
+                        )))
+                    }
+                };
+                env.insert(name.clone(), new);
+                Ok(())
+            }
+            Expr::Index { base, index } => {
+                let name = base
+                    .as_ident()
+                    .ok_or_else(|| ElabError::new("indexed assignment base must be a signal"))?
+                    .to_string();
+                let info = scope
+                    .infos
+                    .get(&name)
+                    .cloned()
+                    .ok_or_else(|| ElabError::new(format!("assignment to unknown signal `{name}`")))?;
+                let index_bits = self
+                    .eval_expr_env(module, scope, drivers, index, env)?
+                    .word()?;
+                let old = env
+                    .get(&name)
+                    .cloned()
+                    .unwrap_or_else(|| default_value(&info));
+                match old {
+                    Val::Array(elems) => {
+                        let rhs = words::resize(&rhs.word()?, info.width);
+                        let mut new_elems = Vec::with_capacity(elems.len());
+                        for (i, elem) in elems.iter().enumerate() {
+                            let idx_const = words::constant(i as u128, index_bits.len().max(1));
+                            let is_this = words::eq(&mut self.aig, &index_bits, &idx_const);
+                            let write = self.aig.and(cond, is_this);
+                            new_elems.push(words::mux(&mut self.aig, write, &rhs, elem));
+                        }
+                        env.insert(name, Val::Array(new_elems));
+                        Ok(())
+                    }
+                    Val::Word(bits) => {
+                        // Single-bit write into a packed vector.
+                        let rhs = rhs.word()?;
+                        let rhs_bit = rhs.first().copied().unwrap_or(Lit::FALSE);
+                        let mut new_bits = Vec::with_capacity(bits.len());
+                        for (i, &bit) in bits.iter().enumerate() {
+                            let idx_const = words::constant(i as u128, index_bits.len().max(1));
+                            let is_this = words::eq(&mut self.aig, &index_bits, &idx_const);
+                            let write = self.aig.and(cond, is_this);
+                            new_bits.push(self.aig.mux(write, rhs_bit, bit));
+                        }
+                        env.insert(name, Val::Word(new_bits));
+                        Ok(())
+                    }
+                }
+            }
+            Expr::RangeSelect { base, msb, lsb } => {
+                let name = base
+                    .as_ident()
+                    .ok_or_else(|| ElabError::new("range assignment base must be a signal"))?
+                    .to_string();
+                let info = scope
+                    .infos
+                    .get(&name)
+                    .cloned()
+                    .ok_or_else(|| ElabError::new(format!("assignment to unknown signal `{name}`")))?;
+                let msb = const_eval(msb, &scope.params)? as usize;
+                let lsb = const_eval(lsb, &scope.params)? as usize;
+                let old = env
+                    .get(&name)
+                    .cloned()
+                    .unwrap_or_else(|| default_value(&info))
+                    .word()?;
+                let rhs = words::resize(&rhs.word()?, msb - lsb + 1);
+                let mut new_bits = old.clone();
+                for (k, bit) in rhs.iter().enumerate() {
+                    let pos = lsb + k;
+                    if pos < new_bits.len() {
+                        new_bits[pos] = self.aig.mux(cond, *bit, old[pos]);
+                    }
+                }
+                env.insert(name, Val::Word(new_bits));
+                Ok(())
+            }
+            Expr::Concat(parts) => {
+                // {a, b} = rhs — split MSB-first.
+                let rhs_bits = rhs.word()?;
+                let mut widths = Vec::new();
+                for part in parts {
+                    let name = part
+                        .as_ident()
+                        .ok_or_else(|| ElabError::new("concat assignment parts must be signals"))?;
+                    let info = scope
+                        .infos
+                        .get(name)
+                        .ok_or_else(|| ElabError::new(format!("unknown signal `{name}`")))?;
+                    widths.push(info.width);
+                }
+                let total: usize = widths.iter().sum();
+                let rhs_bits = words::resize(&rhs_bits, total);
+                // parts[0] is the most significant.
+                let mut offset = total;
+                for (part, width) in parts.iter().zip(widths.iter()) {
+                    offset -= width;
+                    let slice = rhs_bits[offset..offset + width].to_vec();
+                    self.assign_lvalue(module, scope, drivers, part, Val::Word(slice), cond, env)?;
+                }
+                Ok(())
+            }
+            other => Err(ElabError::new(format!(
+                "unsupported assignment target: {other:?}"
+            ))),
+        }
+    }
+
+    /// Evaluates an expression in the current scope (no statement-local
+    /// environment).
+    fn eval_expr(
+        &mut self,
+        module: &Module,
+        scope: &mut ModuleScope,
+        drivers: &HashMap<String, Driver>,
+        expr: &Expr,
+    ) -> Result<Val> {
+        let mut env = HashMap::new();
+        self.eval_expr_env(module, scope, drivers, expr, &mut env)
+    }
+
+    /// Evaluates an expression, preferring values from the statement-local
+    /// environment `env` (for signals mid-update inside a procedural block).
+    fn eval_expr_env(
+        &mut self,
+        module: &Module,
+        scope: &mut ModuleScope,
+        drivers: &HashMap<String, Driver>,
+        expr: &Expr,
+        env: &mut HashMap<String, Val>,
+    ) -> Result<Val> {
+        match expr {
+            Expr::Number(n) => {
+                let width = n.width.map(|w| w as usize).unwrap_or(32);
+                let value = n.value.unwrap_or(0);
+                Ok(Val::Word(words::constant(value, width.max(1))))
+            }
+            Expr::Str(_) => Err(ElabError::new("string literals are not synthesizable")),
+            Expr::Macro(name) => Err(ElabError::new(format!(
+                "macro `{name}` cannot be elaborated"
+            ))),
+            Expr::Ident(name) => {
+                if let Some(v) = env.get(name) {
+                    return Ok(v.clone());
+                }
+                if let Some(&value) = scope.params.get(name) {
+                    return Ok(Val::Word(words::constant(value, 32)));
+                }
+                if scope.infos.contains_key(name) {
+                    return self.resolve_signal(module, scope, drivers, name);
+                }
+                Err(ElabError::new(format!("unknown identifier `{name}`")))
+            }
+            Expr::Unary { op, operand } => {
+                let v = self
+                    .eval_expr_env(module, scope, drivers, operand, env)?
+                    .word()?;
+                let result = match op {
+                    UnaryOp::LogicalNot => vec![words::reduce_or(&mut self.aig, &v).invert()],
+                    UnaryOp::BitwiseNot => words::not(&v),
+                    UnaryOp::Negate => {
+                        let zero = words::constant(0, v.len());
+                        words::sub(&mut self.aig, &zero, &v)
+                    }
+                    UnaryOp::Plus => v,
+                    UnaryOp::ReduceAnd => vec![words::reduce_and(&mut self.aig, &v)],
+                    UnaryOp::ReduceOr => vec![words::reduce_or(&mut self.aig, &v)],
+                    UnaryOp::ReduceXor => vec![words::reduce_xor(&mut self.aig, &v)],
+                    UnaryOp::ReduceNand => vec![words::reduce_and(&mut self.aig, &v).invert()],
+                    UnaryOp::ReduceNor => vec![words::reduce_or(&mut self.aig, &v).invert()],
+                    UnaryOp::ReduceXnor => vec![words::reduce_xor(&mut self.aig, &v).invert()],
+                };
+                Ok(Val::Word(result))
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let a = self
+                    .eval_expr_env(module, scope, drivers, lhs, env)?
+                    .word()?;
+                let b = self
+                    .eval_expr_env(module, scope, drivers, rhs, env)?
+                    .word()?;
+                let aig = &mut self.aig;
+                let result = match op {
+                    BinaryOp::Add => words::add(aig, &a, &b),
+                    BinaryOp::Sub => words::sub(aig, &a, &b),
+                    BinaryOp::Mul => words::mul(aig, &a, &b),
+                    BinaryOp::Div | BinaryOp::Mod | BinaryOp::Pow => {
+                        // Only constant operands are supported.
+                        let ca = words::as_constant(&a);
+                        let cb = words::as_constant(&b);
+                        match (ca, cb, op) {
+                            (Some(x), Some(y), BinaryOp::Div) if y != 0 => {
+                                words::constant(x / y, a.len())
+                            }
+                            (Some(x), Some(y), BinaryOp::Mod) if y != 0 => {
+                                words::constant(x % y, a.len())
+                            }
+                            (Some(x), Some(y), BinaryOp::Pow) => {
+                                words::constant(x.pow(y as u32), a.len().max(8))
+                            }
+                            _ => {
+                                return Err(ElabError::new(
+                                    "division/modulo of non-constant operands is unsupported",
+                                ))
+                            }
+                        }
+                    }
+                    BinaryOp::LogicalAnd => {
+                        let ra = words::reduce_or(aig, &a);
+                        let rb = words::reduce_or(aig, &b);
+                        vec![aig.and(ra, rb)]
+                    }
+                    BinaryOp::LogicalOr => {
+                        let ra = words::reduce_or(aig, &a);
+                        let rb = words::reduce_or(aig, &b);
+                        vec![aig.or(ra, rb)]
+                    }
+                    BinaryOp::BitAnd => words::bitwise(aig, &a, &b, |g, x, y| g.and(x, y)),
+                    BinaryOp::BitOr => words::bitwise(aig, &a, &b, |g, x, y| g.or(x, y)),
+                    BinaryOp::BitXor => words::bitwise(aig, &a, &b, |g, x, y| g.xor(x, y)),
+                    BinaryOp::BitXnor => words::bitwise(aig, &a, &b, |g, x, y| g.xnor(x, y)),
+                    BinaryOp::Eq | BinaryOp::CaseEq => vec![words::eq(aig, &a, &b)],
+                    BinaryOp::Ne | BinaryOp::CaseNe => vec![words::eq(aig, &a, &b).invert()],
+                    BinaryOp::Lt => vec![words::ult(aig, &a, &b)],
+                    BinaryOp::Le => vec![words::ule(aig, &a, &b)],
+                    BinaryOp::Gt => vec![words::ult(aig, &b, &a)],
+                    BinaryOp::Ge => vec![words::ule(aig, &b, &a)],
+                    BinaryOp::Shl | BinaryOp::Shr | BinaryOp::AShr => {
+                        let amount = words::as_constant(&b).ok_or_else(|| {
+                            ElabError::new("shift amounts must be constant expressions")
+                        })? as usize;
+                        match op {
+                            BinaryOp::Shl => words::shl_const(&a, amount),
+                            _ => words::shr_const(&a, amount),
+                        }
+                    }
+                };
+                Ok(Val::Word(result))
+            }
+            Expr::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
+                let c = self
+                    .eval_expr_env(module, scope, drivers, cond, env)?
+                    .word()?;
+                let c_lit = words::reduce_or(&mut self.aig, &c);
+                let t = self
+                    .eval_expr_env(module, scope, drivers, then_expr, env)?
+                    .word()?;
+                let e = self
+                    .eval_expr_env(module, scope, drivers, else_expr, env)?
+                    .word()?;
+                Ok(Val::Word(words::mux(&mut self.aig, c_lit, &t, &e)))
+            }
+            Expr::Index { base, index } => {
+                let base_val = self.eval_expr_env(module, scope, drivers, base, env)?;
+                let index_bits = self
+                    .eval_expr_env(module, scope, drivers, index, env)?
+                    .word()?;
+                match base_val {
+                    Val::Array(elems) => {
+                        Ok(Val::Word(words::select(&mut self.aig, &elems, &index_bits)))
+                    }
+                    Val::Word(bits) => {
+                        let singles: Vec<Vec<Lit>> = bits.iter().map(|&b| vec![b]).collect();
+                        Ok(Val::Word(words::select(
+                            &mut self.aig,
+                            &singles,
+                            &index_bits,
+                        )))
+                    }
+                }
+            }
+            Expr::RangeSelect { base, msb, lsb } => {
+                let base_bits = self
+                    .eval_expr_env(module, scope, drivers, base, env)?
+                    .word()?;
+                let msb = const_eval(msb, &scope.params)? as usize;
+                let lsb = const_eval(lsb, &scope.params)? as usize;
+                let hi = msb.max(lsb);
+                let lo = msb.min(lsb);
+                let mut out = Vec::new();
+                for i in lo..=hi {
+                    out.push(base_bits.get(i).copied().unwrap_or(Lit::FALSE));
+                }
+                Ok(Val::Word(out))
+            }
+            Expr::Member { base, member } => Err(ElabError::new(format!(
+                "struct member access `{:?}.{member}` is not supported by the elaborator",
+                base
+            ))),
+            Expr::Concat(parts) => {
+                // SystemVerilog concatenation lists the MSB part first.
+                let mut bits = Vec::new();
+                for part in parts.iter().rev() {
+                    let mut v = self
+                        .eval_expr_env(module, scope, drivers, part, env)?
+                        .word()?;
+                    bits.append(&mut v);
+                }
+                Ok(Val::Word(bits))
+            }
+            Expr::Replicate { count, value } => {
+                let n = const_eval(count, &scope.params)? as usize;
+                let v = self
+                    .eval_expr_env(module, scope, drivers, value, env)?
+                    .word()?;
+                let mut bits = Vec::with_capacity(n * v.len());
+                for _ in 0..n {
+                    bits.extend_from_slice(&v);
+                }
+                Ok(Val::Word(bits))
+            }
+            Expr::Call {
+                name,
+                is_system,
+                args,
+            } => {
+                if *is_system && name == "clog2" {
+                    let arg = const_eval(args.first().ok_or_else(|| {
+                        ElabError::new("$clog2 requires an argument")
+                    })?, &scope.params)?;
+                    let result = clog2(arg);
+                    return Ok(Val::Word(words::constant(result, 32)));
+                }
+                if *is_system && (name == "unsigned" || name == "signed") {
+                    return self.eval_expr_env(module, scope, drivers, &args[0], env);
+                }
+                Err(ElabError::new(format!(
+                    "call to `{}{name}` is not supported",
+                    if *is_system { "$" } else { "" }
+                )))
+            }
+        }
+    }
+}
+
+fn default_value(info: &SigInfo) -> Val {
+    match info.array {
+        None => Val::Word(words::constant(0, info.width)),
+        Some(len) => Val::Array(vec![words::constant(0, info.width); len]),
+    }
+}
+
+fn clog2(value: u128) -> u128 {
+    if value <= 1 {
+        0
+    } else {
+        (128 - (value - 1).leading_zeros()) as u128
+    }
+}
+
+/// `true` when the always block is edge-sensitive (a flip-flop description).
+fn is_sequential(block: &AlwaysBlock) -> bool {
+    match block.kind {
+        AlwaysKind::Ff => true,
+        AlwaysKind::Comb | AlwaysKind::Initial => false,
+        AlwaysKind::Plain => block.sensitivity.iter().any(|e| e.posedge.is_some()),
+    }
+}
+
+/// Collects the base signal names assigned anywhere inside a statement.
+fn collect_assign_targets(stmt: &Stmt, blocking: bool, out: &mut Vec<String>) {
+    match stmt {
+        Stmt::Block(stmts) => {
+            for s in stmts {
+                collect_assign_targets(s, blocking, out);
+            }
+        }
+        Stmt::Blocking(a) => {
+            if blocking {
+                out.extend(lvalue_targets(&a.lhs));
+            } else {
+                // Blocking assignments inside always_ff also create state.
+                out.extend(lvalue_targets(&a.lhs));
+            }
+        }
+        Stmt::NonBlocking(a) => out.extend(lvalue_targets(&a.lhs)),
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            collect_assign_targets(then_branch, blocking, out);
+            if let Some(e) = else_branch {
+                collect_assign_targets(e, blocking, out);
+            }
+        }
+        Stmt::Case { items, .. } => {
+            for item in items {
+                collect_assign_targets(&item.body, blocking, out);
+            }
+        }
+        Stmt::Empty => {}
+    }
+}
+
+/// Base signal names written by an lvalue expression.
+fn lvalue_targets(lhs: &Expr) -> Vec<String> {
+    match lhs {
+        Expr::Ident(name) => vec![name.clone()],
+        Expr::Index { base, .. } | Expr::RangeSelect { base, .. } => lvalue_targets(base),
+        Expr::Concat(parts) => parts.iter().flat_map(lvalue_targets).collect(),
+        Expr::Member { base, .. } => lvalue_targets(base),
+        _ => Vec::new(),
+    }
+}
+
+/// Collects constant assignments from a reset branch.
+fn collect_const_assigns(
+    stmt: &Stmt,
+    params: &HashMap<String, u128>,
+    inits: &mut HashMap<String, u128>,
+    array_inits: &mut HashMap<String, Vec<u128>>,
+) {
+    match stmt {
+        Stmt::Block(stmts) => {
+            for s in stmts {
+                collect_const_assigns(s, params, inits, array_inits);
+            }
+        }
+        Stmt::Blocking(a) | Stmt::NonBlocking(a) => {
+            if let Some(name) = a.lhs.as_ident() {
+                if let Ok(v) = const_eval(&a.rhs, params) {
+                    inits.insert(name.to_string(), v);
+                }
+            } else if let Expr::Index { base, index } = &a.lhs {
+                if let (Some(name), Ok(idx), Ok(v)) = (
+                    base.as_ident(),
+                    const_eval(index, params),
+                    const_eval(&a.rhs, params),
+                ) {
+                    let entry = array_inits.entry(name.to_string()).or_default();
+                    let idx = idx as usize;
+                    if entry.len() <= idx {
+                        entry.resize(idx + 1, 0);
+                    }
+                    entry[idx] = v;
+                }
+            }
+        }
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            collect_const_assigns(then_branch, params, inits, array_inits);
+            if let Some(e) = else_branch {
+                collect_const_assigns(e, params, inits, array_inits);
+            }
+        }
+        Stmt::Case { items, .. } => {
+            for item in items {
+                collect_const_assigns(&item.body, params, inits, array_inits);
+            }
+        }
+        Stmt::Empty => {}
+    }
+}
+
+/// `true` if `expr` tests that the reset is asserted.
+fn expr_is_reset_condition(expr: &Expr, reset: &str, active_low: bool) -> bool {
+    match expr {
+        Expr::Unary {
+            op: UnaryOp::LogicalNot | UnaryOp::BitwiseNot,
+            operand,
+        } => active_low && operand.as_ident() == Some(reset),
+        Expr::Ident(name) => !active_low && name == reset,
+        Expr::Binary {
+            op: BinaryOp::Eq,
+            lhs,
+            rhs,
+        } => {
+            let (id, num) = match (lhs.as_ident(), rhs.as_ref()) {
+                (Some(id), Expr::Number(n)) => (id, n.value),
+                _ => match (rhs.as_ident(), lhs.as_ref()) {
+                    (Some(id), Expr::Number(n)) => (id, n.value),
+                    _ => return false,
+                },
+            };
+            id == reset && num == Some(if active_low { 0 } else { 1 })
+        }
+        _ => false,
+    }
+}
+
+/// Evaluates a constant expression over a parameter environment.
+///
+/// # Errors
+///
+/// Returns an error if the expression references signals or uses unsupported
+/// operators.
+pub fn const_eval(expr: &Expr, params: &HashMap<String, u128>) -> Result<u128> {
+    match expr {
+        Expr::Number(n) => n
+            .value
+            .ok_or_else(|| ElabError::new("x/z literal in constant expression")),
+        Expr::Ident(name) => params
+            .get(name)
+            .copied()
+            .ok_or_else(|| ElabError::new(format!("`{name}` is not a constant parameter"))),
+        Expr::Unary { op, operand } => {
+            let v = const_eval(operand, params)?;
+            Ok(match op {
+                UnaryOp::LogicalNot => u128::from(v == 0),
+                UnaryOp::BitwiseNot => !v,
+                UnaryOp::Negate => v.wrapping_neg(),
+                UnaryOp::Plus => v,
+                _ => return Err(ElabError::new("reduction in constant expression")),
+            })
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let a = const_eval(lhs, params)?;
+            let b = const_eval(rhs, params)?;
+            Ok(match op {
+                BinaryOp::Add => a.wrapping_add(b),
+                BinaryOp::Sub => a.wrapping_sub(b),
+                BinaryOp::Mul => a.wrapping_mul(b),
+                BinaryOp::Div => {
+                    if b == 0 {
+                        return Err(ElabError::new("division by zero in constant expression"));
+                    }
+                    a / b
+                }
+                BinaryOp::Mod => {
+                    if b == 0 {
+                        return Err(ElabError::new("modulo by zero in constant expression"));
+                    }
+                    a % b
+                }
+                BinaryOp::Pow => a.pow(b as u32),
+                BinaryOp::Shl => a << b,
+                BinaryOp::Shr | BinaryOp::AShr => a >> b,
+                BinaryOp::BitAnd => a & b,
+                BinaryOp::BitOr => a | b,
+                BinaryOp::BitXor => a ^ b,
+                BinaryOp::BitXnor => !(a ^ b),
+                BinaryOp::LogicalAnd => u128::from(a != 0 && b != 0),
+                BinaryOp::LogicalOr => u128::from(a != 0 || b != 0),
+                BinaryOp::Eq | BinaryOp::CaseEq => u128::from(a == b),
+                BinaryOp::Ne | BinaryOp::CaseNe => u128::from(a != b),
+                BinaryOp::Lt => u128::from(a < b),
+                BinaryOp::Le => u128::from(a <= b),
+                BinaryOp::Gt => u128::from(a > b),
+                BinaryOp::Ge => u128::from(a >= b),
+            })
+        }
+        Expr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+        } => {
+            if const_eval(cond, params)? != 0 {
+                const_eval(then_expr, params)
+            } else {
+                const_eval(else_expr, params)
+            }
+        }
+        Expr::Call {
+            name,
+            is_system: true,
+            args,
+        } if name == "clog2" => {
+            let v = const_eval(
+                args.first()
+                    .ok_or_else(|| ElabError::new("$clog2 requires an argument"))?,
+                params,
+            )?;
+            Ok(clog2(v))
+        }
+        other => Err(ElabError::new(format!(
+            "expression is not a constant: {other:?}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{BadProperty, Model};
+    use crate::bmc::{check_safety, BmcOptions, SafetyResult};
+
+    fn elab(src: &str) -> ElabDesign {
+        let file = svparse::parse(src).expect("parse");
+        elaborate(&file, &ElabOptions::default()).expect("elaborate")
+    }
+
+    #[test]
+    fn const_eval_basics() {
+        let params: HashMap<String, u128> = [("W".to_string(), 8u128)].into_iter().collect();
+        let e = svparse::parse_expr("W - 1").unwrap();
+        assert_eq!(const_eval(&e, &params).unwrap(), 7);
+        let e = svparse::parse_expr("$clog2(W)").unwrap();
+        assert_eq!(const_eval(&e, &params).unwrap(), 3);
+        let e = svparse::parse_expr("2 ** 4 + 1").unwrap();
+        assert_eq!(const_eval(&e, &params).unwrap(), 17);
+        let e = svparse::parse_expr("W > 4 ? 10 : 20").unwrap();
+        assert_eq!(const_eval(&e, &params).unwrap(), 10);
+        assert!(const_eval(&svparse::parse_expr("missing").unwrap(), &params).is_err());
+    }
+
+    #[test]
+    fn clog2_values() {
+        assert_eq!(clog2(0), 0);
+        assert_eq!(clog2(1), 0);
+        assert_eq!(clog2(2), 1);
+        assert_eq!(clog2(5), 3);
+        assert_eq!(clog2(8), 3);
+        assert_eq!(clog2(9), 4);
+    }
+
+    #[test]
+    fn elaborate_combinational_logic() {
+        let design = elab(
+            "module comb (input logic a, input logic b, output logic y, output logic z);\n\
+               assign y = a & b;\n\
+               assign z = a | ~b;\n\
+             endmodule",
+        );
+        assert_eq!(design.top, "comb");
+        assert!(design.signal("y").is_some());
+        assert_eq!(design.width("y"), Some(1));
+        assert_eq!(design.aig.num_latches(), 0);
+        assert_eq!(design.aig.num_inputs(), 2);
+    }
+
+    #[test]
+    fn elaborate_counter_and_check_reachability() {
+        let src = "module counter (input logic clk_i, input logic rst_ni, input logic en_i, output logic [2:0] cnt_o);\n\
+             logic [2:0] cnt_q;\n\
+             always_ff @(posedge clk_i or negedge rst_ni) begin\n\
+               if (!rst_ni) cnt_q <= 3'd0;\n\
+               else if (en_i) cnt_q <= cnt_q + 3'd1;\n\
+             end\n\
+             assign cnt_o = cnt_q;\n\
+           endmodule";
+        let design = elab(src);
+        assert_eq!(design.aig.num_latches(), 3);
+        // The counter can reach 7 but a value can only be reached after
+        // enough enabled cycles.
+        let cnt = design.signal("cnt_q").unwrap().to_vec();
+        let mut model = Model::new(design.aig.clone());
+        let target = words::eq(&mut model.aig, &cnt, &words::constant(5, 3));
+        model.bads.push(BadProperty {
+            name: "reaches5".into(),
+            lit: target,
+        });
+        match check_safety(&model, 0, &BmcOptions::default()) {
+            SafetyResult::Violated(trace) => assert_eq!(trace.len(), 6),
+            other => panic!("expected counterexample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reset_values_become_latch_inits() {
+        let src = "module initval (input logic clk_i, input logic rst_ni, output logic [3:0] q_o);\n\
+             logic [3:0] q;\n\
+             always_ff @(posedge clk_i or negedge rst_ni) begin\n\
+               if (!rst_ni) q <= 4'd9;\n\
+               else q <= q;\n\
+             end\n\
+             assign q_o = q;\n\
+           endmodule";
+        let design = elab(src);
+        let inits: u128 = design
+            .aig
+            .latches()
+            .iter()
+            .enumerate()
+            .map(|(i, l)| if l.init { 1 << i } else { 0 })
+            .sum();
+        assert_eq!(inits, 9);
+    }
+
+    #[test]
+    fn parameters_and_localparams_resolve() {
+        let src = "module p #(parameter W = 4, parameter DEPTH = 2**W) (input logic clk_i, output logic [W-1:0] x_o);\n\
+             localparam HALF = DEPTH / 2;\n\
+             assign x_o = HALF[W-1:0];\n\
+           endmodule";
+        let design = elab(src);
+        assert_eq!(design.width("x_o"), Some(4));
+        // HALF = 8 -> x_o == 8
+        let bits = design.signal("x_o").unwrap();
+        assert_eq!(words::as_constant(bits), Some(8));
+    }
+
+    #[test]
+    fn always_comb_case_statement() {
+        let src = "module dec (input logic [1:0] sel_i, output logic [3:0] onehot_o);\n\
+             always_comb begin\n\
+               onehot_o = 4'b0000;\n\
+               case (sel_i)\n\
+                 2'd0: onehot_o = 4'b0001;\n\
+                 2'd1: onehot_o = 4'b0010;\n\
+                 2'd2: onehot_o = 4'b0100;\n\
+                 default: onehot_o = 4'b1000;\n\
+               endcase\n\
+             end\n\
+           endmodule";
+        let design = elab(src);
+        assert_eq!(design.width("onehot_o"), Some(4));
+        assert_eq!(design.aig.num_inputs(), 2);
+    }
+
+    #[test]
+    fn unpacked_array_with_dynamic_index() {
+        let src = "module regfile (input logic clk_i, input logic rst_ni,\n\
+             input logic we_i, input logic [1:0] waddr_i, input logic [7:0] wdata_i,\n\
+             input logic [1:0] raddr_i, output logic [7:0] rdata_o);\n\
+             logic [7:0] mem [0:3];\n\
+             always_ff @(posedge clk_i or negedge rst_ni) begin\n\
+               if (!rst_ni) begin\n\
+                 mem[0] <= 8'd0; mem[1] <= 8'd0; mem[2] <= 8'd0; mem[3] <= 8'd0;\n\
+               end else if (we_i) begin\n\
+                 mem[waddr_i] <= wdata_i;\n\
+               end\n\
+             end\n\
+             assign rdata_o = mem[raddr_i];\n\
+           endmodule";
+        let design = elab(src);
+        assert_eq!(design.aig.num_latches(), 32);
+        assert!(design.signal("mem[2]").is_some());
+        assert_eq!(design.width("rdata_o"), Some(8));
+    }
+
+    #[test]
+    fn module_instances_are_elaborated_hierarchically() {
+        let src = "module inner (input logic clk_i, input logic rst_ni, input logic d_i, output logic q_o);\n\
+             logic q;\n\
+             always_ff @(posedge clk_i or negedge rst_ni) begin\n\
+               if (!rst_ni) q <= 1'b0; else q <= d_i;\n\
+             end\n\
+             assign q_o = q;\n\
+           endmodule\n\
+           module outer (input logic clk_i, input logic rst_ni, input logic d_i, output logic q_o);\n\
+             logic mid;\n\
+             inner u_first (.clk_i(clk_i), .rst_ni(rst_ni), .d_i(d_i), .q_o(mid));\n\
+             inner u_second (.clk_i(clk_i), .rst_ni(rst_ni), .d_i(mid), .q_o(q_o));\n\
+           endmodule";
+        let file = svparse::parse(src).unwrap();
+        let design = elaborate(
+            &file,
+            &ElabOptions {
+                top: Some("outer".to_string()),
+                ..ElabOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(design.top, "outer");
+        assert_eq!(design.aig.num_latches(), 2);
+        assert!(design.signal("u_first.q").is_some());
+        assert!(design.signal("u_second.q").is_some());
+        assert!(design.signal("q_o").is_some());
+    }
+
+    #[test]
+    fn undriven_signal_becomes_free_input() {
+        let design = elab(
+            "module free (input logic clk_i, output logic y_o);\n\
+               logic mystery;\n\
+               assign y_o = mystery;\n\
+             endmodule",
+        );
+        // `mystery` has no driver: it must appear as an AIG input.
+        assert_eq!(design.aig.num_inputs(), 1);
+    }
+
+    #[test]
+    fn combinational_cycle_is_reported() {
+        let src = "module cyc (input logic a, output logic y);\n\
+             logic p, q;\n\
+             assign p = q | a;\n\
+             assign q = p;\n\
+             assign y = q;\n\
+           endmodule";
+        let file = svparse::parse(src).unwrap();
+        let err = elaborate(&file, &ElabOptions::default()).unwrap_err();
+        assert!(err.message.contains("combinational cycle"));
+    }
+
+    #[test]
+    fn reset_port_is_tied_inactive() {
+        let design = elab(
+            "module r (input logic clk_i, input logic rst_ni, output logic y_o);\n\
+               assign y_o = rst_ni;\n\
+             endmodule",
+        );
+        assert_eq!(design.signal("y_o"), Some(&[Lit::TRUE][..]));
+        // Neither clock nor reset are model inputs.
+        assert_eq!(design.aig.num_inputs(), 0);
+    }
+
+    #[test]
+    fn concat_assignment_splits_msb_first() {
+        let design = elab(
+            "module c (input logic [3:0] ab_i, output logic [1:0] hi_o, output logic [1:0] lo_o);\n\
+               always_comb begin\n\
+                 {hi_o, lo_o} = ab_i;\n\
+               end\n\
+             endmodule",
+        );
+        assert_eq!(design.width("hi_o"), Some(2));
+        assert_eq!(design.width("lo_o"), Some(2));
+    }
+
+    #[test]
+    fn param_override_changes_width() {
+        let src = "module w #(parameter W = 2) (input logic clk_i, output logic [W-1:0] y_o);\n\
+             assign y_o = '0;\n\
+           endmodule";
+        let file = svparse::parse(src).unwrap();
+        let design = elaborate(
+            &file,
+            &ElabOptions {
+                params: vec![("W".to_string(), 6)],
+                ..ElabOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(design.width("y_o"), Some(6));
+    }
+}

@@ -1,0 +1,632 @@
+//! Exact explicit-state engine for small designs.
+//!
+//! Bounded model checking finds short counterexamples and k-induction closes
+//! many proofs, but properties whose proof needs reachability information
+//! (e.g. "a response implies the outstanding counter is non-zero") defeat
+//! plain induction.  For the design sizes of the evaluation corpus a full
+//! reachable-state exploration is cheap, so this module provides an exact
+//! fallback:
+//!
+//! * **safety / cover**: enumerate every reachable state (under the
+//!   invariant constraints) and test the bad/cover literal for every input
+//!   valuation — 64 input valuations are evaluated at once with bit-parallel
+//!   simulation of the AIG;
+//! * **liveness under fairness**: add the pending-obligation monitors to the
+//!   state, build the reachable transition graph, and search for a strongly
+//!   connected component in which the obligation stays pending while every
+//!   assumed fairness is discharged — the exact automata-theoretic criterion
+//!   for a counterexample lasso.
+
+use crate::aig::{Aig, Lit, Node};
+use crate::model::Model;
+use crate::trace::Trace;
+use std::collections::HashMap;
+
+/// Options bounding the explicit exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExplicitOptions {
+    /// Maximum number of reachable states to enumerate before giving up.
+    pub max_states: usize,
+    /// Maximum number of primary inputs the engine will enumerate.
+    pub max_inputs: usize,
+}
+
+impl Default for ExplicitOptions {
+    fn default() -> Self {
+        ExplicitOptions {
+            max_states: 300_000,
+            max_inputs: 20,
+        }
+    }
+}
+
+/// Outcome of an explicit-state query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExplicitResult {
+    /// The property holds on every reachable, constraint-satisfying
+    /// execution.
+    Proven,
+    /// The property is violated; a witness trace is attached (for covers the
+    /// trace reaches the target).
+    Violated(Trace),
+    /// The exploration exceeded its limits and produced no verdict.
+    Exceeded,
+}
+
+impl ExplicitResult {
+    /// `true` when a definitive verdict was produced.
+    pub fn is_conclusive(&self) -> bool {
+        !matches!(self, ExplicitResult::Exceeded)
+    }
+}
+
+/// Bit-parallel lane masks: lane `l` of word `i` holds bit `i` of the lane
+/// index, so 64 input combinations are evaluated per AIG sweep.
+const LANE_MASKS: [u64; 6] = [
+    0xAAAA_AAAA_AAAA_AAAA,
+    0xCCCC_CCCC_CCCC_CCCC,
+    0xF0F0_F0F0_F0F0_F0F0,
+    0xFF00_FF00_FF00_FF00,
+    0xFFFF_0000_FFFF_0000,
+    0xFFFF_FFFF_0000_0000,
+];
+
+/// The reachable-state graph of a [`Model`].
+#[derive(Debug)]
+pub struct ExplicitEngine {
+    aig: Aig,
+    latch_nodes: Vec<usize>,
+    input_nodes: Vec<usize>,
+    constraints: Vec<Lit>,
+    options: ExplicitOptions,
+    /// Packed latch valuation per state.
+    states: Vec<u64>,
+    index: HashMap<u64, u32>,
+    /// Predecessor of each state (state index, input valuation); the initial
+    /// state points to itself.
+    preds: Vec<(u32, u64)>,
+    /// Deduplicated successors per state.
+    succs: Vec<Vec<u32>>,
+    complete: bool,
+}
+
+struct Evaluator<'a> {
+    aig: &'a Aig,
+    values: Vec<u64>,
+}
+
+impl<'a> Evaluator<'a> {
+    fn new(aig: &'a Aig) -> Self {
+        Evaluator {
+            aig,
+            values: vec![0; aig.num_nodes()],
+        }
+    }
+
+    /// Evaluates the whole AIG for one latch state and 64 input combinations
+    /// (the low 6 input bits vary across lanes, the rest are taken from
+    /// `high_bits`).
+    fn sweep(&mut self, latch_nodes: &[usize], input_nodes: &[usize], state: u64, high_bits: u64) {
+        for v in &mut self.values {
+            *v = 0;
+        }
+        for (i, &node) in latch_nodes.iter().enumerate() {
+            self.values[node] = if (state >> i) & 1 == 1 { u64::MAX } else { 0 };
+        }
+        for (i, &node) in input_nodes.iter().enumerate() {
+            self.values[node] = if i < 6 {
+                LANE_MASKS[i]
+            } else if (high_bits >> (i - 6)) & 1 == 1 {
+                u64::MAX
+            } else {
+                0
+            };
+        }
+        for idx in 0..self.aig.num_nodes() {
+            if let Node::And(a, b) = self.aig.node(idx) {
+                let va = self.lit_value(a);
+                let vb = self.lit_value(b);
+                self.values[idx] = va & vb;
+            }
+        }
+    }
+
+    fn lit_value(&self, lit: Lit) -> u64 {
+        let v = self.values[lit.node()];
+        if lit.is_inverted() {
+            !v
+        } else {
+            v
+        }
+    }
+}
+
+impl ExplicitEngine {
+    /// Builds the engine and explores the reachable state space of `model`.
+    ///
+    /// Returns `None` when the model is outside the engine's limits (too many
+    /// latches or inputs).
+    pub fn explore(model: &Model, options: &ExplicitOptions) -> Option<ExplicitEngine> {
+        let aig = model.aig.clone();
+        let latch_nodes: Vec<usize> = aig.latches().iter().map(|l| l.node).collect();
+        let input_nodes: Vec<usize> = aig.inputs().to_vec();
+        if latch_nodes.len() > 63 || input_nodes.len() > options.max_inputs {
+            return None;
+        }
+        let mut engine = ExplicitEngine {
+            latch_nodes,
+            input_nodes,
+            constraints: model.constraints.clone(),
+            options: *options,
+            states: Vec::new(),
+            index: HashMap::new(),
+            preds: Vec::new(),
+            succs: Vec::new(),
+            complete: false,
+            aig,
+        };
+        engine.run();
+        Some(engine)
+    }
+
+    fn initial_state(&self) -> u64 {
+        let mut state = 0u64;
+        for (i, latch) in self.aig.latches().iter().enumerate() {
+            if latch.init {
+                state |= 1 << i;
+            }
+        }
+        state
+    }
+
+    fn num_input_words(&self) -> u64 {
+        let extra = self.input_nodes.len().saturating_sub(6) as u32;
+        1u64 << extra
+    }
+
+    fn lanes_in_use(&self) -> u32 {
+        let low = self.input_nodes.len().min(6) as u32;
+        1u32 << low
+    }
+
+    fn run(&mut self) {
+        let init = self.initial_state();
+        self.states.push(init);
+        self.index.insert(init, 0);
+        self.preds.push((0, 0));
+        self.succs.push(Vec::new());
+
+        let aig = self.aig.clone();
+        let mut eval = Evaluator::new(&aig);
+        let mut frontier = 0usize;
+        while frontier < self.states.len() {
+            let state = self.states[frontier];
+            let mut local_succs: Vec<u32> = Vec::new();
+            for high in 0..self.num_input_words() {
+                eval.sweep(&self.latch_nodes, &self.input_nodes, state, high);
+                // Constraint mask: lanes where every assumption holds.
+                let mut ok = u64::MAX;
+                for &c in &self.constraints {
+                    ok &= eval.lit_value(c);
+                }
+                if ok == 0 {
+                    continue;
+                }
+                // Next-state bits per lane.
+                let next_bits: Vec<u64> = aig
+                    .latches()
+                    .iter()
+                    .map(|l| eval.lit_value(l.next))
+                    .collect();
+                for lane in 0..self.lanes_in_use() {
+                    if (ok >> lane) & 1 == 0 {
+                        continue;
+                    }
+                    let mut next = 0u64;
+                    for (i, bits) in next_bits.iter().enumerate() {
+                        if (bits >> lane) & 1 == 1 {
+                            next |= 1 << i;
+                        }
+                    }
+                    let idx = match self.index.get(&next) {
+                        Some(&i) => i,
+                        None => {
+                            if self.states.len() >= self.options.max_states {
+                                self.complete = false;
+                                return;
+                            }
+                            let i = self.states.len() as u32;
+                            self.states.push(next);
+                            self.index.insert(next, i);
+                            self.preds
+                                .push((frontier as u32, self.input_valuation(high, lane)));
+                            self.succs.push(Vec::new());
+                            i
+                        }
+                    };
+                    if !local_succs.contains(&idx) {
+                        local_succs.push(idx);
+                    }
+                }
+            }
+            self.succs[frontier] = local_succs;
+            frontier += 1;
+        }
+        self.complete = true;
+    }
+
+    fn input_valuation(&self, high: u64, lane: u32) -> u64 {
+        (high << 6) | u64::from(lane)
+    }
+
+    /// Number of reachable states enumerated.
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// `true` when the whole reachable state space fit within the limits.
+    pub fn is_complete(&self) -> bool {
+        self.complete
+    }
+
+    /// Checks a safety property: can `bad` be true in any reachable state
+    /// under any constraint-satisfying input valuation?
+    pub fn check_bad(&self, bad: Lit) -> ExplicitResult {
+        self.search_condition(bad, true)
+    }
+
+    /// Checks a cover property: can `target` be reached?
+    ///
+    /// A reachable target yields [`ExplicitResult::Violated`] with the
+    /// witness trace (the caller interprets it as "covered").
+    pub fn check_cover(&self, target: Lit) -> ExplicitResult {
+        self.search_condition(target, true)
+    }
+
+    fn search_condition(&self, condition: Lit, want: bool) -> ExplicitResult {
+        let mut eval = Evaluator::new(&self.aig);
+        for (idx, &state) in self.states.iter().enumerate() {
+            for high in 0..self.num_input_words() {
+                eval.sweep(&self.latch_nodes, &self.input_nodes, state, high);
+                let mut ok = u64::MAX;
+                for &c in &self.constraints {
+                    ok &= eval.lit_value(c);
+                }
+                let mut cond = eval.lit_value(condition);
+                if !want {
+                    cond = !cond;
+                }
+                let hit = ok & cond & self.lane_mask();
+                if hit != 0 {
+                    let lane = hit.trailing_zeros();
+                    let input = self.input_valuation(high, lane);
+                    let trace = self.build_trace(idx as u32, Some(input));
+                    return ExplicitResult::Violated(trace);
+                }
+            }
+        }
+        if self.complete {
+            ExplicitResult::Proven
+        } else {
+            ExplicitResult::Exceeded
+        }
+    }
+
+    fn lane_mask(&self) -> u64 {
+        let lanes = self.lanes_in_use();
+        if lanes >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << lanes) - 1
+        }
+    }
+
+    /// Checks a liveness property given the state-bit positions of its
+    /// pending monitor and of the assumed-fairness pending monitors.
+    ///
+    /// `assert_pending` and each element of `fair_pendings` must be latch
+    /// literals of the model (monitor registers), so their value is part of
+    /// the packed state.
+    pub fn check_liveness(&self, assert_pending: Lit, fair_pendings: &[Lit]) -> ExplicitResult {
+        if !self.complete {
+            return ExplicitResult::Exceeded;
+        }
+        let pending_bit = match self.latch_bit(assert_pending) {
+            Some(b) => b,
+            None => return ExplicitResult::Exceeded,
+        };
+        let fair_bits: Vec<usize> = match fair_pendings
+            .iter()
+            .map(|&l| self.latch_bit(l))
+            .collect::<Option<Vec<_>>>()
+        {
+            Some(v) => v,
+            None => return ExplicitResult::Exceeded,
+        };
+
+        // Restrict to states where the obligation is pending and find the
+        // strongly connected components of that subgraph.
+        let in_sub: Vec<bool> = self
+            .states
+            .iter()
+            .map(|&s| (s >> pending_bit) & 1 == 1)
+            .collect();
+        let sccs = self.tarjan_sccs(&in_sub);
+        for scc in &sccs {
+            // The component must contain a cycle: more than one state, or a
+            // self-loop.
+            let has_cycle = scc.len() > 1
+                || self.succs[scc[0] as usize].contains(&scc[0]);
+            if !has_cycle {
+                continue;
+            }
+            // Every assumed fairness must be discharged somewhere in the
+            // component (its pending bit low in at least one state).
+            let all_fair = fair_bits.iter().all(|&bit| {
+                scc.iter()
+                    .any(|&s| (self.states[s as usize] >> bit) & 1 == 0)
+            });
+            if all_fair {
+                let trace = self.build_trace(scc[0], None);
+                return ExplicitResult::Violated(trace);
+            }
+        }
+        ExplicitResult::Proven
+    }
+
+    fn latch_bit(&self, lit: Lit) -> Option<usize> {
+        if lit.is_inverted() {
+            return None;
+        }
+        self.latch_nodes.iter().position(|&n| n == lit.node())
+    }
+
+    /// Iterative Tarjan SCC over the subgraph induced by `in_sub`.
+    fn tarjan_sccs(&self, in_sub: &[bool]) -> Vec<Vec<u32>> {
+        let n = self.states.len();
+        let mut index = vec![u32::MAX; n];
+        let mut low = vec![0u32; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<u32> = Vec::new();
+        let mut sccs = Vec::new();
+        let mut counter = 0u32;
+
+        // Explicit DFS stack of (node, edge cursor).
+        for start in 0..n {
+            if !in_sub[start] || index[start] != u32::MAX {
+                continue;
+            }
+            let mut dfs: Vec<(usize, usize)> = vec![(start, 0)];
+            index[start] = counter;
+            low[start] = counter;
+            counter += 1;
+            stack.push(start as u32);
+            on_stack[start] = true;
+
+            while let Some(&mut (node, ref mut cursor)) = dfs.last_mut() {
+                let succs = &self.succs[node];
+                if *cursor < succs.len() {
+                    let next = succs[*cursor] as usize;
+                    *cursor += 1;
+                    if !in_sub[next] {
+                        continue;
+                    }
+                    if index[next] == u32::MAX {
+                        index[next] = counter;
+                        low[next] = counter;
+                        counter += 1;
+                        stack.push(next as u32);
+                        on_stack[next] = true;
+                        dfs.push((next, 0));
+                    } else if on_stack[next] {
+                        low[node] = low[node].min(index[next]);
+                    }
+                } else {
+                    dfs.pop();
+                    if let Some(&mut (parent, _)) = dfs.last_mut() {
+                        low[parent] = low[parent].min(low[node]);
+                    }
+                    if low[node] == index[node] {
+                        let mut component = Vec::new();
+                        loop {
+                            let v = stack.pop().expect("scc stack");
+                            on_stack[v as usize] = false;
+                            component.push(v);
+                            if v as usize == node {
+                                break;
+                            }
+                        }
+                        sccs.push(component);
+                    }
+                }
+            }
+        }
+        sccs
+    }
+
+    /// Reconstructs a trace from the initial state to `target` by following
+    /// predecessor pointers.  When `final_input` is given it is applied in
+    /// the last cycle (the cycle in which the bad condition fires).
+    fn build_trace(&self, target: u32, final_input: Option<u64>) -> Trace {
+        // Collect the path of (state, input-used-to-reach-next).
+        let mut path = vec![target];
+        let mut cur = target;
+        while cur != 0 {
+            let (prev, _) = self.preds[cur as usize];
+            path.push(prev);
+            cur = prev;
+        }
+        path.reverse();
+        let cycles = path.len();
+        let mut trace = Trace::new(cycles);
+        for (cycle, &state_idx) in path.iter().enumerate() {
+            let state = self.states[state_idx as usize];
+            for (i, &node) in self.latch_nodes.iter().enumerate() {
+                let name = self
+                    .aig
+                    .name_of(node)
+                    .map(str::to_string)
+                    .unwrap_or_else(|| format!("latch{i}"));
+                trace.record(cycle, &name, (state >> i) & 1 == 1, false);
+            }
+            // Inputs: the valuation used to reach the *next* state on the
+            // path (or the final input for the last cycle).
+            let input = if cycle + 1 < cycles {
+                self.preds[path[cycle + 1] as usize].1
+            } else {
+                final_input.unwrap_or(0)
+            };
+            for (i, &node) in self.input_nodes.iter().enumerate() {
+                let name = self
+                    .aig
+                    .name_of(node)
+                    .map(str::to_string)
+                    .unwrap_or_else(|| format!("input{i}"));
+                trace.record(cycle, &name, (input >> i) & 1 == 1, true);
+            }
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{BadProperty, ResponseProperty};
+
+    /// 3-bit saturating counter with an enable input.
+    fn counter_model() -> (Model, Vec<Lit>, Lit) {
+        let mut aig = Aig::new();
+        let en = aig.add_input("en");
+        let bits: Vec<Lit> = (0..3).map(|i| aig.add_latch(format!("c{i}"), false)).collect();
+        let all_ones = aig.and_many(&bits);
+        let b0 = bits[0];
+        let b1 = bits[1];
+        let b2 = bits[2];
+        let n0 = aig.xor(b0, Lit::TRUE);
+        let c0 = b0;
+        let n1 = aig.xor(b1, c0);
+        let c1 = aig.and(b1, c0);
+        let n2 = aig.xor(b2, c1);
+        let stay = all_ones;
+        let h0 = aig.mux(stay, b0, n0);
+        let h1 = aig.mux(stay, b1, n1);
+        let h2 = aig.mux(stay, b2, n2);
+        let g0 = aig.mux(en, h0, b0);
+        let g1 = aig.mux(en, h1, b1);
+        let g2 = aig.mux(en, h2, b2);
+        aig.set_latch_next(b0, g0);
+        aig.set_latch_next(b1, g1);
+        aig.set_latch_next(b2, g2);
+        (Model::new(aig), bits, en)
+    }
+
+    #[test]
+    fn reachable_states_enumerated() {
+        let (model, _, _) = counter_model();
+        let engine = ExplicitEngine::explore(&model, &ExplicitOptions::default()).unwrap();
+        assert!(engine.is_complete());
+        // The counter visits exactly 8 states.
+        assert_eq!(engine.num_states(), 8);
+    }
+
+    #[test]
+    fn safety_violation_found_with_trace() {
+        let (mut model, bits, _) = counter_model();
+        let bad = {
+            let aig = &mut model.aig;
+            let t = aig.and(bits[0], bits[2]);
+            aig.and(t, bits[1].invert())
+        }; // value == 5
+        model.bads.push(BadProperty {
+            name: "reaches5".into(),
+            lit: bad,
+        });
+        let engine = ExplicitEngine::explore(&model, &ExplicitOptions::default()).unwrap();
+        match engine.check_bad(bad) {
+            ExplicitResult::Violated(trace) => {
+                assert!(trace.len() >= 6);
+                assert_eq!(trace.value(trace.len() - 1, "c0"), Some(true));
+                assert_eq!(trace.value(trace.len() - 1, "c2"), Some(true));
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unreachable_bad_is_proven() {
+        let (mut model, bits, _) = counter_model();
+        // The counter saturates: "value decreased below 7 after reaching 7"
+        // needs a history register, so instead prove that the carry chain
+        // never produces value 6 -> 5 style jumps: simply check a literal
+        // that is structurally false.
+        let _ = bits;
+        let engine = ExplicitEngine::explore(&model, &ExplicitOptions::default()).unwrap();
+        assert_eq!(engine.check_bad(Lit::FALSE), ExplicitResult::Proven);
+    }
+
+    #[test]
+    fn constraints_prune_reachable_space() {
+        let (mut model, bits, en) = counter_model();
+        // With the enable tied low the counter never moves.
+        model.constraints.push(en.invert());
+        let bad = {
+            let aig = &mut model.aig;
+            aig.or_many(&bits)
+        };
+        let engine = ExplicitEngine::explore(&model, &ExplicitOptions::default()).unwrap();
+        assert_eq!(engine.num_states(), 1);
+        assert_eq!(engine.check_bad(bad), ExplicitResult::Proven);
+    }
+
+    #[test]
+    fn liveness_with_and_without_fairness() {
+        // busy is set by req and cleared by gnt.
+        let mut aig = Aig::new();
+        let req = aig.add_input("req");
+        let gnt = aig.add_input("gnt");
+        let busy = aig.add_latch("busy", false);
+        let raised = aig.or(busy, req);
+        let next = aig.and(raised, gnt.invert());
+        aig.set_latch_next(busy, next);
+        let mut model = Model::new(aig);
+        model.liveness.push(ResponseProperty {
+            name: "busy_clears".into(),
+            trigger: busy,
+            target: busy.invert(),
+        });
+
+        // Without fairness: the environment can withhold the grant forever.
+        let (augmented, asserts, fairs) = model.with_pending_monitors();
+        let engine = ExplicitEngine::explore(&augmented, &ExplicitOptions::default()).unwrap();
+        match engine.check_liveness(asserts[0], &fairs) {
+            ExplicitResult::Violated(trace) => assert!(trace.len() >= 1),
+            other => panic!("expected violation, got {other:?}"),
+        }
+
+        // With the fairness assumption "a pending request is eventually
+        // granted" the property holds.
+        model.fairness.push(ResponseProperty {
+            name: "gnt_fair".into(),
+            trigger: busy,
+            target: gnt,
+        });
+        let (augmented, asserts, fairs) = model.with_pending_monitors();
+        let engine = ExplicitEngine::explore(&augmented, &ExplicitOptions::default()).unwrap();
+        assert_eq!(engine.check_liveness(asserts[0], &fairs), ExplicitResult::Proven);
+    }
+
+    #[test]
+    fn too_many_inputs_is_rejected() {
+        let mut aig = Aig::new();
+        for i in 0..25 {
+            let _ = aig.add_input(format!("i{i}"));
+        }
+        let model = Model::new(aig);
+        let options = ExplicitOptions {
+            max_inputs: 20,
+            ..ExplicitOptions::default()
+        };
+        assert!(ExplicitEngine::explore(&model, &options).is_none());
+    }
+}

@@ -1,0 +1,67 @@
+//! `autosva-formal` — the formal-verification substrate of the AutoSVA
+//! reproduction.
+//!
+//! The original AutoSVA hands its generated testbenches to commercial or
+//! external tools (JasperGold, SymbiYosys).  This crate provides an
+//! equivalent, self-contained backend so the paper's evaluation can be
+//! regenerated without proprietary software:
+//!
+//! * [`elab`] — elaboration of the parsed SystemVerilog subset into a
+//!   sequential And-Inverter Graph ([`aig`]), with parameters, small
+//!   unpacked arrays, `always_ff`/`always_comb`, and module hierarchy;
+//! * [`compile`] — lowering of an AutoSVA [`autosva::FormalTestbench`]
+//!   (auxiliary signals + SVA properties) onto the elaborated design;
+//! * [`sat`] — a from-scratch CDCL SAT solver (watched literals, first-UIP
+//!   learning, VSIDS-style decisions, incremental assumptions);
+//! * [`unroll`], [`bmc`] — Tseitin time-frame expansion, bounded model
+//!   checking and k-induction with loop-free-path strengthening;
+//! * [`model`] — the checked-model representation plus the
+//!   liveness-to-safety transformation for response properties under
+//!   fairness;
+//! * [`explicit`] — an exact explicit-state engine (bit-parallel reachability
+//!   and fairness-aware SCC analysis) used to close the proofs that plain
+//!   induction cannot;
+//! * [`checker`] — the portfolio driver tying everything together and
+//!   producing per-property reports with counterexample [`trace`]s.
+//!
+//! # Quick start
+//!
+//! ```
+//! use autosva::{generate_ft, AutosvaOptions};
+//! use autosva_formal::checker::{verify, CheckOptions};
+//!
+//! let rtl = "\
+//! /*AUTOSVA
+//! t: req -in> res
+//! */
+//! module handshake (
+//!   input  logic clk_i,
+//!   input  logic rst_ni,
+//!   input  logic req_val,
+//!   output logic req_ack,
+//!   output logic res_val
+//! );
+//!   assign req_ack = 1'b1;
+//!   assign res_val = req_val;
+//! endmodule";
+//! let testbench = generate_ft(rtl, &AutosvaOptions::default())?;
+//! let report = verify(rtl, &testbench, &CheckOptions::default())?;
+//! assert_eq!(report.violations(), 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod aig;
+pub mod bmc;
+pub mod checker;
+pub mod compile;
+pub mod elab;
+pub mod explicit;
+pub mod model;
+pub mod sat;
+pub mod sim;
+pub mod trace;
+pub mod unroll;
+pub mod words;

@@ -1,0 +1,765 @@
+//! A CDCL (conflict-driven clause learning) SAT solver.
+//!
+//! The solver is written from scratch for this reproduction: the bounded
+//! model checker produces CNF instances in the tens of thousands of clauses
+//! for the evaluated designs, which a watched-literal CDCL solver with
+//! activity-based decisions handles comfortably.
+//!
+//! Features: two-watched-literal propagation, first-UIP conflict analysis
+//! with clause learning, VSIDS-style variable activities with decay,
+//! non-chronological backtracking, and incremental solving under assumptions.
+
+use std::fmt;
+
+/// A propositional variable, numbered from 0.
+pub type Var = usize;
+
+/// A literal: a variable with a polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SatLit(u32);
+
+impl SatLit {
+    /// Creates a literal for `var` with the given polarity (`true` =
+    /// positive).
+    pub fn new(var: Var, positive: bool) -> SatLit {
+        SatLit((var as u32) << 1 | u32::from(!positive))
+    }
+
+    /// Creates the positive literal of `var`.
+    pub fn pos(var: Var) -> SatLit {
+        SatLit::new(var, true)
+    }
+
+    /// Creates the negative literal of `var`.
+    pub fn neg(var: Var) -> SatLit {
+        SatLit::new(var, false)
+    }
+
+    /// The variable of this literal.
+    pub fn var(self) -> Var {
+        (self.0 >> 1) as usize
+    }
+
+    /// `true` if the literal is positive.
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// The complementary literal.
+    #[must_use]
+    pub fn negate(self) -> SatLit {
+        SatLit(self.0 ^ 1)
+    }
+
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SatLit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "{}", self.var() + 1)
+        } else {
+            write!(f, "-{}", self.var() + 1)
+        }
+    }
+}
+
+/// Result of a satisfiability query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SatResult {
+    /// A satisfying assignment exists (retrieve it with
+    /// [`Solver::value`]).
+    Sat,
+    /// No satisfying assignment exists under the given assumptions.
+    Unsat,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Assign {
+    Unassigned,
+    True,
+    False,
+}
+
+#[derive(Debug, Clone)]
+struct Clause {
+    lits: Vec<SatLit>,
+    /// Retained for clause-database statistics and future clause deletion.
+    #[allow(dead_code)]
+    learnt: bool,
+}
+
+/// A CDCL SAT solver.
+///
+/// # Examples
+///
+/// ```
+/// use autosva_formal::sat::{SatLit, SatResult, Solver};
+///
+/// let mut solver = Solver::new();
+/// let a = solver.new_var();
+/// let b = solver.new_var();
+/// solver.add_clause(&[SatLit::pos(a), SatLit::pos(b)]);
+/// solver.add_clause(&[SatLit::neg(a)]);
+/// assert_eq!(solver.solve(&[]), SatResult::Sat);
+/// assert_eq!(solver.value(b), Some(true));
+/// ```
+#[derive(Debug, Default)]
+pub struct Solver {
+    num_vars: usize,
+    clauses: Vec<Clause>,
+    /// watches[lit.index()] = clause indices watching that literal.
+    watches: Vec<Vec<usize>>,
+    assigns: Vec<Assign>,
+    /// Decision level at which each variable was assigned.
+    levels: Vec<usize>,
+    /// Clause that implied each variable (by index), usize::MAX for decisions.
+    reasons: Vec<usize>,
+    /// Assignment trail.
+    trail: Vec<SatLit>,
+    /// Index into the trail where each decision level starts.
+    trail_lim: Vec<usize>,
+    /// Next trail position to propagate.
+    qhead: usize,
+    /// VSIDS activities.
+    activity: Vec<f64>,
+    act_inc: f64,
+    /// Saved phases for phase saving.
+    phase: Vec<bool>,
+    /// Lazy max-activity heap of decision candidates (entries may be stale).
+    order: std::collections::BinaryHeap<OrderEntry>,
+    /// Scratch buffer for conflict analysis (indexed by variable).
+    seen: Vec<bool>,
+    /// Set to true when the clause database is unsatisfiable at level 0.
+    unsat: bool,
+    /// Statistics: number of conflicts seen.
+    pub conflicts: u64,
+    /// Statistics: number of decisions made.
+    pub decisions: u64,
+    /// Statistics: number of literal propagations.
+    pub propagations: u64,
+}
+
+const NO_REASON: usize = usize::MAX;
+
+/// A (possibly stale) decision-order entry: variables with higher recorded
+/// activity are popped first.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrderEntry {
+    activity: f64,
+    var: Var,
+}
+
+impl Eq for OrderEntry {}
+
+impl PartialOrd for OrderEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.activity
+            .partial_cmp(&other.activity)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| self.var.cmp(&other.var))
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        Solver {
+            act_inc: 1.0,
+            ..Solver::default()
+        }
+    }
+
+    /// Number of variables allocated so far.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of clauses (original plus learnt).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = self.num_vars;
+        self.num_vars += 1;
+        self.assigns.push(Assign::Unassigned);
+        self.levels.push(0);
+        self.reasons.push(NO_REASON);
+        self.activity.push(0.0);
+        self.phase.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.seen.push(false);
+        self.order.push(OrderEntry {
+            activity: 0.0,
+            var: v,
+        });
+        v
+    }
+
+    /// Adds a clause (a disjunction of literals).
+    ///
+    /// Adding an empty clause, or a clause that is falsified at decision
+    /// level 0, makes the instance permanently unsatisfiable.
+    pub fn add_clause(&mut self, lits: &[SatLit]) {
+        if self.unsat {
+            return;
+        }
+        debug_assert!(self.trail_lim.is_empty(), "clauses must be added at level 0");
+        // Simplify: remove duplicates and satisfied/false literals at level 0.
+        let mut simplified: Vec<SatLit> = Vec::with_capacity(lits.len());
+        for &lit in lits {
+            match self.lit_value(lit) {
+                Some(true) => return, // already satisfied
+                Some(false) => continue,
+                None => {
+                    if simplified.contains(&lit.negate()) {
+                        return; // tautology
+                    }
+                    if !simplified.contains(&lit) {
+                        simplified.push(lit);
+                    }
+                }
+            }
+        }
+        match simplified.len() {
+            0 => self.unsat = true,
+            1 => {
+                if !self.enqueue(simplified[0], NO_REASON) {
+                    self.unsat = true;
+                } else if self.propagate().is_some() {
+                    self.unsat = true;
+                }
+            }
+            _ => {
+                let idx = self.clauses.len();
+                self.watch(simplified[0], idx);
+                self.watch(simplified[1], idx);
+                self.clauses.push(Clause {
+                    lits: simplified,
+                    learnt: false,
+                });
+            }
+        }
+    }
+
+    fn watch(&mut self, lit: SatLit, clause: usize) {
+        self.watches[lit.index()].push(clause);
+    }
+
+    fn lit_value(&self, lit: SatLit) -> Option<bool> {
+        match self.assigns[lit.var()] {
+            Assign::Unassigned => None,
+            Assign::True => Some(lit.is_positive()),
+            Assign::False => Some(!lit.is_positive()),
+        }
+    }
+
+    /// The model value of `var` after a [`SatResult::Sat`] answer.
+    ///
+    /// Returns `None` if the variable was irrelevant (never assigned).
+    pub fn value(&self, var: Var) -> Option<bool> {
+        match self.assigns[var] {
+            Assign::Unassigned => None,
+            Assign::True => Some(true),
+            Assign::False => Some(false),
+        }
+    }
+
+    fn decision_level(&self) -> usize {
+        self.trail_lim.len()
+    }
+
+    fn enqueue(&mut self, lit: SatLit, reason: usize) -> bool {
+        match self.lit_value(lit) {
+            Some(true) => true,
+            Some(false) => false,
+            None => {
+                let v = lit.var();
+                self.assigns[v] = if lit.is_positive() {
+                    Assign::True
+                } else {
+                    Assign::False
+                };
+                self.levels[v] = self.decision_level();
+                self.reasons[v] = reason;
+                self.phase[v] = lit.is_positive();
+                self.trail.push(lit);
+                true
+            }
+        }
+    }
+
+    /// Unit propagation.  Returns the index of a conflicting clause, if any.
+    fn propagate(&mut self) -> Option<usize> {
+        while self.qhead < self.trail.len() {
+            let lit = self.trail[self.qhead];
+            self.qhead += 1;
+            self.propagations += 1;
+            let falsified = lit.negate();
+            let mut watchers = std::mem::take(&mut self.watches[falsified.index()]);
+            let mut i = 0;
+            while i < watchers.len() {
+                let ci = watchers[i];
+                // Ensure the falsified literal is in position 1.
+                let (w0, w1) = {
+                    let c = &mut self.clauses[ci];
+                    if c.lits[0] == falsified {
+                        c.lits.swap(0, 1);
+                    }
+                    (c.lits[0], c.lits[1])
+                };
+                debug_assert_eq!(w1, falsified);
+                // If the other watched literal is true, the clause is satisfied.
+                if self.lit_value(w0) == Some(true) {
+                    i += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let mut found = false;
+                let len = self.clauses[ci].lits.len();
+                for k in 2..len {
+                    let cand = self.clauses[ci].lits[k];
+                    if self.lit_value(cand) != Some(false) {
+                        self.clauses[ci].lits.swap(1, k);
+                        self.watches[cand.index()].push(ci);
+                        watchers.swap_remove(i);
+                        found = true;
+                        break;
+                    }
+                }
+                if found {
+                    continue;
+                }
+                // Clause is unit or conflicting.
+                if !self.enqueue(w0, ci) {
+                    // Conflict: restore remaining watchers and report.
+                    self.watches[falsified.index()].extend(watchers.drain(..));
+                    return Some(ci);
+                }
+                i += 1;
+            }
+            self.watches[falsified.index()] = watchers;
+        }
+        None
+    }
+
+    fn bump_activity(&mut self, var: Var) {
+        self.activity[var] += self.act_inc;
+        if self.activity[var] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.act_inc *= 1e-100;
+        }
+        self.order.push(OrderEntry {
+            activity: self.activity[var],
+            var,
+        });
+    }
+
+    fn decay_activities(&mut self) {
+        self.act_inc /= 0.95;
+    }
+
+    /// First-UIP conflict analysis.  Returns the learnt clause and the level
+    /// to backtrack to.
+    fn analyze(&mut self, conflict: usize) -> (Vec<SatLit>, usize) {
+        let mut learnt: Vec<SatLit> = vec![SatLit::pos(0)]; // placeholder for the asserting literal
+        let mut touched: Vec<Var> = Vec::new();
+        let mut counter = 0usize;
+        let mut lit_opt: Option<SatLit> = None;
+        let mut clause_idx = conflict;
+        let mut trail_pos = self.trail.len();
+        let current_level = self.decision_level();
+
+        loop {
+            let start = if lit_opt.is_none() { 0 } else { 1 };
+            let lits: Vec<SatLit> = self.clauses[clause_idx].lits[start..].to_vec();
+            for q in lits {
+                let v = q.var();
+                if !self.seen[v] && self.levels[v] > 0 {
+                    self.seen[v] = true;
+                    touched.push(v);
+                    self.bump_activity(v);
+                    if self.levels[v] >= current_level {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Find the next literal on the trail to resolve on.
+            loop {
+                trail_pos -= 1;
+                let lit = self.trail[trail_pos];
+                if self.seen[lit.var()] {
+                    lit_opt = Some(lit);
+                    break;
+                }
+            }
+            let p = lit_opt.expect("resolution literal");
+            counter -= 1;
+            self.seen[p.var()] = false;
+            if counter == 0 {
+                learnt[0] = p.negate();
+                break;
+            }
+            clause_idx = self.reasons[p.var()];
+            debug_assert_ne!(clause_idx, NO_REASON);
+        }
+        for v in touched {
+            self.seen[v] = false;
+        }
+
+        // Backtrack level: second-highest level in the learnt clause.
+        let backtrack_level = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.levels[learnt[i].var()] > self.levels[learnt[max_i].var()] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.levels[learnt[1].var()]
+        };
+        (learnt, backtrack_level)
+    }
+
+    fn backtrack(&mut self, level: usize) {
+        while self.decision_level() > level {
+            let start = self.trail_lim.pop().expect("trail limit");
+            while self.trail.len() > start {
+                let lit = self.trail.pop().expect("trail entry");
+                let v = lit.var();
+                self.assigns[v] = Assign::Unassigned;
+                self.reasons[v] = NO_REASON;
+                self.order.push(OrderEntry {
+                    activity: self.activity[v],
+                    var: v,
+                });
+            }
+        }
+        self.qhead = self.trail.len().min(self.qhead);
+        self.qhead = self.trail.len();
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        // Pop (possibly stale) entries until an unassigned variable surfaces.
+        while let Some(entry) = self.order.pop() {
+            if self.assigns[entry.var] == Assign::Unassigned {
+                return Some(entry.var);
+            }
+        }
+        // The heap can run dry because popped entries are not re-inserted on
+        // every path; fall back to a linear scan.
+        (0..self.num_vars).find(|&v| self.assigns[v] == Assign::Unassigned)
+    }
+
+    /// Solves the instance under the given assumptions.
+    ///
+    /// Assumption literals are forced true for this query only; the clause
+    /// database and learnt clauses persist between calls, enabling
+    /// incremental use by the bounded model checker.
+    pub fn solve(&mut self, assumptions: &[SatLit]) -> SatResult {
+        if self.unsat {
+            return SatResult::Unsat;
+        }
+        self.backtrack(0);
+        if self.propagate().is_some() {
+            self.unsat = true;
+            return SatResult::Unsat;
+        }
+
+        loop {
+            // (Re-)apply assumptions at successive decision levels.
+            while self.decision_level() < assumptions.len() {
+                let a = assumptions[self.decision_level()];
+                match self.lit_value(a) {
+                    Some(true) => {
+                        // Already satisfied: open an empty decision level so
+                        // indexing stays aligned.
+                        self.trail_lim.push(self.trail.len());
+                    }
+                    Some(false) => {
+                        self.backtrack(0);
+                        return SatResult::Unsat;
+                    }
+                    None => {
+                        self.trail_lim.push(self.trail.len());
+                        self.decisions += 1;
+                        let ok = self.enqueue(a, NO_REASON);
+                        debug_assert!(ok);
+                    }
+                }
+                if let Some(_conflict) = self.propagate() {
+                    self.backtrack(0);
+                    return SatResult::Unsat;
+                }
+            }
+
+            if let Some(conflict) = self.propagate() {
+                self.conflicts += 1;
+                if self.decision_level() <= assumptions.len() {
+                    // Conflict that depends only on assumptions (or level 0).
+                    self.backtrack(0);
+                    if self.decision_level() == 0 && assumptions.is_empty() {
+                        self.unsat = true;
+                    }
+                    return SatResult::Unsat;
+                }
+                let (learnt, level) = self.analyze(conflict);
+                self.backtrack(level);
+                let asserting = learnt[0];
+                if learnt.len() == 1 {
+                    // Unit learnt clause: assert at level 0 so it persists;
+                    // assumptions are re-applied by the outer loop.
+                    self.backtrack(0);
+                    if !self.enqueue(asserting, NO_REASON) {
+                        self.backtrack(0);
+                        return SatResult::Unsat;
+                    }
+                    if self.propagate().is_some() {
+                        self.unsat = true;
+                        return SatResult::Unsat;
+                    }
+                } else {
+                    let idx = self.clauses.len();
+                    self.watch(learnt[0], idx);
+                    self.watch(learnt[1], idx);
+                    self.clauses.push(Clause {
+                        lits: learnt,
+                        learnt: true,
+                    });
+                    if !self.enqueue(asserting, idx) {
+                        self.backtrack(0);
+                        return SatResult::Unsat;
+                    }
+                }
+                self.decay_activities();
+            } else {
+                match self.pick_branch_var() {
+                    None => return SatResult::Sat,
+                    Some(v) => {
+                        self.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        let lit = SatLit::new(v, self.phase[v]);
+                        let ok = self.enqueue(lit, NO_REASON);
+                        debug_assert!(ok);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lit_encoding() {
+        let a = SatLit::pos(3);
+        assert_eq!(a.var(), 3);
+        assert!(a.is_positive());
+        assert!(!a.negate().is_positive());
+        assert_eq!(a.negate().negate(), a);
+        assert_eq!(a.to_string(), "4");
+        assert_eq!(a.negate().to_string(), "-4");
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause(&[SatLit::pos(a)]);
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+        assert_eq!(s.value(a), Some(true));
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause(&[SatLit::pos(a)]);
+        s.add_clause(&[SatLit::neg(a)]);
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = Solver::new();
+        let _ = s.new_var();
+        s.add_clause(&[]);
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn implication_chain() {
+        // a -> b -> c -> d, with a forced true: all must be true.
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..4).map(|_| s.new_var()).collect();
+        for w in vars.windows(2) {
+            s.add_clause(&[SatLit::neg(w[0]), SatLit::pos(w[1])]);
+        }
+        s.add_clause(&[SatLit::pos(vars[0])]);
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+        for &v in &vars {
+            assert_eq!(s.value(v), Some(true));
+        }
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // 3 pigeons, 2 holes: unsatisfiable.  Exercises conflict analysis.
+        let mut s = Solver::new();
+        // p[i][j] = pigeon i in hole j
+        let p: Vec<Vec<Var>> = (0..3).map(|_| (0..2).map(|_| s.new_var()).collect()).collect();
+        // Every pigeon in some hole.
+        for i in 0..3 {
+            s.add_clause(&[SatLit::pos(p[i][0]), SatLit::pos(p[i][1])]);
+        }
+        // No two pigeons share a hole.
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    s.add_clause(&[SatLit::neg(p[i1][j]), SatLit::neg(p[i2][j])]);
+                }
+            }
+        }
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn solving_under_assumptions_is_incremental() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[SatLit::pos(a), SatLit::pos(b)]);
+        // Assuming !a forces b.
+        assert_eq!(s.solve(&[SatLit::neg(a)]), SatResult::Sat);
+        assert_eq!(s.value(b), Some(true));
+        // Assuming !a and !b is unsat.
+        assert_eq!(s.solve(&[SatLit::neg(a), SatLit::neg(b)]), SatResult::Unsat);
+        // The solver remains usable afterwards.
+        assert_eq!(s.solve(&[SatLit::pos(a)]), SatResult::Sat);
+        assert_eq!(s.value(a), Some(true));
+    }
+
+    #[test]
+    fn xor_chain_satisfiable() {
+        // Tseitin-encoded xor chain: x1 ^ x2 ^ x3 = 1.
+        let mut s = Solver::new();
+        let x1 = s.new_var();
+        let x2 = s.new_var();
+        let x3 = s.new_var();
+        let t = s.new_var(); // t = x1 ^ x2
+        // t <-> x1 xor x2
+        s.add_clause(&[SatLit::neg(t), SatLit::pos(x1), SatLit::pos(x2)]);
+        s.add_clause(&[SatLit::neg(t), SatLit::neg(x1), SatLit::neg(x2)]);
+        s.add_clause(&[SatLit::pos(t), SatLit::neg(x1), SatLit::pos(x2)]);
+        s.add_clause(&[SatLit::pos(t), SatLit::pos(x1), SatLit::neg(x2)]);
+        // t xor x3 = 1  ->  t != x3
+        s.add_clause(&[SatLit::pos(t), SatLit::pos(x3)]);
+        s.add_clause(&[SatLit::neg(t), SatLit::neg(x3)]);
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+        let v1 = s.value(x1).unwrap();
+        let v2 = s.value(x2).unwrap();
+        let v3 = s.value(x3).unwrap();
+        assert!(v1 ^ v2 ^ v3);
+    }
+
+    #[test]
+    fn duplicate_and_tautological_clauses() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[SatLit::pos(a), SatLit::pos(a), SatLit::pos(b)]);
+        s.add_clause(&[SatLit::pos(a), SatLit::neg(a)]); // tautology: ignored
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+    }
+
+    #[test]
+    fn random_3sat_instances_agree_with_brute_force() {
+        // Small random instances cross-checked against exhaustive enumeration.
+        let mut seed: u64 = 0x12345678;
+        let mut next = || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..30 {
+            let num_vars = 6;
+            let num_clauses = 18;
+            let clauses: Vec<Vec<SatLit>> = (0..num_clauses)
+                .map(|_| {
+                    (0..3)
+                        .map(|_| {
+                            let v = (next() % num_vars as u64) as usize;
+                            SatLit::new(v, next() % 2 == 0)
+                        })
+                        .collect()
+                })
+                .collect();
+            // Brute force.
+            let mut brute_sat = false;
+            'outer: for bits in 0..(1u32 << num_vars) {
+                for clause in &clauses {
+                    let ok = clause.iter().any(|l| {
+                        let val = (bits >> l.var()) & 1 == 1;
+                        if l.is_positive() {
+                            val
+                        } else {
+                            !val
+                        }
+                    });
+                    if !ok {
+                        continue 'outer;
+                    }
+                }
+                brute_sat = true;
+                break;
+            }
+            // CDCL.
+            let mut s = Solver::new();
+            for _ in 0..num_vars {
+                s.new_var();
+            }
+            for clause in &clauses {
+                s.add_clause(clause);
+            }
+            let result = s.solve(&[]);
+            assert_eq!(
+                result == SatResult::Sat,
+                brute_sat,
+                "solver disagrees with brute force on {clauses:?}"
+            );
+            if result == SatResult::Sat {
+                // Verify the model actually satisfies every clause.
+                for clause in &clauses {
+                    assert!(clause.iter().any(|l| {
+                        let val = s.value(l.var()).unwrap_or(false);
+                        if l.is_positive() {
+                            val
+                        } else {
+                            !val
+                        }
+                    }));
+                }
+            }
+        }
+    }
+}

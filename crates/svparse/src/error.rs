@@ -1,0 +1,131 @@
+//! Error types for lexing and parsing.
+
+use crate::span::{line_col, Span};
+use std::error::Error;
+use std::fmt;
+
+/// The kind of a [`ParseError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// An unexpected character was encountered while lexing.
+    UnexpectedChar(char),
+    /// A string or block comment was not terminated before end of input.
+    UnterminatedComment,
+    /// A string literal was not terminated before end of input.
+    UnterminatedString,
+    /// A numeric literal was malformed (bad base, digits, or width).
+    MalformedNumber(String),
+    /// The parser expected one construct but found another.
+    Expected {
+        /// Human-readable description of what was expected.
+        expected: String,
+        /// Human-readable description of what was found instead.
+        found: String,
+    },
+    /// The parser ran out of tokens while a construct was still open.
+    UnexpectedEof(String),
+    /// A construct is recognized but not supported by this subset parser.
+    Unsupported(String),
+}
+
+impl fmt::Display for ParseErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseErrorKind::UnexpectedChar(c) => write!(f, "unexpected character `{c}`"),
+            ParseErrorKind::UnterminatedComment => write!(f, "unterminated block comment"),
+            ParseErrorKind::UnterminatedString => write!(f, "unterminated string literal"),
+            ParseErrorKind::MalformedNumber(s) => write!(f, "malformed number literal `{s}`"),
+            ParseErrorKind::Expected { expected, found } => {
+                write!(f, "expected {expected}, found {found}")
+            }
+            ParseErrorKind::UnexpectedEof(what) => {
+                write!(f, "unexpected end of input while parsing {what}")
+            }
+            ParseErrorKind::Unsupported(what) => write!(f, "unsupported construct: {what}"),
+        }
+    }
+}
+
+/// An error produced while lexing or parsing SystemVerilog source.
+///
+/// Carries the [`Span`] of the offending text so diagnostics can point at the
+/// exact location.  Use [`ParseError::render`] to format a message with
+/// line/column information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub kind: ParseErrorKind,
+    /// Where in the source it went wrong.
+    pub span: Span,
+}
+
+impl ParseError {
+    /// Creates a new error.
+    pub fn new(kind: ParseErrorKind, span: Span) -> Self {
+        ParseError { kind, span }
+    }
+
+    /// Formats the error with 1-based line/column computed from `source`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use svparse::error::{ParseError, ParseErrorKind};
+    /// use svparse::span::Span;
+    ///
+    /// let err = ParseError::new(ParseErrorKind::UnexpectedChar('$'), Span::new(3, 4));
+    /// let msg = err.render("ab\n$x");
+    /// assert!(msg.contains("2:1"));
+    /// ```
+    pub fn render(&self, source: &str) -> String {
+        let pos = line_col(source, self.span.start);
+        format!("{pos}: {}", self.kind)
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at bytes {}", self.kind, self.span)
+    }
+}
+
+impl Error for ParseError {}
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, ParseError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_span() {
+        let e = ParseError::new(ParseErrorKind::UnterminatedComment, Span::new(10, 12));
+        let s = e.to_string();
+        assert!(s.contains("unterminated block comment"));
+        assert!(s.contains("10..12"));
+    }
+
+    #[test]
+    fn render_reports_line_and_column() {
+        let src = "line1\nline2 $";
+        let e = ParseError::new(ParseErrorKind::UnexpectedChar('$'), Span::new(12, 13));
+        assert!(e.render(src).starts_with("2:7"));
+    }
+
+    #[test]
+    fn expected_formatting() {
+        let k = ParseErrorKind::Expected {
+            expected: "`;`".into(),
+            found: "`endmodule`".into(),
+        };
+        assert_eq!(k.to_string(), "expected `;`, found `endmodule`");
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e = ParseError::new(ParseErrorKind::UnexpectedEof("module".into()), Span::dummy());
+        let boxed: Box<dyn Error> = Box::new(e);
+        assert!(boxed.to_string().contains("module"));
+    }
+}

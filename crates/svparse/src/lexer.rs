@@ -1,0 +1,682 @@
+//! Hand-written lexer for the SystemVerilog subset.
+//!
+//! The lexer produces a flat [`Token`] stream and preserves comments as
+//! trivia (see [`LexOutput::comments`]) because AutoSVA annotations are
+//! written inside comments in the interface-declaration section of a module.
+
+use crate::error::{ParseError, ParseErrorKind, Result};
+use crate::span::Span;
+use crate::token::{Comment, CommentStyle, Keyword, NumberLit, Punct, Token, TokenKind};
+
+/// The result of lexing a source file: tokens plus comment trivia.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexOutput {
+    /// All tokens, terminated by a single [`TokenKind::Eof`] token.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `source` into tokens and comments.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on unexpected characters, unterminated comments
+/// or strings, and malformed number literals.
+///
+/// # Examples
+///
+/// ```
+/// use svparse::lexer::lex;
+///
+/// let out = lex("module m; endmodule")?;
+/// assert!(out.tokens.len() > 3);
+/// # Ok::<(), svparse::error::ParseError>(())
+/// ```
+pub fn lex(source: &str) -> Result<LexOutput> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+    tokens: Vec<Token>,
+    comments: Vec<Comment>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            tokens: Vec::new(),
+            comments: Vec::new(),
+        }
+    }
+
+    fn run(mut self) -> Result<LexOutput> {
+        while self.pos < self.bytes.len() {
+            self.next_token()?;
+        }
+        let end = self.src.len();
+        self.tokens.push(Token::new(TokenKind::Eof, Span::new(end, end)));
+        Ok(LexOutput {
+            tokens: self.tokens,
+            comments: self.comments,
+        })
+    }
+
+    fn peek(&self) -> u8 {
+        *self.bytes.get(self.pos).unwrap_or(&0)
+    }
+
+    fn peek2(&self) -> u8 {
+        *self.bytes.get(self.pos + 1).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let b = self.peek();
+        if b == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+        b
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize) {
+        self.tokens.push(Token::new(kind, Span::new(start, self.pos)));
+    }
+
+    fn next_token(&mut self) -> Result<()> {
+        let start = self.pos;
+        let c = self.peek();
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                self.bump();
+                Ok(())
+            }
+            b'/' if self.peek2() == b'/' => self.line_comment(),
+            b'/' if self.peek2() == b'*' => self.block_comment(),
+            b'"' => self.string_lit(start),
+            b'`' => self.directive(start),
+            b'$' => self.system_ident(start),
+            b'\\' => self.escaped_ident(start),
+            b'0'..=b'9' => self.number(start),
+            b'\'' => self.apostrophe(start),
+            c if c.is_ascii_alphabetic() || c == b'_' => self.ident_or_keyword(start),
+            _ if c.is_ascii_punctuation() => self.punct(start),
+            _ => {
+                let ch = self.src[self.pos..].chars().next().unwrap_or('\u{FFFD}');
+                Err(ParseError::new(
+                    ParseErrorKind::UnexpectedChar(ch),
+                    Span::new(start, start + ch.len_utf8()),
+                ))
+            }
+        }
+    }
+
+    fn line_comment(&mut self) -> Result<()> {
+        let start = self.pos;
+        let line = self.line;
+        self.bump();
+        self.bump();
+        let text_start = self.pos;
+        while self.pos < self.bytes.len() && self.peek() != b'\n' {
+            self.bump();
+        }
+        self.comments.push(Comment {
+            text: self.src[text_start..self.pos].to_string(),
+            span: Span::new(start, self.pos),
+            line,
+            style: CommentStyle::Line,
+        });
+        Ok(())
+    }
+
+    fn block_comment(&mut self) -> Result<()> {
+        let start = self.pos;
+        let line = self.line;
+        self.bump();
+        self.bump();
+        let text_start = self.pos;
+        loop {
+            if self.pos >= self.bytes.len() {
+                return Err(ParseError::new(
+                    ParseErrorKind::UnterminatedComment,
+                    Span::new(start, self.pos),
+                ));
+            }
+            if self.peek() == b'*' && self.peek2() == b'/' {
+                let text_end = self.pos;
+                self.bump();
+                self.bump();
+                self.comments.push(Comment {
+                    text: self.src[text_start..text_end].to_string(),
+                    span: Span::new(start, self.pos),
+                    line,
+                    style: CommentStyle::Block,
+                });
+                return Ok(());
+            }
+            self.bump();
+        }
+    }
+
+    fn string_lit(&mut self, start: usize) -> Result<()> {
+        self.bump(); // opening quote
+        let mut out = String::new();
+        loop {
+            if self.pos >= self.bytes.len() {
+                return Err(ParseError::new(
+                    ParseErrorKind::UnterminatedString,
+                    Span::new(start, self.pos),
+                ));
+            }
+            let c = self.bump();
+            match c {
+                b'"' => break,
+                b'\\' => {
+                    let esc = self.bump();
+                    out.push(match esc {
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'\\' => '\\',
+                        b'"' => '"',
+                        other => other as char,
+                    });
+                }
+                other => out.push(other as char),
+            }
+        }
+        self.push(TokenKind::Str(out), start);
+        Ok(())
+    }
+
+    fn directive(&mut self, start: usize) -> Result<()> {
+        self.bump(); // backtick
+        let name_start = self.pos;
+        while self.peek().is_ascii_alphanumeric() || self.peek() == b'_' {
+            self.bump();
+        }
+        let name = self.src[name_start..self.pos].to_string();
+        self.push(TokenKind::Directive(name), start);
+        Ok(())
+    }
+
+    fn system_ident(&mut self, start: usize) -> Result<()> {
+        self.bump(); // dollar
+        let name_start = self.pos;
+        while self.peek().is_ascii_alphanumeric() || self.peek() == b'_' {
+            self.bump();
+        }
+        let name = self.src[name_start..self.pos].to_string();
+        self.push(TokenKind::SystemIdent(name), start);
+        Ok(())
+    }
+
+    fn escaped_ident(&mut self, start: usize) -> Result<()> {
+        self.bump(); // backslash
+        let name_start = self.pos;
+        while self.pos < self.bytes.len() && !self.peek().is_ascii_whitespace() {
+            self.bump();
+        }
+        let name = self.src[name_start..self.pos].to_string();
+        self.push(TokenKind::Ident(name), start);
+        Ok(())
+    }
+
+    fn ident_or_keyword(&mut self, start: usize) -> Result<()> {
+        while self.peek().is_ascii_alphanumeric() || self.peek() == b'_' {
+            self.bump();
+        }
+        let text = &self.src[start..self.pos];
+        let kind = match Keyword::from_str(text) {
+            Some(kw) => TokenKind::Keyword(kw),
+            None => TokenKind::Ident(text.to_string()),
+        };
+        self.push(kind, start);
+        Ok(())
+    }
+
+    /// Handles `'0`, `'1`, `'x`, `'z`, `'{` (assignment pattern brace) and the
+    /// based-literal form `'h3F` without a preceding size.
+    fn apostrophe(&mut self, start: usize) -> Result<()> {
+        self.bump(); // '
+        let c = self.peek();
+        match c {
+            b'0' | b'1' => {
+                self.bump();
+                let value = if c == b'0' { 0 } else { u128::MAX };
+                self.push(
+                    TokenKind::Number(NumberLit {
+                        text: self.src[start..self.pos].to_string(),
+                        width: None,
+                        value: Some(value),
+                        is_unbased: true,
+                    }),
+                    start,
+                );
+                Ok(())
+            }
+            b'x' | b'X' | b'z' | b'Z' => {
+                self.bump();
+                self.push(
+                    TokenKind::Number(NumberLit {
+                        text: self.src[start..self.pos].to_string(),
+                        width: None,
+                        value: None,
+                        is_unbased: true,
+                    }),
+                    start,
+                );
+                Ok(())
+            }
+            b'b' | b'B' | b'h' | b'H' | b'd' | b'D' | b'o' | b'O' | b's' | b'S' => {
+                self.based_literal(start, None)
+            }
+            _ => {
+                // A bare apostrophe: used in casts like `1'b0` handled above,
+                // or assignment patterns `'{...}`.  Emit as punctuation.
+                self.push(TokenKind::Punct(Punct::Apostrophe), start);
+                Ok(())
+            }
+        }
+    }
+
+    fn number(&mut self, start: usize) -> Result<()> {
+        // Leading decimal digits (may be a width prefix for a based literal).
+        while self.peek().is_ascii_digit() || self.peek() == b'_' {
+            self.bump();
+        }
+        let dec_text: String = self.src[start..self.pos].chars().filter(|c| *c != '_').collect();
+        if self.peek() == b'\'' {
+            let width: u32 = dec_text.parse().map_err(|_| {
+                ParseError::new(
+                    ParseErrorKind::MalformedNumber(dec_text.clone()),
+                    Span::new(start, self.pos),
+                )
+            })?;
+            self.bump(); // '
+            return self.based_literal(start, Some(width));
+        }
+        let value: u128 = dec_text.parse().map_err(|_| {
+            ParseError::new(
+                ParseErrorKind::MalformedNumber(dec_text.clone()),
+                Span::new(start, self.pos),
+            )
+        })?;
+        self.push(
+            TokenKind::Number(NumberLit {
+                text: self.src[start..self.pos].to_string(),
+                width: None,
+                value: Some(value),
+                is_unbased: false,
+            }),
+            start,
+        );
+        Ok(())
+    }
+
+    /// Parses the `<base><digits>` part of a based literal.  `self.pos` must
+    /// point at the base character; the size prefix and apostrophe have
+    /// already been consumed.
+    fn based_literal(&mut self, start: usize, width: Option<u32>) -> Result<()> {
+        let mut base_char = self.bump().to_ascii_lowercase();
+        // Optional signed designator: 8'sd5
+        if base_char == b's' {
+            base_char = self.bump().to_ascii_lowercase();
+        }
+        let radix = match base_char {
+            b'b' => 2,
+            b'o' => 8,
+            b'd' => 10,
+            b'h' => 16,
+            other => {
+                return Err(ParseError::new(
+                    ParseErrorKind::MalformedNumber(format!("bad base `{}`", other as char)),
+                    Span::new(start, self.pos),
+                ))
+            }
+        };
+        // Skip whitespace between base and digits (legal in SV).
+        while self.peek() == b' ' {
+            self.bump();
+        }
+        let digits_start = self.pos;
+        let mut has_xz = false;
+        while self.peek().is_ascii_alphanumeric() || self.peek() == b'_' || self.peek() == b'?' {
+            let c = self.peek().to_ascii_lowercase();
+            if matches!(c, b'x' | b'z' | b'?') {
+                has_xz = true;
+            }
+            self.bump();
+        }
+        let digits: String = self.src[digits_start..self.pos]
+            .chars()
+            .filter(|c| *c != '_')
+            .collect();
+        if digits.is_empty() {
+            return Err(ParseError::new(
+                ParseErrorKind::MalformedNumber("missing digits".into()),
+                Span::new(start, self.pos),
+            ));
+        }
+        let value = if has_xz {
+            None
+        } else {
+            Some(u128::from_str_radix(&digits, radix).map_err(|_| {
+                ParseError::new(
+                    ParseErrorKind::MalformedNumber(digits.clone()),
+                    Span::new(start, self.pos),
+                )
+            })?)
+        };
+        self.push(
+            TokenKind::Number(NumberLit {
+                text: self.src[start..self.pos].to_string(),
+                width,
+                value,
+                is_unbased: false,
+            }),
+            start,
+        );
+        Ok(())
+    }
+
+    fn punct(&mut self, start: usize) -> Result<()> {
+        use Punct::*;
+        let c = self.bump();
+        let kind = match c {
+            b'(' => LParen,
+            b')' => RParen,
+            b'[' => LBracket,
+            b']' => RBracket,
+            b'{' => LBrace,
+            b'}' => RBrace,
+            b';' => Semicolon,
+            b',' => Comma,
+            b'.' => Dot,
+            b'#' => Hash,
+            b'@' => At,
+            b'?' => Question,
+            b':' => {
+                if self.peek() == b':' {
+                    self.bump();
+                    ColonColon
+                } else {
+                    Colon
+                }
+            }
+            b'+' => {
+                if self.peek() == b'+' {
+                    self.bump();
+                    PlusPlus
+                } else if self.peek() == b'=' {
+                    self.bump();
+                    PlusEq
+                } else {
+                    Plus
+                }
+            }
+            b'-' => {
+                if self.peek() == b'>' {
+                    self.bump();
+                    Implies
+                } else if self.peek() == b'-' {
+                    self.bump();
+                    MinusMinus
+                } else if self.peek() == b'=' {
+                    self.bump();
+                    MinusEq
+                } else {
+                    Minus
+                }
+            }
+            b'*' => {
+                if self.peek() == b'*' {
+                    self.bump();
+                    DoubleStar
+                } else {
+                    Star
+                }
+            }
+            b'/' => Slash,
+            b'%' => Percent,
+            b'!' => {
+                if self.peek() == b'=' {
+                    self.bump();
+                    if self.peek() == b'=' {
+                        self.bump();
+                        BangEqEq
+                    } else {
+                        BangEq
+                    }
+                } else {
+                    Bang
+                }
+            }
+            b'~' => match self.peek() {
+                b'^' => {
+                    self.bump();
+                    TildeCaret
+                }
+                b'&' => {
+                    self.bump();
+                    TildeAmp
+                }
+                b'|' => {
+                    self.bump();
+                    TildePipe
+                }
+                _ => Tilde,
+            },
+            b'&' => {
+                if self.peek() == b'&' {
+                    self.bump();
+                    AmpAmp
+                } else {
+                    Amp
+                }
+            }
+            b'|' => match self.peek() {
+                b'|' => {
+                    self.bump();
+                    PipePipe
+                }
+                b'-' if self.bytes.get(self.pos + 1) == Some(&b'>') => {
+                    self.bump();
+                    self.bump();
+                    OverlapImpl
+                }
+                b'=' if self.bytes.get(self.pos + 1) == Some(&b'>') => {
+                    self.bump();
+                    self.bump();
+                    NonOverlapImpl
+                }
+                _ => Pipe,
+            },
+            b'^' => Caret,
+            b'=' => {
+                if self.peek() == b'=' {
+                    self.bump();
+                    if self.peek() == b'=' {
+                        self.bump();
+                        EqEqEq
+                    } else {
+                        EqEq
+                    }
+                } else {
+                    Eq
+                }
+            }
+            b'<' => {
+                if self.peek() == b'=' {
+                    self.bump();
+                    LeArrow
+                } else if self.peek() == b'<' {
+                    self.bump();
+                    Shl
+                } else {
+                    Lt
+                }
+            }
+            b'>' => {
+                if self.peek() == b'=' {
+                    self.bump();
+                    GtEq
+                } else if self.peek() == b'>' {
+                    self.bump();
+                    if self.peek() == b'>' {
+                        self.bump();
+                        AShr
+                    } else {
+                        Shr
+                    }
+                } else {
+                    Gt
+                }
+            }
+            other => {
+                return Err(ParseError::new(
+                    ParseErrorKind::UnexpectedChar(other as char),
+                    Span::new(start, self.pos),
+                ))
+            }
+        };
+        self.push(TokenKind::Punct(kind), start);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().tokens.into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lex_module_header() {
+        let ks = kinds("module lsu (input logic clk_i);");
+        assert_eq!(ks[0], TokenKind::Keyword(Keyword::Module));
+        assert_eq!(ks[1], TokenKind::Ident("lsu".into()));
+        assert!(ks.contains(&TokenKind::Keyword(Keyword::Input)));
+        assert!(ks.contains(&TokenKind::Ident("clk_i".into())));
+        assert_eq!(*ks.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn lex_numbers() {
+        let ks = kinds("8'hFF 4'b1010 42 '0 '1 16'd100 2'sb11");
+        let nums: Vec<NumberLit> = ks
+            .into_iter()
+            .filter_map(|k| match k {
+                TokenKind::Number(n) => Some(n),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nums.len(), 7);
+        assert_eq!(nums[0].value, Some(0xFF));
+        assert_eq!(nums[0].width, Some(8));
+        assert_eq!(nums[1].value, Some(0b1010));
+        assert_eq!(nums[2].value, Some(42));
+        assert_eq!(nums[3].value, Some(0));
+        assert!(nums[3].is_unbased);
+        assert_eq!(nums[4].value, Some(u128::MAX));
+        assert_eq!(nums[5].value, Some(100));
+        assert_eq!(nums[6].value, Some(3));
+    }
+
+    #[test]
+    fn lex_x_literal_has_no_value() {
+        let ks = kinds("4'bxx10");
+        match &ks[0] {
+            TokenKind::Number(n) => assert_eq!(n.value, None),
+            other => panic!("expected number, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lex_comments_preserved() {
+        let out = lex("wire a; // hello\n/*AUTOSVA\nfoo\n*/ wire b;").unwrap();
+        assert_eq!(out.comments.len(), 2);
+        assert_eq!(out.comments[0].text, " hello");
+        assert_eq!(out.comments[0].style, CommentStyle::Line);
+        assert!(out.comments[1].text.starts_with("AUTOSVA"));
+        assert_eq!(out.comments[1].style, CommentStyle::Block);
+        assert_eq!(out.comments[1].line, 2);
+    }
+
+    #[test]
+    fn lex_operators() {
+        let ks = kinds("a |-> b |=> c -> d <= e == f !== g >>> 2");
+        assert!(ks.contains(&TokenKind::Punct(Punct::OverlapImpl)));
+        assert!(ks.contains(&TokenKind::Punct(Punct::NonOverlapImpl)));
+        assert!(ks.contains(&TokenKind::Punct(Punct::Implies)));
+        assert!(ks.contains(&TokenKind::Punct(Punct::LeArrow)));
+        assert!(ks.contains(&TokenKind::Punct(Punct::EqEq)));
+        assert!(ks.contains(&TokenKind::Punct(Punct::BangEqEq)));
+        assert!(ks.contains(&TokenKind::Punct(Punct::AShr)));
+    }
+
+    #[test]
+    fn lex_system_and_directive() {
+        let ks = kinds("$stable(x) `TRANS_ID");
+        assert_eq!(ks[0], TokenKind::SystemIdent("stable".into()));
+        assert!(ks.contains(&TokenKind::Directive("TRANS_ID".into())));
+    }
+
+    #[test]
+    fn lex_string_literals() {
+        let ks = kinds(r#""hello \"world\"" "#);
+        assert_eq!(ks[0], TokenKind::Str("hello \"world\"".into()));
+    }
+
+    #[test]
+    fn unterminated_block_comment_errors() {
+        let err = lex("/* oops").unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::UnterminatedComment);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        let err = lex("\"oops").unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::UnterminatedString);
+    }
+
+    #[test]
+    fn scoped_name_tokens() {
+        let ks = kinds("riscv::VLEN");
+        assert_eq!(ks[0], TokenKind::Ident("riscv".into()));
+        assert_eq!(ks[1], TokenKind::Punct(Punct::ColonColon));
+        assert_eq!(ks[2], TokenKind::Ident("VLEN".into()));
+    }
+
+    #[test]
+    fn spans_are_accurate() {
+        let out = lex("wire abc;").unwrap();
+        let abc = &out.tokens[1];
+        assert_eq!(abc.span.slice("wire abc;"), "abc");
+    }
+
+    #[test]
+    fn struct_member_access() {
+        let ks = kinds("fu_data_i.trans_id");
+        assert_eq!(ks[0], TokenKind::Ident("fu_data_i".into()));
+        assert_eq!(ks[1], TokenKind::Punct(Punct::Dot));
+        assert_eq!(ks[2], TokenKind::Ident("trans_id".into()));
+    }
+
+    #[test]
+    fn empty_input_is_just_eof() {
+        let out = lex("").unwrap();
+        assert_eq!(out.tokens.len(), 1);
+        assert_eq!(out.tokens[0].kind, TokenKind::Eof);
+        assert!(out.comments.is_empty());
+    }
+}

@@ -1,0 +1,1514 @@
+//! Recursive-descent parser for the SystemVerilog subset.
+//!
+//! The parser consumes the token stream produced by [`crate::lexer::lex`] and
+//! builds the AST defined in [`crate::ast`].  It is tolerant of a few
+//! constructs it does not model (package imports, struct typedef bodies) by
+//! skipping them, and reports [`ParseErrorKind::Unsupported`] for constructs
+//! it cannot safely skip.
+
+use crate::ast::*;
+use crate::error::{ParseError, ParseErrorKind, Result};
+use crate::lexer::{lex, LexOutput};
+use crate::span::{line_col, Span};
+use crate::token::{Comment, Keyword, Punct, Token, TokenKind};
+
+/// Parses a complete source file.
+///
+/// # Errors
+///
+/// Returns the first lexing or parsing error encountered.
+///
+/// # Examples
+///
+/// ```
+/// let file = svparse::parse(
+///     "module counter #(parameter W = 4) (input logic clk_i, output logic [W-1:0] q_o);\n\
+///      endmodule",
+/// )?;
+/// let m = file.module("counter").expect("module present");
+/// assert_eq!(m.ports.len(), 2);
+/// # Ok::<(), svparse::error::ParseError>(())
+/// ```
+pub fn parse(source: &str) -> Result<SourceFile> {
+    let LexOutput { tokens, .. } = lex(source)?;
+    Parser::new(source, tokens).source_file()
+}
+
+/// Parses a source file and also returns the comment trivia.
+///
+/// AutoSVA annotations are written inside comments, so the annotation
+/// extractor needs both the AST and the comments.
+///
+/// # Errors
+///
+/// Returns the first lexing or parsing error encountered.
+pub fn parse_with_comments(source: &str) -> Result<(SourceFile, Vec<Comment>)> {
+    let LexOutput { tokens, comments } = lex(source)?;
+    let file = Parser::new(source, tokens).source_file()?;
+    Ok((file, comments))
+}
+
+/// Parses a standalone SystemVerilog expression.
+///
+/// Used by the AutoSVA annotation language, whose attribute definitions map
+/// transaction fields to arbitrary Verilog expressions over the module
+/// interface.
+///
+/// # Errors
+///
+/// Returns an error if the text is not a single well-formed expression
+/// (trailing tokens are rejected).
+///
+/// # Examples
+///
+/// ```
+/// let e = svparse::parser::parse_expr("lsu_valid_i && fu_data_i.fu == LOAD")?;
+/// assert!(e.referenced_idents().contains(&"lsu_valid_i".to_string()));
+/// # Ok::<(), svparse::error::ParseError>(())
+/// ```
+pub fn parse_expr(source: &str) -> Result<Expr> {
+    let LexOutput { tokens, .. } = lex(source)?;
+    let mut parser = Parser::new(source, tokens);
+    let expr = parser.expr()?;
+    if !parser.at_eof() {
+        return Err(parser.err_expected("end of expression"));
+    }
+    Ok(expr)
+}
+
+struct Parser<'a> {
+    src: &'a str,
+    tokens: Vec<Token>,
+    pos: usize,
+    /// Items queued when one source declaration expands to several AST items
+    /// (e.g. `parameter A = 1, B = 2;`).
+    pending_items: Vec<ModuleItem>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str, tokens: Vec<Token>) -> Self {
+        Parser {
+            src,
+            tokens,
+            pos: 0,
+            pending_items: Vec::new(),
+        }
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek_kind(&self) -> &TokenKind {
+        &self.peek().kind
+    }
+
+    fn peek_ahead(&self, n: usize) -> &Token {
+        let idx = (self.pos + n).min(self.tokens.len() - 1);
+        &self.tokens[idx]
+    }
+
+    fn bump(&mut self) -> Token {
+        let tok = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        tok
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek_kind(), TokenKind::Eof)
+    }
+
+    fn err_expected(&self, expected: &str) -> ParseError {
+        ParseError::new(
+            ParseErrorKind::Expected {
+                expected: expected.to_string(),
+                found: self.peek_kind().to_string(),
+            },
+            self.peek().span,
+        )
+    }
+
+    fn expect_punct(&mut self, p: Punct) -> Result<Span> {
+        if self.peek().is_punct(p) {
+            Ok(self.bump().span)
+        } else {
+            Err(self.err_expected(&format!("`{p}`")))
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: Keyword) -> Result<Span> {
+        if self.peek().is_keyword(kw) {
+            Ok(self.bump().span)
+        } else {
+            Err(self.err_expected(&format!("`{kw}`")))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, Span)> {
+        match self.peek_kind().clone() {
+            TokenKind::Ident(name) => {
+                let span = self.bump().span;
+                Ok((name, span))
+            }
+            _ => Err(self.err_expected("identifier")),
+        }
+    }
+
+    fn eat_punct(&mut self, p: Punct) -> bool {
+        if self.peek().is_punct(p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: Keyword) -> bool {
+        if self.peek().is_keyword(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Top level
+    // ------------------------------------------------------------------
+
+    fn source_file(&mut self) -> Result<SourceFile> {
+        let mut items = Vec::new();
+        while !self.at_eof() {
+            match self.peek_kind() {
+                TokenKind::Keyword(Keyword::Module) => items.push(Item::Module(self.module()?)),
+                TokenKind::Keyword(Keyword::Package) => items.push(Item::Package(self.package()?)),
+                TokenKind::Keyword(Keyword::Typedef) => items.push(Item::Typedef(self.typedef()?)),
+                TokenKind::Keyword(Keyword::Import) => {
+                    self.skip_import()?;
+                }
+                TokenKind::Directive(_) => {
+                    // File-scope directives (`include, `define usage) are ignored.
+                    self.skip_directive_line();
+                }
+                _ => return Err(self.err_expected("`module`, `package` or `typedef`")),
+            }
+        }
+        Ok(SourceFile { items })
+    }
+
+    fn skip_import(&mut self) -> Result<()> {
+        self.expect_keyword(Keyword::Import)?;
+        while !self.peek().is_punct(Punct::Semicolon) && !self.at_eof() {
+            self.bump();
+        }
+        self.expect_punct(Punct::Semicolon)?;
+        Ok(())
+    }
+
+    fn skip_directive_line(&mut self) {
+        // Consume the directive token; arguments to `define are not modelled,
+        // so consume identifiers/numbers until something structural appears.
+        let tok = self.bump();
+        if let TokenKind::Directive(name) = &tok.kind {
+            if name == "define" {
+                // `define NAME VALUE — consume up to two more simple tokens.
+                for _ in 0..2 {
+                    match self.peek_kind() {
+                        TokenKind::Ident(_) | TokenKind::Number(_) => {
+                            self.bump();
+                        }
+                        _ => break,
+                    }
+                }
+            }
+        }
+    }
+
+    fn package(&mut self) -> Result<Package> {
+        let start = self.expect_keyword(Keyword::Package)?;
+        let (name, _) = self.expect_ident()?;
+        self.expect_punct(Punct::Semicolon)?;
+        let mut params = Vec::new();
+        let mut typedefs = Vec::new();
+        loop {
+            match self.peek_kind() {
+                TokenKind::Keyword(Keyword::Endpackage) => break,
+                TokenKind::Keyword(Keyword::Parameter) | TokenKind::Keyword(Keyword::Localparam) => {
+                    let mut ps = self.param_decl_list()?;
+                    self.expect_punct(Punct::Semicolon)?;
+                    params.append(&mut ps);
+                }
+                TokenKind::Keyword(Keyword::Typedef) => typedefs.push(self.typedef()?),
+                TokenKind::Eof => {
+                    return Err(ParseError::new(
+                        ParseErrorKind::UnexpectedEof("package".into()),
+                        self.peek().span,
+                    ))
+                }
+                _ => return Err(self.err_expected("`parameter`, `typedef` or `endpackage`")),
+            }
+        }
+        let end = self.expect_keyword(Keyword::Endpackage)?;
+        Ok(Package {
+            name,
+            params,
+            typedefs,
+            span: start.join(end),
+        })
+    }
+
+    fn typedef(&mut self) -> Result<Typedef> {
+        let start = self.expect_keyword(Keyword::Typedef)?;
+        // Struct/enum bodies are skipped; vector aliases are captured.
+        let ty = if self.peek().is_keyword(Keyword::Struct) || self.peek().is_keyword(Keyword::Enum)
+        {
+            self.bump();
+            self.eat_keyword(Keyword::Packed);
+            // Optional base type for enums: enum logic [1:0]
+            if matches!(
+                self.peek_kind(),
+                TokenKind::Keyword(Keyword::Logic) | TokenKind::Keyword(Keyword::Bit)
+            ) {
+                self.bump();
+                if self.peek().is_punct(Punct::LBracket) {
+                    self.skip_balanced(Punct::LBracket, Punct::RBracket)?;
+                }
+            }
+            self.skip_balanced(Punct::LBrace, Punct::RBrace)?;
+            DataType {
+                kind: NetKind::Named,
+                ..DataType::default()
+            }
+        } else {
+            self.data_type()?
+        };
+        let (name, _) = self.expect_ident()?;
+        let end = self.expect_punct(Punct::Semicolon)?;
+        Ok(Typedef {
+            name,
+            ty,
+            span: start.join(end),
+        })
+    }
+
+    fn skip_balanced(&mut self, open: Punct, close: Punct) -> Result<()> {
+        self.expect_punct(open)?;
+        let mut depth = 1usize;
+        while depth > 0 {
+            if self.at_eof() {
+                return Err(ParseError::new(
+                    ParseErrorKind::UnexpectedEof(format!("`{close}`")),
+                    self.peek().span,
+                ));
+            }
+            let tok = self.bump();
+            if tok.is_punct(open) {
+                depth += 1;
+            } else if tok.is_punct(close) {
+                depth -= 1;
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Module header
+    // ------------------------------------------------------------------
+
+    fn module(&mut self) -> Result<Module> {
+        let start = self.expect_keyword(Keyword::Module)?;
+        let (name, _) = self.expect_ident()?;
+
+        // Optional import inside the header: module m import pkg::*; #(...)
+        while self.peek().is_keyword(Keyword::Import) {
+            self.skip_import()?;
+        }
+
+        let mut params = Vec::new();
+        if self.eat_punct(Punct::Hash) {
+            self.expect_punct(Punct::LParen)?;
+            if !self.peek().is_punct(Punct::RParen) {
+                loop {
+                    let mut ps = self.param_decl_list_header()?;
+                    params.append(&mut ps);
+                    if !self.eat_punct(Punct::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect_punct(Punct::RParen)?;
+        }
+
+        let mut ports: Vec<Port> = Vec::new();
+        let mut header_end = self.peek().span.end;
+        if self.eat_punct(Punct::LParen) {
+            if !self.peek().is_punct(Punct::RParen) {
+                loop {
+                    // ANSI port lists allow continuation declarators that
+                    // inherit the previous direction and type:
+                    //   input logic [7:0] a, b, c
+                    let is_continuation = matches!(self.peek_kind(), TokenKind::Ident(_))
+                        && !matches!(self.peek_ahead(1).kind, TokenKind::Ident(_))
+                        && !self.peek_ahead(1).is_punct(Punct::ColonColon)
+                        && !ports.is_empty();
+                    if is_continuation {
+                        let tok_span = self.peek().span;
+                        let line = line_col(self.src, tok_span.start).line;
+                        let (name, name_span) = self.expect_ident()?;
+                        let mut unpacked_dims = Vec::new();
+                        while self.peek().is_punct(Punct::LBracket) {
+                            unpacked_dims.push(self.range()?);
+                        }
+                        let prev = ports.last().expect("continuation requires a prior port");
+                        ports.push(Port {
+                            direction: prev.direction,
+                            ty: prev.ty.clone(),
+                            name,
+                            unpacked_dims,
+                            span: name_span,
+                            line,
+                        });
+                    } else {
+                        ports.push(self.port()?);
+                    }
+                    if !self.eat_punct(Punct::Comma) {
+                        break;
+                    }
+                }
+            }
+            header_end = self.expect_punct(Punct::RParen)?.end;
+        }
+        self.expect_punct(Punct::Semicolon)?;
+
+        let mut items = Vec::new();
+        while !self.peek().is_keyword(Keyword::Endmodule) {
+            if self.at_eof() {
+                return Err(ParseError::new(
+                    ParseErrorKind::UnexpectedEof("module body".into()),
+                    self.peek().span,
+                ));
+            }
+            if let Some(item) = self.module_item()? {
+                items.push(item);
+            }
+            while let Some(extra) = self.take_pending() {
+                items.push(extra);
+            }
+        }
+        let end = self.expect_keyword(Keyword::Endmodule)?;
+        // Optional label: endmodule : name
+        if self.eat_punct(Punct::Colon) {
+            let _ = self.expect_ident()?;
+        }
+        Ok(Module {
+            name,
+            params,
+            ports,
+            items,
+            span: start.join(end),
+            header_end,
+        })
+    }
+
+    /// Parses `parameter [type] NAME = expr` inside a `#( ... )` header; the
+    /// `parameter` keyword may be omitted for continuation entries.
+    fn param_decl_list_header(&mut self) -> Result<Vec<ParamDecl>> {
+        let is_local = if self.eat_keyword(Keyword::Localparam) {
+            true
+        } else {
+            self.eat_keyword(Keyword::Parameter);
+            false
+        };
+        let ty = self.maybe_data_type();
+        let (name, name_span) = self.expect_ident()?;
+        let value = if self.eat_punct(Punct::Eq) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(vec![ParamDecl {
+            name,
+            is_local,
+            ty,
+            value,
+            span: name_span,
+        }])
+    }
+
+    /// Parses `parameter NAME = expr, NAME2 = expr2` in a body or package.
+    fn param_decl_list(&mut self) -> Result<Vec<ParamDecl>> {
+        let is_local = if self.eat_keyword(Keyword::Localparam) {
+            true
+        } else {
+            self.expect_keyword(Keyword::Parameter)?;
+            false
+        };
+        let ty = self.maybe_data_type();
+        let mut out = Vec::new();
+        loop {
+            let (name, name_span) = self.expect_ident()?;
+            let value = if self.eat_punct(Punct::Eq) {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            out.push(ParamDecl {
+                name,
+                is_local,
+                ty: ty.clone(),
+                value,
+                span: name_span,
+            });
+            if !self.eat_punct(Punct::Comma) {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Attempts to parse a data type if the next tokens look like one.
+    fn maybe_data_type(&mut self) -> Option<DataType> {
+        match self.peek_kind() {
+            TokenKind::Keyword(
+                Keyword::Logic
+                | Keyword::Wire
+                | Keyword::Reg
+                | Keyword::Bit
+                | Keyword::Integer
+                | Keyword::Int
+                | Keyword::Signed
+                | Keyword::Unsigned,
+            ) => self.data_type().ok(),
+            TokenKind::Punct(Punct::LBracket) => self.data_type().ok(),
+            // A named type followed by an identifier: `fu_data_t fu_data_i`
+            TokenKind::Ident(_) => {
+                let looks_like_type = matches!(self.peek_ahead(1).kind, TokenKind::Ident(_))
+                    || (self.peek_ahead(1).is_punct(Punct::ColonColon)
+                        && matches!(self.peek_ahead(2).kind, TokenKind::Ident(_))
+                        && matches!(self.peek_ahead(3).kind, TokenKind::Ident(_)));
+                if looks_like_type {
+                    self.data_type().ok()
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    fn data_type(&mut self) -> Result<DataType> {
+        let mut ty = DataType::default();
+        match self.peek_kind().clone() {
+            TokenKind::Keyword(Keyword::Logic) => {
+                self.bump();
+                ty.kind = NetKind::Logic;
+            }
+            TokenKind::Keyword(Keyword::Wire) => {
+                self.bump();
+                ty.kind = NetKind::Wire;
+                // `wire logic` is legal; fold it.
+                self.eat_keyword(Keyword::Logic);
+            }
+            TokenKind::Keyword(Keyword::Reg) => {
+                self.bump();
+                ty.kind = NetKind::Reg;
+            }
+            TokenKind::Keyword(Keyword::Bit) => {
+                self.bump();
+                ty.kind = NetKind::Bit;
+            }
+            TokenKind::Keyword(Keyword::Integer) | TokenKind::Keyword(Keyword::Int) => {
+                self.bump();
+                ty.kind = NetKind::Integer;
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                let full = if self.eat_punct(Punct::ColonColon) {
+                    let (rest, _) = self.expect_ident()?;
+                    format!("{name}::{rest}")
+                } else {
+                    name
+                };
+                ty.kind = NetKind::Named;
+                ty.type_name = Some(full);
+            }
+            TokenKind::Punct(Punct::LBracket) => {
+                // Implicit logic with packed dims: `[W-1:0] x`
+                ty.kind = NetKind::Logic;
+            }
+            _ => return Err(self.err_expected("data type")),
+        }
+        if self.eat_keyword(Keyword::Signed) {
+            ty.signed = true;
+        }
+        self.eat_keyword(Keyword::Unsigned);
+        while self.peek().is_punct(Punct::LBracket) {
+            ty.packed_dims.push(self.range()?);
+        }
+        Ok(ty)
+    }
+
+    fn range(&mut self) -> Result<Range> {
+        self.expect_punct(Punct::LBracket)?;
+        let msb = self.expr()?;
+        let lsb = if self.eat_punct(Punct::Colon) {
+            self.expr()?
+        } else {
+            // Single-dimension form `[N]` (unpacked array size) — treat as
+            // `[N-1:0]` is *not* done here; keep `msb == lsb == N` marker by
+            // mirroring the expression so callers can decide.
+            msb.clone()
+        };
+        self.expect_punct(Punct::RBracket)?;
+        Ok(Range { msb, lsb })
+    }
+
+    fn port(&mut self) -> Result<Port> {
+        let dir_tok = self.bump();
+        let line = line_col(self.src, dir_tok.span.start).line;
+        let direction = match dir_tok.kind {
+            TokenKind::Keyword(Keyword::Input) => Direction::Input,
+            TokenKind::Keyword(Keyword::Output) => Direction::Output,
+            TokenKind::Keyword(Keyword::Inout) => Direction::Inout,
+            _ => {
+                return Err(ParseError::new(
+                    ParseErrorKind::Expected {
+                        expected: "port direction".into(),
+                        found: dir_tok.kind.to_string(),
+                    },
+                    dir_tok.span,
+                ))
+            }
+        };
+        // The type is optional: `input clk_i` defaults to 1-bit logic.
+        let ty = match self.peek_kind() {
+            TokenKind::Ident(_) => {
+                // Could be `type_t name` or just `name`.
+                if matches!(self.peek_ahead(1).kind, TokenKind::Ident(_))
+                    || self.peek_ahead(1).is_punct(Punct::ColonColon)
+                {
+                    self.data_type()?
+                } else {
+                    DataType::logic()
+                }
+            }
+            TokenKind::Punct(Punct::LBracket) | TokenKind::Keyword(_) => self.data_type()?,
+            _ => DataType::logic(),
+        };
+        let (name, name_span) = self.expect_ident()?;
+        let mut unpacked_dims = Vec::new();
+        while self.peek().is_punct(Punct::LBracket) {
+            unpacked_dims.push(self.range()?);
+        }
+        Ok(Port {
+            direction,
+            ty,
+            name,
+            unpacked_dims,
+            span: dir_tok.span.join(name_span),
+            line,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Module body
+    // ------------------------------------------------------------------
+
+    fn module_item(&mut self) -> Result<Option<ModuleItem>> {
+        match self.peek_kind().clone() {
+            TokenKind::Keyword(Keyword::Parameter) | TokenKind::Keyword(Keyword::Localparam) => {
+                let params = self.param_decl_list()?;
+                self.expect_punct(Punct::Semicolon)?;
+                // A declaration with several declarators becomes several
+                // items; the extras are queued and drained by the caller.
+                let mut iter = params.into_iter();
+                let first = iter.next().map(ModuleItem::Param);
+                for extra in iter {
+                    self.pending_items.push(ModuleItem::Param(extra));
+                }
+                Ok(first)
+            }
+            TokenKind::Keyword(Keyword::Typedef) => Ok(Some(ModuleItem::Typedef(self.typedef()?))),
+            TokenKind::Keyword(Keyword::Assign) => {
+                let start = self.bump().span;
+                let lhs = self.expr()?;
+                self.expect_punct(Punct::Eq)?;
+                let rhs = self.expr()?;
+                let end = self.expect_punct(Punct::Semicolon)?;
+                Ok(Some(ModuleItem::ContinuousAssign(Assign {
+                    lhs,
+                    rhs,
+                    span: start.join(end),
+                })))
+            }
+            TokenKind::Keyword(
+                Keyword::Always | Keyword::AlwaysFf | Keyword::AlwaysComb | Keyword::Initial,
+            ) => Ok(Some(ModuleItem::Always(self.always_block()?))),
+            TokenKind::Keyword(Keyword::Import) => {
+                self.skip_import()?;
+                Ok(None)
+            }
+            TokenKind::Keyword(
+                Keyword::Logic
+                | Keyword::Wire
+                | Keyword::Reg
+                | Keyword::Bit
+                | Keyword::Integer
+                | Keyword::Int
+                | Keyword::Genvar,
+            ) => Ok(Some(ModuleItem::Decl(self.net_decl()?))),
+            TokenKind::Ident(_) => {
+                // Could be a declaration with a named type, or an instance.
+                if self.looks_like_instance() {
+                    Ok(Some(ModuleItem::Instance(self.instance()?)))
+                } else {
+                    Ok(Some(ModuleItem::Decl(self.net_decl()?)))
+                }
+            }
+            TokenKind::Punct(Punct::Semicolon) => {
+                self.bump();
+                Ok(None)
+            }
+            TokenKind::Directive(_) => {
+                self.skip_directive_line();
+                Ok(None)
+            }
+            other => Err(ParseError::new(
+                ParseErrorKind::Unsupported(format!("module item starting with {other}")),
+                self.peek().span,
+            )),
+        }
+    }
+
+    /// Heuristic: `ident ident (` or `ident #(` begins an instantiation.
+    fn looks_like_instance(&self) -> bool {
+        if self.peek_ahead(1).is_punct(Punct::Hash) {
+            return true;
+        }
+        matches!(self.peek_ahead(1).kind, TokenKind::Ident(_))
+            && self.peek_ahead(2).is_punct(Punct::LParen)
+    }
+
+    fn net_decl(&mut self) -> Result<NetDecl> {
+        let start = self.peek().span;
+        // `genvar i;` is lexed as a keyword; treat it as an integer variable.
+        if self.eat_keyword(Keyword::Genvar) {
+            let (name, _) = self.expect_ident()?;
+            let end = self.expect_punct(Punct::Semicolon)?;
+            return Ok(NetDecl {
+                ty: DataType {
+                    kind: NetKind::Integer,
+                    ..DataType::default()
+                },
+                names: vec![DeclName {
+                    name,
+                    unpacked_dims: vec![],
+                    init: None,
+                }],
+                span: start.join(end),
+            });
+        }
+        let ty = self.data_type()?;
+        let mut names = Vec::new();
+        loop {
+            let (name, _) = self.expect_ident()?;
+            let mut unpacked_dims = Vec::new();
+            while self.peek().is_punct(Punct::LBracket) {
+                unpacked_dims.push(self.range()?);
+            }
+            let init = if self.eat_punct(Punct::Eq) {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            names.push(DeclName {
+                name,
+                unpacked_dims,
+                init,
+            });
+            if !self.eat_punct(Punct::Comma) {
+                break;
+            }
+        }
+        let end = self.expect_punct(Punct::Semicolon)?;
+        Ok(NetDecl {
+            ty,
+            names,
+            span: start.join(end),
+        })
+    }
+
+    fn always_block(&mut self) -> Result<AlwaysBlock> {
+        let tok = self.bump();
+        let kind = match tok.kind {
+            TokenKind::Keyword(Keyword::AlwaysFf) => AlwaysKind::Ff,
+            TokenKind::Keyword(Keyword::AlwaysComb) => AlwaysKind::Comb,
+            TokenKind::Keyword(Keyword::Always) => AlwaysKind::Plain,
+            TokenKind::Keyword(Keyword::Initial) => AlwaysKind::Initial,
+            _ => unreachable!("caller checked keyword"),
+        };
+        let mut sensitivity = Vec::new();
+        if self.peek().is_punct(Punct::At) {
+            self.bump();
+            if self.eat_punct(Punct::Star) {
+                // @* — level-sensitive to everything.
+            } else {
+                self.expect_punct(Punct::LParen)?;
+                if self.eat_punct(Punct::Star) {
+                    self.expect_punct(Punct::RParen)?;
+                } else {
+                    loop {
+                        let posedge = if self.eat_keyword(Keyword::Posedge) {
+                            Some(true)
+                        } else if self.eat_keyword(Keyword::Negedge) {
+                            Some(false)
+                        } else {
+                            None
+                        };
+                        let signal = self.expr()?;
+                        sensitivity.push(EventExpr { posedge, signal });
+                        if self.eat_keyword(Keyword::Or) || self.eat_punct(Punct::Comma) {
+                            continue;
+                        }
+                        break;
+                    }
+                    self.expect_punct(Punct::RParen)?;
+                }
+            }
+        }
+        let body = self.stmt()?;
+        Ok(AlwaysBlock {
+            kind,
+            sensitivity,
+            body,
+            span: tok.span,
+        })
+    }
+
+    fn instance(&mut self) -> Result<Instance> {
+        let (module_name, start) = self.expect_ident()?;
+        let mut param_overrides = Vec::new();
+        if self.eat_punct(Punct::Hash) {
+            self.expect_punct(Punct::LParen)?;
+            param_overrides = self.connection_list()?;
+            self.expect_punct(Punct::RParen)?;
+        }
+        let (instance_name, _) = self.expect_ident()?;
+        self.expect_punct(Punct::LParen)?;
+        let connections = self.connection_list()?;
+        self.expect_punct(Punct::RParen)?;
+        let end = self.expect_punct(Punct::Semicolon)?;
+        Ok(Instance {
+            module_name,
+            instance_name,
+            param_overrides,
+            connections,
+            span: start.join(end),
+        })
+    }
+
+    fn connection_list(&mut self) -> Result<Vec<Connection>> {
+        let mut out = Vec::new();
+        if self.peek().is_punct(Punct::RParen) {
+            return Ok(out);
+        }
+        loop {
+            self.expect_punct(Punct::Dot)?;
+            let (name, _) = self.expect_ident()?;
+            self.expect_punct(Punct::LParen)?;
+            let expr = if self.peek().is_punct(Punct::RParen) {
+                None
+            } else {
+                Some(self.expr()?)
+            };
+            self.expect_punct(Punct::RParen)?;
+            out.push(Connection { name, expr });
+            if !self.eat_punct(Punct::Comma) {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Statements
+    // ------------------------------------------------------------------
+
+    fn stmt(&mut self) -> Result<Stmt> {
+        match self.peek_kind().clone() {
+            TokenKind::Keyword(Keyword::Begin) => {
+                self.bump();
+                // Optional label: begin : name
+                if self.eat_punct(Punct::Colon) {
+                    let _ = self.expect_ident()?;
+                }
+                let mut stmts = Vec::new();
+                while !self.peek().is_keyword(Keyword::End) {
+                    if self.at_eof() {
+                        return Err(ParseError::new(
+                            ParseErrorKind::UnexpectedEof("`end`".into()),
+                            self.peek().span,
+                        ));
+                    }
+                    stmts.push(self.stmt()?);
+                }
+                self.expect_keyword(Keyword::End)?;
+                if self.eat_punct(Punct::Colon) {
+                    let _ = self.expect_ident()?;
+                }
+                Ok(Stmt::Block(stmts))
+            }
+            TokenKind::Keyword(Keyword::If) => {
+                self.bump();
+                self.expect_punct(Punct::LParen)?;
+                let cond = self.expr()?;
+                self.expect_punct(Punct::RParen)?;
+                let then_branch = Box::new(self.stmt()?);
+                let else_branch = if self.eat_keyword(Keyword::Else) {
+                    Some(Box::new(self.stmt()?))
+                } else {
+                    None
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                })
+            }
+            TokenKind::Keyword(Keyword::Unique) | TokenKind::Keyword(Keyword::Priority) => {
+                self.bump();
+                self.stmt()
+            }
+            TokenKind::Keyword(Keyword::Case)
+            | TokenKind::Keyword(Keyword::Casez)
+            | TokenKind::Keyword(Keyword::Casex) => {
+                self.bump();
+                self.expect_punct(Punct::LParen)?;
+                let subject = self.expr()?;
+                self.expect_punct(Punct::RParen)?;
+                let mut items = Vec::new();
+                while !self.peek().is_keyword(Keyword::Endcase) {
+                    if self.at_eof() {
+                        return Err(ParseError::new(
+                            ParseErrorKind::UnexpectedEof("`endcase`".into()),
+                            self.peek().span,
+                        ));
+                    }
+                    items.push(self.case_item()?);
+                }
+                self.expect_keyword(Keyword::Endcase)?;
+                Ok(Stmt::Case { subject, items })
+            }
+            TokenKind::Punct(Punct::Semicolon) => {
+                self.bump();
+                Ok(Stmt::Empty)
+            }
+            _ => {
+                // An assignment statement.  The left-hand side is parsed as a
+                // restricted lvalue so that `<=` is not mistaken for the
+                // less-or-equal operator.
+                let start = self.peek().span;
+                let lhs = self.lvalue_expr()?;
+                if self.eat_punct(Punct::LeArrow) {
+                    let rhs = self.expr()?;
+                    let end = self.expect_punct(Punct::Semicolon)?;
+                    Ok(Stmt::NonBlocking(Assign {
+                        lhs,
+                        rhs,
+                        span: start.join(end),
+                    }))
+                } else if self.eat_punct(Punct::Eq) {
+                    let rhs = self.expr()?;
+                    let end = self.expect_punct(Punct::Semicolon)?;
+                    Ok(Stmt::Blocking(Assign {
+                        lhs,
+                        rhs,
+                        span: start.join(end),
+                    }))
+                } else {
+                    Err(self.err_expected("`<=` or `=` in assignment"))
+                }
+            }
+        }
+    }
+
+    fn case_item(&mut self) -> Result<CaseItem> {
+        if self.eat_keyword(Keyword::Default) {
+            // Optional colon.
+            self.eat_punct(Punct::Colon);
+            let body = self.stmt()?;
+            return Ok(CaseItem {
+                labels: vec![],
+                is_default: true,
+                body,
+            });
+        }
+        let mut labels = vec![self.expr()?];
+        while self.eat_punct(Punct::Comma) {
+            labels.push(self.expr()?);
+        }
+        self.expect_punct(Punct::Colon)?;
+        let body = self.stmt()?;
+        Ok(CaseItem {
+            labels,
+            is_default: false,
+            body,
+        })
+    }
+
+    /// Parses an assignment target: an identifier with optional selects and
+    /// member accesses, or a concatenation of such targets.
+    fn lvalue_expr(&mut self) -> Result<Expr> {
+        if self.peek().is_punct(Punct::LBrace) {
+            self.bump();
+            let mut parts = vec![self.lvalue_expr()?];
+            while self.eat_punct(Punct::Comma) {
+                parts.push(self.lvalue_expr()?);
+            }
+            self.expect_punct(Punct::RBrace)?;
+            return Ok(Expr::Concat(parts));
+        }
+        self.postfix_expr()
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions (precedence climbing)
+    // ------------------------------------------------------------------
+
+    /// Parses a full expression including the ternary operator.
+    pub(crate) fn expr(&mut self) -> Result<Expr> {
+        let cond = self.binary_expr(0)?;
+        if self.eat_punct(Punct::Question) {
+            let then_expr = self.expr()?;
+            self.expect_punct(Punct::Colon)?;
+            let else_expr = self.expr()?;
+            Ok(Expr::Ternary {
+                cond: Box::new(cond),
+                then_expr: Box::new(then_expr),
+                else_expr: Box::new(else_expr),
+            })
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn binary_expr(&mut self, min_prec: u8) -> Result<Expr> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek_binary_op() {
+                Some(op) if op.precedence() >= min_prec => op,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.binary_expr(op.precedence() + 1)?;
+            lhs = Expr::binary(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn peek_binary_op(&self) -> Option<BinaryOp> {
+        let p = match self.peek_kind() {
+            TokenKind::Punct(p) => *p,
+            _ => return None,
+        };
+        Some(match p {
+            Punct::Plus => BinaryOp::Add,
+            Punct::Minus => BinaryOp::Sub,
+            Punct::Star => BinaryOp::Mul,
+            Punct::Slash => BinaryOp::Div,
+            Punct::Percent => BinaryOp::Mod,
+            Punct::DoubleStar => BinaryOp::Pow,
+            Punct::AmpAmp => BinaryOp::LogicalAnd,
+            Punct::PipePipe => BinaryOp::LogicalOr,
+            Punct::Amp => BinaryOp::BitAnd,
+            Punct::Pipe => BinaryOp::BitOr,
+            Punct::Caret => BinaryOp::BitXor,
+            Punct::TildeCaret => BinaryOp::BitXnor,
+            Punct::EqEq => BinaryOp::Eq,
+            Punct::BangEq => BinaryOp::Ne,
+            Punct::EqEqEq => BinaryOp::CaseEq,
+            Punct::BangEqEq => BinaryOp::CaseNe,
+            Punct::Lt => BinaryOp::Lt,
+            Punct::LeArrow => BinaryOp::Le,
+            Punct::Gt => BinaryOp::Gt,
+            Punct::GtEq => BinaryOp::Ge,
+            Punct::Shl => BinaryOp::Shl,
+            Punct::Shr => BinaryOp::Shr,
+            Punct::AShr => BinaryOp::AShr,
+            _ => return None,
+        })
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr> {
+        let op = match self.peek_kind() {
+            TokenKind::Punct(Punct::Bang) => Some(UnaryOp::LogicalNot),
+            TokenKind::Punct(Punct::Tilde) => Some(UnaryOp::BitwiseNot),
+            TokenKind::Punct(Punct::Minus) => Some(UnaryOp::Negate),
+            TokenKind::Punct(Punct::Plus) => Some(UnaryOp::Plus),
+            TokenKind::Punct(Punct::Amp) => Some(UnaryOp::ReduceAnd),
+            TokenKind::Punct(Punct::Pipe) => Some(UnaryOp::ReduceOr),
+            TokenKind::Punct(Punct::Caret) => Some(UnaryOp::ReduceXor),
+            TokenKind::Punct(Punct::TildeAmp) => Some(UnaryOp::ReduceNand),
+            TokenKind::Punct(Punct::TildePipe) => Some(UnaryOp::ReduceNor),
+            TokenKind::Punct(Punct::TildeCaret) => Some(UnaryOp::ReduceXnor),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let operand = self.unary_expr()?;
+            return Ok(Expr::unary(op, operand));
+        }
+        self.postfix_expr()
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr> {
+        let mut expr = self.primary_expr()?;
+        loop {
+            if self.peek().is_punct(Punct::LBracket) {
+                self.bump();
+                let first = self.expr()?;
+                if self.eat_punct(Punct::Colon) {
+                    let lsb = self.expr()?;
+                    self.expect_punct(Punct::RBracket)?;
+                    expr = Expr::RangeSelect {
+                        base: Box::new(expr),
+                        msb: Box::new(first),
+                        lsb: Box::new(lsb),
+                    };
+                } else {
+                    self.expect_punct(Punct::RBracket)?;
+                    expr = Expr::Index {
+                        base: Box::new(expr),
+                        index: Box::new(first),
+                    };
+                }
+            } else if self.peek().is_punct(Punct::Dot) {
+                self.bump();
+                let (member, _) = self.expect_ident()?;
+                expr = Expr::Member {
+                    base: Box::new(expr),
+                    member,
+                };
+            } else {
+                break;
+            }
+        }
+        Ok(expr)
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr> {
+        match self.peek_kind().clone() {
+            TokenKind::Number(n) => {
+                self.bump();
+                Ok(Expr::Number(n))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr::Str(s))
+            }
+            TokenKind::Directive(name) => {
+                self.bump();
+                Ok(Expr::Macro(name))
+            }
+            TokenKind::SystemIdent(name) => {
+                self.bump();
+                let mut args = Vec::new();
+                if self.eat_punct(Punct::LParen) {
+                    if !self.peek().is_punct(Punct::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat_punct(Punct::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect_punct(Punct::RParen)?;
+                }
+                Ok(Expr::Call {
+                    name,
+                    is_system: true,
+                    args,
+                })
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                // Package-scoped identifier a::b or enum member.
+                let full = if self.eat_punct(Punct::ColonColon) {
+                    let (rest, _) = self.expect_ident()?;
+                    format!("{name}::{rest}")
+                } else {
+                    name
+                };
+                // Function call?
+                if self.peek().is_punct(Punct::LParen) {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.peek().is_punct(Punct::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat_punct(Punct::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect_punct(Punct::RParen)?;
+                    return Ok(Expr::Call {
+                        name: full,
+                        is_system: false,
+                        args,
+                    });
+                }
+                Ok(Expr::Ident(full))
+            }
+            TokenKind::Punct(Punct::LParen) => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect_punct(Punct::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Punct(Punct::LBrace) => {
+                self.bump();
+                let first = self.expr()?;
+                if self.peek().is_punct(Punct::LBrace) {
+                    // Replication {N{expr}}
+                    self.bump();
+                    let value = self.expr()?;
+                    self.expect_punct(Punct::RBrace)?;
+                    self.expect_punct(Punct::RBrace)?;
+                    return Ok(Expr::Replicate {
+                        count: Box::new(first),
+                        value: Box::new(value),
+                    });
+                }
+                let mut parts = vec![first];
+                while self.eat_punct(Punct::Comma) {
+                    parts.push(self.expr()?);
+                }
+                self.expect_punct(Punct::RBrace)?;
+                Ok(Expr::Concat(parts))
+            }
+            TokenKind::Punct(Punct::Apostrophe) => {
+                // Assignment pattern '{...} — treat as concatenation.
+                self.bump();
+                if self.peek().is_punct(Punct::LBrace) {
+                    self.bump();
+                    let mut parts = Vec::new();
+                    if !self.peek().is_punct(Punct::RBrace) {
+                        loop {
+                            parts.push(self.expr()?);
+                            if !self.eat_punct(Punct::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect_punct(Punct::RBrace)?;
+                    Ok(Expr::Concat(parts))
+                } else {
+                    Err(self.err_expected("`{` after `'`"))
+                }
+            }
+            _ => Err(self.err_expected("expression")),
+        }
+    }
+}
+
+impl<'a> Parser<'a> {
+    fn take_pending(&mut self) -> Option<ModuleItem> {
+        if self.pending_items.is_empty() {
+            None
+        } else {
+            Some(self.pending_items.remove(0))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_module(src: &str) -> Module {
+        parse(src)
+            .expect("parse failed")
+            .modules()
+            .next()
+            .expect("no module")
+            .clone()
+    }
+
+    #[test]
+    fn module_header_params_and_ports() {
+        let m = parse_module(
+            "module lsu #(parameter TRANS_ID_BITS = 3, parameter W = 8) (\n\
+               input  logic clk_i,\n\
+               input  logic rst_ni,\n\
+               input  logic [W-1:0] data_i,\n\
+               output logic valid_o\n\
+             );\nendmodule",
+        );
+        assert_eq!(m.name, "lsu");
+        assert_eq!(m.params.len(), 2);
+        assert_eq!(m.params[0].name, "TRANS_ID_BITS");
+        assert_eq!(m.ports.len(), 4);
+        assert_eq!(m.ports[2].name, "data_i");
+        assert_eq!(m.ports[2].direction, Direction::Input);
+        assert_eq!(m.ports[2].ty.packed_dims.len(), 1);
+        assert_eq!(m.ports[3].direction, Direction::Output);
+    }
+
+    #[test]
+    fn port_lines_recorded() {
+        let m = parse_module("module t (\n input logic a,\n output logic b\n);\nendmodule");
+        assert_eq!(m.ports[0].line, 2);
+        assert_eq!(m.ports[1].line, 3);
+    }
+
+    #[test]
+    fn body_decls_and_assigns() {
+        let m = parse_module(
+            "module t (input logic a, output logic y);\n\
+               logic [3:0] cnt_q, cnt_d;\n\
+               wire ready = a & ~cnt_q[0];\n\
+               assign y = ready;\n\
+             endmodule",
+        );
+        assert_eq!(m.items.len(), 3);
+        match &m.items[0] {
+            ModuleItem::Decl(d) => {
+                assert_eq!(d.names.len(), 2);
+                assert_eq!(d.names[0].name, "cnt_q");
+            }
+            other => panic!("expected decl, got {other:?}"),
+        }
+        assert!(matches!(m.items[2], ModuleItem::ContinuousAssign(_)));
+    }
+
+    #[test]
+    fn always_ff_block() {
+        let m = parse_module(
+            "module t (input logic clk_i, input logic rst_ni);\n\
+               logic [1:0] q;\n\
+               always_ff @(posedge clk_i or negedge rst_ni) begin\n\
+                 if (!rst_ni) q <= '0;\n\
+                 else q <= q + 1'b1;\n\
+               end\n\
+             endmodule",
+        );
+        let always = m
+            .items
+            .iter()
+            .find_map(|i| match i {
+                ModuleItem::Always(a) => Some(a),
+                _ => None,
+            })
+            .expect("always block");
+        assert_eq!(always.kind, AlwaysKind::Ff);
+        assert_eq!(always.sensitivity.len(), 2);
+        assert_eq!(always.sensitivity[0].posedge, Some(true));
+        assert_eq!(always.sensitivity[1].posedge, Some(false));
+        match &always.body {
+            Stmt::Block(stmts) => assert_eq!(stmts.len(), 1),
+            other => panic!("expected block, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn always_comb_case() {
+        let m = parse_module(
+            "module t (input logic [1:0] sel, output logic y);\n\
+               always_comb begin\n\
+                 case (sel)\n\
+                   2'b00: y = 1'b0;\n\
+                   2'b01, 2'b10: y = 1'b1;\n\
+                   default: y = 1'b0;\n\
+                 endcase\n\
+               end\n\
+             endmodule",
+        );
+        let always = m
+            .items
+            .iter()
+            .find_map(|i| match i {
+                ModuleItem::Always(a) => Some(a),
+                _ => None,
+            })
+            .expect("always block");
+        match &always.body {
+            Stmt::Block(stmts) => match &stmts[0] {
+                Stmt::Case { items, .. } => {
+                    assert_eq!(items.len(), 3);
+                    assert_eq!(items[1].labels.len(), 2);
+                    assert!(items[2].is_default);
+                }
+                other => panic!("expected case, got {other:?}"),
+            },
+            other => panic!("expected block, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn instance_with_params() {
+        let m = parse_module(
+            "module top (input logic clk_i);\n\
+               fifo #(.DEPTH(4), .WIDTH(8)) u_fifo (\n\
+                 .clk_i(clk_i),\n\
+                 .full_o(),\n\
+                 .data_i(8'h00)\n\
+               );\n\
+             endmodule",
+        );
+        let inst = m
+            .items
+            .iter()
+            .find_map(|i| match i {
+                ModuleItem::Instance(x) => Some(x),
+                _ => None,
+            })
+            .expect("instance");
+        assert_eq!(inst.module_name, "fifo");
+        assert_eq!(inst.instance_name, "u_fifo");
+        assert_eq!(inst.param_overrides.len(), 2);
+        assert_eq!(inst.connections.len(), 3);
+        assert!(inst.connections[1].expr.is_none());
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let m = parse_module(
+            "module t (input logic [7:0] a, b, output logic [7:0] y);\n\
+               assign y = a + b * 2 == 8'h10 ? a & b : a | b;\n\
+             endmodule",
+        );
+        let assign = match &m.items[0] {
+            ModuleItem::ContinuousAssign(a) => a,
+            other => panic!("expected assign, got {other:?}"),
+        };
+        match &assign.rhs {
+            Expr::Ternary { cond, .. } => match cond.as_ref() {
+                Expr::Binary { op, rhs, .. } => {
+                    assert_eq!(*op, BinaryOp::Eq);
+                    assert!(matches!(rhs.as_ref(), Expr::Number(_)));
+                }
+                other => panic!("expected ==, got {other:?}"),
+            },
+            other => panic!("expected ternary, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn member_and_index_access() {
+        let m = parse_module(
+            "module t (input logic [3:0] v, output logic y);\n\
+               assign y = req.data[2] & v[3:1] == 3'b101;\n\
+             endmodule",
+        );
+        let assign = match &m.items[0] {
+            ModuleItem::ContinuousAssign(a) => a,
+            _ => panic!(),
+        };
+        let ids = assign.rhs.referenced_idents();
+        assert!(ids.contains(&"req".to_string()));
+        assert!(ids.contains(&"v".to_string()));
+    }
+
+    #[test]
+    fn concat_and_replicate() {
+        let m = parse_module(
+            "module t (input logic a, output logic [7:0] y);\n\
+               assign y = {4'b0, {3{a}}, a};\n\
+             endmodule",
+        );
+        let assign = match &m.items[0] {
+            ModuleItem::ContinuousAssign(a) => a,
+            _ => panic!(),
+        };
+        match &assign.rhs {
+            Expr::Concat(parts) => {
+                assert_eq!(parts.len(), 3);
+                assert!(matches!(parts[1], Expr::Replicate { .. }));
+            }
+            other => panic!("expected concat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn named_type_port() {
+        let m = parse_module(
+            "module t (input fu_data_t fu_data_i, input riscv::priv_lvl_t lvl_i);\nendmodule",
+        );
+        assert_eq!(m.ports[0].ty.kind, NetKind::Named);
+        assert_eq!(m.ports[0].ty.type_name.as_deref(), Some("fu_data_t"));
+        assert_eq!(m.ports[1].ty.type_name.as_deref(), Some("riscv::priv_lvl_t"));
+    }
+
+    #[test]
+    fn package_with_params() {
+        let file = parse(
+            "package riscv;\n  parameter VLEN = 64;\n  parameter PLEN = 56;\n\
+             typedef logic [63:0] xlen_t;\nendpackage\n\
+             module m (input riscv::xlen_t x);\nendmodule",
+        )
+        .unwrap();
+        let pkg = match &file.items[0] {
+            Item::Package(p) => p,
+            other => panic!("expected package, got {other:?}"),
+        };
+        assert_eq!(pkg.name, "riscv");
+        assert_eq!(pkg.params.len(), 2);
+        assert_eq!(pkg.typedefs.len(), 1);
+    }
+
+    #[test]
+    fn unpacked_array_decl() {
+        let m = parse_module(
+            "module t (input logic clk_i);\n\
+               logic [7:0] mem [0:3];\n\
+             endmodule",
+        );
+        match &m.items[0] {
+            ModuleItem::Decl(d) => {
+                assert_eq!(d.names[0].unpacked_dims.len(), 1);
+            }
+            other => panic!("expected decl, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comments_available_with_ast() {
+        let (file, comments) = parse_with_comments(
+            "/*AUTOSVA\nlsu_load: lsu_req -in> lsu_res\n*/\nmodule t (input logic a);\nendmodule",
+        )
+        .unwrap();
+        assert_eq!(file.modules().count(), 1);
+        assert_eq!(comments.len(), 1);
+        assert!(comments[0].text.contains("lsu_load"));
+    }
+
+    #[test]
+    fn error_on_garbage() {
+        let err = parse("module t (input logic a); garbage garbage garbage; endmodule");
+        assert!(err.is_err() || err.is_ok());
+        // A clearly-broken header must error.
+        assert!(parse("module ; endmodule").is_err());
+    }
+
+    #[test]
+    fn endmodule_label() {
+        let m = parse_module("module t (input logic a);\nendmodule : t");
+        assert_eq!(m.name, "t");
+    }
+
+    #[test]
+    fn multi_param_body_decl() {
+        let m = parse_module(
+            "module t (input logic a);\n localparam A = 1, B = 2;\n assign a = A;\n endmodule",
+        );
+        let params: Vec<_> = m
+            .items
+            .iter()
+            .filter(|i| matches!(i, ModuleItem::Param(_)))
+            .collect();
+        assert_eq!(params.len(), 2);
+    }
+}

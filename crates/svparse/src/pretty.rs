@@ -1,0 +1,269 @@
+//! Pretty-printing of AST nodes back to SystemVerilog source text.
+//!
+//! The printers are primarily used by the AutoSVA property generator (which
+//! needs to splice user-written expressions into generated SVA code) and by
+//! tests that check parse/print round trips.
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Renders an expression to SystemVerilog source text.
+///
+/// The output is fully parenthesized around binary and ternary operators so
+/// the result can be safely substituted into larger expressions without
+/// changing precedence.
+///
+/// # Examples
+///
+/// ```
+/// use svparse::ast::{BinaryOp, Expr};
+/// use svparse::pretty::print_expr;
+///
+/// let e = Expr::binary(BinaryOp::LogicalAnd, Expr::ident("val"), Expr::ident("rdy"));
+/// assert_eq!(print_expr(&e), "(val && rdy)");
+/// ```
+pub fn print_expr(expr: &Expr) -> String {
+    let mut s = String::new();
+    write_expr(&mut s, expr);
+    s
+}
+
+fn write_expr(out: &mut String, expr: &Expr) {
+    match expr {
+        Expr::Ident(name) => out.push_str(name),
+        Expr::Number(n) => out.push_str(&n.text),
+        Expr::Str(s) => {
+            let _ = write!(out, "\"{s}\"");
+        }
+        Expr::Macro(name) => {
+            let _ = write!(out, "`{name}");
+        }
+        Expr::Unary { op, operand } => {
+            out.push_str(op.as_str());
+            write_expr(out, operand);
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            out.push('(');
+            write_expr(out, lhs);
+            let _ = write!(out, " {} ", op.as_str());
+            write_expr(out, rhs);
+            out.push(')');
+        }
+        Expr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+        } => {
+            out.push('(');
+            write_expr(out, cond);
+            out.push_str(" ? ");
+            write_expr(out, then_expr);
+            out.push_str(" : ");
+            write_expr(out, else_expr);
+            out.push(')');
+        }
+        Expr::Index { base, index } => {
+            write_expr(out, base);
+            out.push('[');
+            write_expr(out, index);
+            out.push(']');
+        }
+        Expr::RangeSelect { base, msb, lsb } => {
+            write_expr(out, base);
+            out.push('[');
+            write_expr(out, msb);
+            out.push(':');
+            write_expr(out, lsb);
+            out.push(']');
+        }
+        Expr::Member { base, member } => {
+            write_expr(out, base);
+            out.push('.');
+            out.push_str(member);
+        }
+        Expr::Concat(parts) => {
+            out.push('{');
+            for (i, p) in parts.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(out, p);
+            }
+            out.push('}');
+        }
+        Expr::Replicate { count, value } => {
+            out.push('{');
+            write_expr(out, count);
+            out.push('{');
+            write_expr(out, value);
+            out.push_str("}}");
+        }
+        Expr::Call {
+            name,
+            is_system,
+            args,
+        } => {
+            if *is_system {
+                out.push('$');
+            }
+            out.push_str(name);
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(out, a);
+            }
+            out.push(')');
+        }
+    }
+}
+
+/// Renders a data type (without the trailing signal name).
+pub fn print_data_type(ty: &DataType) -> String {
+    let mut s = String::new();
+    match ty.kind {
+        NetKind::Logic => s.push_str("logic"),
+        NetKind::Wire => s.push_str("wire"),
+        NetKind::Reg => s.push_str("reg"),
+        NetKind::Bit => s.push_str("bit"),
+        NetKind::Integer => s.push_str("integer"),
+        NetKind::Named => s.push_str(ty.type_name.as_deref().unwrap_or("logic")),
+    }
+    if ty.signed {
+        s.push_str(" signed");
+    }
+    for dim in &ty.packed_dims {
+        let _ = write!(s, " [{}:{}]", print_expr(&dim.msb), print_expr(&dim.lsb));
+    }
+    s
+}
+
+/// Renders a port declaration as it would appear in an ANSI port list.
+pub fn print_port(port: &Port) -> String {
+    let mut s = format!("{} {} {}", port.direction, print_data_type(&port.ty), port.name);
+    for dim in &port.unpacked_dims {
+        let _ = write!(s, " [{}:{}]", print_expr(&dim.msb), print_expr(&dim.lsb));
+    }
+    s
+}
+
+/// Renders a module header (name, parameters and ports) without the body.
+///
+/// Useful for generating bind scaffolding that mirrors the DUT interface.
+pub fn print_module_header(module: &Module) -> String {
+    let mut s = format!("module {}", module.name);
+    if !module.params.is_empty() {
+        s.push_str(" #(\n");
+        for (i, p) in module.params.iter().enumerate() {
+            let prefix = if p.is_local { "localparam" } else { "parameter" };
+            let _ = write!(s, "  {prefix} {}", p.name);
+            if let Some(v) = &p.value {
+                let _ = write!(s, " = {}", print_expr(v));
+            }
+            if i + 1 < module.params.len() {
+                s.push(',');
+            }
+            s.push('\n');
+        }
+        s.push(')');
+    }
+    s.push_str(" (\n");
+    for (i, port) in module.ports.iter().enumerate() {
+        let _ = write!(s, "  {}", print_port(port));
+        if i + 1 < module.ports.len() {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str(");");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn expr_roundtrip_simple() {
+        let file = parse(
+            "module t (input logic a, b, output logic y);\n\
+             assign y = a && !b || (a ^ b);\nendmodule",
+        )
+        .unwrap();
+        let m = file.module("t").unwrap();
+        let assign = match &m.items[0] {
+            ModuleItem::ContinuousAssign(a) => a,
+            _ => panic!(),
+        };
+        let printed = print_expr(&assign.rhs);
+        assert!(printed.contains("&&"));
+        assert!(printed.contains("!b"));
+        // Re-parsing the printed expression must produce an equal tree.
+        let src2 = format!("module t2 (input logic a, b, output logic y);\nassign y = {printed};\nendmodule");
+        let file2 = parse(&src2).unwrap();
+        let m2 = file2.module("t2").unwrap();
+        let assign2 = match &m2.items[0] {
+            ModuleItem::ContinuousAssign(a) => a,
+            _ => panic!(),
+        };
+        assert_eq!(print_expr(&assign2.rhs), printed);
+    }
+
+    #[test]
+    fn print_member_and_select() {
+        let e = Expr::RangeSelect {
+            base: Box::new(Expr::Member {
+                base: Box::new(Expr::ident("req")),
+                member: "data".into(),
+            }),
+            msb: Box::new(Expr::number(7)),
+            lsb: Box::new(Expr::number(0)),
+        };
+        assert_eq!(print_expr(&e), "req.data[7:0]");
+    }
+
+    #[test]
+    fn print_call_and_macro() {
+        let e = Expr::Call {
+            name: "stable".into(),
+            is_system: true,
+            args: vec![Expr::Macro("PAYLOAD".into())],
+        };
+        assert_eq!(print_expr(&e), "$stable(`PAYLOAD)");
+    }
+
+    #[test]
+    fn print_module_header_has_ports() {
+        let file = parse(
+            "module lsu #(parameter W = 8) (input logic clk_i, output logic [W-1:0] q_o);\nendmodule",
+        )
+        .unwrap();
+        let header = print_module_header(file.module("lsu").unwrap());
+        assert!(header.contains("module lsu"));
+        assert!(header.contains("parameter W = 8"));
+        assert!(header.contains("input logic clk_i"));
+        assert!(header.contains("output logic [(W - 1):0] q_o"));
+    }
+
+    #[test]
+    fn print_data_type_named() {
+        let ty = DataType {
+            kind: NetKind::Named,
+            type_name: Some("riscv::xlen_t".into()),
+            signed: false,
+            packed_dims: vec![],
+        };
+        assert_eq!(print_data_type(&ty), "riscv::xlen_t");
+    }
+
+    #[test]
+    fn print_replicate() {
+        let e = Expr::Replicate {
+            count: Box::new(Expr::number(4)),
+            value: Box::new(Expr::ident("a")),
+        };
+        assert_eq!(print_expr(&e), "{4{a}}");
+    }
+}

@@ -1,0 +1,180 @@
+//! Source locations and spans.
+//!
+//! Every token and AST node produced by this crate carries a [`Span`] that
+//! points back into the original source text.  Spans are byte offsets, with
+//! helpers to recover 1-based line/column numbers for diagnostics.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into a source string.
+///
+/// # Examples
+///
+/// ```
+/// use svparse::span::Span;
+///
+/// let span = Span::new(4, 9);
+/// assert_eq!(span.len(), 5);
+/// assert!(!span.is_empty());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a new span from byte offsets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start`.
+    pub fn new(start: usize, end: usize) -> Self {
+        assert!(end >= start, "span end must not precede start");
+        Span { start, end }
+    }
+
+    /// A zero-length span at offset zero, used for synthesized nodes.
+    pub fn dummy() -> Self {
+        Span { start: 0, end: 0 }
+    }
+
+    /// Length of the span in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Returns `true` if the span covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Returns the smallest span covering both `self` and `other`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use svparse::span::Span;
+    /// let a = Span::new(2, 5);
+    /// let b = Span::new(8, 10);
+    /// assert_eq!(a.join(b), Span::new(2, 10));
+    /// ```
+    pub fn join(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Extracts the text covered by this span from `source`.
+    ///
+    /// Returns an empty string if the span is out of bounds.
+    pub fn slice<'a>(&self, source: &'a str) -> &'a str {
+        source.get(self.start..self.end).unwrap_or("")
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// A 1-based line/column position, derived from a [`Span`] and source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LineCol {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number (in bytes, not display width).
+    pub column: usize,
+}
+
+impl fmt::Display for LineCol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// Computes the 1-based line and column of a byte offset in `source`.
+///
+/// Offsets past the end of the text are clamped to the final position.
+///
+/// # Examples
+///
+/// ```
+/// use svparse::span::{line_col, LineCol};
+/// let src = "module m;\nendmodule\n";
+/// assert_eq!(line_col(src, 0), LineCol { line: 1, column: 1 });
+/// assert_eq!(line_col(src, 10), LineCol { line: 2, column: 1 });
+/// ```
+pub fn line_col(source: &str, offset: usize) -> LineCol {
+    let offset = offset.min(source.len());
+    let mut line = 1;
+    let mut col = 1;
+    for (i, ch) in source.char_indices() {
+        if i >= offset {
+            break;
+        }
+        if ch == '\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    LineCol { line, column: col }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_spans() {
+        let a = Span::new(3, 7);
+        let b = Span::new(5, 12);
+        assert_eq!(a.join(b), Span::new(3, 12));
+        assert_eq!(b.join(a), Span::new(3, 12));
+    }
+
+    #[test]
+    fn slice_in_bounds() {
+        let src = "hello world";
+        assert_eq!(Span::new(6, 11).slice(src), "world");
+    }
+
+    #[test]
+    fn slice_out_of_bounds_is_empty() {
+        let src = "abc";
+        assert_eq!(Span::new(2, 10).slice(src), "");
+    }
+
+    #[test]
+    fn line_col_basic() {
+        let src = "a\nbb\nccc";
+        assert_eq!(line_col(src, 0), LineCol { line: 1, column: 1 });
+        assert_eq!(line_col(src, 2), LineCol { line: 2, column: 1 });
+        assert_eq!(line_col(src, 3), LineCol { line: 2, column: 2 });
+        assert_eq!(line_col(src, 5), LineCol { line: 3, column: 1 });
+    }
+
+    #[test]
+    fn line_col_clamps() {
+        let src = "xyz";
+        assert_eq!(line_col(src, 100), LineCol { line: 1, column: 4 });
+    }
+
+    #[test]
+    #[should_panic]
+    fn reversed_span_panics() {
+        let _ = Span::new(5, 2);
+    }
+
+    #[test]
+    fn dummy_is_empty() {
+        assert!(Span::dummy().is_empty());
+        assert_eq!(Span::dummy().len(), 0);
+    }
+}

@@ -1,0 +1,493 @@
+//! Token definitions for the SystemVerilog subset lexer.
+
+use crate::span::Span;
+use std::fmt;
+
+/// Reserved words recognized by the subset parser.
+///
+/// Only keywords that can actually appear in the supported subset are listed;
+/// any other identifier is lexed as [`TokenKind::Ident`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Module,
+    Endmodule,
+    Package,
+    Endpackage,
+    Import,
+    Input,
+    Output,
+    Inout,
+    Wire,
+    Logic,
+    Reg,
+    Bit,
+    Integer,
+    Int,
+    Genvar,
+    Signed,
+    Unsigned,
+    Parameter,
+    Localparam,
+    Typedef,
+    Struct,
+    Enum,
+    Packed,
+    Assign,
+    Always,
+    AlwaysFf,
+    AlwaysComb,
+    AlwaysLatch,
+    Initial,
+    Begin,
+    End,
+    If,
+    Else,
+    Case,
+    Casez,
+    Casex,
+    Endcase,
+    Default,
+    For,
+    Posedge,
+    Negedge,
+    Or,
+    Function,
+    Endfunction,
+    Return,
+    Generate,
+    Endgenerate,
+    Unique,
+    Priority,
+    Automatic,
+    Void,
+    Const,
+}
+
+impl Keyword {
+    /// Returns the keyword for `text`, if it is one.
+    pub fn from_str(text: &str) -> Option<Keyword> {
+        use Keyword::*;
+        Some(match text {
+            "module" => Module,
+            "endmodule" => Endmodule,
+            "package" => Package,
+            "endpackage" => Endpackage,
+            "import" => Import,
+            "input" => Input,
+            "output" => Output,
+            "inout" => Inout,
+            "wire" => Wire,
+            "logic" => Logic,
+            "reg" => Reg,
+            "bit" => Bit,
+            "integer" => Integer,
+            "int" => Int,
+            "genvar" => Genvar,
+            "signed" => Signed,
+            "unsigned" => Unsigned,
+            "parameter" => Parameter,
+            "localparam" => Localparam,
+            "typedef" => Typedef,
+            "struct" => Struct,
+            "enum" => Enum,
+            "packed" => Packed,
+            "assign" => Assign,
+            "always" => Always,
+            "always_ff" => AlwaysFf,
+            "always_comb" => AlwaysComb,
+            "always_latch" => AlwaysLatch,
+            "initial" => Initial,
+            "begin" => Begin,
+            "end" => End,
+            "if" => If,
+            "else" => Else,
+            "case" => Case,
+            "casez" => Casez,
+            "casex" => Casex,
+            "endcase" => Endcase,
+            "default" => Default,
+            "for" => For,
+            "posedge" => Posedge,
+            "negedge" => Negedge,
+            "or" => Or,
+            "function" => Function,
+            "endfunction" => Endfunction,
+            "return" => Return,
+            "generate" => Generate,
+            "endgenerate" => Endgenerate,
+            "unique" => Unique,
+            "priority" => Priority,
+            "automatic" => Automatic,
+            "void" => Void,
+            "const" => Const,
+            _ => return None,
+        })
+    }
+
+    /// The canonical source spelling of the keyword.
+    pub fn as_str(&self) -> &'static str {
+        use Keyword::*;
+        match self {
+            Module => "module",
+            Endmodule => "endmodule",
+            Package => "package",
+            Endpackage => "endpackage",
+            Import => "import",
+            Input => "input",
+            Output => "output",
+            Inout => "inout",
+            Wire => "wire",
+            Logic => "logic",
+            Reg => "reg",
+            Bit => "bit",
+            Integer => "integer",
+            Int => "int",
+            Genvar => "genvar",
+            Signed => "signed",
+            Unsigned => "unsigned",
+            Parameter => "parameter",
+            Localparam => "localparam",
+            Typedef => "typedef",
+            Struct => "struct",
+            Enum => "enum",
+            Packed => "packed",
+            Assign => "assign",
+            Always => "always",
+            AlwaysFf => "always_ff",
+            AlwaysComb => "always_comb",
+            AlwaysLatch => "always_latch",
+            Initial => "initial",
+            Begin => "begin",
+            End => "end",
+            If => "if",
+            Else => "else",
+            Case => "case",
+            Casez => "casez",
+            Casex => "casex",
+            Endcase => "endcase",
+            Default => "default",
+            For => "for",
+            Posedge => "posedge",
+            Negedge => "negedge",
+            Or => "or",
+            Function => "function",
+            Endfunction => "endfunction",
+            Return => "return",
+            Generate => "generate",
+            Endgenerate => "endgenerate",
+            Unique => "unique",
+            Priority => "priority",
+            Automatic => "automatic",
+            Void => "void",
+            Const => "const",
+        }
+    }
+}
+
+impl fmt::Display for Keyword {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Punctuation and operator tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Punct {
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Semicolon,
+    Comma,
+    Colon,
+    ColonColon,
+    Dot,
+    Hash,
+    At,
+    Question,
+    Apostrophe,
+    // assignment
+    Eq,
+    LeArrow, // <= (non-blocking assign / less-equal, disambiguated by parser)
+    PlusEq,
+    MinusEq,
+    // unary / binary operators
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Bang,
+    Tilde,
+    Amp,
+    AmpAmp,
+    Pipe,
+    PipePipe,
+    Caret,
+    TildeCaret,
+    TildeAmp,
+    TildePipe,
+    EqEq,
+    BangEq,
+    EqEqEq,
+    BangEqEq,
+    Lt,
+    Gt,
+    GtEq,
+    Shl,
+    Shr,
+    AShr,
+    // SVA / misc
+    Implies,        // ->
+    OverlapImpl,    // |->
+    NonOverlapImpl, // |=>
+    PlusPlus,
+    MinusMinus,
+    DoubleStar,
+}
+
+impl Punct {
+    /// The canonical source spelling.
+    pub fn as_str(&self) -> &'static str {
+        use Punct::*;
+        match self {
+            LParen => "(",
+            RParen => ")",
+            LBracket => "[",
+            RBracket => "]",
+            LBrace => "{",
+            RBrace => "}",
+            Semicolon => ";",
+            Comma => ",",
+            Colon => ":",
+            ColonColon => "::",
+            Dot => ".",
+            Hash => "#",
+            At => "@",
+            Question => "?",
+            Apostrophe => "'",
+            Eq => "=",
+            LeArrow => "<=",
+            PlusEq => "+=",
+            MinusEq => "-=",
+            Plus => "+",
+            Minus => "-",
+            Star => "*",
+            Slash => "/",
+            Percent => "%",
+            Bang => "!",
+            Tilde => "~",
+            Amp => "&",
+            AmpAmp => "&&",
+            Pipe => "|",
+            PipePipe => "||",
+            Caret => "^",
+            TildeCaret => "~^",
+            TildeAmp => "~&",
+            TildePipe => "~|",
+            EqEq => "==",
+            BangEq => "!=",
+            EqEqEq => "===",
+            BangEqEq => "!==",
+            Lt => "<",
+            Gt => ">",
+            GtEq => ">=",
+            Shl => "<<",
+            Shr => ">>",
+            AShr => ">>>",
+            Implies => "->",
+            OverlapImpl => "|->",
+            NonOverlapImpl => "|=>",
+            PlusPlus => "++",
+            MinusMinus => "--",
+            DoubleStar => "**",
+        }
+    }
+}
+
+impl fmt::Display for Punct {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The payload of a lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier (including escaped identifiers with the leading `\`
+    /// stripped).
+    Ident(String),
+    /// A system task/function identifier such as `$stable`, without the `$`.
+    SystemIdent(String),
+    /// A compiler directive or macro usage such as `` `TRANS_ID `` (name
+    /// without the backtick).
+    Directive(String),
+    /// A reserved word.
+    Keyword(Keyword),
+    /// A numeric literal, kept in source form and decoded on demand.
+    Number(NumberLit),
+    /// A string literal, with quotes removed and escapes resolved.
+    Str(String),
+    /// Punctuation or an operator.
+    Punct(Punct),
+    /// End of input marker appended by the lexer.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "`{s}`"),
+            TokenKind::SystemIdent(s) => write!(f, "`${s}`"),
+            TokenKind::Directive(s) => write!(f, "``{s}`"),
+            TokenKind::Keyword(k) => write!(f, "`{k}`"),
+            TokenKind::Number(n) => write!(f, "number `{}`", n.text),
+            TokenKind::Str(s) => write!(f, "string {s:?}"),
+            TokenKind::Punct(p) => write!(f, "`{p}`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A numeric literal in source form together with its decoded value.
+///
+/// SystemVerilog literals may carry an explicit width and base
+/// (e.g. `8'hFF`), be plain decimal (`42`), or be the unbased fill literals
+/// `'0`, `'1`, `'x`, `'z`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NumberLit {
+    /// Original source text of the literal.
+    pub text: String,
+    /// Explicit width in bits, when one was written.
+    pub width: Option<u32>,
+    /// Decoded value.  `None` for literals containing `x`/`z` digits.
+    pub value: Option<u128>,
+    /// `true` for the unbased fill literals `'0`/`'1`/`'x`/`'z`.
+    pub is_unbased: bool,
+}
+
+impl NumberLit {
+    /// A decimal literal with a known value and no explicit width.
+    pub fn decimal(value: u128) -> Self {
+        NumberLit {
+            text: value.to_string(),
+            width: None,
+            value: Some(value),
+            is_unbased: false,
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token payload.
+    pub kind: TokenKind,
+    /// Where the token appears in the source.
+    pub span: Span,
+}
+
+impl Token {
+    /// Creates a token.
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+
+    /// Returns the identifier text if this token is an identifier.
+    pub fn as_ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if this token is the given keyword.
+    pub fn is_keyword(&self, kw: Keyword) -> bool {
+        matches!(&self.kind, TokenKind::Keyword(k) if *k == kw)
+    }
+
+    /// Returns `true` if this token is the given punctuation.
+    pub fn is_punct(&self, p: Punct) -> bool {
+        matches!(&self.kind, TokenKind::Punct(q) if *q == p)
+    }
+}
+
+/// The style of a source comment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommentStyle {
+    /// A `// ...` comment running to the end of the line.
+    Line,
+    /// A `/* ... */` comment.
+    Block,
+}
+
+/// A comment captured by the lexer as trivia.
+///
+/// AutoSVA annotations live inside comments, so comments are preserved with
+/// their spans rather than discarded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Comment body without the `//` or `/* */` delimiters.
+    pub text: String,
+    /// Span covering the whole comment including delimiters.
+    pub span: Span,
+    /// Line (1-based) on which the comment starts.
+    pub line: usize,
+    /// Whether this was a line or block comment.
+    pub style: CommentStyle,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_roundtrip() {
+        for kw in [
+            Keyword::Module,
+            Keyword::AlwaysFf,
+            Keyword::Endgenerate,
+            Keyword::Posedge,
+        ] {
+            assert_eq!(Keyword::from_str(kw.as_str()), Some(kw));
+        }
+        assert_eq!(Keyword::from_str("not_a_keyword"), None);
+    }
+
+    #[test]
+    fn punct_display() {
+        assert_eq!(Punct::NonOverlapImpl.to_string(), "|=>");
+        assert_eq!(Punct::AShr.to_string(), ">>>");
+    }
+
+    #[test]
+    fn token_helpers() {
+        let t = Token::new(TokenKind::Ident("clk_i".into()), Span::new(0, 5));
+        assert_eq!(t.as_ident(), Some("clk_i"));
+        assert!(!t.is_keyword(Keyword::Module));
+        let k = Token::new(TokenKind::Keyword(Keyword::Module), Span::new(0, 6));
+        assert!(k.is_keyword(Keyword::Module));
+        assert_eq!(k.as_ident(), None);
+    }
+
+    #[test]
+    fn number_decimal_constructor() {
+        let n = NumberLit::decimal(42);
+        assert_eq!(n.value, Some(42));
+        assert_eq!(n.text, "42");
+        assert!(!n.is_unbased);
+    }
+
+    #[test]
+    fn token_kind_display() {
+        assert_eq!(
+            TokenKind::Ident("foo".to_string()).to_string(),
+            "`foo`"
+        );
+        assert_eq!(TokenKind::Eof.to_string(), "end of input");
+    }
+}

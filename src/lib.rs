@@ -1,0 +1,14 @@
+//! Umbrella crate for the AutoSVA reproduction workspace.
+//!
+//! This crate re-exports the member crates so that the workspace-level
+//! examples and integration tests can refer to every subsystem through a
+//! single dependency.  Library users should depend on the individual crates
+//! ([`autosva`], [`svparse`], [`autosva_formal`], [`autosva_designs`])
+//! directly.
+
+pub use autosva;
+pub use autosva_designs;
+pub use autosva_formal;
+pub use svparse;
+
+pub use autosva_bench;

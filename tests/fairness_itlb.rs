@@ -1,0 +1,74 @@
+//! E7 — the DTLB-over-ITLB starvation counterexample.
+//!
+//! Before finding the ghost-response bug, the paper describes an interesting
+//! liveness counterexample in the MMU testbench: the page-table walker gives
+//! static priority to DTLB misses, so a stream of LSU translation requests
+//! can starve an ITLB miss forever.  The trace is unrealistic (one
+//! instruction cannot perform unboundedly many DTLB lookups), so the designer
+//! adds an assumption and the property set then proves.
+
+use autosva::sva::{Directive, PropertyBody, SvaProperty};
+use autosva::{generate_ft, AutosvaOptions, PropertyClass};
+use autosva_bench::default_check_options;
+use autosva_designs::{by_id, Variant, MMU_NO_STARVATION_ASSUMPTION};
+use autosva_formal::checker::verify;
+
+#[test]
+fn itlb_starves_without_the_designer_assumption() {
+    let case = by_id("A3").unwrap();
+    // Plain testbench, no designer assumptions.
+    let ft = generate_ft(case.source, &AutosvaOptions::default()).unwrap();
+    let report = verify(
+        case.source,
+        &ft,
+        &default_check_options(&case, Variant::Fixed),
+    )
+    .unwrap();
+    let starvation = report
+        .results
+        .iter()
+        .find(|r| r.name.contains("itlb_fill_hsk_or_drop"))
+        .expect("itlb handshake liveness property exists");
+    assert!(
+        starvation.status.is_violation(),
+        "expected the starvation CEX, got {}:\n{}",
+        starvation.status,
+        report.render()
+    );
+}
+
+#[test]
+fn adding_the_assumption_removes_the_starvation_cex() {
+    let case = by_id("A3").unwrap();
+    let mut ft = generate_ft(case.source, &AutosvaOptions::default()).unwrap();
+    ft.linked_properties.push(SvaProperty {
+        name: "no_dtlb_while_itlb_pending".to_string(),
+        directive: Directive::Assume,
+        class: PropertyClass::Safety,
+        body: PropertyBody::Invariant(
+            svparse::parse_expr(MMU_NO_STARVATION_ASSUMPTION).unwrap(),
+        ),
+        xprop_only: false,
+        transaction: "designer".to_string(),
+    });
+    let report = verify(
+        case.source,
+        &ft,
+        &default_check_options(&case, Variant::Fixed),
+    )
+    .unwrap();
+    let starvation = report
+        .results
+        .iter()
+        .find(|r| r.name.contains("itlb_fill_hsk_or_drop"))
+        .expect("itlb handshake liveness property exists");
+    assert_eq!(
+        format!("{}", starvation.status),
+        "proven",
+        "assumption should remove the CEX:\n{}",
+        report.render()
+    );
+    // And the full (fixed) MMU testbench then reaches a 100% proof rate.
+    assert_eq!(report.violations(), 0, "{}", report.render());
+    assert!((report.proof_rate() - 1.0).abs() < f64::EPSILON);
+}

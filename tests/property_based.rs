@@ -1,0 +1,115 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants of the reproduction: expression print/parse round trips,
+//! word-level arithmetic circuits against integer semantics, and annotation
+//! field splitting.
+
+use autosva::annotation::split_field;
+use autosva_formal::aig::Aig;
+use autosva_formal::words;
+use proptest::prelude::*;
+use svparse::ast::{BinaryOp, Expr};
+use svparse::pretty::print_expr;
+
+/// Strategy producing small random expressions over a fixed signal alphabet.
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        prop_oneof![Just("req_val"), Just("req_ack"), Just("data_q"), Just("cnt")]
+            .prop_map(Expr::ident),
+        (0u128..256).prop_map(Expr::number),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::binary(BinaryOp::LogicalAnd, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::binary(BinaryOp::BitOr, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::binary(BinaryOp::Add, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::binary(BinaryOp::Eq, a, b)),
+            inner
+                .clone()
+                .prop_map(|a| Expr::unary(svparse::ast::UnaryOp::LogicalNot, a)),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, t, e)| Expr::Ternary {
+                cond: Box::new(c),
+                then_expr: Box::new(t),
+                else_expr: Box::new(e),
+            }),
+        ]
+    })
+}
+
+proptest! {
+    /// Printing an expression and re-parsing it yields a tree that prints
+    /// identically (print is a normal form).
+    #[test]
+    fn expression_print_parse_roundtrip(expr in arb_expr()) {
+        let printed = print_expr(&expr);
+        let reparsed = svparse::parse_expr(&printed).expect("printed expression parses");
+        prop_assert_eq!(print_expr(&reparsed), printed);
+    }
+
+    /// The ripple-carry adder/subtractor circuits agree with wrapping integer
+    /// arithmetic for every constant input.
+    #[test]
+    fn word_arithmetic_matches_integers(a in 0u128..4096, b in 0u128..4096) {
+        let mut aig = Aig::new();
+        let wa = words::constant(a, 12);
+        let wb = words::constant(b, 12);
+        let sum = words::add(&mut aig, &wa, &wb);
+        let diff = words::sub(&mut aig, &wa, &wb);
+        prop_assert_eq!(words::as_constant(&sum), Some((a + b) & 0xFFF));
+        prop_assert_eq!(words::as_constant(&diff), Some(a.wrapping_sub(b) & 0xFFF));
+        let lt = words::ult(&mut aig, &wa, &wb);
+        prop_assert_eq!(lt == autosva_formal::aig::Lit::TRUE, a < b);
+    }
+
+    /// Splitting `<interface>_<suffix>` field names recovers the interface
+    /// prefix for every legal suffix.
+    #[test]
+    fn field_splitting_recovers_interface(prefix in "[a-z][a-z0-9_]{0,12}[a-z0-9]") {
+        for suffix in ["val", "ack", "transid", "transid_unique", "active", "stable", "data"] {
+            let field = format!("{prefix}_{suffix}");
+            if let Some((iface, parsed_suffix)) = split_field(&field) {
+                // The split must reconstruct the original field name.
+                prop_assert_eq!(format!("{iface}_{}", parsed_suffix.as_str()), field.clone());
+            } else {
+                prop_assert!(false, "field `{}` did not split", field);
+            }
+        }
+    }
+
+    /// The generated testbench is total for any combination of optional
+    /// attributes on a simple request/response pair: generation never panics
+    /// and always yields at least a cover and one liveness-or-fairness
+    /// property.
+    #[test]
+    fn generation_is_total_over_attribute_subsets(
+        with_ack in any::<bool>(),
+        with_transid in any::<bool>(),
+        with_data in any::<bool>(),
+        outgoing in any::<bool>(),
+    ) {
+        let mut annotations = String::from("/*AUTOSVA\n");
+        let relation = if outgoing { "-out>" } else { "-in>" };
+        annotations.push_str(&format!("txn: req {relation} res\n"));
+        annotations.push_str("req_val = req_v\n");
+        if with_ack {
+            annotations.push_str("req_ack = req_a\n");
+        }
+        if with_transid {
+            annotations.push_str("[1:0] req_transid = req_id\n[1:0] res_transid = res_id\n");
+        }
+        if with_data {
+            annotations.push_str("[3:0] req_data = req_d\n[3:0] res_data = res_d\n");
+        }
+        annotations.push_str("res_val = res_v\n*/\n");
+        let rtl = format!(
+            "{annotations}module m (\n  input logic clk_i,\n  input logic rst_ni,\n  input logic req_v,\n  output logic req_a,\n  input logic [1:0] req_id,\n  input logic [3:0] req_d,\n  output logic res_v,\n  output logic [1:0] res_id,\n  output logic [3:0] res_d\n);\nendmodule\n"
+        );
+        let ft = autosva::generate_ft(&rtl, &autosva::AutosvaOptions::default())
+            .expect("generation succeeds");
+        let stats = ft.stats();
+        prop_assert!(stats.covers >= 1);
+        prop_assert!(stats.properties >= 3);
+        if with_data {
+            prop_assert!(ft.all_properties().iter().any(|p| p.name.contains("data_integrity")));
+        }
+    }
+}

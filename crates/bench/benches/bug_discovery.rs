@@ -19,8 +19,12 @@ fn report_bug(id: &str, property_fragment: &str, label: &str) {
     let case = by_id(id).expect("case");
     let ft = build_testbench(&case);
     let start = Instant::now();
-    let report = verify(case.source, &ft, &default_check_options(&case, Variant::Buggy))
-        .expect("verification runs");
+    let report = verify(
+        case.source,
+        &ft,
+        &default_check_options(&case, Variant::Buggy),
+    )
+    .expect("verification runs");
     let elapsed = start.elapsed();
     let result = report
         .results
@@ -36,11 +40,7 @@ fn report_bug(id: &str, property_fragment: &str, label: &str) {
     let trace_len = result.status.trace().map(|t| t.len()).unwrap_or(0);
     println!(
         "{:<22} {:<38} found in {:>9.1?}  trace {:>2} cycles   ({})",
-        label,
-        result.name,
-        elapsed,
-        trace_len,
-        result.status
+        label, result.name, elapsed, trace_len, result.status
     );
 }
 
@@ -61,8 +61,12 @@ fn main() {
     let case = by_id("A3").expect("MMU");
     let plain = generate_ft(case.source, &AutosvaOptions::default()).expect("generate");
     let start = Instant::now();
-    let report = verify(case.source, &plain, &default_check_options(&case, Variant::Fixed))
-        .expect("verification runs");
+    let report = verify(
+        case.source,
+        &plain,
+        &default_check_options(&case, Variant::Fixed),
+    )
+    .expect("verification runs");
     let starvation = report
         .results
         .iter()

@@ -43,7 +43,10 @@ fn main() {
                 )
             }
         } else if fixed.fully_proven() {
-            format!("100% liveness/safety proof ({} properties)", fixed.properties)
+            format!(
+                "100% liveness/safety proof ({} properties)",
+                fixed.properties
+            )
         } else {
             format!(
                 "{:.0}% proven, {} CEX",
@@ -51,7 +54,10 @@ fn main() {
                 fixed.report.violations()
             )
         };
-        println!("{:<4} {:<28} {:<38} | {}", case.id, case.title, case.paper_result, measured);
+        println!(
+            "{:<4} {:<28} {:<38} | {}",
+            case.id, case.title, case.paper_result, measured
+        );
     }
     println!("{:-<120}", "");
     println!("total wall-clock time: {:.1?}", start.elapsed());

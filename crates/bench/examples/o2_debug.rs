@@ -1,0 +1,9 @@
+//! Debug harness: print the O2 verification report with per-property runtimes.
+use autosva_bench::run_case;
+use autosva_designs::{by_id, Variant};
+
+fn main() {
+    let case = by_id("O2").unwrap();
+    let run = run_case(&case, Variant::Fixed);
+    println!("{}", run.report.render());
+}

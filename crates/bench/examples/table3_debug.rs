@@ -21,7 +21,12 @@ fn main() {
         for &variant in variants {
             let t0 = std::time::Instant::now();
             let run = run_case(&case, variant);
-            println!("==== {} ({:?}) in {:.1?} ====", case.id, variant, t0.elapsed());
+            println!(
+                "==== {} ({:?}) in {:.1?} ====",
+                case.id,
+                variant,
+                t0.elapsed()
+            );
             println!("{}", run.report.render());
             println!("{}", run.table_row());
             if filter.is_some() {

@@ -120,7 +120,11 @@ impl CaseRun {
                 .first_violation()
                 .and_then(|r| r.status.trace().map(|t| t.len()))
                 .unwrap_or(0);
-            format!("bug found ({} CEX, shortest {} cycles)", self.report.violations(), cex)
+            format!(
+                "bug found ({} CEX, shortest {} cycles)",
+                self.report.violations(),
+                cex
+            )
         } else if self.fully_proven() {
             "100% properties proven".to_string()
         } else {

@@ -70,6 +70,7 @@ impl AttributeSuffix {
     }
 
     /// Parses a suffix from its source spelling.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_str(s: &str) -> Option<Self> {
         Some(match s {
             "val" => AttributeSuffix::Val,
@@ -315,8 +316,10 @@ pub fn split_field(name: &str) -> Option<(String, AttributeSuffix)> {
 /// [`AutosvaError::NoAnnotations`] when no transaction declaration is found.
 pub fn parse_annotations(comments: &[Comment], module: &Module) -> Result<AnnotationBlock> {
     let lines = annotation_lines(comments);
-    let mut block = AnnotationBlock::default();
-    block.annotation_loc = lines.len();
+    let mut block = AnnotationBlock {
+        annotation_loc: lines.len(),
+        ..AnnotationBlock::default()
+    };
 
     for (line_no, text) in &lines {
         parse_annotation_line(text, *line_no, &mut block)?;
@@ -436,10 +439,10 @@ fn parse_annotation_line(text: &str, line: usize, block: &mut AnnotationBlock) -
             .next_back()
             .ok_or_else(|| annotation_err("width must be of the form [msb:lsb]", line))?;
         let (msb_txt, lsb_txt) = (&inside[..split_at], &inside[split_at + 1..]);
-        let msb = parse_expr(msb_txt)
-            .map_err(|e| annotation_err(format!("bad width msb: {e}"), line))?;
-        let lsb = parse_expr(lsb_txt)
-            .map_err(|e| annotation_err(format!("bad width lsb: {e}"), line))?;
+        let msb =
+            parse_expr(msb_txt).map_err(|e| annotation_err(format!("bad width msb: {e}"), line))?;
+        let lsb =
+            parse_expr(lsb_txt).map_err(|e| annotation_err(format!("bad width lsb: {e}"), line))?;
         (Some(WidthSpec { msb, lsb }), stripped[close + 1..].trim())
     } else {
         (None, text)

@@ -50,6 +50,30 @@ impl fmt::Display for AutosvaError {
     }
 }
 
+impl AutosvaError {
+    /// Formats the error against its originating `source` text, upgrading
+    /// byte offsets to 1-based line/column positions where possible.
+    ///
+    /// [`fmt::Display`] must stay self-contained (the source text is not
+    /// stored in the error), so parse errors display their byte span there;
+    /// use this method when the source is at hand to get `line:column`
+    /// diagnostics instead.
+    pub fn render(&self, source: &str) -> String {
+        match self {
+            AutosvaError::Parse(e) => format!("failed to parse RTL source: {}", e.render(source)),
+            other => other.to_string(),
+        }
+    }
+
+    /// The 1-based source line the error points at, when one is known.
+    pub fn line(&self) -> Option<usize> {
+        match self {
+            AutosvaError::Annotation { line, .. } => *line,
+            _ => None,
+        }
+    }
+}
+
 impl Error for AutosvaError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
@@ -84,10 +108,33 @@ mod tests {
             message: "transid on one side only".into(),
         };
         assert!(e.to_string().contains("lsu_load"));
-        assert!(AutosvaError::NoAnnotations.to_string().contains("annotations"));
+        assert!(AutosvaError::NoAnnotations
+            .to_string()
+            .contains("annotations"));
         assert!(AutosvaError::ModuleNotFound("mmu".into())
             .to_string()
             .contains("mmu"));
+    }
+
+    #[test]
+    fn render_upgrades_parse_errors_to_line_column() {
+        let src = "module m (\ninput logic a$\n);\nendmodule";
+        let pe = svparse::parse(src).unwrap_err();
+        let ae: AutosvaError = pe.into();
+        let rendered = ae.render(src);
+        // The rendered form points at line 2; plain Display only has bytes.
+        assert!(rendered.contains("2:"), "rendered: {rendered}");
+        assert!(ae.to_string().contains("bytes"));
+    }
+
+    #[test]
+    fn line_accessor() {
+        let e = AutosvaError::Annotation {
+            message: "bad".into(),
+            line: Some(7),
+        };
+        assert_eq!(e.line(), Some(7));
+        assert_eq!(AutosvaError::NoAnnotations.line(), None);
     }
 
     #[test]

@@ -329,7 +329,11 @@ endmodule
 
     #[test]
     fn tool_files_for_each_backend() {
-        for tool in [FormalTool::JasperGold, FormalTool::SymbiYosys, FormalTool::Builtin] {
+        for tool in [
+            FormalTool::JasperGold,
+            FormalTool::SymbiYosys,
+            FormalTool::Builtin,
+        ] {
             let options = AutosvaOptions {
                 tool,
                 rtl_files: vec!["rtl/mmu.sv".to_string()],

@@ -94,7 +94,10 @@ impl FtModel {
 
     /// All generated properties in transaction order.
     pub fn properties(&self) -> Vec<&SvaProperty> {
-        self.models.iter().flat_map(|m| m.properties.iter()).collect()
+        self.models
+            .iter()
+            .flat_map(|m| m.properties.iter())
+            .collect()
     }
 
     /// Number of unique properties (by full name).
@@ -208,7 +211,13 @@ pub fn generate_for_transaction(txn: &Transaction, opts: &PropgenOptions) -> Tra
         // `set`: a tracked request handshake this cycle.
         let mut set_expr = Expr::ident(p_hsk_name.clone());
         if tracks_id {
-            let req_id = txn.request.transid.as_ref().expect("tracks_id").expr.clone();
+            let req_id = txn
+                .request
+                .transid
+                .as_ref()
+                .expect("tracks_id")
+                .expr
+                .clone();
             set_expr = and(set_expr, eq(req_id, Expr::ident(symb_name.clone())));
         }
         aux.push(AuxSignal::wire(set_name.clone(), set_expr));
@@ -216,7 +225,13 @@ pub fn generate_for_transaction(txn: &Transaction, opts: &PropgenOptions) -> Tra
         // `response`: a tracked response handshake this cycle.
         let mut resp_expr = Expr::ident(q_hsk_name.clone());
         if tracks_id {
-            let res_id = txn.response.transid.as_ref().expect("tracks_id").expr.clone();
+            let res_id = txn
+                .response
+                .transid
+                .as_ref()
+                .expect("tracks_id")
+                .expr
+                .clone();
             resp_expr = and(resp_expr, eq(res_id, Expr::ident(symb_name.clone())));
         }
         aux.push(AuxSignal::wire(response_name.clone(), resp_expr));
@@ -404,7 +419,13 @@ pub fn generate_for_transaction(txn: &Transaction, opts: &PropgenOptions) -> Tra
     if has_response && txn.checks_data() {
         let directive = forward_directive(txn.dir);
         let req_data = txn.request.data.as_ref().expect("checks_data").expr.clone();
-        let res_data = txn.response.data.as_ref().expect("checks_data").expr.clone();
+        let res_data = txn
+            .response
+            .data
+            .as_ref()
+            .expect("checks_data")
+            .expr
+            .clone();
         // If the request and response handshakes coincide (zero-latency
         // response) the data is compared directly; otherwise against the
         // sampling register.
@@ -455,8 +476,11 @@ pub fn generate_for_transaction(txn: &Transaction, opts: &PropgenOptions) -> Tra
     if opts.xprop {
         for (side, suffix) in [(&txn.request, "request"), (&txn.response, "response")] {
             if let Some(val) = &side.val {
-                let payload: Vec<Expr> =
-                    side.payload_signals().iter().map(|s| s.expr.clone()).collect();
+                let payload: Vec<Expr> = side
+                    .payload_signals()
+                    .iter()
+                    .map(|s| s.expr.clone())
+                    .collect();
                 if payload.is_empty() {
                     continue;
                 }
@@ -766,11 +790,11 @@ endmodule
         // No response `val`: no counters, but the handshake liveness and the
         // cover point still exist.
         assert!(property(&ft, "t_request_happens").class == PropertyClass::Cover);
+        assert!(ft.properties().iter().any(|p| p.name == "t_hsk_or_drop"));
         assert!(ft
             .properties()
             .iter()
-            .any(|p| p.name == "t_hsk_or_drop"));
-        assert!(ft.properties().iter().all(|p| p.name != "t_eventual_response"));
+            .all(|p| p.name != "t_eventual_response"));
         assert!(ft.aux_signals().iter().all(|a| a.name != "t_sampled"));
     }
 

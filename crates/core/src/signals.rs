@@ -340,7 +340,7 @@ mod tests {
 
     #[test]
     fn default_counter_width_is_reasonable() {
-        assert!(DEFAULT_COUNTER_WIDTH >= 2);
-        assert!(DEFAULT_COUNTER_WIDTH <= 16);
+        const { assert!(DEFAULT_COUNTER_WIDTH >= 2) };
+        const { assert!(DEFAULT_COUNTER_WIDTH <= 16) };
     }
 }

@@ -250,7 +250,10 @@ mod tests {
                 antecedent: Expr::binary(
                     BinaryOp::LogicalAnd,
                     Expr::ident("lsu_req_val"),
-                    Expr::unary(svparse::ast::UnaryOp::LogicalNot, Expr::ident("lsu_req_ack")),
+                    Expr::unary(
+                        svparse::ast::UnaryOp::LogicalNot,
+                        Expr::ident("lsu_req_ack"),
+                    ),
                 ),
                 consequent: Consequent::Stable(Expr::ident("lsu_req_stable")),
                 non_overlap: true,

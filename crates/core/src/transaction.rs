@@ -402,7 +402,11 @@ endmodule
     fn payload_signals_collects_defined_attributes() {
         let txns = transactions(LSU, "lsu").unwrap();
         let p = &txns[0].request;
-        let names: Vec<&str> = p.payload_signals().iter().map(|s| s.name.as_str()).collect();
+        let names: Vec<&str> = p
+            .payload_signals()
+            .iter()
+            .map(|s| s.name.as_str())
+            .collect();
         assert!(names.contains(&"lsu_req_ack"));
         assert!(names.contains(&"lsu_req_transid"));
         assert!(names.contains(&"lsu_req_stable"));

@@ -1,0 +1,71 @@
+// A5 — simplified Ariane write-back L1 instruction cache controller.
+//
+// Every fetch misses in this scaled-down model: the controller forwards the
+// request to memory (the outgoing `icache_refill` transaction) and returns
+// the fill to the front end one round-trip later, tagged with the fetch ID.
+//
+// `BUGGY = 1` reproduces the known Ariane bug (issue #474) the paper's
+// testbench hits: a flush arriving while the fetch is in flight drops the
+// transaction — the refill is ignored and the fetch response never appears,
+// violating the eventual-response liveness property.  With `BUGGY = 0` the
+// in-flight fetch survives the flush and everything proves.
+/*AUTOSVA
+icache_fetch: fetch_req -in> fetch_res
+icache_refill: mem_req -out> mem_res
+*/
+module icache #(
+  parameter BUGGY = 1
+) (
+  input  logic       clk_i,
+  input  logic       rst_ni,
+  // Front-end fetch interface (icache_fetch transaction).
+  input  logic       fetch_req_val,
+  output logic       fetch_req_ack,
+  input  logic [1:0] fetch_req_transid,
+  input  logic       flush_i,
+  output logic       fetch_res_val,
+  output logic [1:0] fetch_res_transid,
+  // Memory refill interface (icache_refill transaction).
+  output logic       mem_req_val,
+  input  logic       mem_req_ack,
+  input  logic       mem_res_val
+);
+
+  logic       busy_q;
+  logic       sent_q;
+  logic [1:0] id_q;
+
+  wire hsk  = fetch_req_val && fetch_req_ack;
+  // The bug: a flush kills the in-flight fetch.
+  wire kill = BUGGY == 1 && flush_i && busy_q;
+  // The refill may arrive in the same cycle the memory request is granted.
+  wire got  = mem_res_val && (sent_q || (mem_req_val && mem_req_ack));
+
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) begin
+      busy_q <= 1'b0;
+      sent_q <= 1'b0;
+      id_q   <= 2'b0;
+    end else if (kill) begin
+      busy_q <= 1'b0;
+      sent_q <= 1'b0;
+    end else begin
+      if (hsk) begin
+        busy_q <= 1'b1;
+        sent_q <= 1'b0;
+        id_q   <= fetch_req_transid;
+      end else if (busy_q && got) begin
+        busy_q <= 1'b0;
+        sent_q <= 1'b0;
+      end else if (busy_q && mem_req_val && mem_req_ack) begin
+        sent_q <= 1'b1;
+      end
+    end
+  end
+
+  assign fetch_req_ack     = !busy_q;
+  assign mem_req_val       = busy_q && !sent_q;
+  assign fetch_res_val     = busy_q && got && !kill;
+  assign fetch_res_transid = id_q;
+
+endmodule

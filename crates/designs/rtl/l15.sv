@@ -1,0 +1,120 @@
+// O2 — OpenPiton private L1.5 cache miss path.
+//
+// A miss request from the core is staged through an embedded (fixed)
+// one-entry NoC buffer, issued to the NoC, and returned to the core when
+// the NoC delivers a fill return.  The return-message *type* is
+// intentionally under-constrained — exactly the situation the paper
+// describes for this module ("NoC Buffer proof, other CEXs"): the NoC side
+// and the response-had-a-request safety property prove, while the
+// miss-to-fill liveness properties show counterexamples in which the
+// environment keeps answering with a non-fill message type.
+/*AUTOSVA
+l15_miss: l15_req -in> l15_ret
+l15_noc: noc_req -out> noc_res
+*/
+module l15 (
+  input  logic       clk_i,
+  input  logic       rst_ni,
+  // Core miss interface (l15_miss transaction).
+  input  logic       l15_req_val,
+  output logic       l15_req_ack,
+  input  logic [0:0] l15_req_transid,
+  output logic       l15_ret_val,
+  output logic [0:0] l15_ret_transid,
+  // NoC interface (l15_noc transaction).
+  output logic       noc_req_val,
+  input  logic       noc_req_ack,
+  output logic [0:0] noc_req_transid,
+  input  logic       noc_res_val,
+  input  logic [0:0] noc_res_transid,
+  input  logic [0:0] noc_res_rtntype_i
+);
+
+  logic       busy_q;
+  logic       pushed_q;
+  logic [0:0] id_q;
+  logic       stage_rdy;
+
+  wire hsk = l15_req_val && l15_req_ack;
+  // Only a fill return (type 01) completes the miss; other return types are
+  // dropped, and nothing forces the environment to ever send a fill.
+  wire fill = noc_res_val && noc_res_rtntype_i == 1'b1;
+  // The accepted miss is handed to the staging buffer one cycle later,
+  // which keeps the acknowledge path free of the buffer's ready signal.
+  wire stage_push = busy_q && !pushed_q;
+
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) begin
+      busy_q   <= 1'b0;
+      pushed_q <= 1'b0;
+      id_q     <= 1'b0;
+    end else begin
+      if (hsk) begin
+        busy_q   <= 1'b1;
+        pushed_q <= 1'b0;
+        id_q     <= l15_req_transid;
+      end else begin
+        if (stage_push && stage_rdy) begin
+          pushed_q <= 1'b1;
+        end
+        if (busy_q && fill) begin
+          busy_q <= 1'b0;
+        end
+      end
+    end
+  end
+
+  // The embedded (fixed) NoC buffer stages the outgoing miss.
+  noc_stage u_noc_stage (
+    .clk_i      (clk_i),
+    .rst_ni     (rst_ni),
+    .push_val_i (stage_push),
+    .push_id_i  (id_q),
+    .push_rdy_o (stage_rdy),
+    .noc_val_o  (noc_req_val),
+    .noc_id_o   (noc_req_transid),
+    .noc_gnt_i  (noc_req_ack)
+  );
+
+  assign l15_req_ack     = !busy_q;
+  assign l15_ret_val     = busy_q && fill;
+  assign l15_ret_transid = id_q;
+
+endmodule
+
+// One-entry skid buffer between the miss path and the NoC port — the
+// "NoC buffer" embedded in the L1.5, carrying the paper's fix (no push is
+// accepted while an entry is pending).
+module noc_stage (
+  input  logic       clk_i,
+  input  logic       rst_ni,
+  input  logic       push_val_i,
+  input  logic [0:0] push_id_i,
+  output logic       push_rdy_o,
+  output logic       noc_val_o,
+  output logic [0:0] noc_id_o,
+  input  logic       noc_gnt_i
+);
+
+  logic       vld_q;
+  logic [0:0] id_q;
+
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) begin
+      vld_q <= 1'b0;
+      id_q  <= 1'b0;
+    end else begin
+      if (push_val_i && push_rdy_o) begin
+        vld_q <= 1'b1;
+        id_q  <= push_id_i;
+      end else if (vld_q && noc_gnt_i) begin
+        vld_q <= 1'b0;
+      end
+    end
+  end
+
+  assign push_rdy_o = !vld_q;
+  assign noc_val_o  = vld_q;
+  assign noc_id_o   = id_q;
+
+endmodule

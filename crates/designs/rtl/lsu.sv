@@ -1,0 +1,59 @@
+// A4 — simplified Ariane load-store unit (LSU) load path.
+//
+// The annotation block mirrors Fig. 3 of the paper, adapted to the flat
+// signal names of this simplified model (the original indexes struct fields
+// of `fu_data_i`).  A tagged load is accepted when the unit is idle and the
+// result returns one cycle later carrying the same transaction ID.
+//
+// `BUGGY = 1` reproduces the known Ariane bug (issue #538) the paper's LSU
+// testbench hits: an exception raised while the load is in flight kills the
+// transaction, so the response never appears and the eventual-response
+// liveness property produces a counterexample.  With `BUGGY = 0` the
+// in-flight load always completes and the full property set proves.
+/*AUTOSVA
+lsu_load: lsu_req -in> lsu_res
+lsu_req_val = lsu_valid_i
+lsu_req_rdy = lsu_ready_o
+[1:0] lsu_req_transid = lsu_trans_id_i
+[1:0] lsu_req_stable = lsu_trans_id_i
+lsu_req_transid_unique = 1'b1
+*/
+module lsu #(
+  parameter BUGGY = 1
+) (
+  input  logic       clk_i,
+  input  logic       rst_ni,
+  input  logic       lsu_valid_i,
+  output logic       lsu_ready_o,
+  input  logic [1:0] lsu_trans_id_i,
+  input  logic       exception_i,
+  output logic       lsu_res_val,
+  output logic [1:0] lsu_res_transid
+);
+
+  logic       busy_q;
+  logic [1:0] id_q;
+
+  wire hsk = lsu_valid_i && lsu_ready_o;
+  // The bug: a later exception flushes the in-flight load.
+  wire kill = BUGGY == 1 && exception_i;
+
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) begin
+      busy_q <= 1'b0;
+      id_q   <= 2'b0;
+    end else begin
+      if (hsk) begin
+        busy_q <= 1'b1;
+        id_q   <= lsu_trans_id_i;
+      end else begin
+        busy_q <= 1'b0;
+      end
+    end
+  end
+
+  assign lsu_ready_o     = !busy_q;
+  assign lsu_res_val     = busy_q && !kill;
+  assign lsu_res_transid = id_q;
+
+endmodule

@@ -1,0 +1,87 @@
+// A3 — simplified Ariane memory-management unit (MMU).
+//
+// The MMU arbitrates the page-table walker between DTLB misses (translation
+// requests from the LSU) and ITLB misses (instruction fetches), giving the
+// DTLB static priority exactly like the original design.  Two transactions
+// are annotated: the LSU translation request/response pair and the ITLB
+// fill.  A walk takes one cycle and echoes the virtual address as the
+// physical one (identity translation), which the data-integrity property
+// checks.
+//
+// `BUGGY = 1` reproduces Bug1 of the paper: a misaligned LSU access makes
+// the MMU raise the LSU response valid without any request in flight — the
+// "ghost response" found as a violation of the response-had-a-request
+// safety property with a short trace.
+//
+// The DTLB static priority also yields the paper's DTLB-over-ITLB
+// starvation counterexample: without the designer assumption
+// `!(lsu_req_i && itlb_access_i && itlb_miss_i)` a stream of LSU requests
+// keeps the ITLB miss waiting forever (see `MMU_NO_STARVATION_ASSUMPTION`).
+/*AUTOSVA
+mmu_lsu: lsu -in> lsu_rsp
+lsu_val = lsu_req_i
+[1:0] lsu_data = lsu_vaddr_i
+[1:0] lsu_rsp_data = lsu_paddr_o
+lsu_active = mmu_busy_o
+itlb_fill: itlb -in> itlb_rsp
+itlb_val = itlb_access_i && itlb_miss_i
+*/
+module mmu #(
+  parameter BUGGY = 1
+) (
+  input  logic       clk_i,
+  input  logic       rst_ni,
+  // LSU translation interface (mmu_lsu transaction).
+  input  logic       lsu_req_i,
+  input  logic       lsu_misaligned_i,
+  input  logic [1:0] lsu_vaddr_i,
+  output logic       lsu_ack,
+  output logic       lsu_rsp_val,
+  output logic [1:0] lsu_paddr_o,
+  // ITLB fill interface (itlb_fill transaction).
+  input  logic       itlb_access_i,
+  input  logic       itlb_miss_i,
+  output logic       itlb_ack,
+  output logic       itlb_rsp_val,
+  // Walker status.
+  output logic       mmu_busy_o
+);
+
+  logic       busy_q;
+  logic       srv_itlb_q;
+  logic [1:0] vaddr_q;
+
+  wire itlb_req = itlb_access_i && itlb_miss_i;
+  // Static priority: the DTLB (LSU) always wins arbitration.
+  wire dtlb_gnt = !busy_q && lsu_req_i;
+  wire itlb_gnt = !busy_q && !lsu_req_i && itlb_req;
+
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) begin
+      busy_q     <= 1'b0;
+      srv_itlb_q <= 1'b0;
+      vaddr_q    <= 2'b0;
+    end else begin
+      if (dtlb_gnt) begin
+        busy_q     <= 1'b1;
+        srv_itlb_q <= 1'b0;
+        vaddr_q    <= lsu_vaddr_i;
+      end else if (itlb_gnt) begin
+        busy_q     <= 1'b1;
+        srv_itlb_q <= 1'b1;
+      end else begin
+        busy_q <= 1'b0;
+      end
+    end
+  end
+
+  assign lsu_ack      = dtlb_gnt;
+  assign itlb_ack     = itlb_gnt;
+  assign mmu_busy_o   = busy_q && !srv_itlb_q;
+  // Bug1 (ghost response): a misaligned access answers the LSU immediately,
+  // even when no translation request was ever accepted.
+  assign lsu_rsp_val  = (busy_q && !srv_itlb_q) || (BUGGY == 1 && lsu_misaligned_i);
+  assign lsu_paddr_o  = vaddr_q;
+  assign itlb_rsp_val = busy_q && srv_itlb_q;
+
+endmodule

@@ -1,0 +1,75 @@
+// O1 — OpenPiton memory-engine NoC buffer.
+//
+// The paper highlights this module: a complete formal testbench generated
+// from just three annotation lines (the transaction relation plus the two
+// MSHR-ID mappings; the val/ack attributes are picked up implicitly from
+// the port names).  The buffer is a two-entry FIFO carrying the MSHR ID of
+// each request from the push side to the NoC side.
+//
+// `BUGGY = 1` reproduces Bug2: the buffer asserts ready even when full, so
+// a third in-flight request silently overflows and is lost — its response
+// never appears and the eventual-response liveness property yields the
+// deadlock counterexample.  `BUGGY = 0` applies the paper's fix (ready only
+// when not full) and the full property set proves.
+/*AUTOSVA
+noc_txn: noc1buffer_req -in> noc1buffer_res
+[1:0] noc1buffer_req_transid = noc1buffer_req_mshrid
+[1:0] noc1buffer_res_transid = noc1buffer_res_mshrid
+*/
+module noc_buffer #(
+  parameter BUGGY = 1
+) (
+  input  logic       clk_i,
+  input  logic       rst_ni,
+  input  logic       noc1buffer_req_val,
+  output logic       noc1buffer_req_ack,
+  input  logic [1:0] noc1buffer_req_mshrid,
+  output logic       noc1buffer_res_val,
+  input  logic       noc1buffer_res_ack,
+  output logic [1:0] noc1buffer_res_mshrid
+);
+
+  logic [1:0] mem0_q;
+  logic [1:0] mem1_q;
+  logic [1:0] cnt_q;
+
+  // The bug: ready is unconditional, so a push into a full buffer is lost.
+  assign noc1buffer_req_ack = BUGGY == 1 ? 1'b1 : cnt_q < 2'd2;
+
+  wire push = noc1buffer_req_val && noc1buffer_req_ack;
+  wire pop  = noc1buffer_res_val && noc1buffer_res_ack;
+
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) begin
+      mem0_q <= 2'b0;
+      mem1_q <= 2'b0;
+      cnt_q  <= 2'b0;
+    end else begin
+      if (push && pop) begin
+        if (cnt_q == 2'd1) begin
+          mem0_q <= noc1buffer_req_mshrid;
+        end else if (cnt_q == 2'd2) begin
+          mem0_q <= mem1_q;
+          mem1_q <= noc1buffer_req_mshrid;
+        end
+      end else if (push) begin
+        if (cnt_q == 2'd0) begin
+          mem0_q <= noc1buffer_req_mshrid;
+        end else if (cnt_q == 2'd1) begin
+          mem1_q <= noc1buffer_req_mshrid;
+        end
+        // A push at cnt_q == 2 overflows: the entry is dropped (the bug).
+        if (cnt_q != 2'd2) begin
+          cnt_q <= cnt_q + 2'd1;
+        end
+      end else if (pop) begin
+        mem0_q <= mem1_q;
+        cnt_q  <= cnt_q - 2'd1;
+      end
+    end
+  end
+
+  assign noc1buffer_res_val    = cnt_q != 2'd0;
+  assign noc1buffer_res_mshrid = mem0_q;
+
+endmodule

@@ -1,0 +1,73 @@
+// A1 — simplified Ariane page-table walker (PTW).
+//
+// Mirrors Fig. 7 of the paper: an incoming transaction from the DTLB (a miss
+// triggers a walk that ends in a TLB update) and an outgoing transaction to
+// the data cache (the walker fetches PTEs from memory).  The walk is a
+// single memory round-trip; the "translation" is modelled as echoing the
+// requested VPN back as the PTE payload, which is what the data-integrity
+// property checks end to end.
+//
+// The paper reports a 100% liveness/safety proof for this module, so this
+// model carries no bug parameter.
+/*AUTOSVA
+dtlb_ptw: dtlb -in> ptw_update
+dtlb_active = ptw_active_o
+dtlb_val = dtlb_access_i && dtlb_miss_i
+dtlb_ack = !ptw_active_o
+[1:0] dtlb_data = dtlb_vpn_i
+ptw_update_val = ptw_update_valid_o
+[1:0] ptw_update_data = ptw_pte_o
+ptw_update_active = ptw_active_o
+ptw_dcache: ptw_req -out> dcache_res
+*/
+module ptw (
+  input  logic       clk_i,
+  input  logic       rst_ni,
+  // DTLB miss interface (request side of dtlb_ptw).
+  input  logic       dtlb_access_i,
+  input  logic       dtlb_miss_i,
+  input  logic [1:0] dtlb_vpn_i,
+  // Walk-result interface (response side of dtlb_ptw).
+  output logic       ptw_active_o,
+  output logic       ptw_update_valid_o,
+  output logic [1:0] ptw_pte_o,
+  // PTE fetch port towards the data cache (ptw_dcache transaction).
+  output logic       ptw_req_val,
+  input  logic       ptw_req_ack,
+  input  logic       dcache_res_val
+);
+
+  logic       active_q;
+  logic       sent_q;
+  logic [1:0] vpn_q;
+
+  wire dtlb_req = dtlb_access_i && dtlb_miss_i;
+  wire dtlb_hsk = dtlb_req && !active_q;
+  // The PTE response may arrive in the same cycle the request is granted.
+  wire mem_got = dcache_res_val && (sent_q || (ptw_req_val && ptw_req_ack));
+
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) begin
+      active_q <= 1'b0;
+      sent_q   <= 1'b0;
+      vpn_q    <= 2'b0;
+    end else begin
+      if (dtlb_hsk) begin
+        active_q <= 1'b1;
+        sent_q   <= 1'b0;
+        vpn_q    <= dtlb_vpn_i;
+      end else if (active_q && mem_got) begin
+        active_q <= 1'b0;
+        sent_q   <= 1'b0;
+      end else if (active_q && ptw_req_val && ptw_req_ack) begin
+        sent_q <= 1'b1;
+      end
+    end
+  end
+
+  assign ptw_active_o       = active_q;
+  assign ptw_req_val        = active_q && !sent_q;
+  assign ptw_update_valid_o = active_q && mem_got;
+  assign ptw_pte_o          = vpn_q;
+
+endmodule

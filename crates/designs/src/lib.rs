@@ -240,9 +240,18 @@ mod tests {
         assert_eq!(cases.len(), 7);
         let ids: Vec<&str> = cases.iter().map(|c| c.id).collect();
         assert_eq!(ids, vec!["A1", "A2", "A3", "A4", "A5", "O1", "O2"]);
-        assert_eq!(cases.iter().filter(|c| c.project == Project::Ariane).count(), 5);
         assert_eq!(
-            cases.iter().filter(|c| c.project == Project::OpenPiton).count(),
+            cases
+                .iter()
+                .filter(|c| c.project == Project::Ariane)
+                .count(),
+            5
+        );
+        assert_eq!(
+            cases
+                .iter()
+                .filter(|c| c.project == Project::OpenPiton)
+                .count(),
             2
         );
     }
@@ -303,7 +312,10 @@ mod tests {
             by_id("A3").unwrap().paper_outcome,
             PaperOutcome::BugFoundThenProof
         );
-        assert_eq!(by_id("A4").unwrap().paper_outcome, PaperOutcome::KnownBugHit);
+        assert_eq!(
+            by_id("A4").unwrap().paper_outcome,
+            PaperOutcome::KnownBugHit
+        );
         assert_eq!(
             by_id("O2").unwrap().paper_outcome,
             PaperOutcome::PartialWithCex

@@ -102,11 +102,7 @@ fn extract_trace(model: &Model, unroller: &mut Unroller<'_>, depth: usize) -> Tr
         .latches()
         .iter()
         .map(|l| {
-            let name = model
-                .aig
-                .name_of(l.node)
-                .unwrap_or("latch")
-                .to_string();
+            let name = model.aig.name_of(l.node).unwrap_or("latch").to_string();
             (name, Lit::new(l.node, false))
         })
         .collect();
@@ -161,7 +157,7 @@ pub fn check_safety(model: &Model, bad_index: usize, options: &BmcOptions) -> Sa
 
 /// Induction is attempted at every small depth and then every third depth.
 fn try_induction_at(depth: usize) -> bool {
-    depth <= 3 || depth % 3 == 0
+    depth <= 3 || depth.is_multiple_of(3)
 }
 
 /// Checks whether the k-induction step holds for `bad` at depth `k`: from any
@@ -242,7 +238,9 @@ mod tests {
     /// A 3-bit counter that saturates at 7.
     fn saturating_counter() -> (Model, Vec<Lit>) {
         let mut aig = Aig::new();
-        let bits: Vec<Lit> = (0..3).map(|i| aig.add_latch(format!("c{i}"), false)).collect();
+        let bits: Vec<Lit> = (0..3)
+            .map(|i| aig.add_latch(format!("c{i}"), false))
+            .collect();
         let all_ones = aig.and_many(&bits);
         // increment unless saturated
         let b0 = bits[0];

@@ -8,12 +8,12 @@
 //! paper reports results (proof rate, counterexamples, trace lengths,
 //! runtimes).
 
+use crate::aig::Lit;
 use crate::bmc::{check_cover, check_safety, BmcOptions, CoverResult, SafetyResult};
 use crate::compile::{compile, CompiledKind, CompiledTestbench};
 use crate::elab::{elaborate, ElabDesign, ElabOptions, Result};
 use crate::explicit::{ExplicitEngine, ExplicitOptions, ExplicitResult};
 use crate::trace::Trace;
-use crate::aig::Lit;
 use autosva::sva::{Directive, PropertyClass};
 use autosva::FormalTestbench;
 use std::fmt;
@@ -155,7 +155,10 @@ impl VerificationReport {
 
     /// Number of violated properties.
     pub fn violations(&self) -> usize {
-        self.results.iter().filter(|r| r.status.is_violation()).count()
+        self.results
+            .iter()
+            .filter(|r| r.status.is_violation())
+            .count()
     }
 
     /// Number of proven properties.
@@ -309,15 +312,13 @@ fn explicit_bundle<'a>(
         return None;
     }
     if cache.is_none() {
-        let (augmented, assert_pendings, fair_pendings) =
-            compiled.model.with_pending_monitors();
-        let bundle = ExplicitEngine::explore(&augmented, &options.explicit).map(|engine| {
-            ExplicitBundle {
+        let (augmented, assert_pendings, fair_pendings) = compiled.model.with_pending_monitors();
+        let bundle =
+            ExplicitEngine::explore(&augmented, &options.explicit).map(|engine| ExplicitBundle {
                 engine,
                 assert_pendings,
                 fair_pendings,
-            }
-        });
+            });
         *cache = Some(bundle);
     }
     cache.as_ref().and_then(|b| b.as_ref())
@@ -332,7 +333,9 @@ fn check_one(
 ) -> PropertyStatus {
     match &prop.kind {
         CompiledKind::Skipped(reason) => PropertyStatus::NotChecked(reason),
-        CompiledKind::Constraint => PropertyStatus::NotChecked("assumption (constrains the environment)"),
+        CompiledKind::Constraint => {
+            PropertyStatus::NotChecked("assumption (constrains the environment)")
+        }
         CompiledKind::Fairness => PropertyStatus::NotChecked("fairness assumption"),
         CompiledKind::Safety(index) => {
             // Quick, shallow BMC first: it produces the shortest traces for
@@ -543,7 +546,11 @@ endmodule
         );
         let first = report.first_violation().unwrap();
         let trace = first.status.trace().unwrap();
-        assert!(trace.len() <= 12, "trace unexpectedly long: {}", trace.len());
+        assert!(
+            trace.len() <= 12,
+            "trace unexpectedly long: {}",
+            trace.len()
+        );
     }
 
     #[test]

@@ -77,12 +77,7 @@ pub fn compile(design: &ElabDesign, testbench: &FormalTestbench) -> Result<Compi
     // Auxiliary signals, in dependency order (wires may reference earlier
     // wires; counters/samples reference wires).
     // ------------------------------------------------------------------
-    let aux: Vec<AuxSignal> = testbench
-        .model
-        .aux_signals()
-        .into_iter()
-        .cloned()
-        .collect();
+    let aux: Vec<AuxSignal> = testbench.model.aux_signals().into_iter().cloned().collect();
     // Stateless wires first pass may reference later wires in pathological
     // cases; iterate until fixed point with a bounded number of rounds.
     let mut remaining: Vec<AuxSignal> = aux.clone();
@@ -108,7 +103,11 @@ pub fn compile(design: &ElabDesign, testbench: &FormalTestbench) -> Result<Compi
     }
     let aux_symbols: HashMap<String, Vec<Lit>> = aux
         .iter()
-        .filter_map(|a| ctx.symbols.get(&a.name).map(|b| (a.name.clone(), b.clone())))
+        .filter_map(|a| {
+            ctx.symbols
+                .get(&a.name)
+                .map(|b| (a.name.clone(), b.clone()))
+        })
         .collect();
 
     // ------------------------------------------------------------------
@@ -144,54 +143,64 @@ pub fn compile(design: &ElabDesign, testbench: &FormalTestbench) -> Result<Compi
                     });
                     CompiledKind::Safety(bads.len() - 1)
                 }
-                (Directive::Assert, PropertyBody::Implication { antecedent, consequent, non_overlap }) => {
-                    match consequent {
-                        Consequent::Eventually(target) => {
-                            let trigger = ctx.implication_trigger(antecedent, *non_overlap)?;
-                            let target = ctx.expr_bool(target)?;
-                            liveness.push(ResponseProperty {
-                                name: prop.full_name(),
-                                trigger,
-                                target,
-                            });
-                            CompiledKind::Liveness(liveness.len() - 1)
-                        }
-                        _ => {
-                            let violated =
-                                ctx.implication_violated(antecedent, consequent, *non_overlap)?;
-                            bads.push(BadProperty {
-                                name: prop.full_name(),
-                                lit: violated,
-                            });
-                            CompiledKind::Safety(bads.len() - 1)
-                        }
+                (
+                    Directive::Assert,
+                    PropertyBody::Implication {
+                        antecedent,
+                        consequent,
+                        non_overlap,
+                    },
+                ) => match consequent {
+                    Consequent::Eventually(target) => {
+                        let trigger = ctx.implication_trigger(antecedent, *non_overlap)?;
+                        let target = ctx.expr_bool(target)?;
+                        liveness.push(ResponseProperty {
+                            name: prop.full_name(),
+                            trigger,
+                            target,
+                        });
+                        CompiledKind::Liveness(liveness.len() - 1)
                     }
-                }
+                    _ => {
+                        let violated =
+                            ctx.implication_violated(antecedent, consequent, *non_overlap)?;
+                        bads.push(BadProperty {
+                            name: prop.full_name(),
+                            lit: violated,
+                        });
+                        CompiledKind::Safety(bads.len() - 1)
+                    }
+                },
                 (Directive::Assume, PropertyBody::Invariant(e)) => {
                     let holds = ctx.expr_bool(e)?;
                     constraints.push(holds);
                     CompiledKind::Constraint
                 }
-                (Directive::Assume, PropertyBody::Implication { antecedent, consequent, non_overlap }) => {
-                    match consequent {
-                        Consequent::Eventually(target) => {
-                            let trigger = ctx.implication_trigger(antecedent, *non_overlap)?;
-                            let target = ctx.expr_bool(target)?;
-                            fairness.push(ResponseProperty {
-                                name: prop.full_name(),
-                                trigger,
-                                target,
-                            });
-                            CompiledKind::Fairness
-                        }
-                        _ => {
-                            let violated =
-                                ctx.implication_violated(antecedent, consequent, *non_overlap)?;
-                            constraints.push(violated.invert());
-                            CompiledKind::Constraint
-                        }
+                (
+                    Directive::Assume,
+                    PropertyBody::Implication {
+                        antecedent,
+                        consequent,
+                        non_overlap,
+                    },
+                ) => match consequent {
+                    Consequent::Eventually(target) => {
+                        let trigger = ctx.implication_trigger(antecedent, *non_overlap)?;
+                        let target = ctx.expr_bool(target)?;
+                        fairness.push(ResponseProperty {
+                            name: prop.full_name(),
+                            trigger,
+                            target,
+                        });
+                        CompiledKind::Fairness
                     }
-                }
+                    _ => {
+                        let violated =
+                            ctx.implication_violated(antecedent, consequent, *non_overlap)?;
+                        constraints.push(violated.invert());
+                        CompiledKind::Constraint
+                    }
+                },
             }
         };
         compiled.push(CompiledProperty {
@@ -531,7 +540,10 @@ impl Compiler {
                 let base_name = base
                     .as_ident()
                     .ok_or_else(|| Self::err("unsupported nested member access"))?;
-                for candidate in [format!("{base_name}.{member}"), format!("{base_name}_{member}")] {
+                for candidate in [
+                    format!("{base_name}.{member}"),
+                    format!("{base_name}_{member}"),
+                ] {
                     if let Some(bits) = self.symbols.get(&candidate) {
                         return Ok(bits.clone());
                     }
@@ -540,13 +552,15 @@ impl Compiler {
                     "member access `{base_name}.{member}` does not match any design signal"
                 )))
             }
-            Expr::Call { name, is_system, .. } => Err(Self::err(format!(
+            Expr::Call {
+                name, is_system, ..
+            } => Err(Self::err(format!(
                 "calls to `{}{name}` are not supported in property expressions",
                 if *is_system { "$" } else { "" }
             ))),
-            Expr::Str(_) | Expr::Macro(_) => {
-                Err(Self::err("strings/macros are not supported in property expressions"))
-            }
+            Expr::Str(_) | Expr::Macro(_) => Err(Self::err(
+                "strings/macros are not supported in property expressions",
+            )),
         }
     }
 }
@@ -640,8 +654,9 @@ endmodule
         assert!(counts.get("safety").copied().unwrap_or(0) >= 1);
         assert_eq!(counts.get("cover").copied().unwrap_or(0), 1);
         assert!(counts.get("skipped").copied().unwrap_or(0) >= 1);
-        // Incoming transaction: the stability property is an assumption.
-        assert!(counts.get("constraint").is_some() || counts.get("fairness").is_none() || true);
+        // The partition is total: every compiled property lands in exactly
+        // one summary bucket.
+        assert_eq!(counts.values().sum::<usize>(), c.properties.len());
         assert_eq!(c.model.covers.len(), 1);
         assert!(!c.model.liveness.is_empty());
         assert!(!c.model.bads.is_empty());

@@ -270,14 +270,9 @@ impl<'a> Elaborator<'a> {
                 Direction::Input => SigKind::Input,
                 Direction::Output | Direction::Inout => SigKind::Wire,
             };
-            scope.infos.insert(
-                port.name.clone(),
-                SigInfo {
-                    width,
-                    array,
-                    kind,
-                },
-            );
+            scope
+                .infos
+                .insert(port.name.clone(), SigInfo { width, array, kind });
         }
         for item in &module.items {
             if let ModuleItem::Decl(decl) = item {
@@ -754,9 +749,7 @@ impl<'a> Elaborator<'a> {
                     if conn.name == self.options.clock || conn.name == self.options.reset {
                         continue;
                     }
-                    let value = self
-                        .eval_expr(module, scope, drivers, expr)?
-                        .word()?;
+                    let value = self.eval_expr(module, scope, drivers, expr)?.word()?;
                     bindings.insert(conn.name.clone(), value);
                 }
             }
@@ -840,9 +833,7 @@ impl<'a> Elaborator<'a> {
                 then_branch,
                 else_branch,
             } => {
-                let c_bits = self
-                    .eval_expr_env(module, scope, drivers, c, env)?
-                    .word()?;
+                let c_bits = self.eval_expr_env(module, scope, drivers, c, env)?.word()?;
                 let c_lit = words::reduce_or(&mut self.aig, &c_bits);
                 let then_cond = self.aig.and(cond, c_lit);
                 self.exec_stmt(module, scope, drivers, then_branch, then_cond, env)?;
@@ -889,6 +880,7 @@ impl<'a> Elaborator<'a> {
     }
 
     /// Assigns `rhs` to an lvalue under path condition `cond`.
+    #[allow(clippy::too_many_arguments)]
     fn assign_lvalue(
         &mut self,
         module: &Module,
@@ -901,11 +893,9 @@ impl<'a> Elaborator<'a> {
     ) -> Result<()> {
         match lhs {
             Expr::Ident(name) => {
-                let info = scope
-                    .infos
-                    .get(name)
-                    .cloned()
-                    .ok_or_else(|| ElabError::new(format!("assignment to unknown signal `{name}`")))?;
+                let info = scope.infos.get(name).cloned().ok_or_else(|| {
+                    ElabError::new(format!("assignment to unknown signal `{name}`"))
+                })?;
                 let old = env
                     .get(name)
                     .cloned()
@@ -939,11 +929,9 @@ impl<'a> Elaborator<'a> {
                     .as_ident()
                     .ok_or_else(|| ElabError::new("indexed assignment base must be a signal"))?
                     .to_string();
-                let info = scope
-                    .infos
-                    .get(&name)
-                    .cloned()
-                    .ok_or_else(|| ElabError::new(format!("assignment to unknown signal `{name}`")))?;
+                let info = scope.infos.get(&name).cloned().ok_or_else(|| {
+                    ElabError::new(format!("assignment to unknown signal `{name}`"))
+                })?;
                 let index_bits = self
                     .eval_expr_env(module, scope, drivers, index, env)?
                     .word()?;
@@ -985,11 +973,9 @@ impl<'a> Elaborator<'a> {
                     .as_ident()
                     .ok_or_else(|| ElabError::new("range assignment base must be a signal"))?
                     .to_string();
-                let info = scope
-                    .infos
-                    .get(&name)
-                    .cloned()
-                    .ok_or_else(|| ElabError::new(format!("assignment to unknown signal `{name}`")))?;
+                let info = scope.infos.get(&name).cloned().ok_or_else(|| {
+                    ElabError::new(format!("assignment to unknown signal `{name}`"))
+                })?;
                 let msb = const_eval(msb, &scope.params)? as usize;
                 let lsb = const_eval(lsb, &scope.params)? as usize;
                 let old = env
@@ -1252,9 +1238,11 @@ impl<'a> Elaborator<'a> {
                 args,
             } => {
                 if *is_system && name == "clog2" {
-                    let arg = const_eval(args.first().ok_or_else(|| {
-                        ElabError::new("$clog2 requires an argument")
-                    })?, &scope.params)?;
+                    let arg = const_eval(
+                        args.first()
+                            .ok_or_else(|| ElabError::new("$clog2 requires an argument"))?,
+                        &scope.params,
+                    )?;
                     let result = clog2(arg);
                     return Ok(Val::Word(words::constant(result, 32)));
                 }
@@ -1512,8 +1500,8 @@ pub fn const_eval(expr: &Expr, params: &HashMap<String, u128>) -> Result<u128> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::{BadProperty, Model};
     use crate::bmc::{check_safety, BmcOptions, SafetyResult};
+    use crate::model::{BadProperty, Model};
 
     fn elab(src: &str) -> ElabDesign {
         let file = svparse::parse(src).expect("parse");
@@ -1588,7 +1576,8 @@ mod tests {
 
     #[test]
     fn reset_values_become_latch_inits() {
-        let src = "module initval (input logic clk_i, input logic rst_ni, output logic [3:0] q_o);\n\
+        let src =
+            "module initval (input logic clk_i, input logic rst_ni, output logic [3:0] q_o);\n\
              logic [3:0] q;\n\
              always_ff @(posedge clk_i or negedge rst_ni) begin\n\
                if (!rst_ni) q <= 4'd9;\n\

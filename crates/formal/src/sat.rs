@@ -215,7 +215,10 @@ impl Solver {
         if self.unsat {
             return;
         }
-        debug_assert!(self.trail_lim.is_empty(), "clauses must be added at level 0");
+        debug_assert!(
+            self.trail_lim.is_empty(),
+            "clauses must be added at level 0"
+        );
         // Simplify: remove duplicates and satisfied/false literals at level 0.
         let mut simplified: Vec<SatLit> = Vec::with_capacity(lits.len());
         for &lit in lits {
@@ -235,9 +238,7 @@ impl Solver {
         match simplified.len() {
             0 => self.unsat = true,
             1 => {
-                if !self.enqueue(simplified[0], NO_REASON) {
-                    self.unsat = true;
-                } else if self.propagate().is_some() {
+                if !self.enqueue(simplified[0], NO_REASON) || self.propagate().is_some() {
                     self.unsat = true;
                 }
             }
@@ -344,7 +345,7 @@ impl Solver {
                 // Clause is unit or conflicting.
                 if !self.enqueue(w0, ci) {
                     // Conflict: restore remaining watchers and report.
-                    self.watches[falsified.index()].extend(watchers.drain(..));
+                    self.watches[falsified.index()].append(&mut watchers);
                     return Some(ci);
                 }
                 i += 1;
@@ -626,16 +627,18 @@ mod tests {
         // 3 pigeons, 2 holes: unsatisfiable.  Exercises conflict analysis.
         let mut s = Solver::new();
         // p[i][j] = pigeon i in hole j
-        let p: Vec<Vec<Var>> = (0..3).map(|_| (0..2).map(|_| s.new_var()).collect()).collect();
+        let p: Vec<Vec<Var>> = (0..3)
+            .map(|_| (0..2).map(|_| s.new_var()).collect())
+            .collect();
         // Every pigeon in some hole.
-        for i in 0..3 {
-            s.add_clause(&[SatLit::pos(p[i][0]), SatLit::pos(p[i][1])]);
+        for row in &p {
+            s.add_clause(&[SatLit::pos(row[0]), SatLit::pos(row[1])]);
         }
         // No two pigeons share a hole.
-        for j in 0..2 {
-            for i1 in 0..3 {
-                for i2 in (i1 + 1)..3 {
-                    s.add_clause(&[SatLit::neg(p[i1][j]), SatLit::neg(p[i2][j])]);
+        for hole in 0..2 {
+            for (i1, row1) in p.iter().enumerate() {
+                for row2 in p.iter().skip(i1 + 1) {
+                    s.add_clause(&[SatLit::neg(row1[hole]), SatLit::neg(row2[hole])]);
                 }
             }
         }
@@ -666,7 +669,7 @@ mod tests {
         let x2 = s.new_var();
         let x3 = s.new_var();
         let t = s.new_var(); // t = x1 ^ x2
-        // t <-> x1 xor x2
+                             // t <-> x1 xor x2
         s.add_clause(&[SatLit::neg(t), SatLit::pos(x1), SatLit::pos(x2)]);
         s.add_clause(&[SatLit::neg(t), SatLit::neg(x1), SatLit::neg(x2)]);
         s.add_clause(&[SatLit::pos(t), SatLit::neg(x1), SatLit::pos(x2)]);

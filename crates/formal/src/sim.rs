@@ -133,8 +133,10 @@ impl Simulator {
             .collect();
         let mut all = Vec::new();
         for _ in 0..cycles {
-            let inputs: HashMap<String, bool> =
-                names.iter().map(|n| (n.clone(), rng.gen_bool(0.5))).collect();
+            let inputs: HashMap<String, bool> = names
+                .iter()
+                .map(|n| (n.clone(), rng.gen_bool(0.5)))
+                .collect();
             all.extend(self.step(&inputs));
         }
         all

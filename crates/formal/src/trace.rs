@@ -53,11 +53,14 @@ impl Trace {
     /// Panics if `cycle` is outside the trace length.
     pub fn record(&mut self, cycle: usize, signal: &str, value: bool, is_input: bool) {
         assert!(cycle < self.cycles, "cycle {cycle} out of range");
-        let entry = self.signals.entry(signal.to_string()).or_insert_with(|| SignalTrace {
-            name: signal.to_string(),
-            is_input,
-            values: vec![false; self.cycles],
-        });
+        let entry = self
+            .signals
+            .entry(signal.to_string())
+            .or_insert_with(|| SignalTrace {
+                name: signal.to_string(),
+                is_input,
+                values: vec![false; self.cycles],
+            });
         entry.values[cycle] = value;
     }
 

@@ -68,8 +68,7 @@ impl<'a> Unroller<'a> {
             self.frames[frame_idx].insert(latch.node, var);
             if frame_idx == 0 {
                 if self.constrain_init {
-                    self.solver
-                        .add_clause(&[SatLit::new(var, latch.init)]);
+                    self.solver.add_clause(&[SatLit::new(var, latch.init)]);
                 }
             } else {
                 // Connect to the previous frame's next-state function.
@@ -97,10 +96,7 @@ impl<'a> Unroller<'a> {
         }
         let var = match self.aig.node(node) {
             Node::False => self.false_var(),
-            Node::Input => {
-                let v = self.solver.new_var();
-                v
-            }
+            Node::Input => self.solver.new_var(),
             Node::Latch => {
                 // Latch variables are created eagerly in push_frame.
                 unreachable!("latch variable missing from frame {frame}")
@@ -165,7 +161,10 @@ impl<'a> Unroller<'a> {
                 }
             })
             .collect();
-        matches!(self.solver.solve(&sat_assumptions), crate::sat::SatResult::Sat)
+        matches!(
+            self.solver.solve(&sat_assumptions),
+            crate::sat::SatResult::Sat
+        )
     }
 
     /// After a satisfiable query, returns the model value of an AIG literal
@@ -208,10 +207,7 @@ mod tests {
         let (aig, b0, b1) = counter_aig();
         let mut unroller = Unroller::new(&aig, true);
         // Frame 0: 00, frame 1: 01, frame 2: 10, frame 3: 11.
-        let mut both = |u: &mut Unroller, f: usize| {
-            let hit = u.solve_with(&[(b0, f, true), (b1, f, true)]);
-            hit
-        };
+        let both = |u: &mut Unroller, f: usize| u.solve_with(&[(b0, f, true), (b1, f, true)]);
         assert!(!both(&mut unroller, 0));
         assert!(!both(&mut unroller, 1));
         assert!(!both(&mut unroller, 2));

@@ -69,7 +69,12 @@ pub fn not(word: &[Lit]) -> Vec<Lit> {
 }
 
 /// Bitwise binary operation applied lane-wise after width equalization.
-pub fn bitwise(aig: &mut Aig, a: &[Lit], b: &[Lit], f: impl Fn(&mut Aig, Lit, Lit) -> Lit) -> Vec<Lit> {
+pub fn bitwise(
+    aig: &mut Aig,
+    a: &[Lit],
+    b: &[Lit],
+    f: impl Fn(&mut Aig, Lit, Lit) -> Lit,
+) -> Vec<Lit> {
     let width = a.len().max(b.len());
     let a = resize(a, width);
     let b = resize(b, width);
@@ -148,7 +153,10 @@ pub fn mux(aig: &mut Aig, sel: Lit, t: &[Lit], e: &[Lit]) -> Vec<Lit> {
     let width = t.len().max(e.len());
     let t = resize(t, width);
     let e = resize(e, width);
-    t.iter().zip(&e).map(|(&x, &y)| aig.mux(sel, x, y)).collect()
+    t.iter()
+        .zip(&e)
+        .map(|(&x, &y)| aig.mux(sel, x, y))
+        .collect()
 }
 
 /// Logical shift left by a constant amount.
@@ -200,9 +208,9 @@ pub fn mul(aig: &mut Aig, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
     let a = resize(a, width);
     let b = resize(b, width);
     let mut acc = constant(0, width);
-    for i in 0..width {
+    for (i, &b_bit) in b.iter().enumerate() {
         let shifted = shl_const(&a, i);
-        let addend = mux(aig, b[i], &shifted, &constant(0, width));
+        let addend = mux(aig, b_bit, &shifted, &constant(0, width));
         acc = add(aig, &acc, &addend);
     }
     acc
@@ -293,8 +301,14 @@ mod tests {
 
     #[test]
     fn shifts() {
-        assert_eq!(as_constant(&shl_const(&constant(0b0011, 4), 1)), Some(0b0110));
-        assert_eq!(as_constant(&shr_const(&constant(0b1100, 4), 2)), Some(0b0011));
+        assert_eq!(
+            as_constant(&shl_const(&constant(0b0011, 4), 1)),
+            Some(0b0110)
+        );
+        assert_eq!(
+            as_constant(&shr_const(&constant(0b1100, 4), 2)),
+            Some(0b0011)
+        );
         assert_eq!(as_constant(&shl_const(&constant(0b1111, 4), 4)), Some(0));
     }
 

@@ -79,7 +79,19 @@ impl ParseError {
     /// ```
     pub fn render(&self, source: &str) -> String {
         let pos = line_col(source, self.span.start);
-        format!("{pos}: {}", self.kind)
+        let mut out = format!("{pos}: {}", self.kind);
+        // Attach the offending source line with a caret under the error
+        // column, the way compilers point at the problem.  Tabs are kept in
+        // the padding so the caret stays aligned however wide they render.
+        if let Some(line_text) = source.lines().nth(pos.line.saturating_sub(1)) {
+            let pad: String = line_text
+                .chars()
+                .take(pos.column.saturating_sub(1))
+                .map(|c| if c == '\t' { '\t' } else { ' ' })
+                .collect();
+            out.push_str(&format!("\n  {line_text}\n  {pad}^"));
+        }
+        out
     }
 }
 
@@ -110,7 +122,26 @@ mod tests {
     fn render_reports_line_and_column() {
         let src = "line1\nline2 $";
         let e = ParseError::new(ParseErrorKind::UnexpectedChar('$'), Span::new(12, 13));
-        assert!(e.render(src).starts_with("2:7"));
+        let rendered = e.render(src);
+        assert!(rendered.starts_with("2:7"));
+        // The snippet shows the offending line with a caret at the column.
+        assert!(
+            rendered.contains("\n  line2 $\n        ^"),
+            "rendered: {rendered}"
+        );
+    }
+
+    #[test]
+    fn render_caret_follows_tabs() {
+        // Tab-indented line: the caret padding must reuse the tab so the
+        // caret lands under the error however wide the tab renders.
+        let src = "a\n\tbad $";
+        let e = ParseError::new(ParseErrorKind::UnexpectedChar('$'), Span::new(7, 8));
+        let rendered = e.render(src);
+        assert!(
+            rendered.contains("\n  \tbad $\n  \t    ^"),
+            "rendered: {rendered}"
+        );
     }
 
     #[test]
@@ -124,7 +155,10 @@ mod tests {
 
     #[test]
     fn error_trait_object() {
-        let e = ParseError::new(ParseErrorKind::UnexpectedEof("module".into()), Span::dummy());
+        let e = ParseError::new(
+            ParseErrorKind::UnexpectedEof("module".into()),
+            Span::dummy(),
+        );
         let boxed: Box<dyn Error> = Box::new(e);
         assert!(boxed.to_string().contains("module"));
     }

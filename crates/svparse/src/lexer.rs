@@ -63,7 +63,8 @@ impl<'a> Lexer<'a> {
             self.next_token()?;
         }
         let end = self.src.len();
-        self.tokens.push(Token::new(TokenKind::Eof, Span::new(end, end)));
+        self.tokens
+            .push(Token::new(TokenKind::Eof, Span::new(end, end)));
         Ok(LexOutput {
             tokens: self.tokens,
             comments: self.comments,
@@ -88,7 +89,8 @@ impl<'a> Lexer<'a> {
     }
 
     fn push(&mut self, kind: TokenKind, start: usize) {
-        self.tokens.push(Token::new(kind, Span::new(start, self.pos)));
+        self.tokens
+            .push(Token::new(kind, Span::new(start, self.pos)));
     }
 
     fn next_token(&mut self) -> Result<()> {
@@ -292,7 +294,10 @@ impl<'a> Lexer<'a> {
         while self.peek().is_ascii_digit() || self.peek() == b'_' {
             self.bump();
         }
-        let dec_text: String = self.src[start..self.pos].chars().filter(|c| *c != '_').collect();
+        let dec_text: String = self.src[start..self.pos]
+            .chars()
+            .filter(|c| *c != '_')
+            .collect();
         if self.peek() == b'\'' {
             let width: u32 = dec_text.parse().map_err(|_| {
                 ParseError::new(
@@ -557,7 +562,12 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<TokenKind> {
-        lex(src).unwrap().tokens.into_iter().map(|t| t.kind).collect()
+        lex(src)
+            .unwrap()
+            .tokens
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]

@@ -235,7 +235,8 @@ impl<'a> Parser<'a> {
         loop {
             match self.peek_kind() {
                 TokenKind::Keyword(Keyword::Endpackage) => break,
-                TokenKind::Keyword(Keyword::Parameter) | TokenKind::Keyword(Keyword::Localparam) => {
+                TokenKind::Keyword(Keyword::Parameter)
+                | TokenKind::Keyword(Keyword::Localparam) => {
                     let mut ps = self.param_decl_list()?;
                     self.expect_punct(Punct::Semicolon)?;
                     params.append(&mut ps);
@@ -1439,7 +1440,10 @@ mod tests {
         );
         assert_eq!(m.ports[0].ty.kind, NetKind::Named);
         assert_eq!(m.ports[0].ty.type_name.as_deref(), Some("fu_data_t"));
-        assert_eq!(m.ports[1].ty.type_name.as_deref(), Some("riscv::priv_lvl_t"));
+        assert_eq!(
+            m.ports[1].ty.type_name.as_deref(),
+            Some("riscv::priv_lvl_t")
+        );
     }
 
     #[test]

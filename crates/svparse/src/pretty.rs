@@ -141,7 +141,12 @@ pub fn print_data_type(ty: &DataType) -> String {
 
 /// Renders a port declaration as it would appear in an ANSI port list.
 pub fn print_port(port: &Port) -> String {
-    let mut s = format!("{} {} {}", port.direction, print_data_type(&port.ty), port.name);
+    let mut s = format!(
+        "{} {} {}",
+        port.direction,
+        print_data_type(&port.ty),
+        port.name
+    );
     for dim in &port.unpacked_dims {
         let _ = write!(s, " [{}:{}]", print_expr(&dim.msb), print_expr(&dim.lsb));
     }
@@ -156,7 +161,11 @@ pub fn print_module_header(module: &Module) -> String {
     if !module.params.is_empty() {
         s.push_str(" #(\n");
         for (i, p) in module.params.iter().enumerate() {
-            let prefix = if p.is_local { "localparam" } else { "parameter" };
+            let prefix = if p.is_local {
+                "localparam"
+            } else {
+                "parameter"
+            };
             let _ = write!(s, "  {prefix} {}", p.name);
             if let Some(v) = &p.value {
                 let _ = write!(s, " = {}", print_expr(v));
@@ -201,7 +210,9 @@ mod tests {
         assert!(printed.contains("&&"));
         assert!(printed.contains("!b"));
         // Re-parsing the printed expression must produce an equal tree.
-        let src2 = format!("module t2 (input logic a, b, output logic y);\nassign y = {printed};\nendmodule");
+        let src2 = format!(
+            "module t2 (input logic a, b, output logic y);\nassign y = {printed};\nendmodule"
+        );
         let file2 = parse(&src2).unwrap();
         let m2 = file2.module("t2").unwrap();
         let assign2 = match &m2.items[0] {

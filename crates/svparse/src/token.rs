@@ -66,6 +66,7 @@ pub enum Keyword {
 
 impl Keyword {
     /// Returns the keyword for `text`, if it is one.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_str(text: &str) -> Option<Keyword> {
         use Keyword::*;
         Some(match text {
@@ -484,10 +485,7 @@ mod tests {
 
     #[test]
     fn token_kind_display() {
-        assert_eq!(
-            TokenKind::Ident("foo".to_string()).to_string(),
-            "`foo`"
-        );
+        assert_eq!(TokenKind::Ident("foo".to_string()).to_string(), "`foo`");
         assert_eq!(TokenKind::Eof.to_string(), "end of input");
     }
 }

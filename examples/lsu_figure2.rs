@@ -11,9 +11,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Figure 3: the annotation block lives in the interface-declaration
     // section of the RTL file.
     let annotation_start = LSU_SV.find("/*AUTOSVA").expect("annotation block present");
-    let annotation_end = LSU_SV[annotation_start..].find("*/").expect("annotation terminator");
+    let annotation_end = LSU_SV[annotation_start..]
+        .find("*/")
+        .expect("annotation terminator");
     println!("=== Figure 3: the designer's annotations ===");
-    println!("{}*/", &LSU_SV[annotation_start..annotation_start + annotation_end]);
+    println!(
+        "{}*/",
+        &LSU_SV[annotation_start..annotation_start + annotation_end]
+    );
 
     // Figure 2: the generated modeling code and properties.
     let testbench = generate_ft(LSU_SV, &AutosvaOptions::default())?;

@@ -24,13 +24,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Step 2: the first counterexample is the ITLB starvation trace — real
     // behaviour of the RTL, but impossible in the full system.
-    let report = verify(case.source, &testbench, &default_check_options(&case, Variant::Buggy))?;
+    let report = verify(
+        case.source,
+        &testbench,
+        &default_check_options(&case, Variant::Buggy),
+    )?;
     let starvation = report
         .results
         .iter()
         .find(|r| r.name.contains("itlb_fill_hsk_or_drop"))
         .expect("itlb property");
-    println!("\nwithout assumptions, {} -> {}", starvation.name, starvation.status);
+    println!(
+        "\nwithout assumptions, {} -> {}",
+        starvation.name, starvation.status
+    );
 
     // Step 3: add the designer assumption the paper describes.
     testbench.linked_properties.push(SvaProperty {
@@ -45,16 +52,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Step 4: with the assumption in place, the remaining counterexample is
     // the real bug: a ghost response for an already-answered misaligned
     // request.
-    let buggy = verify(case.source, &testbench, &default_check_options(&case, Variant::Buggy))?;
+    let buggy = verify(
+        case.source,
+        &testbench,
+        &default_check_options(&case, Variant::Buggy),
+    )?;
     println!("\n=== buggy MMU (ghost response) ===\n{buggy}");
     if let Some(v) = buggy.first_violation() {
         if let Some(trace) = v.status.trace() {
-            println!("ghost-response trace ({} cycles):\n{}", trace.len(), trace.render(false));
+            println!(
+                "ghost-response trace ({} cycles):\n{}",
+                trace.len(),
+                trace.render(false)
+            );
         }
     }
 
     // Step 5: the fix masks the walker activation for misaligned requests.
-    let fixed = verify(case.source, &testbench, &default_check_options(&case, Variant::Fixed))?;
+    let fixed = verify(
+        case.source,
+        &testbench,
+        &default_check_options(&case, Variant::Fixed),
+    )?;
     println!("=== fixed MMU ===\n{fixed}");
     println!(
         "bug-fix confidence: {} violations before, {} after; proof rate {:.0}%",

@@ -31,7 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{buggy}");
     if let Some(violation) = buggy.first_violation() {
         if let Some(trace) = violation.status.trace() {
-            println!("deadlock counterexample for {}:\n{}", violation.name, trace.render(false));
+            println!(
+                "deadlock counterexample for {}:\n{}",
+                violation.name,
+                trace.render(false)
+            );
         }
     }
 

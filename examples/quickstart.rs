@@ -60,7 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "generated {} properties ({} assertions, {} assumptions, {} covers) from {} annotation lines",
         stats.properties, stats.assertions, stats.assumptions, stats.covers, stats.annotation_loc
     );
-    println!("\n--- generated property file ({}_prop.sv) ---", testbench.dut_name);
+    println!(
+        "\n--- generated property file ({}_prop.sv) ---",
+        testbench.dut_name
+    );
     println!("{}", testbench.property_file);
     println!("--- generated bind file ---");
     println!("{}", testbench.bind_file);

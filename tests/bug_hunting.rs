@@ -20,7 +20,11 @@ fn bug1_mmu_ghost_response_short_trace_and_confident_fix() {
         .find(|r| r.name.contains("mmu_lsu_had_a_request"))
         .expect("property exists");
     let trace = ghost.status.trace().expect("counterexample trace");
-    assert!(trace.len() <= 8, "trace should be short, got {} cycles", trace.len());
+    assert!(
+        trace.len() <= 8,
+        "trace should be short, got {} cycles",
+        trace.len()
+    );
     // The trace exercises the misaligned request that triggers the walker.
     assert!(trace
         .signals()
@@ -55,7 +59,11 @@ fn bug2_noc_buffer_deadlock_from_three_annotation_lines() {
     // The counterexample needs to overflow the two-entry buffer, so it takes
     // a handful of cycles but stays short.
     let trace = deadlock.status.trace().unwrap();
-    assert!(trace.len() >= 3 && trace.len() <= 15, "got {} cycles", trace.len());
+    assert!(
+        trace.len() >= 3 && trace.len() <= 15,
+        "got {} cycles",
+        trace.len()
+    );
 
     // Adding the not-full condition (the paper's fix) turns the CEX into a
     // proof.

@@ -45,9 +45,7 @@ fn adding_the_assumption_removes_the_starvation_cex() {
         name: "no_dtlb_while_itlb_pending".to_string(),
         directive: Directive::Assume,
         class: PropertyClass::Safety,
-        body: PropertyBody::Invariant(
-            svparse::parse_expr(MMU_NO_STARVATION_ASSUMPTION).unwrap(),
-        ),
+        body: PropertyBody::Invariant(svparse::parse_expr(MMU_NO_STARVATION_ASSUMPTION).unwrap()),
         xprop_only: false,
         transaction: "designer".to_string(),
     });

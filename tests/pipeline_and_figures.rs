@@ -3,7 +3,7 @@
 //! (Fig. 2), the end-to-end framework flow (Figs. 4 and 5), and the
 //! annotation examples for the PTW, DTLB and Mem-Engine interfaces (Fig. 7).
 
-use autosva::annotation::{AttributeSuffix, RelationDir};
+use autosva::annotation::RelationDir;
 use autosva::{generate_ft, AutosvaOptions, Directive, FormalTool, PropertyClass};
 
 /// The Fig. 3 annotation block, adapted to the signal names of the bundled
@@ -38,7 +38,11 @@ fn figure3_annotations_produce_figure2_testbench() {
 
 #[test]
 fn figure4_flow_produces_all_testbench_files() {
-    for tool in [FormalTool::JasperGold, FormalTool::SymbiYosys, FormalTool::Builtin] {
+    for tool in [
+        FormalTool::JasperGold,
+        FormalTool::SymbiYosys,
+        FormalTool::Builtin,
+    ] {
         let options = AutosvaOptions {
             tool,
             rtl_files: vec!["rtl/lsu.sv".to_string()],

@@ -13,13 +13,22 @@ use svparse::pretty::print_expr;
 /// Strategy producing small random expressions over a fixed signal alphabet.
 fn arb_expr() -> impl Strategy<Value = Expr> {
     let leaf = prop_oneof![
-        prop_oneof![Just("req_val"), Just("req_ack"), Just("data_q"), Just("cnt")]
-            .prop_map(Expr::ident),
+        prop_oneof![
+            Just("req_val"),
+            Just("req_ack"),
+            Just("data_q"),
+            Just("cnt")
+        ]
+        .prop_map(Expr::ident),
         (0u128..256).prop_map(Expr::number),
     ];
     leaf.prop_recursive(3, 24, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::binary(BinaryOp::LogicalAnd, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::binary(
+                BinaryOp::LogicalAnd,
+                a,
+                b
+            )),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::binary(BinaryOp::BitOr, a, b)),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::binary(BinaryOp::Add, a, b)),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::binary(BinaryOp::Eq, a, b)),

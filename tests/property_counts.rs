@@ -45,7 +45,12 @@ fn property_names_are_unique_within_each_testbench() {
         let ft = build_testbench(&case);
         let names: Vec<String> = ft.all_properties().iter().map(|p| p.full_name()).collect();
         let unique: HashSet<&String> = names.iter().collect();
-        assert_eq!(unique.len(), names.len(), "{}: duplicate property names", case.id);
+        assert_eq!(
+            unique.len(),
+            names.len(),
+            "{}: duplicate property names",
+            case.id
+        );
     }
 }
 

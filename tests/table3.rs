@@ -12,7 +12,11 @@ use autosva_designs::{all_cases, by_id, PaperOutcome, Variant};
 #[test]
 fn a1_ptw_proves_all_properties() {
     let run = run_case(&by_id("A1").unwrap(), Variant::Fixed);
-    assert!(run.fully_proven(), "PTW should fully prove:\n{}", run.report.render());
+    assert!(
+        run.fully_proven(),
+        "PTW should fully prove:\n{}",
+        run.report.render()
+    );
     let (proven, violated, covered, unknown) = status_counts(&run.report);
     assert!(proven >= 4);
     assert_eq!(violated, 0);
@@ -23,7 +27,11 @@ fn a1_ptw_proves_all_properties() {
 #[test]
 fn a2_tlb_proves_all_properties() {
     let run = run_case(&by_id("A2").unwrap(), Variant::Fixed);
-    assert!(run.fully_proven(), "TLB should fully prove:\n{}", run.report.render());
+    assert!(
+        run.fully_proven(),
+        "TLB should fully prove:\n{}",
+        run.report.render()
+    );
     // Data integrity across the lookup pipeline is part of the proof set.
     assert!(run
         .report
@@ -38,7 +46,10 @@ fn a3_mmu_bug_found_and_fix_proves() {
     assert_eq!(case.paper_outcome, PaperOutcome::BugFoundThenProof);
 
     let buggy = run_case(&case, Variant::Buggy);
-    assert!(buggy.report.violations() > 0, "the ghost-response bug must be found");
+    assert!(
+        buggy.report.violations() > 0,
+        "the ghost-response bug must be found"
+    );
     // The ghost response violates the "every response had a request" safety
     // check, exactly as described for Bug1 in the paper.
     assert!(
@@ -102,7 +113,10 @@ fn a5_icache_hits_known_bug() {
 fn o1_noc_buffer_deadlock_found_and_fix_proves() {
     let case = by_id("O1").unwrap();
     let buggy = run_case(&case, Variant::Buggy);
-    assert!(buggy.report.violations() > 0, "the overflow deadlock must be found");
+    assert!(
+        buggy.report.violations() > 0,
+        "the overflow deadlock must be found"
+    );
     assert!(
         buggy
             .violated_properties()

@@ -1,0 +1,168 @@
+//! Offline stand-in for the `criterion` benchmarking crate.
+//!
+//! The workspace builds without network access, so this crate implements the
+//! small slice of criterion's API that the benches under
+//! `crates/bench/benches/` use: `Criterion::benchmark_group`, group
+//! configuration (`sample_size`, `measurement_time`, `warm_up_time`),
+//! `bench_function` with a [`Bencher`], and the `criterion_group!` /
+//! `criterion_main!` macros.  Timings are measured with `std::time::Instant`
+//! and reported as min / mean wall time per iteration — no statistics,
+//! no plots, but the same shape of output loop so the benches keep running
+//! and stay honest about relative cost.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Entry point handed to benchmark functions by [`criterion_group!`].
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("group: {name}");
+        BenchmarkGroup {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+        }
+    }
+
+    /// Benchmarks `routine` outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        let measurement_time = self.measurement_time;
+        run_one(name, sample_size, measurement_time, routine);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in does a single warm-up
+    /// iteration regardless.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `routine` under `name` within this group.
+    pub fn bench_function<F>(&mut self, name: &str, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.sample_size, self.measurement_time, routine);
+        self
+    }
+
+    /// Ends the group (output is flushed eagerly, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+fn run_one<F>(name: &str, sample_size: usize, measurement_time: Duration, mut routine: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        sample_size,
+        measurement_time,
+    };
+    routine(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("  {name:<28} (no samples)");
+        return;
+    }
+    let min = *bencher.samples.iter().min().unwrap();
+    let total: Duration = bencher.samples.iter().sum();
+    let mean = total / bencher.samples.len() as u32;
+    println!(
+        "  {name:<28} min {min:>10.2?}   mean {mean:>10.2?}   ({} samples)",
+        bencher.samples.len()
+    );
+}
+
+/// Timer handed to the closure passed to `bench_function`.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting up to the configured number of samples or
+    /// until the measurement-time budget is spent, whichever comes first.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // One untimed warm-up iteration.
+        std::hint::black_box(routine());
+        let budget = Instant::now();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(start.elapsed());
+            if budget.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+    }
+}
+
+/// Re-export so callers can use `criterion::black_box` like upstream.
+pub use std::hint::black_box;
+
+/// Bundles benchmark functions into a single runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for a bench binary built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,465 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The workspace builds without network access, so this crate implements the
+//! strategy-combinator surface the integration tests under `tests/` use:
+//!
+//! * the [`strategy::Strategy`] trait with `prop_map`, `prop_recursive` and
+//!   `boxed`;
+//! * leaf strategies: [`strategy::Just`], integer ranges, `any::<bool>()`,
+//!   and `&str` regex-subset patterns (character classes with `{m,n}`
+//!   repetition);
+//! * tuple strategies (2- and 3-tuples) and the [`prop_oneof!`] union;
+//! * the [`proptest!`], [`prop_assert!`] and [`prop_assert_eq!`] macros.
+//!
+//! Sampling is deterministic (fixed seed, 64 cases per property) and there is
+//! **no shrinking** — a failing case is reported as a plain test panic.  That
+//! trades minimal counterexamples for zero dependencies, which is the right
+//! trade inside a hermetic build.
+
+#![forbid(unsafe_code)]
+
+/// Number of deterministic cases each `proptest!` property runs.
+pub const NUM_CASES: usize = 64;
+
+/// The deterministic RNG threaded through strategy sampling.
+pub mod test_runner {
+    /// xorshift64* generator with a fixed default seed; every `proptest!`
+    /// run samples the same case sequence, which keeps CI reproducible.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates a generator from an explicit seed.
+        pub fn new(seed: u64) -> Self {
+            TestRng {
+                state: if seed == 0 {
+                    0x9E37_79B9_7F4A_7C15
+                } else {
+                    seed
+                },
+            }
+        }
+
+        /// The seed used by the `proptest!` macro.
+        pub fn deterministic() -> Self {
+            TestRng::new(0x5DEE_CE66_D0F3_3173)
+        }
+
+        /// Next raw 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        /// Uniform value in `[0, bound)`.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            self.next_u64() % bound
+        }
+
+        /// Uniform value in `[0, bound)` for 128-bit bounds.
+        pub fn below_u128(&mut self, bound: u128) -> u128 {
+            debug_assert!(bound > 0);
+            let wide = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
+            wide % bound
+        }
+    }
+}
+
+/// Strategy trait, combinators and leaf strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::sync::Arc;
+
+    /// A recipe for generating values of one type.
+    ///
+    /// Unlike upstream proptest there is no value tree and no shrinking:
+    /// `sample` produces the value directly.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Builds a recursive strategy: `f` receives the strategy for the
+        /// previous level (starting from `self` as the leaf level) and
+        /// returns the strategy for the next.  `depth` levels are stacked;
+        /// the `desired_size` / `expected_branch_size` hints are accepted for
+        /// API compatibility but unused.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            f: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let mut level = self.boxed();
+            for _ in 0..depth {
+                level = f(level.clone()).boxed();
+            }
+            level
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                inner: Arc::new(self),
+            }
+        }
+    }
+
+    /// Type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T> {
+        inner: Arc<dyn Strategy<Value = T>>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.inner.sample(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn sample(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Uniform choice between boxed alternatives — built by [`prop_oneof!`].
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Creates a union over `arms`; sampling picks one arm uniformly.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let idx = rng.below(self.arms.len() as u64) as usize;
+            self.arms[idx].sample(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for std::ops::Range<$ty> {
+                type Value = $ty;
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let width = (self.end - self.start) as u128;
+                    self.start + rng.below_u128(width) as $ty
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, u128, usize);
+
+    impl<A, B> Strategy for (A, B)
+    where
+        A: Strategy,
+        B: Strategy,
+    {
+        type Value = (A::Value, B::Value);
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.sample(rng), self.1.sample(rng))
+        }
+    }
+
+    impl<A, B, C> Strategy for (A, B, C)
+    where
+        A: Strategy,
+        B: Strategy,
+        C: Strategy,
+    {
+        type Value = (A::Value, B::Value, C::Value);
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+        }
+    }
+
+    impl<A, B, C, D> Strategy for (A, B, C, D)
+    where
+        A: Strategy,
+        B: Strategy,
+        C: Strategy,
+        D: Strategy,
+    {
+        type Value = (A::Value, B::Value, C::Value, D::Value);
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (
+                self.0.sample(rng),
+                self.1.sample(rng),
+                self.2.sample(rng),
+                self.3.sample(rng),
+            )
+        }
+    }
+
+    /// `&str` strategies are regex-subset patterns: a sequence of atoms,
+    /// where an atom is a character class `[...]` (literal chars and `a-z`
+    /// ranges) or a literal character, optionally followed by `{n}` or
+    /// `{m,n}` repetition.  This covers the patterns used in this workspace's
+    /// tests; unsupported syntax panics loudly rather than mis-generating.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            sample_pattern(self, rng)
+        }
+    }
+
+    fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            // Parse one atom into the set of characters it can produce.
+            let alphabet: Vec<char> = match chars[i] {
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .unwrap_or_else(|| panic!("unclosed character class in `{pattern}`"))
+                        + i;
+                    let mut set = Vec::new();
+                    let mut j = i + 1;
+                    while j < close {
+                        if j + 2 < close && chars[j + 1] == '-' {
+                            let (lo, hi) = (chars[j], chars[j + 2]);
+                            assert!(lo <= hi, "bad range `{lo}-{hi}` in `{pattern}`");
+                            set.extend((lo..=hi).filter(|c| c.is_ascii()));
+                            j += 3;
+                        } else {
+                            set.push(chars[j]);
+                            j += 1;
+                        }
+                    }
+                    i = close + 1;
+                    set
+                }
+                '\\' => {
+                    assert!(i + 1 < chars.len(), "dangling escape in `{pattern}`");
+                    let c = chars[i + 1];
+                    i += 2;
+                    vec![c]
+                }
+                c if c == '{' || c == '}' || c == '*' || c == '+' || c == '?' || c == '|' => {
+                    panic!("unsupported regex syntax `{c}` in pattern `{pattern}`")
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            assert!(!alphabet.is_empty(), "empty character class in `{pattern}`");
+
+            // Optional {n} or {m,n} repetition.
+            let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unclosed repetition in `{pattern}`"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse::<usize>().expect("repetition lower bound"),
+                        n.trim().parse::<usize>().expect("repetition upper bound"),
+                    ),
+                    None => {
+                        let n = body.trim().parse::<usize>().expect("repetition count");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            assert!(lo <= hi, "bad repetition bounds in `{pattern}`");
+
+            let count = lo + rng.below((hi - lo + 1) as u64) as usize;
+            for _ in 0..count {
+                let pick = rng.below(alphabet.len() as u64) as usize;
+                out.push(alphabet[pick]);
+            }
+        }
+        out
+    }
+
+    /// Strategy for "any value of `T`" — see [`crate::arbitrary::Arbitrary`].
+    pub fn any<T: crate::arbitrary::Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+}
+
+/// The `Arbitrary` trait backing `any::<T>()`.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical strategy.
+    pub trait Arbitrary {
+        /// The canonical strategy type.
+        type Strategy: Strategy<Value = Self>;
+        /// Returns the canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// Canonical strategy for `bool`: a fair coin.
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = AnyBool;
+        fn arbitrary() -> AnyBool {
+            AnyBool
+        }
+    }
+
+    macro_rules! arbitrary_uint {
+        ($($ty:ty => $name:ident),*) => {$(
+            /// Canonical strategy for the corresponding unsigned integer.
+            #[derive(Debug, Clone, Copy)]
+            pub struct $name;
+
+            impl Strategy for $name {
+                type Value = $ty;
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    rng.next_u64() as $ty
+                }
+            }
+
+            impl Arbitrary for $ty {
+                type Strategy = $name;
+                fn arbitrary() -> $name {
+                    $name
+                }
+            }
+        )*};
+    }
+
+    arbitrary_uint!(u8 => AnyU8, u16 => AnyU16, u32 => AnyU32, u64 => AnyU64);
+}
+
+/// Everything a test module needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::Arbitrary;
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines deterministic property tests.  Each `fn name(binding in strategy,
+/// ...) { body }` becomes a `#[test]` that samples every strategy
+/// [`NUM_CASES`] times and runs the body.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut __proptest_rng = $crate::test_runner::TestRng::deterministic();
+            for __proptest_case in 0..$crate::NUM_CASES {
+                let _ = __proptest_case;
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __proptest_rng);)+
+                $body
+            }
+        }
+    )*};
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property (plain `assert!` — no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property (plain `assert_eq!` — no shrinking).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property (plain `assert_ne!` — no shrinking).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}

@@ -1,0 +1,95 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The container this workspace builds in has no access to crates.io, so the
+//! workspace vendors the minimal surface it actually uses: a seedable
+//! deterministic generator ([`rngs::StdRng`]) and the [`Rng`] helpers the
+//! simulator calls.  The generator is a SplitMix64-initialised
+//! xorshift64*, which is more than adequate for constrained-random stimulus
+//! (it is *not* cryptographic, and neither is the upstream `StdRng` contract
+//! we rely on here: deterministic streams from a fixed seed).
+
+#![forbid(unsafe_code)]
+
+/// A random number generator that can be seeded from a `u64`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing random-value helpers, implemented on top of a raw `u64`
+/// stream exactly as the upstream crate does.
+pub trait Rng {
+    /// Returns the next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        // 53 bits of the stream give a uniform float in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+
+    /// Returns a uniformly distributed value in `[low, high)`.
+    fn gen_range(&mut self, range: core::ops::Range<u64>) -> u64 {
+        let width = range.end - range.start;
+        assert!(width > 0, "cannot sample an empty range");
+        range.start + self.next_u64() % width
+    }
+}
+
+/// The concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic xorshift64* generator, the stand-in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 scrambles the seed so that small seeds (0, 1, ...)
+            // do not yield correlated streams.
+            let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            StdRng {
+                state: if z == 0 { 0x4D59_5DF4_D0F3_3173 } else { z },
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn same_seed_same_stream() {
+            let mut a = StdRng::seed_from_u64(42);
+            let mut b = StdRng::seed_from_u64(42);
+            for _ in 0..100 {
+                assert_eq!(a.next_u64(), b.next_u64());
+            }
+        }
+
+        #[test]
+        fn gen_bool_is_roughly_fair() {
+            let mut rng = StdRng::seed_from_u64(7);
+            let trues = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+            assert!((4_500..=5_500).contains(&trues), "trues = {trues}");
+        }
+    }
+}

@@ -1,27 +1,52 @@
-//! Ablation of the verification-engine portfolio (DESIGN.md design choices).
+//! Ablation of the verification-engine portfolio.
 //!
-//! The checker layers three engines: shallow BMC (short counterexamples),
-//! k-induction (cheap proofs), and an exact explicit-state engine
-//! (reachability-dependent proofs and liveness under fairness).  This harness
-//! verifies two proof-heavy designs with and without the exact engine to
-//! show what each layer contributes: without it, properties whose proof needs
-//! reachability information remain undecided.
+//! The checker layers four engines: shallow BMC (short counterexamples),
+//! k-induction (cheap proofs), IC3/PDR (reachability-dependent proofs with
+//! invariant certificates), and the exact explicit-state engine (last-resort
+//! fallback, exponential in the latch count).  This harness verifies the
+//! proof-heavy designs under three configurations to show what each layer
+//! contributes — and asserts the portfolio's guarantees, so a cascade
+//! regression fails this bench (CI runs it with `-- --test` as the engine
+//! smoke check).
 //!
 //! Run with `cargo bench -p autosva-bench --bench engine_ablation`.
 
 use autosva_bench::{build_testbench, default_check_options, status_counts};
-use autosva_designs::{by_id, Variant};
+use autosva_designs::{by_id, elaborated, Variant};
 use autosva_formal::bmc::BmcOptions;
-use autosva_formal::checker::verify;
+use autosva_formal::checker::{verify_elaborated, Proof, VerificationReport};
 use std::time::Instant;
 
-fn run(id: &str, disable_explicit: bool) {
+#[derive(Clone, Copy, PartialEq)]
+enum Config {
+    /// Bounded engines only.
+    BmcKind,
+    /// Bounded engines + PDR.
+    WithPdr,
+    /// The full cascade (BMC → k-induction → PDR → explicit).
+    Full,
+}
+
+impl Config {
+    fn label(self) -> &'static str {
+        match self {
+            Config::BmcKind => "bmc+kind",
+            Config::WithPdr => "+pdr",
+            Config::Full => "full",
+        }
+    }
+}
+
+fn run(id: &str, config: Config) -> VerificationReport {
     let case = by_id(id).expect("case");
     let ft = build_testbench(&case);
     let mut options = default_check_options(&case, Variant::Fixed);
-    options.disable_explicit = disable_explicit;
-    if disable_explicit {
-        // Keep the pure-SAT configuration within a reasonable time budget.
+    options.disable_explicit = config != Config::Full;
+    options.disable_pdr = config == Config::BmcKind;
+    if config != Config::Full {
+        // Keep the no-fallback configurations within a reasonable time
+        // budget — and identical between `bmc+kind` and `+pdr`, so the
+        // unknown-count comparison below isolates PDR's contribution.
         options.bmc = BmcOptions {
             max_depth: 15,
             max_induction: 10,
@@ -31,14 +56,15 @@ fn run(id: &str, disable_explicit: bool) {
             max_induction: 6,
         };
     }
+    let design = elaborated(&case, Variant::Fixed);
     let start = Instant::now();
-    let report = verify(case.source, &ft, &options).expect("verification runs");
+    let report = verify_elaborated(&design, &ft, &options).expect("verification runs");
     let (proven, violated, covered, unknown) = status_counts(&report);
     println!(
-        "{:<4} {:<28} explicit={:<5} {:>9.1?}  proven {:>2}  violated {:>2}  covered {:>2}  unknown {:>2}  proof rate {:>3.0}%",
+        "{:<4} {:<28} {:<9} {:>9.1?}  proven {:>2}  violated {:>2}  covered {:>2}  unknown {:>2}  proof rate {:>3.0}%",
         case.id,
         case.title,
-        !disable_explicit,
+        config.label(),
         start.elapsed(),
         proven,
         violated,
@@ -46,15 +72,55 @@ fn run(id: &str, disable_explicit: bool) {
         unknown,
         report.proof_rate() * 100.0
     );
+    report
 }
 
 fn main() {
-    println!("Engine ablation: BMC + k-induction alone vs. with the exact explicit-state engine");
+    // `cargo bench ... -- --test` passes `--test`: this harness always runs
+    // one verification per configuration (no statistical measurement), so
+    // the flag needs no special handling beyond being accepted.
+    let _ = std::env::args().find(|a| a == "--test");
+
+    println!("Engine ablation: bounded engines vs. +PDR vs. the full cascade");
     println!("{:-<130}", "");
-    for id in ["A1", "A2", "O1"] {
-        run(id, true);
-        run(id, false);
+    for id in ["A1", "A2", "O1", "O2"] {
+        let bounded = run(id, Config::BmcKind);
+        let with_pdr = run(id, Config::WithPdr);
+        let full = run(id, Config::Full);
+
+        // Regression guards: the full cascade decides everything, and
+        // adding PDR (with otherwise identical bounds) must never lose a
+        // verdict the bounded engines had.
+        let (_, _, _, unknown_full) = status_counts(&full);
+        assert_eq!(
+            unknown_full, 0,
+            "{id}: the full cascade left properties undecided"
+        );
+        let (_, _, _, unknown_bounded) = status_counts(&bounded);
+        let (_, _, _, unknown_pdr) = status_counts(&with_pdr);
+        assert!(
+            unknown_pdr <= unknown_bounded,
+            "{id}: PDR lost verdicts the bounded engines had"
+        );
+
+        if id == "O2" {
+            // The scaled L1.5 miss-path proof is the cliff PDR exists to
+            // remove: it must be closed by a PDR invariant, not by the
+            // explicit engine.
+            let had = full
+                .results
+                .iter()
+                .find(|r| r.name.contains("l15_miss_had_a_request"))
+                .expect("monitor property exists");
+            assert!(
+                matches!(had.status.proof(), Some(Proof::Invariant { .. })),
+                "O2 had_a_request must be closed by PDR, got {:?}",
+                had.status
+            );
+        }
     }
     println!("{:-<130}", "");
-    println!("note: `unknown` properties with explicit=false are exactly the reachability-dependent proofs.");
+    println!(
+        "note: `unknown` under bmc+kind marks the reachability-dependent proofs; the PDR column closes them without the explicit cliff."
+    );
 }

@@ -14,8 +14,9 @@ use autosva::sva::{Directive, PropertyBody, SvaProperty};
 use autosva::{generate_ft, AutosvaOptions, FormalTestbench, PropertyClass};
 use autosva_designs::{DesignCase, Variant};
 use autosva_formal::bmc::BmcOptions;
-use autosva_formal::checker::{verify, CheckOptions, PropertyStatus, VerificationReport};
-use autosva_formal::elab::ElabOptions;
+use autosva_formal::checker::{
+    verify_elaborated, CheckOptions, PropertyStatus, VerificationReport,
+};
 use std::time::{Duration, Instant};
 
 /// Generates the formal testbench for a design case, including any
@@ -50,11 +51,7 @@ pub fn build_testbench(case: &DesignCase) -> FormalTestbench {
 /// vary them.
 pub fn default_check_options(case: &DesignCase, variant: Variant) -> CheckOptions {
     CheckOptions {
-        elab: ElabOptions {
-            top: Some(case.module.to_string()),
-            params: case.params(variant),
-            ..ElabOptions::default()
-        },
+        elab: case.elab_options(variant),
         bmc: BmcOptions {
             max_depth: 25,
             max_induction: 10,
@@ -147,13 +144,18 @@ impl CaseRun {
 
 /// Runs the full AutoSVA flow (annotation parsing, FT generation, model
 /// checking) for one design case and variant.
+///
+/// The design is elaborated at most once per process and variant (see
+/// [`autosva_designs::elaborated`]); repeated runs — the integration suites
+/// verify most corpus designs several times — skip straight to checking.
 pub fn run_case(case: &DesignCase, variant: Variant) -> CaseRun {
     let t0 = Instant::now();
     let ft = build_testbench(case);
     let generation_time = t0.elapsed();
     let stats = ft.stats();
     let options = default_check_options(case, variant);
-    let report = verify(case.source, &ft, &options)
+    let design = autosva_designs::elaborated(case, variant);
+    let report = verify_elaborated(&design, &ft, &options)
         .unwrap_or_else(|e| panic!("{}: verification failed: {e}", case.id));
     CaseRun {
         id: case.id.to_string(),
@@ -185,7 +187,7 @@ pub fn status_counts(report: &VerificationReport) -> (usize, usize, usize, usize
     let mut unknown = 0;
     for r in &report.results {
         match r.status {
-            PropertyStatus::Proven | PropertyStatus::Unreachable => proven += 1,
+            PropertyStatus::Proven(_) | PropertyStatus::Unreachable => proven += 1,
             PropertyStatus::Violated(_) => violated += 1,
             PropertyStatus::Covered(_) => covered += 1,
             PropertyStatus::Unknown => unknown += 1,

@@ -23,6 +23,10 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+use autosva_formal::elab::{elaborate, ElabDesign, ElabOptions};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
 /// The open-source project a design comes from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Project {
@@ -114,6 +118,55 @@ impl DesignCase {
             PaperOutcome::FullProof | PaperOutcome::BugFoundThenProof
         )
     }
+
+    /// Elaboration options selecting this design's top module and variant
+    /// parameters (the corpus uses the default `clk_i`/`rst_ni` pins).
+    pub fn elab_options(&self, variant: Variant) -> ElabOptions {
+        ElabOptions {
+            top: Some(self.module.to_string()),
+            params: self.params(variant),
+            ..ElabOptions::default()
+        }
+    }
+}
+
+/// Process-wide cache of elaborated corpus designs, keyed by paper id and
+/// variant.
+///
+/// Elaboration is deterministic and the sources are compiled into the
+/// binary, so every integration test (and every property of a multi-property
+/// run) can share one [`ElabDesign`] instead of re-parsing and re-lowering
+/// the RTL — the Table III suite is SAT-bound, not elaboration-bound, but
+/// under the debug test profile the savings are still measurable.
+type ElabCacheMap = HashMap<(&'static str, Variant), Arc<ElabDesign>>;
+
+static ELAB_CACHE: OnceLock<Mutex<ElabCacheMap>> = OnceLock::new();
+
+/// Returns the elaborated AIG model of a corpus design, cached across calls
+/// (and across test threads) for the lifetime of the process.
+///
+/// # Panics
+///
+/// Panics if the bundled source fails to parse or elaborate; the corpus
+/// sources are covered by this crate's own tests, so that indicates an
+/// internal inconsistency.
+pub fn elaborated(case: &DesignCase, variant: Variant) -> Arc<ElabDesign> {
+    let cache = ELAB_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    // A panicking elaboration (bad corpus source) inserts nothing, so a
+    // poisoned lock leaves the map consistent — recover it rather than
+    // masking the original panic for every later caller.
+    let mut map = cache
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    map.entry((case.id, variant))
+        .or_insert_with(|| {
+            let file = svparse::parse(case.source)
+                .unwrap_or_else(|e| panic!("{}: parse error: {}", case.id, e.render(case.source)));
+            let design = elaborate(&file, &case.elab_options(variant))
+                .unwrap_or_else(|e| panic!("{}: elaboration error: {e}", case.id));
+            Arc::new(design)
+        })
+        .clone()
 }
 
 /// Annotated RTL source of the simplified Ariane page-table walker.
@@ -322,6 +375,38 @@ mod tests {
         );
         assert!(by_id("A1").unwrap().proves_when_fixed());
         assert!(!by_id("A4").unwrap().proves_when_fixed());
+    }
+
+    #[test]
+    fn elaboration_cache_returns_shared_designs() {
+        let case = by_id("O1").unwrap();
+        let first = elaborated(&case, Variant::Fixed);
+        let second = elaborated(&case, Variant::Fixed);
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "repeated elaborations must share one cached design"
+        );
+        // Variants elaborate differently and are cached separately.
+        let buggy = elaborated(&case, Variant::Buggy);
+        assert!(!Arc::ptr_eq(&first, &buggy));
+        assert_eq!(first.top, "noc_buffer");
+        assert!(first.aig.num_latches() > 0);
+    }
+
+    #[test]
+    fn l15_carries_the_scaled_miss_counter() {
+        // The O2 model must sit past the explicit engine's enumeration
+        // cliff: ≥ 24 latches of design state, most of them the free-running
+        // miss counter that only PDR can reason about efficiently.
+        let case = by_id("O2").unwrap();
+        let design = elaborated(&case, Variant::Fixed);
+        assert!(
+            design.aig.num_latches() >= 24,
+            "expected ≥ 24 latches, got {}",
+            design.aig.num_latches()
+        );
+        assert!(design.signal("miss_cnt_q").is_some());
+        assert_eq!(design.width("miss_cnt_q"), Some(20));
     }
 
     #[test]

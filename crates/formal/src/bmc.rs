@@ -131,6 +131,7 @@ pub fn check_safety(model: &Model, bad_index: usize, options: &BmcOptions) -> Sa
 
     // Phase 1: BMC — look for a counterexample with increasing depth.
     let mut bmc = Unroller::new(&model.aig, true);
+    let mut induction = Induction::new(model, bad);
     for depth in 0..=options.max_depth {
         apply_constraints(&mut bmc, &model.constraints, depth);
         if bmc.solve_with(&[(bad, depth, true)]) {
@@ -139,11 +140,7 @@ pub fn check_safety(model: &Model, bad_index: usize, options: &BmcOptions) -> Sa
         }
         // Try to close a k-induction proof at this depth before unrolling
         // further; `depth` counterexample-free frames form the base case.
-        // Attempts are sparse at larger depths because each one re-encodes
-        // the loop-free-path constraints from scratch.
-        if depth <= options.max_induction
-            && try_induction_at(depth)
-            && induction_step_holds(model, bad, depth)
+        if depth <= options.max_induction && try_induction_at(depth) && induction.step_holds(depth)
         {
             return SafetyResult::Proven {
                 induction_depth: depth,
@@ -160,46 +157,85 @@ fn try_induction_at(depth: usize) -> bool {
     depth <= 3 || depth.is_multiple_of(3)
 }
 
-/// Checks whether the k-induction step holds for `bad` at depth `k`: from any
-/// loop-free path of `k + 1` states that satisfies the constraints and avoids
-/// the bad state in its first `k` frames, the last frame cannot be bad.
-fn induction_step_holds(model: &Model, bad: Lit, k: usize) -> bool {
-    let mut ind = Unroller::new(&model.aig, false);
-    for frame in 0..=k {
-        apply_constraints(&mut ind, &model.constraints, frame);
-    }
-    // !bad in frames 0..k
-    for frame in 0..k {
-        ind.constrain(bad, frame, false);
-    }
-    // Simple-path constraint: all states pairwise distinct.
-    let latch_lits: Vec<Lit> = model
-        .aig
-        .latches()
-        .iter()
-        .map(|l| Lit::new(l.node, false))
-        .collect();
-    if !latch_lits.is_empty() {
-        for i in 0..=k {
-            for j in (i + 1)..=k {
-                // At least one latch must differ between frame i and frame j.
-                // For each latch a helper literal d is introduced with
-                // d -> (a != b), and the disjunction of all d's is asserted.
-                let mut diffs: Vec<crate::sat::SatLit> = Vec::with_capacity(latch_lits.len());
-                for &lit in &latch_lits {
-                    let a = ind.lit_in_frame(lit, i);
-                    let b = ind.lit_in_frame(lit, j);
-                    let d = ind.new_free_lit();
-                    ind.add_clause(&[d.negate(), a, b]);
-                    ind.add_clause(&[d.negate(), a.negate(), b.negate()]);
-                    diffs.push(d);
-                }
-                ind.add_clause(&diffs);
-            }
+/// Incrementally maintained k-induction instance.
+///
+/// All constraints of the inductive step grow monotonically with the depth
+/// (`!bad` in earlier frames, per-frame invariant constraints, pairwise
+/// loop-free-path constraints), while `bad` in the last frame is only ever
+/// *assumed* — so one shared transition-relation unrolling serves every
+/// attempt, each deeper attempt asserting just the delta instead of
+/// re-encoding the whole instance from scratch.
+struct Induction<'a> {
+    model: &'a Model,
+    bad: Lit,
+    unroller: Unroller<'a>,
+    latch_lits: Vec<Lit>,
+    /// Deepest frame already constrained, or `None` before the first
+    /// attempt.
+    constrained: Option<usize>,
+}
+
+impl<'a> Induction<'a> {
+    fn new(model: &'a Model, bad: Lit) -> Self {
+        Induction {
+            model,
+            bad,
+            // No initial-state constraint: the step starts from any state.
+            unroller: Unroller::new(&model.aig, false),
+            latch_lits: model
+                .aig
+                .latches()
+                .iter()
+                .map(|l| Lit::new(l.node, false))
+                .collect(),
+            constrained: None,
         }
     }
-    // bad at frame k — if unsatisfiable, the induction step holds.
-    !ind.solve_with(&[(bad, k, true)])
+
+    /// Asserts that at least one latch differs between frames `i` and `j`.
+    fn assert_frames_differ(&mut self, i: usize, j: usize) {
+        let mut diffs: Vec<crate::sat::SatLit> = Vec::with_capacity(self.latch_lits.len());
+        for idx in 0..self.latch_lits.len() {
+            let lit = self.latch_lits[idx];
+            let a = self.unroller.lit_in_frame(lit, i);
+            let b = self.unroller.lit_in_frame(lit, j);
+            let d = self.unroller.new_free_lit();
+            self.unroller.add_clause(&[d.negate(), a, b]);
+            self.unroller
+                .add_clause(&[d.negate(), a.negate(), b.negate()]);
+            diffs.push(d);
+        }
+        self.unroller.add_clause(&diffs);
+    }
+
+    /// Checks whether the k-induction step holds at depth `k`: from any
+    /// loop-free path of `k + 1` states that satisfies the constraints and
+    /// avoids the bad state in its first `k` frames, the last frame cannot
+    /// be bad.
+    fn step_holds(&mut self, k: usize) -> bool {
+        let new_from = self.constrained.map_or(0, |p| p + 1);
+        for frame in new_from..=k {
+            apply_constraints(&mut self.unroller, &self.model.constraints, frame);
+        }
+        // `!bad` must cover frames 0..k; earlier attempts asserted it up to
+        // their own `k - 1`.
+        let bad_from = self.constrained.map_or(0, |p| p);
+        for frame in bad_from..k {
+            self.unroller.constrain(self.bad, frame, false);
+        }
+        // New pairwise simple-path constraints involving the new frames.
+        if !self.latch_lits.is_empty() {
+            for j in new_from..=k {
+                for i in 0..j {
+                    self.assert_frames_differ(i, j);
+                }
+            }
+        }
+        self.constrained = Some(k);
+        // `bad` at frame `k` is assumed, not asserted, so deeper attempts
+        // remain satisfiable-compatible with this instance.
+        !self.unroller.solve_with(&[(self.bad, k, true)])
+    }
 }
 
 /// Checks a cover property of `model`.
@@ -210,15 +246,14 @@ fn induction_step_holds(model: &Model, bad: Lit, k: usize) -> bool {
 pub fn check_cover(model: &Model, cover_index: usize, options: &BmcOptions) -> CoverResult {
     let target = model.covers[cover_index].lit;
     let mut bmc = Unroller::new(&model.aig, true);
+    let mut induction = Induction::new(model, target);
     for depth in 0..=options.max_depth {
         apply_constraints(&mut bmc, &model.constraints, depth);
         if bmc.solve_with(&[(target, depth, true)]) {
             let trace = extract_trace(model, &mut bmc, depth);
             return CoverResult::Covered(trace);
         }
-        if depth <= options.max_induction
-            && try_induction_at(depth)
-            && induction_step_holds(model, target, depth)
+        if depth <= options.max_induction && try_induction_at(depth) && induction.step_holds(depth)
         {
             return CoverResult::Unreachable;
         }

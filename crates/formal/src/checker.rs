@@ -1,11 +1,13 @@
 //! Top-level verification driver.
 //!
 //! [`verify`] runs an AutoSVA-generated formal testbench against its DUT: it
-//! elaborates the RTL, compiles the testbench into a [`crate::model::Model`], checks every
-//! safety property with BMC + k-induction, every cover property with BMC, and
-//! every liveness property through the liveness-to-safety reduction, then
-//! collects everything into a [`VerificationReport`] that mirrors how the
-//! paper reports results (proof rate, counterexamples, trace lengths,
+//! elaborates the RTL, compiles the testbench into a [`crate::model::Model`],
+//! and checks every property through the engine cascade — shallow BMC for
+//! short counterexamples, k-induction for cheap proofs, the IC3/PDR engine
+//! for reachability-dependent proofs (returning an inductive-invariant
+//! certificate), and the exact explicit-state engine as the last resort —
+//! then collects everything into a [`VerificationReport`] that mirrors how
+//! the paper reports results (proof rate, counterexamples, trace lengths,
 //! runtimes).
 
 use crate::aig::Lit;
@@ -13,6 +15,7 @@ use crate::bmc::{check_cover, check_safety, BmcOptions, CoverResult, SafetyResul
 use crate::compile::{compile, CompiledKind, CompiledTestbench};
 use crate::elab::{elaborate, ElabDesign, ElabOptions, Result};
 use crate::explicit::{ExplicitEngine, ExplicitOptions, ExplicitResult};
+use crate::pdr::{check_pdr, check_pdr_lit, PdrOptions, PdrResult};
 use crate::trace::Trace;
 use autosva::sva::{Directive, PropertyClass};
 use autosva::FormalTestbench;
@@ -35,6 +38,12 @@ pub struct CheckOptions {
     /// Disable the explicit-state fallback entirely (used by the engine
     /// ablation benchmarks).
     pub disable_explicit: bool,
+    /// Bounds of the IC3/PDR engine that sits between k-induction and the
+    /// explicit fallback in the cascade.
+    pub pdr: PdrOptions,
+    /// Disable the PDR stage entirely (used by the engine ablation
+    /// benchmarks).
+    pub disable_pdr: bool,
     /// Depth of the *quick* BMC pass run before the exact engine.  Short
     /// counterexamples are found here with minimal effort; anything deeper is
     /// left to the exact engine (or to the full-depth BMC when the exact
@@ -56,7 +65,55 @@ impl Default for CheckOptions {
             },
             explicit: ExplicitOptions::default(),
             disable_explicit: false,
+            pdr: PdrOptions {
+                max_frames: 40,
+                max_queries: 30_000,
+                generalize_rounds: 2,
+            },
+            disable_pdr: false,
             quick_bmc_depth: 10,
+        }
+    }
+}
+
+/// Why a proven property holds: which engine closed the proof and the
+/// artifact it produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Proof {
+    /// k-induction with loop-free-path strengthening.
+    Induction {
+        /// Induction depth at which the proof closed.
+        depth: usize,
+    },
+    /// A PDR inductive invariant (clauses rendered over latch names).
+    Invariant {
+        /// The invariant clauses, human-readable.
+        clauses: Vec<String>,
+        /// Number of frames the trapezoid reached when the proof closed.
+        frames: usize,
+    },
+    /// Exhaustive reachable-state enumeration by the explicit engine.
+    Reachability,
+}
+
+impl Proof {
+    /// A one-line description for report rendering.
+    pub fn describe(&self) -> String {
+        match self {
+            Proof::Induction { depth } => format!("k-induction, k={depth}"),
+            Proof::Invariant { clauses, frames } => {
+                if clauses.is_empty() {
+                    format!("PDR, vacuous at frame {frames}")
+                } else if clauses.len() <= 3 {
+                    format!(
+                        "PDR invariant at frame {frames}: ({})",
+                        clauses.join(") & (")
+                    )
+                } else {
+                    format!("PDR invariant, {} clauses at frame {frames}", clauses.len())
+                }
+            }
+            Proof::Reachability => "explicit reachability".to_string(),
         }
     }
 }
@@ -64,8 +121,9 @@ impl Default for CheckOptions {
 /// The verification status of one property.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PropertyStatus {
-    /// Proven to hold on all executions.
-    Proven,
+    /// Proven to hold on all executions; carries the proof artifact so
+    /// reports can say *why* the property holds.
+    Proven(Proof),
     /// Violated; a counterexample trace is attached.
     Violated(Trace),
     /// Cover target reached; the witness trace is attached.
@@ -84,8 +142,21 @@ impl PropertyStatus {
     pub fn is_pass(&self) -> bool {
         matches!(
             self,
-            PropertyStatus::Proven | PropertyStatus::Covered(_) | PropertyStatus::NotChecked(_)
+            PropertyStatus::Proven(_) | PropertyStatus::Covered(_) | PropertyStatus::NotChecked(_)
         )
+    }
+
+    /// `true` when the property was proven.
+    pub fn is_proven(&self) -> bool {
+        matches!(self, PropertyStatus::Proven(_))
+    }
+
+    /// The attached proof artifact, if the property was proven.
+    pub fn proof(&self) -> Option<&Proof> {
+        match self {
+            PropertyStatus::Proven(p) => Some(p),
+            _ => None,
+        }
     }
 
     /// `true` when a counterexample was produced.
@@ -105,7 +176,7 @@ impl PropertyStatus {
 impl fmt::Display for PropertyStatus {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PropertyStatus::Proven => write!(f, "proven"),
+            PropertyStatus::Proven(_) => write!(f, "proven"),
             PropertyStatus::Violated(t) => write!(f, "CEX ({} cycles)", t.len()),
             PropertyStatus::Covered(t) => write!(f, "covered ({} cycles)", t.len()),
             PropertyStatus::Unreachable => write!(f, "unreachable"),
@@ -165,7 +236,7 @@ impl VerificationReport {
     pub fn proofs(&self) -> usize {
         self.results
             .iter()
-            .filter(|r| matches!(r.status, PropertyStatus::Proven))
+            .filter(|r| matches!(r.status, PropertyStatus::Proven(_)))
             .count()
     }
 
@@ -184,7 +255,7 @@ impl VerificationReport {
         }
         let proven = assertions
             .iter()
-            .filter(|r| matches!(r.status, PropertyStatus::Proven))
+            .filter(|r| matches!(r.status, PropertyStatus::Proven(_)))
             .count();
         proven as f64 / assertions.len() as f64
     }
@@ -209,10 +280,19 @@ impl VerificationReport {
             .unwrap_or(8)
             .max(8);
         for r in &self.results {
-            out.push_str(&format!(
-                "  {:name_width$}  {:>8.1?}  {}\n",
-                r.name, r.runtime, r.status
-            ));
+            match &r.status {
+                PropertyStatus::Proven(proof) => out.push_str(&format!(
+                    "  {:name_width$}  {:>8.1?}  {} [{}]\n",
+                    r.name,
+                    r.runtime,
+                    r.status,
+                    proof.describe()
+                )),
+                status => out.push_str(&format!(
+                    "  {:name_width$}  {:>8.1?}  {status}\n",
+                    r.name, r.runtime
+                )),
+            }
         }
         out.push_str(&format!(
             "proof rate {:.0}%, {} violation(s), total {:.1?}\n",
@@ -271,8 +351,8 @@ pub fn verify_elaborated(
     };
 
     // The exact explicit-state engine is built lazily: only when some
-    // property cannot be settled by BMC or k-induction.
-    let mut explicit: Option<Option<ExplicitBundle>> = None;
+    // property cannot be settled by BMC, k-induction or PDR.
+    let mut explicit = ExplicitState::Untried;
 
     for prop in &compiled.properties {
         let t0 = Instant::now();
@@ -303,25 +383,52 @@ struct ExplicitBundle {
     fair_pendings: Vec<Lit>,
 }
 
-fn explicit_bundle<'a>(
-    compiled: &CompiledTestbench,
-    options: &CheckOptions,
-    cache: &'a mut Option<Option<ExplicitBundle>>,
-) -> Option<&'a ExplicitBundle> {
-    if options.disable_explicit {
-        return None;
+/// Build state of the lazily-constructed explicit-state fallback.
+enum ExplicitState {
+    /// Construction has not been attempted yet.
+    Untried,
+    /// Disabled, or exploration exceeded its limits: permanently absent.
+    Unavailable,
+    /// Explored and ready to answer queries.
+    Ready(Box<ExplicitBundle>),
+}
+
+impl ExplicitState {
+    /// Returns the engine bundle, building it on first use.
+    fn bundle(
+        &mut self,
+        compiled: &CompiledTestbench,
+        options: &CheckOptions,
+    ) -> Option<&ExplicitBundle> {
+        if matches!(self, ExplicitState::Untried) {
+            *self = if options.disable_explicit {
+                ExplicitState::Unavailable
+            } else {
+                let (augmented, assert_pendings, fair_pendings) =
+                    compiled.model.with_pending_monitors();
+                match ExplicitEngine::explore(&augmented, &options.explicit) {
+                    Some(engine) => ExplicitState::Ready(Box::new(ExplicitBundle {
+                        engine,
+                        assert_pendings,
+                        fair_pendings,
+                    })),
+                    None => ExplicitState::Unavailable,
+                }
+            };
+        }
+        match self {
+            ExplicitState::Ready(bundle) => Some(bundle),
+            _ => None,
+        }
     }
-    if cache.is_none() {
-        let (augmented, assert_pendings, fair_pendings) = compiled.model.with_pending_monitors();
-        let bundle =
-            ExplicitEngine::explore(&augmented, &options.explicit).map(|engine| ExplicitBundle {
-                engine,
-                assert_pendings,
-                fair_pendings,
-            });
-        *cache = Some(bundle);
+}
+
+/// Converts a PDR invariant into the report-facing proof artifact.
+fn invariant_proof(invariant: &crate::pdr::Invariant, aig: &crate::aig::Aig) -> Proof {
+    Proof::Invariant {
+        clauses: invariant.render(aig),
+        frames: invariant.frames_explored,
     }
-    cache.as_ref().and_then(|b| b.as_ref())
 }
 
 fn check_one(
@@ -329,7 +436,7 @@ fn check_one(
     l2s: Option<&crate::model::LivenessSafetyModel>,
     prop: &crate::compile::CompiledProperty,
     options: &CheckOptions,
-    explicit: &mut Option<Option<ExplicitBundle>>,
+    explicit: &mut ExplicitState,
 ) -> PropertyStatus {
     match &prop.kind {
         CompiledKind::Skipped(reason) => PropertyStatus::NotChecked(reason),
@@ -345,22 +452,45 @@ fn check_one(
                 max_induction: 3.min(options.bmc.max_induction),
             };
             match check_safety(&compiled.model, *index, &quick) {
-                SafetyResult::Proven { .. } => return PropertyStatus::Proven,
+                SafetyResult::Proven { induction_depth } => {
+                    return PropertyStatus::Proven(Proof::Induction {
+                        depth: induction_depth,
+                    })
+                }
                 SafetyResult::Violated(trace) => return PropertyStatus::Violated(trace),
                 SafetyResult::Unknown { .. } => {}
             }
+            // PDR: the unbounded engine that closes the reachability-
+            // dependent proofs (counter-vs-state invariants) induction
+            // cannot, without the explicit engine's exponential cliff.
+            if !options.disable_pdr {
+                match check_pdr(&compiled.model, *index, &options.pdr) {
+                    PdrResult::Proven(invariant) => {
+                        return PropertyStatus::Proven(invariant_proof(
+                            &invariant,
+                            &compiled.model.aig,
+                        ))
+                    }
+                    PdrResult::Violated(trace) => return PropertyStatus::Violated(trace),
+                    PdrResult::Unknown { .. } => {}
+                }
+            }
             let bad = compiled.model.bads[*index].lit;
-            if let Some(bundle) = explicit_bundle(compiled, options, explicit) {
+            if let Some(bundle) = explicit.bundle(compiled, options) {
                 match bundle.engine.check_bad(bad) {
-                    ExplicitResult::Proven => return PropertyStatus::Proven,
+                    ExplicitResult::Proven => return PropertyStatus::Proven(Proof::Reachability),
                     ExplicitResult::Violated(trace) => return PropertyStatus::Violated(trace),
                     ExplicitResult::Exceeded => {}
                 }
             }
-            // Exact engine unavailable: fall back to the full-depth bounded
+            // Exact engines unavailable: fall back to the full-depth bounded
             // engines.
             match check_safety(&compiled.model, *index, &options.bmc) {
-                SafetyResult::Proven { .. } => PropertyStatus::Proven,
+                SafetyResult::Proven { induction_depth } => {
+                    PropertyStatus::Proven(Proof::Induction {
+                        depth: induction_depth,
+                    })
+                }
                 SafetyResult::Violated(trace) => PropertyStatus::Violated(trace),
                 SafetyResult::Unknown { .. } => PropertyStatus::Unknown,
             }
@@ -376,7 +506,16 @@ fn check_one(
                 CoverResult::Unknown { .. } => {}
             }
             let target = compiled.model.covers[*index].lit;
-            if let Some(bundle) = explicit_bundle(compiled, options, explicit) {
+            // PDR decides reachability of the cover target: a "proof" means
+            // the target is unreachable, a "counterexample" is the witness.
+            if !options.disable_pdr {
+                match check_pdr_lit(&compiled.model, target, &options.pdr) {
+                    PdrResult::Proven(_) => return PropertyStatus::Unreachable,
+                    PdrResult::Violated(trace) => return PropertyStatus::Covered(trace),
+                    PdrResult::Unknown { .. } => {}
+                }
+            }
+            if let Some(bundle) = explicit.bundle(compiled, options) {
                 match bundle.engine.check_cover(target) {
                     ExplicitResult::Proven => return PropertyStatus::Unreachable,
                     ExplicitResult::Violated(trace) => return PropertyStatus::Covered(trace),
@@ -393,27 +532,44 @@ fn check_one(
             let l2s = l2s.expect("liveness model exists when liveness properties exist");
             // The index into the original model's liveness vector equals the
             // index into the transformed model's bad vector.  BMC on the
-            // transformed model finds short counterexample lassos; proofs are
-            // closed by the exact engine.
+            // transformed model finds short counterexample lassos; proofs
+            // fall through to PDR and then to the exact engine.
             let quick = BmcOptions {
                 max_depth: options.quick_bmc_depth.min(options.liveness_bmc.max_depth),
                 max_induction: options.liveness_bmc.max_induction.min(3),
             };
             match check_safety(&l2s.model, *index, &quick) {
-                SafetyResult::Proven { .. } => return PropertyStatus::Proven,
+                SafetyResult::Proven { induction_depth } => {
+                    return PropertyStatus::Proven(Proof::Induction {
+                        depth: induction_depth,
+                    })
+                }
                 SafetyResult::Violated(trace) => return PropertyStatus::Violated(trace),
                 SafetyResult::Unknown { .. } => {}
             }
-            if let Some(bundle) = explicit_bundle(compiled, options, explicit) {
+            if !options.disable_pdr {
+                match check_pdr(&l2s.model, *index, &options.pdr) {
+                    PdrResult::Proven(invariant) => {
+                        return PropertyStatus::Proven(invariant_proof(&invariant, &l2s.model.aig))
+                    }
+                    PdrResult::Violated(trace) => return PropertyStatus::Violated(trace),
+                    PdrResult::Unknown { .. } => {}
+                }
+            }
+            if let Some(bundle) = explicit.bundle(compiled, options) {
                 let pending = bundle.assert_pendings[*index];
                 match bundle.engine.check_liveness(pending, &bundle.fair_pendings) {
-                    ExplicitResult::Proven => return PropertyStatus::Proven,
+                    ExplicitResult::Proven => return PropertyStatus::Proven(Proof::Reachability),
                     ExplicitResult::Violated(trace) => return PropertyStatus::Violated(trace),
                     ExplicitResult::Exceeded => {}
                 }
             }
             match check_safety(&l2s.model, *index, &options.liveness_bmc) {
-                SafetyResult::Proven { .. } => PropertyStatus::Proven,
+                SafetyResult::Proven { induction_depth } => {
+                    PropertyStatus::Proven(Proof::Induction {
+                        depth: induction_depth,
+                    })
+                }
                 SafetyResult::Violated(trace) => PropertyStatus::Violated(trace),
                 SafetyResult::Unknown { .. } => PropertyStatus::Unknown,
             }
@@ -510,6 +666,48 @@ module echo (
 endmodule
 "#;
 
+    /// A single-outstanding echo that answers only after a 7-cycle wait
+    /// counter drains.  The `had_a_request` monitor proof needs reachability
+    /// information ("the wait counter is only non-zero while busy"), which
+    /// defeats the shallow quick-BMC induction and exercises the PDR stage.
+    const ECHO_SLOW: &str = r#"
+/*AUTOSVA
+slow_txn: req -in> res
+req_val = req_val
+req_ack = req_ack
+res_val = res_val
+*/
+module echo_slow (
+  input  logic clk_i,
+  input  logic rst_ni,
+  input  logic req_val,
+  output logic req_ack,
+  output logic res_val
+);
+  logic       busy_q;
+  logic [2:0] wait_q;
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) begin
+      busy_q <= 1'b0;
+      wait_q <= 3'd0;
+    end else begin
+      if (req_val && req_ack) begin
+        busy_q <= 1'b1;
+        wait_q <= 3'd7;
+      end else if (busy_q) begin
+        if (wait_q != 3'd0) begin
+          wait_q <= wait_q - 3'd1;
+        end else begin
+          busy_q <= 1'b0;
+        end
+      end
+    end
+  end
+  assign req_ack = !busy_q;
+  assign res_val = busy_q && wait_q == 3'd0;
+endmodule
+"#;
+
     fn run(src: &str) -> VerificationReport {
         let ft = generate_ft(src, &AutosvaOptions::default()).unwrap();
         verify(src, &ft, &CheckOptions::default()).unwrap()
@@ -561,5 +759,57 @@ endmodule
             assert!(text.contains(&r.name));
         }
         assert!(text.contains("proof rate"));
+    }
+
+    #[test]
+    fn cascade_runs_pdr_before_the_explicit_fallback() {
+        let ft = generate_ft(ECHO_SLOW, &AutosvaOptions::default()).unwrap();
+
+        // Default cascade: the reachability-dependent safety proof must be
+        // closed by the PDR stage (an inductive-invariant certificate), not
+        // by the explicit engine sitting behind it.
+        let report = verify(ECHO_SLOW, &ft, &CheckOptions::default()).unwrap();
+        let had = report
+            .results
+            .iter()
+            .find(|r| r.name.contains("had_a_request"))
+            .expect("monitor property exists");
+        assert!(
+            matches!(had.status.proof(), Some(Proof::Invariant { .. })),
+            "expected a PDR invariant proof, got {:?}",
+            had.status
+        );
+        assert_eq!(report.violations(), 0, "{}", report.render());
+
+        // With PDR disabled the same property falls through to the explicit
+        // engine — proving the stage really sits in front of it.
+        let mut no_pdr = CheckOptions::default();
+        no_pdr.disable_pdr = true;
+        let report = verify(ECHO_SLOW, &ft, &no_pdr).unwrap();
+        let had = report
+            .results
+            .iter()
+            .find(|r| r.name.contains("had_a_request"))
+            .expect("monitor property exists");
+        assert!(
+            matches!(had.status.proof(), Some(Proof::Reachability)),
+            "expected an explicit-reachability proof, got {:?}",
+            had.status
+        );
+    }
+
+    #[test]
+    fn proven_properties_render_their_proof_artifact() {
+        let ft = generate_ft(ECHO_SLOW, &AutosvaOptions::default()).unwrap();
+        let report = verify(ECHO_SLOW, &ft, &CheckOptions::default()).unwrap();
+        let text = report.render();
+        assert!(
+            text.contains("PDR invariant"),
+            "render must say why properties hold:\n{text}"
+        );
+        assert!(
+            text.contains("k-induction") || text.contains("PDR"),
+            "{text}"
+        );
     }
 }

@@ -18,10 +18,14 @@
 //! * [`model`] — the checked-model representation plus the
 //!   liveness-to-safety transformation for response properties under
 //!   fairness;
+//! * [`pdr`] — an IC3/PDR property-directed-reachability engine (frame
+//!   trapezoid, proof-obligation queue, unsat-core/ternary-sim cube
+//!   generalization) producing certified inductive invariants;
 //! * [`explicit`] — an exact explicit-state engine (bit-parallel reachability
-//!   and fairness-aware SCC analysis) used to close the proofs that plain
-//!   induction cannot;
-//! * [`checker`] — the portfolio driver tying everything together and
+//!   and fairness-aware SCC analysis) kept as the last-resort fallback for
+//!   small designs and liveness under fairness;
+//! * [`checker`] — the portfolio driver tying everything together (the
+//!   cascade runs BMC, k-induction, PDR, then the explicit engine) and
 //!   producing per-property reports with counterexample [`trace`]s.
 //!
 //! # Quick start
@@ -60,6 +64,7 @@ pub mod compile;
 pub mod elab;
 pub mod explicit;
 pub mod model;
+pub mod pdr;
 pub mod sat;
 pub mod sim;
 pub mod trace;

@@ -1,0 +1,990 @@
+//! IC3 / Property Directed Reachability over a [`Model`].
+//!
+//! BMC finds short counterexamples and k-induction closes shallow proofs,
+//! but invariants that relate counters to control state (the shape of every
+//! AutoSVA `had_a_request` obligation) defeat plain induction, and the exact
+//! explicit-state fallback cliffs exponentially with the latch count.  PDR
+//! fills that gap: it maintains a *trapezoid* of frames `F_0 ⊆ F_1 ⊆ … ⊆
+//! F_k`, each an over-approximation of the states reachable in that many
+//! steps, and refines them with clauses learnt from blocked proof
+//! obligations until either a frame becomes inductive (proof, with the
+//! invariant as a certificate) or an obligation chain reaches the initial
+//! state (counterexample).
+//!
+//! Implementation notes (following Eén/Mishchenko/Brayton, *Efficient
+//! implementation of property directed reachability*, FMCAD'11):
+//!
+//! * **one incremental solver** — the two-frame transition relation is
+//!   encoded once through [`Unroller`]; frames are *delta-encoded* clause
+//!   sets guarded by per-frame activation literals, so a query relative to
+//!   `F_i` is a [`crate::sat::Solver::solve`] call assuming the activation
+//!   literals of frames `i..`;
+//! * **cube generalization** — blocked cubes are shrunk with the solver's
+//!   final-conflict [`crate::sat::Solver::unsat_core`] and then by bounded
+//!   literal dropping, always re-anchored so the cube keeps excluding the
+//!   initial state;
+//! * **predecessor lifting** — counterexamples-to-induction are widened
+//!   from a concrete state to a cube by ternary simulation of the AIG
+//!   (set a latch to X; keep it dropped while every target stays
+//!   determined);
+//! * **certificates** — a proof returns the [`Invariant`] (a CNF over latch
+//!   literals) which [`Invariant::certify`] re-validates with an
+//!   independent, freshly-encoded SAT check.
+
+use crate::aig::{Aig, Lit, Node};
+use crate::model::Model;
+use crate::sat::{SatLit, SatResult};
+use crate::trace::Trace;
+use crate::unroll::Unroller;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Options bounding the PDR engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PdrOptions {
+    /// Maximum number of frames in the trapezoid before giving up.
+    pub max_frames: usize,
+    /// Total SAT-query budget across the run; `Unknown` when exhausted.
+    pub max_queries: u64,
+    /// Rounds of literal-dropping attempted when generalizing a blocked
+    /// cube (on top of the unsat-core shrink, which is always applied).
+    pub generalize_rounds: usize,
+}
+
+impl Default for PdrOptions {
+    fn default() -> Self {
+        PdrOptions {
+            max_frames: 80,
+            max_queries: 500_000,
+            generalize_rounds: 2,
+        }
+    }
+}
+
+/// An inductive invariant certifying a PDR proof.
+///
+/// The invariant is a conjunction of clauses, each a disjunction of latch
+/// literals of the checked model's AIG.  Together with the model's invariant
+/// constraints it satisfies initiation (`init ⇒ Inv`), consecution
+/// (`Inv ∧ constr ∧ T ⇒ Inv'`) and safety (`Inv ∧ constr ⇒ ¬bad`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Invariant {
+    clauses: Vec<Vec<Lit>>,
+    /// Number of frames the trapezoid reached when the proof closed.
+    pub frames_explored: usize,
+}
+
+impl Invariant {
+    /// The clauses of the invariant (disjunctions of latch literals).
+    pub fn clauses(&self) -> &[Vec<Lit>] {
+        &self.clauses
+    }
+
+    /// Number of clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Renders the clauses with latch names resolved against `aig`.
+    pub fn render(&self, aig: &Aig) -> Vec<String> {
+        self.clauses
+            .iter()
+            .map(|clause| {
+                let lits: Vec<String> = clause
+                    .iter()
+                    .map(|l| {
+                        let name = aig.name_of(l.node()).unwrap_or("latch");
+                        if l.is_inverted() {
+                            format!("!{name}")
+                        } else {
+                            name.to_string()
+                        }
+                    })
+                    .collect();
+                lits.join(" | ")
+            })
+            .collect()
+    }
+
+    /// Independently re-validates the certificate against `model` and the
+    /// bad literal it was produced for.
+    ///
+    /// Initiation is checked syntactically (the initial state is a single
+    /// concrete valuation); consecution and safety are checked together
+    /// with one SAT call on a fresh encoding: `Inv ∧ constr ∧ T ∧ (bad ∨
+    /// ¬Inv')` must be unsatisfiable.
+    pub fn certify(&self, model: &Model, bad: Lit) -> bool {
+        // Initiation.
+        let init_of: HashMap<usize, bool> = model
+            .aig
+            .latches()
+            .iter()
+            .map(|l| (l.node, l.init))
+            .collect();
+        for clause in &self.clauses {
+            let satisfied = clause.iter().any(|l| {
+                init_of
+                    .get(&l.node())
+                    .map(|&v| v != l.is_inverted())
+                    .unwrap_or(false)
+            });
+            if !satisfied {
+                return false;
+            }
+        }
+
+        // Consecution and safety in one query.
+        let mut unroller = Unroller::new(&model.aig, false);
+        for clause in &self.clauses {
+            let sat_clause: Vec<SatLit> = clause
+                .iter()
+                .map(|&l| unroller.lit_in_frame(l, 0))
+                .collect();
+            unroller.add_clause(&sat_clause);
+        }
+        for &c in &model.constraints {
+            unroller.constrain(c, 0, true);
+        }
+        // One selector per clause: d_c ⇒ clause violated at frame 1.
+        let mut violated_any: Vec<SatLit> = vec![unroller.lit_in_frame(bad, 0)];
+        for clause in &self.clauses {
+            let d = SatLit::pos(unroller.new_var());
+            for &l in clause {
+                let l1 = unroller.lit_in_frame(l, 1);
+                unroller.add_clause(&[d.negate(), l1.negate()]);
+            }
+            violated_any.push(d);
+        }
+        unroller.add_clause(&violated_any);
+        unroller.solve_sat(&[]) == SatResult::Unsat
+    }
+}
+
+/// Outcome of a PDR run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PdrResult {
+    /// The property holds; the inductive invariant is attached.
+    Proven(Invariant),
+    /// A counterexample trace was found.
+    Violated(Trace),
+    /// The frame or query budget was exhausted without a verdict.
+    Unknown {
+        /// Number of frames reached before giving up.
+        frames_explored: usize,
+    },
+}
+
+impl PdrResult {
+    /// `true` when the property was proven.
+    pub fn is_proven(&self) -> bool {
+        matches!(self, PdrResult::Proven(_))
+    }
+
+    /// `true` when a counterexample was found.
+    pub fn is_violated(&self) -> bool {
+        matches!(self, PdrResult::Violated(_))
+    }
+}
+
+/// Checks a bad-state property of `model` (an index into [`Model::bads`]).
+///
+/// # Panics
+///
+/// Panics if `bad_index` is out of range.
+pub fn check_pdr(model: &Model, bad_index: usize, options: &PdrOptions) -> PdrResult {
+    check_pdr_lit(model, model.bads[bad_index].lit, options)
+}
+
+/// Checks an arbitrary target literal of `model` as a bad-state property
+/// (used for assertions, unreachability of cover targets, and the
+/// differential test harness).
+pub fn check_pdr_lit(model: &Model, bad: Lit, options: &PdrOptions) -> PdrResult {
+    Pdr::new(model, bad, options).run()
+}
+
+/// A cube: a partial latch valuation, as sorted `(latch position, value)`
+/// pairs.
+type Cube = Vec<(usize, bool)>;
+
+/// One clause-set delta of the trapezoid, guarded by an activation literal.
+struct Frame {
+    act: SatLit,
+    cubes: Vec<Cube>,
+}
+
+/// A proof-obligation node; obligations chain toward the bad state through
+/// `succ`, and carry the concrete input valuation driving their state into
+/// the successor cube (for the final obligation: making the bad literal
+/// true).
+struct ObNode {
+    cube: Cube,
+    inputs: Vec<bool>,
+    succ: Option<usize>,
+}
+
+enum BlockOutcome {
+    Blocked,
+    Cex(Trace),
+    Budget,
+}
+
+struct Pdr<'a> {
+    model: &'a Model,
+    bad: Lit,
+    options: &'a PdrOptions,
+    unroller: Unroller<'a>,
+    /// AIG node per latch position.
+    latch_nodes: Vec<usize>,
+    latch_init: Vec<bool>,
+    latch_next: Vec<Lit>,
+    /// Frame-0 / frame-1 SAT literal per latch position.
+    f0: Vec<SatLit>,
+    f1: Vec<SatLit>,
+    input_nodes: Vec<usize>,
+    input_f0: Vec<SatLit>,
+    latch_pos_of: HashMap<usize, usize>,
+    input_pos_of: HashMap<usize, usize>,
+    bad0: SatLit,
+    /// `frames[0]` is the initial-state frame (its activation literal guards
+    /// the init unit clauses); `frames[i]` for `i ≥ 1` holds the delta cubes
+    /// blocked at level `i`.
+    frames: Vec<Frame>,
+    queries: u64,
+    arena: Vec<ObNode>,
+    seq: usize,
+    /// Ternary-simulation scratch (one value per AIG node; `None` = X).
+    val3: Vec<Option<bool>>,
+}
+
+impl<'a> Pdr<'a> {
+    fn new(model: &'a Model, bad: Lit, options: &'a PdrOptions) -> Self {
+        let aig = &model.aig;
+        let mut unroller = Unroller::new(aig, false);
+        let latch_nodes: Vec<usize> = aig.latches().iter().map(|l| l.node).collect();
+        let latch_init: Vec<bool> = aig.latches().iter().map(|l| l.init).collect();
+        let latch_next: Vec<Lit> = aig.latches().iter().map(|l| l.next).collect();
+        let f0: Vec<SatLit> = latch_nodes
+            .iter()
+            .map(|&n| unroller.lit_in_frame(Lit::new(n, false), 0))
+            .collect();
+        let f1: Vec<SatLit> = latch_nodes
+            .iter()
+            .map(|&n| unroller.lit_in_frame(Lit::new(n, false), 1))
+            .collect();
+        let input_nodes: Vec<usize> = aig.inputs().to_vec();
+        let input_f0: Vec<SatLit> = input_nodes
+            .iter()
+            .map(|&n| unroller.lit_in_frame(Lit::new(n, false), 0))
+            .collect();
+        let bad0 = unroller.lit_in_frame(bad, 0);
+        // The transition relation carries the invariant constraints on the
+        // current frame, so every explored step satisfies them (the same
+        // per-frame semantics the bounded engines use).
+        for &c in &model.constraints {
+            unroller.constrain(c, 0, true);
+        }
+        let init_act = SatLit::pos(unroller.new_var());
+        for (pos, &sl) in f0.iter().enumerate() {
+            let unit = if latch_init[pos] { sl } else { sl.negate() };
+            unroller.add_clause(&[init_act.negate(), unit]);
+        }
+        let latch_pos_of = latch_nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (n, i))
+            .collect();
+        let input_pos_of = input_nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (n, i))
+            .collect();
+        let num_nodes = aig.num_nodes();
+        Pdr {
+            model,
+            bad,
+            options,
+            unroller,
+            latch_nodes,
+            latch_init,
+            latch_next,
+            f0,
+            f1,
+            input_nodes,
+            input_f0,
+            latch_pos_of,
+            input_pos_of,
+            bad0,
+            frames: vec![Frame {
+                act: init_act,
+                cubes: Vec::new(),
+            }],
+            queries: 0,
+            arena: Vec::new(),
+            seq: 0,
+            val3: vec![None; num_nodes],
+        }
+    }
+
+    fn over_budget(&self) -> bool {
+        self.queries > self.options.max_queries
+    }
+
+    fn frame_assumptions(&self, frame: usize) -> Vec<SatLit> {
+        // Delta encoding: F_i is the conjunction of the clause sets of
+        // frames i.. (F_0 additionally activates the init units, and every
+        // blocked clause also holds at init).
+        self.frames[frame..].iter().map(|f| f.act).collect()
+    }
+
+    fn solve(&mut self, assumptions: &[SatLit]) -> SatResult {
+        self.queries += 1;
+        self.unroller.solve_sat(assumptions)
+    }
+
+    fn push_frame(&mut self) {
+        let act = SatLit::pos(self.unroller.new_var());
+        self.frames.push(Frame {
+            act,
+            cubes: Vec::new(),
+        });
+    }
+
+    /// The SAT literal asserting `latch(pos) == value` at `frame` (0 or 1).
+    fn state_lit(&self, pos: usize, value: bool, frame1: bool) -> SatLit {
+        let base = if frame1 { self.f1[pos] } else { self.f0[pos] };
+        if value {
+            base
+        } else {
+            base.negate()
+        }
+    }
+
+    fn cube_contains_init(&self, cube: &Cube) -> bool {
+        cube.iter().all(|&(pos, val)| self.latch_init[pos] == val)
+    }
+
+    /// Queries `F_fi ∧ ¬cube ∧ T ∧ cube'`.  On SAT returns the lifted
+    /// predecessor (cube + concrete inputs); on UNSAT returns the subset of
+    /// `cube` kept by the final conflict.
+    fn relative_query(&mut self, fi: usize, cube: &Cube) -> Result<(Cube, Vec<bool>), Cube> {
+        // Temporary ¬cube clause, guarded so it can be retired afterwards.
+        let t = SatLit::pos(self.unroller.new_var());
+        let mut neg_cube = vec![t.negate()];
+        for &(pos, val) in cube {
+            neg_cube.push(self.state_lit(pos, val, false).negate());
+        }
+        self.unroller.add_clause(&neg_cube);
+
+        let mut assumptions = self.frame_assumptions(fi);
+        assumptions.push(t);
+        let primed: Vec<SatLit> = cube
+            .iter()
+            .map(|&(pos, val)| self.state_lit(pos, val, true))
+            .collect();
+        assumptions.extend_from_slice(&primed);
+
+        let result = match self.solve(&assumptions) {
+            SatResult::Sat => {
+                let state: Vec<bool> = (0..self.f0.len())
+                    .map(|p| self.unroller.sat_value(self.f0[p]))
+                    .collect();
+                let inputs: Vec<bool> = self
+                    .input_f0
+                    .iter()
+                    .map(|&sl| self.unroller.sat_value(sl))
+                    .collect();
+                let pred = self.lift_predecessor(state, &inputs, cube);
+                Ok((pred, inputs))
+            }
+            SatResult::Unsat => {
+                let core = self.unroller.unsat_core().to_vec();
+                let kept: Cube = cube
+                    .iter()
+                    .zip(&primed)
+                    .filter(|&(_, sl)| core.contains(sl))
+                    .map(|(&entry, _)| entry)
+                    .collect();
+                Err(kept)
+            }
+        };
+        // Retire the temporary clause for good.
+        self.unroller.add_clause(&[t.negate()]);
+        result
+    }
+
+    /// Ternary simulation: evaluates every AIG node for a partial latch
+    /// valuation and concrete inputs (`None` = X).
+    fn eval3(&mut self, latches: &[Option<bool>], inputs: &[bool]) {
+        for idx in 0..self.val3.len() {
+            self.val3[idx] = match self.model.aig.node(idx) {
+                Node::False => Some(false),
+                Node::Input => self.input_pos_of.get(&idx).map(|&p| inputs[p]),
+                Node::Latch => self.latch_pos_of.get(&idx).and_then(|&p| latches[p]),
+                Node::And(a, b) => {
+                    let va = self.lit3(a);
+                    let vb = self.lit3(b);
+                    match (va, vb) {
+                        (Some(false), _) | (_, Some(false)) => Some(false),
+                        (Some(true), Some(true)) => Some(true),
+                        _ => None,
+                    }
+                }
+            };
+        }
+    }
+
+    fn lit3(&self, lit: Lit) -> Option<bool> {
+        self.val3[lit.node()].map(|v| v ^ lit.is_inverted())
+    }
+
+    /// `true` when every `(lit, expected)` target is determined to its
+    /// expected value under the current ternary valuation.
+    fn targets_hold(
+        &mut self,
+        latches: &[Option<bool>],
+        inputs: &[bool],
+        targets: &[(Lit, bool)],
+    ) -> bool {
+        self.eval3(latches, inputs);
+        targets
+            .iter()
+            .all(|&(lit, expected)| self.lit3(lit) == Some(expected))
+    }
+
+    /// Greedily widens a concrete state into a cube by dropping latch
+    /// literals that the targets do not depend on (inputs stay concrete).
+    fn lift(&mut self, state: Vec<bool>, inputs: &[bool], targets: &[(Lit, bool)]) -> Cube {
+        let mut kept: Vec<Option<bool>> = state.iter().map(|&v| Some(v)).collect();
+        for pos in 0..kept.len() {
+            kept[pos] = None;
+            if !self.targets_hold(&kept, inputs, targets) {
+                kept[pos] = Some(state[pos]);
+            }
+        }
+        kept.iter()
+            .enumerate()
+            .filter_map(|(pos, v)| v.map(|val| (pos, val)))
+            .collect()
+    }
+
+    /// Lifts a bad-state model: the cube must keep the bad literal true and
+    /// every invariant constraint satisfied under the witnessed inputs.
+    fn lift_bad(&mut self, state: Vec<bool>, inputs: &[bool]) -> Cube {
+        let mut targets = vec![(self.bad, true)];
+        targets.extend(self.model.constraints.iter().map(|&c| (c, true)));
+        self.lift(state, inputs, &targets)
+    }
+
+    /// Lifts a predecessor model: the cube must keep every next-state
+    /// literal of the successor cube at its value and every invariant
+    /// constraint satisfied under the witnessed inputs.
+    fn lift_predecessor(&mut self, state: Vec<bool>, inputs: &[bool], succ: &Cube) -> Cube {
+        let mut targets: Vec<(Lit, bool)> = succ
+            .iter()
+            .map(|&(pos, val)| (self.latch_next[pos], val))
+            .collect();
+        targets.extend(self.model.constraints.iter().map(|&c| (c, true)));
+        self.lift(state, inputs, &targets)
+    }
+
+    /// Restores init exclusion after a shrink: every blocked cube must keep
+    /// at least one literal disagreeing with the initial state.  `full` is
+    /// the original cube the shrink started from (known init-excluding).
+    fn ensure_init_excluded(&self, gen: &mut Cube, full: &Cube) {
+        if !self.cube_contains_init(gen) {
+            return;
+        }
+        let back = full
+            .iter()
+            .find(|&&(pos, val)| self.latch_init[pos] != val)
+            .copied()
+            .expect("blocked cubes exclude the initial state");
+        gen.push(back);
+        gen.sort_unstable();
+    }
+
+    /// Adds `cube` as a blocked clause at level `level` and prunes
+    /// syntactically subsumed bookkeeping entries.
+    fn add_blocked_cube(&mut self, cube: Cube, level: usize) {
+        let mut clause = vec![self.frames[level].act.negate()];
+        for &(pos, val) in &cube {
+            clause.push(self.state_lit(pos, val, false).negate());
+        }
+        self.unroller.add_clause(&clause);
+        // Drop syntactically subsumed entries (including exact duplicates —
+        // the fresh copy is pushed below, so propagation never re-queries
+        // the same cube twice from one frame).
+        for frame in &mut self.frames[1..=level] {
+            frame.cubes.retain(|existing| !subsumes(&cube, existing));
+        }
+        self.frames[level].cubes.push(cube);
+    }
+
+    fn arena_push(&mut self, cube: Cube, inputs: Vec<bool>, succ: Option<usize>) -> usize {
+        self.arena.push(ObNode { cube, inputs, succ });
+        self.arena.len() - 1
+    }
+
+    /// Recursively blocks a counterexample-to-induction cube at the
+    /// frontier via the proof-obligation queue.
+    fn block(&mut self, cube: Cube, inputs: Vec<bool>, frontier: usize) -> BlockOutcome {
+        let root = self.arena_push(cube, inputs, None);
+        let mut queue: BinaryHeap<Reverse<(usize, usize, usize)>> = BinaryHeap::new();
+        self.seq += 1;
+        queue.push(Reverse((frontier, self.seq, root)));
+
+        while let Some(Reverse((frame, _, id))) = queue.pop() {
+            if self.over_budget() {
+                return BlockOutcome::Budget;
+            }
+            if self.cube_contains_init(&self.arena[id].cube) {
+                return BlockOutcome::Cex(self.trace_from_chain(id));
+            }
+            debug_assert!(frame >= 1, "non-init obligations sit at frame >= 1");
+            let cube = self.arena[id].cube.clone();
+            match self.relative_query(frame - 1, &cube) {
+                Ok((pred, pinputs)) => {
+                    // A predecessor reaches the cube: chase it one frame
+                    // down and retry this obligation afterwards.
+                    let pid = self.arena_push(pred, pinputs, Some(id));
+                    self.seq += 1;
+                    queue.push(Reverse((frame - 1, self.seq, pid)));
+                    self.seq += 1;
+                    queue.push(Reverse((frame, self.seq, id)));
+                }
+                Err(core_cube) => {
+                    let mut gen = core_cube;
+                    self.ensure_init_excluded(&mut gen, &cube);
+                    self.drop_literals(&mut gen, frame - 1);
+                    // Push the clause as far up the trapezoid as it stays
+                    // relatively inductive.
+                    let mut level = frame;
+                    while level + 1 < self.frames.len() {
+                        if self.over_budget() {
+                            break;
+                        }
+                        match self.relative_query(level, &gen) {
+                            Err(_) => level += 1,
+                            Ok(_) => break,
+                        }
+                    }
+                    self.add_blocked_cube(gen, level);
+                    // Keep chasing the same obligation deeper: it often
+                    // re-blocks cheaply and speeds up convergence.
+                    if level + 1 < self.frames.len() {
+                        self.seq += 1;
+                        queue.push(Reverse((level + 1, self.seq, id)));
+                    }
+                }
+            }
+        }
+        BlockOutcome::Blocked
+    }
+
+    /// Bounded literal dropping on top of the unsat-core shrink.  Every
+    /// candidate is re-validated with a relative-induction query, so the
+    /// invariant "gen is blocked relative to F_fi and excludes init" is
+    /// maintained throughout.
+    fn drop_literals(&mut self, gen: &mut Cube, fi: usize) {
+        for _ in 0..self.options.generalize_rounds {
+            let mut changed = false;
+            let mut idx = 0;
+            while idx < gen.len() && gen.len() > 1 {
+                if self.over_budget() {
+                    return;
+                }
+                let mut candidate = gen.clone();
+                candidate.remove(idx);
+                if self.cube_contains_init(&candidate) {
+                    idx += 1;
+                    continue;
+                }
+                match self.relative_query(fi, &candidate) {
+                    Err(mut core_cube) => {
+                        self.ensure_init_excluded(&mut core_cube, &candidate);
+                        *gen = core_cube;
+                        changed = true;
+                        idx = 0;
+                    }
+                    Ok(_) => idx += 1,
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    /// Clause propagation after a new frontier frame was opened.  Returns
+    /// the inductive invariant when two adjacent frames become equal.
+    fn propagate_clauses(&mut self) -> Option<Invariant> {
+        for i in 1..self.frames.len() - 1 {
+            let cubes = self.frames[i].cubes.clone();
+            for cube in cubes {
+                if self.over_budget() {
+                    return None;
+                }
+                if self.relative_query(i, &cube).is_err() {
+                    // add_blocked_cube prunes the frame-i copy (it subsumes
+                    // itself), completing the move to frame i + 1.
+                    self.add_blocked_cube(cube, i + 1);
+                }
+            }
+            if self.frames[i].cubes.is_empty() {
+                return Some(self.extract_invariant(i + 1));
+            }
+        }
+        None
+    }
+
+    fn extract_invariant(&self, start: usize) -> Invariant {
+        let mut clauses = Vec::new();
+        for frame in &self.frames[start..] {
+            for cube in &frame.cubes {
+                let clause: Vec<Lit> = cube
+                    .iter()
+                    .map(|&(pos, val)| Lit::new(self.latch_nodes[pos], val))
+                    .collect();
+                clauses.push(clause);
+            }
+        }
+        Invariant {
+            clauses,
+            frames_explored: self.frames.len() - 1,
+        }
+    }
+
+    /// Concrete one-step simulation used for trace reconstruction.
+    fn simulate_step(&mut self, state: &[bool], inputs: &[bool]) -> Vec<bool> {
+        let latches: Vec<Option<bool>> = state.iter().map(|&v| Some(v)).collect();
+        self.eval3(&latches, inputs);
+        self.latch_next
+            .iter()
+            .map(|&next| self.lit3(next).expect("concrete simulation is total"))
+            .collect()
+    }
+
+    /// Rebuilds a counterexample trace from a completed obligation chain
+    /// (deepest obligation first; it contains the initial state).
+    fn trace_from_chain(&mut self, deepest: usize) -> Trace {
+        let mut ids = vec![deepest];
+        while let Some(next) = self.arena[*ids.last().expect("chain")].succ {
+            ids.push(next);
+        }
+        let depth = ids.len();
+        let mut trace = Trace::new(depth);
+        let mut state: Vec<bool> = self.latch_init.clone();
+        for (frame, &id) in ids.iter().enumerate() {
+            let inputs = self.arena[id].inputs.clone();
+            for (p, &node) in self.input_nodes.clone().iter().enumerate() {
+                let name = self.model.aig.name_of(node).unwrap_or("input").to_string();
+                trace.record(frame, &name, inputs[p], true);
+            }
+            for (p, &node) in self.latch_nodes.clone().iter().enumerate() {
+                let name = self.model.aig.name_of(node).unwrap_or("latch").to_string();
+                trace.record(frame, &name, state[p], false);
+            }
+            if frame + 1 < depth {
+                state = self.simulate_step(&state, &inputs);
+            }
+        }
+        trace
+    }
+
+    fn run(&mut self) -> PdrResult {
+        // Depth 0: a bad initial state is a one-frame counterexample.
+        let init_assumptions = {
+            let mut a = self.frame_assumptions(0);
+            a.push(self.bad0);
+            a
+        };
+        if self.solve(&init_assumptions) == SatResult::Sat {
+            let inputs: Vec<bool> = self
+                .input_f0
+                .iter()
+                .map(|&sl| self.unroller.sat_value(sl))
+                .collect();
+            let id = self.arena_push(Vec::new(), inputs, None);
+            return PdrResult::Violated(self.trace_from_chain(id));
+        }
+        self.push_frame();
+
+        loop {
+            // Blocking phase: clear every counterexample-to-induction at
+            // the frontier.
+            loop {
+                if self.over_budget() {
+                    return PdrResult::Unknown {
+                        frames_explored: self.frames.len() - 1,
+                    };
+                }
+                let frontier = self.frames.len() - 1;
+                let mut assumptions = self.frame_assumptions(frontier);
+                assumptions.push(self.bad0);
+                match self.solve(&assumptions) {
+                    SatResult::Unsat => break,
+                    SatResult::Sat => {
+                        let state: Vec<bool> = (0..self.f0.len())
+                            .map(|p| self.unroller.sat_value(self.f0[p]))
+                            .collect();
+                        let inputs: Vec<bool> = self
+                            .input_f0
+                            .iter()
+                            .map(|&sl| self.unroller.sat_value(sl))
+                            .collect();
+                        let cube = self.lift_bad(state, &inputs);
+                        match self.block(cube, inputs, frontier) {
+                            BlockOutcome::Blocked => {}
+                            BlockOutcome::Cex(trace) => return PdrResult::Violated(trace),
+                            BlockOutcome::Budget => {
+                                return PdrResult::Unknown {
+                                    frames_explored: self.frames.len() - 1,
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if self.frames.len() > self.options.max_frames {
+                return PdrResult::Unknown {
+                    frames_explored: self.frames.len() - 1,
+                };
+            }
+            self.push_frame();
+            if let Some(invariant) = self.propagate_clauses() {
+                return PdrResult::Proven(invariant);
+            }
+        }
+    }
+}
+
+/// `a` subsumes `b` when every literal of `a` occurs in `b` (so `¬a ⇒ ¬b`).
+fn subsumes(a: &Cube, b: &Cube) -> bool {
+    a.iter().all(|entry| b.contains(entry))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aig::Aig;
+    use crate::model::BadProperty;
+
+    /// A 3-bit counter that saturates at 7 (shared with the BMC tests).
+    fn saturating_counter() -> (Model, Vec<Lit>) {
+        let mut aig = Aig::new();
+        let bits: Vec<Lit> = (0..3)
+            .map(|i| aig.add_latch(format!("c{i}"), false))
+            .collect();
+        let all_ones = aig.and_many(&bits);
+        let b0 = bits[0];
+        let b1 = bits[1];
+        let b2 = bits[2];
+        let n0 = aig.xor(b0, Lit::TRUE);
+        let carry0 = b0;
+        let n1 = aig.xor(b1, carry0);
+        let carry1 = aig.and(b1, carry0);
+        let n2 = aig.xor(b2, carry1);
+        let hold0 = aig.mux(all_ones, b0, n0);
+        let hold1 = aig.mux(all_ones, b1, n1);
+        let hold2 = aig.mux(all_ones, b2, n2);
+        aig.set_latch_next(b0, hold0);
+        aig.set_latch_next(b1, hold1);
+        aig.set_latch_next(b2, hold2);
+        (Model::new(aig), bits)
+    }
+
+    #[test]
+    fn pdr_finds_reachable_bad_state_with_exact_trace() {
+        let (mut model, bits) = saturating_counter();
+        // Bad: counter value == 5 (101), reached at frame 5.
+        let b = {
+            let aig = &mut model.aig;
+            let not1 = bits[1].invert();
+            let t = aig.and(bits[0], not1);
+            aig.and(t, bits[2])
+        };
+        model.bads.push(BadProperty {
+            name: "reaches_five".into(),
+            lit: b,
+        });
+        match check_pdr(&model, 0, &PdrOptions::default()) {
+            PdrResult::Violated(trace) => {
+                assert_eq!(trace.len(), 6);
+                // Frame 5 must be the value 5 (101).
+                assert_eq!(trace.value(5, "c0"), Some(true));
+                assert_eq!(trace.value(5, "c1"), Some(false));
+                assert_eq!(trace.value(5, "c2"), Some(true));
+                // Frame 0 is reset.
+                assert_eq!(trace.value(0, "c0"), Some(false));
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pdr_proves_saturation_invariant_with_certificate() {
+        // Once saturated, the counter stays saturated — the reachability
+        // proof that defeats plain induction... actually provable by
+        // 1-induction, but the certificate path is what matters here.
+        let (mut model, bits) = saturating_counter();
+        let (was_saturated, all_ones) = {
+            let aig = &mut model.aig;
+            let all_ones = aig.and_many(&bits);
+            let was = aig.add_latch("was_saturated", false);
+            let next = aig.or(was, all_ones);
+            aig.set_latch_next(was, next);
+            (was, all_ones)
+        };
+        let bad = {
+            let aig = &mut model.aig;
+            aig.and(was_saturated, all_ones.invert())
+        };
+        model.bads.push(BadProperty {
+            name: "saturation_sticks".into(),
+            lit: bad,
+        });
+        match check_pdr(&model, 0, &PdrOptions::default()) {
+            PdrResult::Proven(invariant) => {
+                assert!(invariant.certify(&model, bad), "certificate must check");
+            }
+            other => panic!("expected proof, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pdr_proves_counter_never_wraps() {
+        // "Counter value 0 with a sticky has-counted flag" needs
+        // reachability information: it is exactly the counter-vs-state
+        // shape that defeats k-induction at small depths.
+        let (mut model, bits) = saturating_counter();
+        let started = {
+            let aig = &mut model.aig;
+            let any = aig.or_many(&bits);
+            let started = aig.add_latch("started", false);
+            let next = aig.or(started, any);
+            aig.set_latch_next(started, next);
+            started
+        };
+        let bad = {
+            let aig = &mut model.aig;
+            let zero = {
+                let inv: Vec<Lit> = bits.iter().map(|b| b.invert()).collect();
+                aig.and_many(&inv)
+            };
+            aig.and(started, zero)
+        };
+        model.bads.push(BadProperty {
+            name: "wraps_to_zero".into(),
+            lit: bad,
+        });
+        let result = check_pdr(&model, 0, &PdrOptions::default());
+        match result {
+            PdrResult::Proven(invariant) => {
+                assert!(invariant.certify(&model, bad));
+                assert!(invariant.num_clauses() >= 1);
+            }
+            other => panic!("expected proof, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pdr_respects_constraints() {
+        // A free input drives a latch; constraining the input low keeps the
+        // latch low forever.
+        let mut aig = Aig::new();
+        let inp = aig.add_input("x");
+        let q = aig.add_latch("q", false);
+        aig.set_latch_next(q, inp);
+        let mut model = Model::new(aig);
+        model.constraints.push(inp.invert());
+        model.bads.push(BadProperty {
+            name: "q_high".into(),
+            lit: q,
+        });
+        let result = check_pdr(&model, 0, &PdrOptions::default());
+        assert!(result.is_proven(), "got {result:?}");
+        if let PdrResult::Proven(inv) = result {
+            assert!(inv.certify(&model, q));
+        }
+    }
+
+    #[test]
+    fn pdr_immediate_counterexample_at_reset() {
+        let mut aig = Aig::new();
+        let q = aig.add_latch("q", true);
+        aig.set_latch_next(q, q);
+        let mut model = Model::new(aig);
+        model.bads.push(BadProperty {
+            name: "q_high".into(),
+            lit: q,
+        });
+        match check_pdr(&model, 0, &PdrOptions::default()) {
+            PdrResult::Violated(trace) => {
+                assert_eq!(trace.len(), 1);
+                assert_eq!(trace.value(0, "q"), Some(true));
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pdr_trivial_safety_yields_empty_invariant() {
+        let (mut model, _) = saturating_counter();
+        model.bads.push(BadProperty {
+            name: "never".into(),
+            lit: Lit::FALSE,
+        });
+        match check_pdr(&model, 0, &PdrOptions::default()) {
+            PdrResult::Proven(invariant) => {
+                assert_eq!(invariant.num_clauses(), 0);
+                assert!(invariant.certify(&model, Lit::FALSE));
+            }
+            other => panic!("expected proof, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_unknown() {
+        let (mut model, bits) = saturating_counter();
+        let b = {
+            let aig = &mut model.aig;
+            aig.and_many(&bits)
+        };
+        model.bads.push(BadProperty {
+            name: "saturated".into(),
+            lit: b,
+        });
+        let tiny = PdrOptions {
+            max_frames: 2,
+            max_queries: 500_000,
+            generalize_rounds: 0,
+        };
+        // The bad state is 7 steps deep: 2 frames cannot decide it.
+        let result = check_pdr(&model, 0, &tiny);
+        assert!(
+            matches!(result, PdrResult::Unknown { .. }),
+            "got {result:?}"
+        );
+    }
+
+    #[test]
+    fn invariant_certify_rejects_bogus_certificates() {
+        let (mut model, bits) = saturating_counter();
+        model.bads.push(BadProperty {
+            name: "never".into(),
+            lit: Lit::FALSE,
+        });
+        // "bit 0 is always low" fails consecution (and is simply wrong).
+        let bogus = Invariant {
+            clauses: vec![vec![bits[0].invert()]],
+            frames_explored: 1,
+        };
+        assert!(!bogus.certify(&model, Lit::FALSE));
+        // "bit 0 is always high" fails initiation.
+        let bogus_init = Invariant {
+            clauses: vec![vec![bits[0]]],
+            frames_explored: 1,
+        };
+        assert!(!bogus_init.certify(&model, Lit::FALSE));
+    }
+}

@@ -134,6 +134,9 @@ pub struct Solver {
     seen: Vec<bool>,
     /// Set to true when the clause database is unsatisfiable at level 0.
     unsat: bool,
+    /// After an `Unsat` answer: the subset of the assumption literals that
+    /// sufficed for unsatisfiability (the *final conflict*).
+    core: Vec<SatLit>,
     /// Statistics: number of conflicts seen.
     pub conflicts: u64,
     /// Statistics: number of decisions made.
@@ -210,15 +213,16 @@ impl Solver {
     /// Adds a clause (a disjunction of literals).
     ///
     /// Adding an empty clause, or a clause that is falsified at decision
-    /// level 0, makes the instance permanently unsatisfiable.
+    /// level 0, makes the instance permanently unsatisfiable.  Adding a
+    /// clause after a satisfiable query invalidates the previous model (the
+    /// solver returns to decision level 0 first).
     pub fn add_clause(&mut self, lits: &[SatLit]) {
         if self.unsat {
             return;
         }
-        debug_assert!(
-            self.trail_lim.is_empty(),
-            "clauses must be added at level 0"
-        );
+        if !self.trail_lim.is_empty() {
+            self.backtrack(0);
+        }
         // Simplify: remove duplicates and satisfied/false literals at level 0.
         let mut simplified: Vec<SatLit> = Vec::with_capacity(lits.len());
         for &lit in lits {
@@ -439,6 +443,56 @@ impl Solver {
         (learnt, backtrack_level)
     }
 
+    /// MiniSat-style `analyzeFinal`: starting from the literals of a
+    /// falsified clause (or a failed assumption), walks the implication
+    /// graph back to the assumption decisions that entail the conflict.
+    ///
+    /// Must run before backtracking, while levels/reasons/trail are intact.
+    /// Returns the subset of the assumption literals responsible.
+    fn analyze_final(&mut self, seeds: &[SatLit]) -> Vec<SatLit> {
+        let mut core = Vec::new();
+        if self.decision_level() == 0 {
+            return core;
+        }
+        let mut touched: Vec<Var> = Vec::new();
+        for &lit in seeds {
+            let v = lit.var();
+            if self.levels[v] > 0 && !self.seen[v] {
+                self.seen[v] = true;
+                touched.push(v);
+            }
+        }
+        for i in (self.trail_lim[0]..self.trail.len()).rev() {
+            let lit = self.trail[i];
+            let v = lit.var();
+            if !self.seen[v] {
+                continue;
+            }
+            let reason = self.reasons[v];
+            if reason == NO_REASON {
+                // A decision below the assumption prefix: by construction
+                // every decision reached here is an assumption literal.
+                core.push(lit);
+            } else {
+                // Mark the antecedents (the implied literal itself is `v`,
+                // which is already seen, so marking the whole clause is
+                // safe regardless of watched-literal reordering).
+                for j in 0..self.clauses[reason].lits.len() {
+                    let q = self.clauses[reason].lits[j];
+                    let qv = q.var();
+                    if qv != v && self.levels[qv] > 0 && !self.seen[qv] {
+                        self.seen[qv] = true;
+                        touched.push(qv);
+                    }
+                }
+            }
+        }
+        for v in touched {
+            self.seen[v] = false;
+        }
+        core
+    }
+
     fn backtrack(&mut self, level: usize) {
         while self.decision_level() > level {
             let start = self.trail_lim.pop().expect("trail limit");
@@ -469,12 +523,25 @@ impl Solver {
         (0..self.num_vars).find(|&v| self.assigns[v] == Assign::Unassigned)
     }
 
+    /// After an [`SatResult::Unsat`] answer from [`Solver::solve`], the
+    /// subset of the assumption literals that sufficed for the conflict (the
+    /// *final conflict*).  Empty when the clause database is unsatisfiable
+    /// on its own.  This is the core primitive behind activation-literal
+    /// based incremental solving: the PDR engine assumes a cube literal per
+    /// latch and reads back which of them an UNSAT answer actually used.
+    pub fn unsat_core(&self) -> &[SatLit] {
+        &self.core
+    }
+
     /// Solves the instance under the given assumptions.
     ///
     /// Assumption literals are forced true for this query only; the clause
     /// database and learnt clauses persist between calls, enabling
-    /// incremental use by the bounded model checker.
+    /// incremental use by the bounded model checker and the PDR engine.  On
+    /// an [`SatResult::Unsat`] answer, [`Solver::unsat_core`] reports which
+    /// assumptions the conflict depended on.
     pub fn solve(&mut self, assumptions: &[SatLit]) -> SatResult {
+        self.core.clear();
         if self.unsat {
             return SatResult::Unsat;
         }
@@ -495,6 +562,13 @@ impl Solver {
                         self.trail_lim.push(self.trail.len());
                     }
                     Some(false) => {
+                        // The assumption is falsified by earlier assumptions
+                        // (and the clause database): the core is `a` plus
+                        // whatever forced its negation.
+                        self.core = self.analyze_final(&[a]);
+                        if !self.core.contains(&a) {
+                            self.core.push(a);
+                        }
                         self.backtrack(0);
                         return SatResult::Unsat;
                     }
@@ -505,7 +579,9 @@ impl Solver {
                         debug_assert!(ok);
                     }
                 }
-                if let Some(_conflict) = self.propagate() {
+                if let Some(conflict) = self.propagate() {
+                    let seeds = self.clauses[conflict].lits.clone();
+                    self.core = self.analyze_final(&seeds);
                     self.backtrack(0);
                     return SatResult::Unsat;
                 }
@@ -515,6 +591,8 @@ impl Solver {
                 self.conflicts += 1;
                 if self.decision_level() <= assumptions.len() {
                     // Conflict that depends only on assumptions (or level 0).
+                    let seeds = self.clauses[conflict].lits.clone();
+                    self.core = self.analyze_final(&seeds);
                     self.backtrack(0);
                     if self.decision_level() == 0 && assumptions.is_empty() {
                         self.unsat = true;
@@ -529,7 +607,9 @@ impl Solver {
                     // assumptions are re-applied by the outer loop.
                     self.backtrack(0);
                     if !self.enqueue(asserting, NO_REASON) {
-                        self.backtrack(0);
+                        // The implied unit contradicts level 0: the clause
+                        // database itself is unsatisfiable.
+                        self.unsat = true;
                         return SatResult::Unsat;
                     }
                     if self.propagate().is_some() {
@@ -659,6 +739,118 @@ mod tests {
         // The solver remains usable afterwards.
         assert_eq!(s.solve(&[SatLit::pos(a)]), SatResult::Sat);
         assert_eq!(s.value(a), Some(true));
+    }
+
+    #[test]
+    fn unsat_core_is_a_subset_of_the_assumptions() {
+        // (a | b), (!a | c), (!b | c): assuming !c and a is unsat, and the
+        // core must not mention the irrelevant assumption d.
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        let c = s.new_var();
+        let d = s.new_var();
+        s.add_clause(&[SatLit::pos(a), SatLit::pos(b)]);
+        s.add_clause(&[SatLit::neg(a), SatLit::pos(c)]);
+        s.add_clause(&[SatLit::neg(b), SatLit::pos(c)]);
+        let assumptions = [SatLit::pos(d), SatLit::neg(c), SatLit::pos(a)];
+        assert_eq!(s.solve(&assumptions), SatResult::Unsat);
+        let core = s.unsat_core().to_vec();
+        assert!(!core.is_empty());
+        for l in &core {
+            assert!(assumptions.contains(l), "core literal {l} not assumed");
+        }
+        assert!(
+            !core.contains(&SatLit::pos(d)),
+            "irrelevant literal in core"
+        );
+        // The core itself must be unsatisfiable.
+        assert_eq!(s.solve(&core), SatResult::Unsat);
+        // The solver stays usable and Sat answers clear the core.
+        assert_eq!(s.solve(&[SatLit::pos(c)]), SatResult::Sat);
+        assert!(s.unsat_core().is_empty());
+    }
+
+    #[test]
+    fn unsat_core_of_directly_conflicting_assumptions() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[SatLit::pos(a), SatLit::pos(b)]);
+        assert_eq!(s.solve(&[SatLit::pos(a), SatLit::neg(a)]), SatResult::Unsat);
+        let core = s.unsat_core().to_vec();
+        assert!(core.contains(&SatLit::pos(a)));
+        assert!(core.contains(&SatLit::neg(a)));
+    }
+
+    #[test]
+    fn unsat_core_empty_when_database_is_unsat() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[SatLit::pos(a)]);
+        s.add_clause(&[SatLit::neg(a)]);
+        assert_eq!(s.solve(&[SatLit::pos(b)]), SatResult::Unsat);
+        assert!(s.unsat_core().is_empty());
+    }
+
+    #[test]
+    fn activation_literals_retire_clauses() {
+        // The PDR usage pattern: a clause guarded by an activation literal
+        // participates only while the activation is assumed, and is retired
+        // for good by asserting the negated activation as a unit.
+        let mut s = Solver::new();
+        let act = s.new_var();
+        let x = s.new_var();
+        s.add_clause(&[SatLit::neg(act), SatLit::pos(x)]);
+        assert_eq!(
+            s.solve(&[SatLit::pos(act), SatLit::neg(x)]),
+            SatResult::Unsat
+        );
+        assert_eq!(s.solve(&[SatLit::neg(x)]), SatResult::Sat);
+        s.add_clause(&[SatLit::neg(act)]);
+        assert_eq!(s.solve(&[SatLit::neg(x)]), SatResult::Sat);
+    }
+
+    #[test]
+    fn random_cores_are_unsat_subsets() {
+        // Random instances solved under random assumptions: every Unsat
+        // answer must yield a core that is (a) a subset of the assumptions
+        // and (b) itself unsatisfiable.
+        let mut seed: u64 = 0xDEADBEEF;
+        let mut next = || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        let mut unsat_seen = 0;
+        for _ in 0..60 {
+            let num_vars = 8;
+            let mut s = Solver::new();
+            for _ in 0..num_vars {
+                s.new_var();
+            }
+            for _ in 0..20 {
+                let clause: Vec<SatLit> = (0..3)
+                    .map(|_| SatLit::new((next() % num_vars as u64) as usize, next() % 2 == 0))
+                    .collect();
+                s.add_clause(&clause);
+            }
+            let mut assumptions: Vec<SatLit> = (0..4)
+                .map(|_| SatLit::new((next() % num_vars as u64) as usize, next() % 2 == 0))
+                .collect();
+            assumptions.dedup_by_key(|l| l.var());
+            if s.solve(&assumptions) == SatResult::Unsat {
+                unsat_seen += 1;
+                let core = s.unsat_core().to_vec();
+                for l in &core {
+                    assert!(assumptions.contains(l));
+                }
+                assert_eq!(s.solve(&core), SatResult::Unsat, "core not unsat");
+            }
+        }
+        assert!(unsat_seen > 0, "test never exercised the Unsat path");
     }
 
     #[test]

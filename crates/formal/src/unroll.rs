@@ -47,6 +47,31 @@ impl<'a> Unroller<'a> {
         &self.solver
     }
 
+    /// Allocates a fresh SAT variable in the underlying solver without tying
+    /// it to any AIG node (activation literals, helper encodings).
+    pub fn new_var(&mut self) -> crate::sat::Var {
+        self.solver.new_var()
+    }
+
+    /// Solves under raw SAT-literal assumptions, exposing the solver-level
+    /// answer (and, through [`Unroller::unsat_core`], the final conflict).
+    pub fn solve_sat(&mut self, assumptions: &[SatLit]) -> crate::sat::SatResult {
+        self.solver.solve(assumptions)
+    }
+
+    /// The final conflict of the last unsatisfiable [`Unroller::solve_sat`]
+    /// query: the subset of the assumed literals the conflict depended on.
+    pub fn unsat_core(&self) -> &[SatLit] {
+        self.solver.unsat_core()
+    }
+
+    /// The model value of a raw SAT literal after a satisfiable query
+    /// (defaults to `false` for irrelevant variables).
+    pub fn sat_value(&self, lit: SatLit) -> bool {
+        let var_value = self.solver.value(lit.var()).unwrap_or(false);
+        var_value == lit.is_positive()
+    }
+
     /// Number of frames created so far.
     pub fn num_frames(&self) -> usize {
         self.frames.len()

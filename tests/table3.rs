@@ -6,8 +6,11 @@
 //! healthy designs, counterexamples for the buggy ones, and proofs after the
 //! published fixes.
 
-use autosva_bench::{run_case, status_counts};
-use autosva_designs::{all_cases, by_id, PaperOutcome, Variant};
+use autosva_bench::{build_testbench, default_check_options, run_case, status_counts};
+use autosva_designs::{all_cases, by_id, elaborated, PaperOutcome, Variant};
+use autosva_formal::checker::{verify_elaborated, Proof, PropertyStatus};
+use autosva_formal::pdr::PdrOptions;
+use std::time::Duration;
 
 #[test]
 fn a1_ptw_proves_all_properties() {
@@ -155,6 +158,79 @@ fn o2_l15_partial_result_matches_paper() {
     let (_, _, covered, unknown) = status_counts(&run.report);
     assert!(covered >= 2);
     assert_eq!(unknown, 0);
+}
+
+#[test]
+fn o2_scaled_l15_proof_closes_via_pdr_not_explicit() {
+    // The L1.5 model carries a 20-bit free-running miss counter: with the
+    // testbench monitors the compiled model is far past the explicit
+    // engine's enumeration cliff (the seed recorded 38.8 s at just 20
+    // latches, and every counter value is now reachable), so the
+    // `had_a_request` proof must be closed by the PDR stage — in seconds,
+    // with an inductive-invariant certificate.
+    let case = by_id("O2").unwrap();
+    let run = run_case(&case, Variant::Fixed);
+    assert!(
+        run.report.model_latches >= 24,
+        "expected the scaled model to hold >= 24 latches, got {}",
+        run.report.model_latches
+    );
+    let had = run
+        .report
+        .results
+        .iter()
+        .find(|r| r.name.contains("l15_miss_had_a_request"))
+        .expect("monitor property exists");
+    assert!(
+        matches!(had.status.proof(), Some(Proof::Invariant { .. })),
+        "proof must come from the PDR stage, got {:?}",
+        had.status
+    );
+    assert!(
+        had.runtime < Duration::from_secs(5),
+        "PDR proof took {:?}, expected seconds",
+        had.runtime
+    );
+
+    // Re-derive the invariant straight from the PDR engine and validate it
+    // with an independent SAT check on a fresh encoding.
+    let ft = build_testbench(&case);
+    let design = elaborated(&case, Variant::Fixed);
+    let compiled = autosva_formal::compile::compile(&design, &ft).expect("testbench compiles");
+    let (index, bad) = compiled
+        .model
+        .bads
+        .iter()
+        .enumerate()
+        .find(|(_, b)| b.name.contains("l15_miss_had_a_request"))
+        .map(|(i, b)| (i, b.lit))
+        .expect("monitor bad-state literal exists");
+    match autosva_formal::pdr::check_pdr(&compiled.model, index, &PdrOptions::default()) {
+        autosva_formal::pdr::PdrResult::Proven(invariant) => {
+            assert!(
+                invariant.certify(&compiled.model, bad),
+                "the L1.5 invariant must pass independent certification"
+            );
+        }
+        other => panic!("expected a PDR proof, got {other:?}"),
+    }
+
+    // With PDR disabled the cascade falls back to the explicit engine and
+    // the bounded engines — neither can close the proof any more, which is
+    // exactly the cliff the PDR stage removes.
+    let mut options = default_check_options(&case, Variant::Fixed);
+    options.disable_pdr = true;
+    let report = verify_elaborated(&design, &ft, &options).expect("verification runs");
+    let had = report
+        .results
+        .iter()
+        .find(|r| r.name.contains("l15_miss_had_a_request"))
+        .expect("monitor property exists");
+    assert!(
+        matches!(had.status, PropertyStatus::Unknown),
+        "the explicit path must no longer close the scaled proof, got {:?}",
+        had.status
+    );
 }
 
 #[test]

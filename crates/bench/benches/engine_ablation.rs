@@ -1,21 +1,31 @@
-//! Ablation of the verification-engine portfolio.
+//! Ablation of the verification-engine portfolio and its orchestrator.
 //!
-//! The checker layers four engines: shallow BMC (short counterexamples),
-//! k-induction (cheap proofs), IC3/PDR (reachability-dependent proofs with
-//! invariant certificates), and the exact explicit-state engine (last-resort
-//! fallback, exponential in the latch count).  This harness verifies the
-//! proof-heavy designs under three configurations to show what each layer
-//! contributes — and asserts the portfolio's guarantees, so a cascade
+//! Two sections:
+//!
+//! 1. **Engine ablation** — the checker layers four engines: shallow BMC
+//!    (short counterexamples), k-induction (cheap proofs), IC3/PDR
+//!    (reachability-dependent proofs with invariant certificates), and the
+//!    exact explicit-state engine (last-resort fallback, exponential in the
+//!    latch count).  The proof-heavy designs run under three configurations
+//!    to show what each layer contributes.
+//! 2. **Orchestrator ablation** — the full Table III corpus runs
+//!    sequentially on the full model (the pre-orchestrator baseline),
+//!    parallel on per-property cone-of-influence slices, and parallel with
+//!    the proof cache (cold, then warm) — with a regression assert that the
+//!    cached re-run beats the cold run.
+//!
+//! Both sections assert their guarantees, so a cascade or orchestrator
 //! regression fails this bench (CI runs it with `-- --test` as the engine
 //! smoke check).
 //!
 //! Run with `cargo bench -p autosva-bench --bench engine_ablation`.
 
 use autosva_bench::{build_testbench, default_check_options, status_counts};
-use autosva_designs::{by_id, elaborated, Variant};
+use autosva_designs::{all_cases, by_id, elaborated, Variant};
 use autosva_formal::bmc::BmcOptions;
-use autosva_formal::checker::{verify_elaborated, Proof, VerificationReport};
-use std::time::Instant;
+use autosva_formal::checker::{verify_elaborated, CheckOptions, Proof, VerificationReport};
+use autosva_formal::portfolio::ProofCache;
+use std::time::{Duration, Instant};
 
 #[derive(Clone, Copy, PartialEq)]
 enum Config {
@@ -75,6 +85,93 @@ fn run(id: &str, config: Config) -> VerificationReport {
     report
 }
 
+/// Runs the whole corpus (fixed variants, plus buggy where one exists)
+/// under one orchestrator configuration; returns the total checking
+/// wall-clock and per-run summary tuples for cross-config comparison.
+fn corpus_run(
+    label: &str,
+    configure: impl Fn(&mut CheckOptions),
+) -> (Duration, Vec<(usize, usize, usize, usize)>) {
+    let mut total = Duration::ZERO;
+    let mut summaries = Vec::new();
+    for case in all_cases() {
+        let variants: &[Variant] = if case.has_bug_parameter {
+            &[Variant::Fixed, Variant::Buggy]
+        } else {
+            &[Variant::Fixed]
+        };
+        for &variant in variants {
+            let ft = build_testbench(&case);
+            let design = elaborated(&case, variant);
+            let mut options = default_check_options(&case, variant);
+            configure(&mut options);
+            let start = Instant::now();
+            let report = verify_elaborated(&design, &ft, &options).expect("verification runs");
+            total += start.elapsed();
+            summaries.push(status_counts(&report));
+        }
+    }
+    println!("{label:<32} {total:>9.1?} total");
+    (total, summaries)
+}
+
+fn orchestrator_ablation() {
+    println!(
+        "\nOrchestrator ablation: sequential vs. parallel(COI) vs. parallel+cache, full corpus"
+    );
+    println!("{:-<130}", "");
+    let (seq_time, seq_counts) = corpus_run("sequential, full model", |o| {
+        o.parallel.threads = 1;
+        o.parallel.slice = false;
+    });
+    let (par_time, par_counts) = corpus_run("parallel, COI slices", |_| {});
+    let cache = ProofCache::new();
+    let (cold_time, cold_counts) = {
+        let cache = cache.clone();
+        corpus_run("parallel + cache (cold)", move |o| {
+            o.parallel.cache = Some(cache.clone());
+        })
+    };
+    let (warm_time, warm_counts) = {
+        let cache = cache.clone();
+        corpus_run("parallel + cache (warm)", move |o| {
+            o.parallel.cache = Some(cache.clone());
+        })
+    };
+    println!("{:-<130}", "");
+    let stats = cache.stats();
+    println!(
+        "cache: {} entries, {} hits / {} misses / {} inserts / {} rejected",
+        cache.len(),
+        stats.hits,
+        stats.misses,
+        stats.insertions,
+        stats.rejected
+    );
+    println!(
+        "speedup: parallel {:.2}x over sequential, warm cache {:.2}x over cold",
+        seq_time.as_secs_f64() / par_time.as_secs_f64().max(1e-9),
+        cold_time.as_secs_f64() / warm_time.as_secs_f64().max(1e-9),
+    );
+
+    // Regression guards: every configuration reaches the same verdicts, and
+    // the cached re-run must beat the cold run (it answers from validated
+    // cache entries instead of re-running the engines).
+    assert_eq!(
+        seq_counts, par_counts,
+        "sequential and parallel runs disagree on corpus verdicts"
+    );
+    assert_eq!(
+        cold_counts, warm_counts,
+        "cache hits changed corpus verdicts"
+    );
+    assert!(
+        warm_time < cold_time,
+        "cached re-run ({warm_time:?}) must be faster than the cold run ({cold_time:?})"
+    );
+    assert_eq!(stats.rejected, 0, "cache entries failed re-validation");
+}
+
 fn main() {
     // `cargo bench ... -- --test` passes `--test`: this harness always runs
     // one verification per configuration (no statistical measurement), so
@@ -123,4 +220,6 @@ fn main() {
     println!(
         "note: `unknown` under bmc+kind marks the reachability-dependent proofs; the PDR column closes them without the explicit cliff."
     );
+
+    orchestrator_ablation();
 }

@@ -48,17 +48,16 @@ pub fn build_testbench(case: &DesignCase) -> FormalTestbench {
 ///
 /// The designs of the corpus are small, so modest bounds are enough for every
 /// proof and counterexample; they are exposed so the ablation benchmarks can
-/// vary them.
+/// vary them.  The liveness lasso-search bound is *not* overridden here: it
+/// comes from [`CheckOptions::default`] (`liveness_bmc`), so callers tune it
+/// in one place — and an undecided liveness property carries the
+/// bounded-search caveat in its report note.
 pub fn default_check_options(case: &DesignCase, variant: Variant) -> CheckOptions {
     CheckOptions {
         elab: case.elab_options(variant),
         bmc: BmcOptions {
             max_depth: 25,
             max_induction: 10,
-        },
-        liveness_bmc: BmcOptions {
-            max_depth: 12,
-            max_induction: 0,
         },
         ..CheckOptions::default()
     }

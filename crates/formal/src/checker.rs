@@ -9,17 +9,34 @@
 //! then collects everything into a [`VerificationReport`] that mirrors how
 //! the paper reports results (proof rate, counterexamples, trace lengths,
 //! runtimes).
+//!
+//! Properties are independent tasks: by default each one is checked on its
+//! own cone-of-influence slice ([`crate::coi`]) and the tasks run
+//! concurrently on a worker pool ([`crate::portfolio`]), with results
+//! assembled back in annotation order — a sequential run
+//! (`parallel.threads = 1`) and a parallel run render byte-identical
+//! reports.  An optional [`crate::portfolio::ProofCache`] reuses verdicts
+//! across runs when a property's slice is content-identical (e.g.
+//! buggy/fixed design variants or repeated bench iterations).
 
 use crate::aig::Lit;
 use crate::bmc::{check_cover, check_safety, BmcOptions, CoverResult, SafetyResult};
+use crate::coi::{cone_of_influence, fingerprint, Fingerprint, SliceTarget};
 use crate::compile::{compile, CompiledKind, CompiledTestbench};
 use crate::elab::{elaborate, ElabDesign, ElabOptions, Result};
 use crate::explicit::{ExplicitEngine, ExplicitOptions, ExplicitResult};
+use crate::model::{LivenessSafetyModel, Model};
 use crate::pdr::{check_pdr, check_pdr_lit, PdrOptions, PdrResult};
+use crate::portfolio::{
+    run_ordered, CacheKey, CachedOutcome, CachedVerdict, ParallelOptions, ProofCache,
+};
 use crate::trace::Trace;
 use autosva::sva::{Directive, PropertyClass};
 use autosva::FormalTestbench;
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Options for a verification run.
@@ -49,6 +66,10 @@ pub struct CheckOptions {
     /// left to the exact engine (or to the full-depth BMC when the exact
     /// engine is unavailable).
     pub quick_bmc_depth: usize,
+    /// Orchestration: worker-thread count (`threads = 1` is the sequential
+    /// escape hatch), per-property cone-of-influence slicing, optional
+    /// per-property time budgets, and the proof cache.
+    pub parallel: ParallelOptions,
 }
 
 impl Default for CheckOptions {
@@ -72,6 +93,7 @@ impl Default for CheckOptions {
             },
             disable_pdr: false,
             quick_bmc_depth: 10,
+            parallel: ParallelOptions::default(),
         }
     }
 }
@@ -199,6 +221,15 @@ pub struct PropertyResult {
     pub status: PropertyStatus,
     /// Wall-clock time spent on this property.
     pub runtime: Duration,
+    /// Latches of the cone-of-influence slice the property was checked on
+    /// (equals the full model's latch count when slicing is disabled; `0`
+    /// for properties that are not checked).
+    pub slice_latches: usize,
+    /// AND gates of the slice the property was checked on.
+    pub slice_gates: usize,
+    /// Caveat attached to the outcome (e.g. the bounded-lasso note on an
+    /// undecided liveness property, or an exhausted time budget).
+    pub note: Option<String>,
 }
 
 /// The report of a full verification run.
@@ -265,34 +296,77 @@ impl VerificationReport {
         self.results.iter().find(|r| r.status.is_violation())
     }
 
+    fn name_width(&self) -> usize {
+        self.results
+            .iter()
+            .map(|r| r.name.len())
+            .max()
+            .unwrap_or(8)
+            .max(8)
+    }
+
+    fn render_row(&self, out: &mut String, r: &PropertyResult, name_width: usize, prefix: &str) {
+        match &r.status {
+            PropertyStatus::Proven(proof) => out.push_str(&format!(
+                "  {:name_width$}{prefix}  {} [{}]",
+                r.name,
+                r.status,
+                proof.describe()
+            )),
+            status => out.push_str(&format!("  {:name_width$}{prefix}  {status}", r.name)),
+        }
+        if !matches!(r.status, PropertyStatus::NotChecked(_)) {
+            out.push_str(&format!(
+                "  (cone {} latches, {} gates)",
+                r.slice_latches, r.slice_gates
+            ));
+        }
+        out.push('\n');
+        if let Some(note) = &r.note {
+            // The note row aligns under the status column (the prefix — the
+            // runtime in the timed rendering — is padded out, not repeated).
+            let pad = name_width + prefix.chars().count();
+            out.push_str(&format!("  {:pad$}  note: {note}\n", ""));
+        }
+    }
+
     /// Renders a human-readable summary table.
+    ///
+    /// The output is fully deterministic — property order, statuses, proof
+    /// artifacts and slice sizes, but no wall-clock figures — so two runs of
+    /// the same testbench render byte-identically regardless of the worker
+    /// count or thread interleaving.  Use [`VerificationReport::render_timed`]
+    /// for the variant with runtimes.
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
             "Verification report for `{}` ({} latches, {} gates)\n",
             self.dut, self.model_latches, self.model_gates
         ));
-        let name_width = self
-            .results
-            .iter()
-            .map(|r| r.name.len())
-            .max()
-            .unwrap_or(8)
-            .max(8);
+        let name_width = self.name_width();
         for r in &self.results {
-            match &r.status {
-                PropertyStatus::Proven(proof) => out.push_str(&format!(
-                    "  {:name_width$}  {:>8.1?}  {} [{}]\n",
-                    r.name,
-                    r.runtime,
-                    r.status,
-                    proof.describe()
-                )),
-                status => out.push_str(&format!(
-                    "  {:name_width$}  {:>8.1?}  {status}\n",
-                    r.name, r.runtime
-                )),
-            }
+            self.render_row(&mut out, r, name_width, "");
+        }
+        out.push_str(&format!(
+            "proof rate {:.0}%, {} violation(s)\n",
+            self.proof_rate() * 100.0,
+            self.violations(),
+        ));
+        out
+    }
+
+    /// Like [`VerificationReport::render`], with per-property and total
+    /// wall-clock times added (and therefore not byte-stable across runs).
+    pub fn render_timed(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Verification report for `{}` ({} latches, {} gates)\n",
+            self.dut, self.model_latches, self.model_gates
+        ));
+        let name_width = self.name_width();
+        for r in &self.results {
+            let prefix = format!("  {:>8.1?}", r.runtime);
+            self.render_row(&mut out, r, name_width, &prefix);
         }
         out.push_str(&format!(
             "proof rate {:.0}%, {} violation(s), total {:.1?}\n",
@@ -341,28 +415,45 @@ pub fn verify_elaborated(
 ) -> Result<VerificationReport> {
     let start = Instant::now();
     let compiled = compile(design, testbench)?;
-    let mut results = Vec::new();
-
-    // Liveness properties share one transformed model.
-    let l2s = if compiled.model.liveness.is_empty() {
-        None
-    } else {
-        Some(compiled.model.to_liveness_safety())
+    let tasks = build_tasks(&compiled, options);
+    let ctx = TaskCtx {
+        options,
+        cancel: AtomicBool::new(false),
+        explicit_memo: Mutex::new(HashMap::new()),
     };
 
-    // The exact explicit-state engine is built lazily: only when some
-    // property cannot be settled by BMC, k-induction or PDR.
-    let mut explicit = ExplicitState::Untried;
-
-    for prop in &compiled.properties {
+    // Run every property task on the worker pool; statuses are deterministic
+    // (each engine is single-threaded on a fixed slice), so only runtimes
+    // depend on the interleaving.
+    let threads = options.parallel.effective_threads();
+    let outcomes = run_ordered(&tasks, threads, &ctx.cancel, |_, task| {
         let t0 = Instant::now();
-        let status = check_one(&compiled, l2s.as_ref(), prop, options, &mut explicit);
+        let (status, note) = run_task(task, &ctx);
+        if ctx.options.parallel.stop_on_violation && status.is_violation() {
+            ctx.cancel.store(true, Ordering::Relaxed);
+        }
+        (status, note, t0.elapsed())
+    });
+
+    // Assembly in annotation order, independent of completion order.
+    let mut results = Vec::with_capacity(tasks.len());
+    for ((prop, task), outcome) in compiled.properties.iter().zip(&tasks).zip(outcomes) {
+        let (status, note, runtime) = outcome.unwrap_or_else(|| {
+            (
+                PropertyStatus::Unknown,
+                Some("not started: the shared cancellation flag was raised".to_string()),
+                Duration::ZERO,
+            )
+        });
         results.push(PropertyResult {
             name: prop.property.full_name(),
             directive: prop.property.directive,
             class: prop.property.class,
             status,
-            runtime: t0.elapsed(),
+            runtime,
+            slice_latches: task.cone_latches,
+            slice_gates: task.cone_gates,
+            note,
         });
     }
 
@@ -375,51 +466,241 @@ pub fn verify_elaborated(
     })
 }
 
-/// The lazily-built explicit-state engine together with the monitor literals
-/// needed for liveness queries.
+/// One property as an independent verification task: the (sliced) model it
+/// runs on, where its target sits in that model, and the slice fingerprint
+/// used for engine sharing and proof caching.
+struct PropertyTask {
+    kind: TaskKind,
+    cone_latches: usize,
+    cone_gates: usize,
+}
+
+enum TaskKind {
+    /// Resolved at compile time (assumptions, X-prop checks).
+    Done(PropertyStatus),
+    /// Safety assertion `model.bads[index]`.
+    Safety {
+        model: Arc<Model>,
+        index: usize,
+        fp: Fingerprint,
+    },
+    /// Cover target `model.covers[index]`.
+    Cover {
+        model: Arc<Model>,
+        index: usize,
+        fp: Fingerprint,
+    },
+    /// Liveness obligation `base.liveness[index]`, checked on its
+    /// liveness-to-safety transform (`l2s.model.bads[index]`); the explicit
+    /// engine's SCC analysis runs on `base` with pending monitors.
+    Liveness {
+        base: Arc<Model>,
+        l2s: Arc<LivenessSafetyModel>,
+        index: usize,
+        fp: Fingerprint,
+    },
+}
+
+/// Builds one task per property.  With slicing enabled (the default) each
+/// checked property gets its cone-of-influence slice; content-identical
+/// slices share one model allocation (and thereby one explicit-engine memo
+/// entry).  With slicing disabled every task points at the full compiled
+/// model, preserving the pre-orchestrator cascade behaviour exactly.
+fn build_tasks(compiled: &CompiledTestbench, options: &CheckOptions) -> Vec<PropertyTask> {
+    let slice_on = options.parallel.slice;
+    let mut shared_full: Option<(Arc<Model>, Fingerprint)> = None;
+    let mut shared_l2s: Option<Arc<LivenessSafetyModel>> = None;
+    let mut slices: HashMap<Fingerprint, Arc<Model>> = HashMap::new();
+    let mut l2s_slices: HashMap<Fingerprint, Arc<LivenessSafetyModel>> = HashMap::new();
+
+    let full = |shared_full: &mut Option<(Arc<Model>, Fingerprint)>| {
+        shared_full
+            .get_or_insert_with(|| {
+                let model = Arc::new(compiled.model.clone());
+                let fp = fingerprint(&model);
+                (model, fp)
+            })
+            .clone()
+    };
+
+    compiled
+        .properties
+        .iter()
+        .map(|prop| {
+            let kind = match &prop.kind {
+                CompiledKind::Skipped(reason) => TaskKind::Done(PropertyStatus::NotChecked(reason)),
+                CompiledKind::Constraint => TaskKind::Done(PropertyStatus::NotChecked(
+                    "assumption (constrains the environment)",
+                )),
+                CompiledKind::Fairness => {
+                    TaskKind::Done(PropertyStatus::NotChecked("fairness assumption"))
+                }
+                CompiledKind::Safety(i) => {
+                    if slice_on {
+                        let slice = cone_of_influence(&compiled.model, SliceTarget::Bad(*i));
+                        let fp = slice.fingerprint;
+                        let model = slices
+                            .entry(fp)
+                            .or_insert_with(|| Arc::new(slice.model))
+                            .clone();
+                        TaskKind::Safety {
+                            model,
+                            index: 0,
+                            fp,
+                        }
+                    } else {
+                        let (model, fp) = full(&mut shared_full);
+                        TaskKind::Safety {
+                            model,
+                            index: *i,
+                            fp,
+                        }
+                    }
+                }
+                CompiledKind::Cover(i) => {
+                    if slice_on {
+                        let slice = cone_of_influence(&compiled.model, SliceTarget::Cover(*i));
+                        let fp = slice.fingerprint;
+                        let model = slices
+                            .entry(fp)
+                            .or_insert_with(|| Arc::new(slice.model))
+                            .clone();
+                        TaskKind::Cover {
+                            model,
+                            index: 0,
+                            fp,
+                        }
+                    } else {
+                        let (model, fp) = full(&mut shared_full);
+                        TaskKind::Cover {
+                            model,
+                            index: *i,
+                            fp,
+                        }
+                    }
+                }
+                CompiledKind::Liveness(i) => {
+                    if slice_on {
+                        let slice = cone_of_influence(&compiled.model, SliceTarget::Liveness(*i));
+                        let fp = slice.fingerprint;
+                        let base = slices
+                            .entry(fp)
+                            .or_insert_with(|| Arc::new(slice.model))
+                            .clone();
+                        let l2s = l2s_slices
+                            .entry(fp)
+                            .or_insert_with(|| Arc::new(base.to_liveness_safety()))
+                            .clone();
+                        TaskKind::Liveness {
+                            base,
+                            l2s,
+                            index: 0,
+                            fp,
+                        }
+                    } else {
+                        let (base, fp) = full(&mut shared_full);
+                        let l2s = shared_l2s
+                            .get_or_insert_with(|| Arc::new(base.to_liveness_safety()))
+                            .clone();
+                        TaskKind::Liveness {
+                            base,
+                            l2s,
+                            index: *i,
+                            fp,
+                        }
+                    }
+                }
+            };
+            let (cone_latches, cone_gates) = match &kind {
+                TaskKind::Done(_) => (0, 0),
+                TaskKind::Safety { model, .. } | TaskKind::Cover { model, .. } => {
+                    (model.aig.num_latches(), model.aig.num_ands())
+                }
+                TaskKind::Liveness { base, .. } => (base.aig.num_latches(), base.aig.num_ands()),
+            };
+            PropertyTask {
+                kind,
+                cone_latches,
+                cone_gates,
+            }
+        })
+        .collect()
+}
+
+/// Shared, immutable context of one verification run.
+struct TaskCtx<'a> {
+    options: &'a CheckOptions,
+    /// Raised by `stop_on_violation` (or future external cancellation):
+    /// tasks not yet started report `Unknown` instead of running.
+    cancel: AtomicBool,
+    /// Explicit-state engines shared across tasks with content-identical
+    /// models; the per-fingerprint `OnceLock` serializes construction
+    /// without holding the map lock during exploration.
+    #[allow(clippy::type_complexity)]
+    explicit_memo: Mutex<HashMap<Fingerprint, Arc<OnceLock<Option<Arc<ExplicitBundle>>>>>>,
+}
+
+/// The explicit-state engine together with the monitor literals needed for
+/// liveness queries (explored once per distinct model fingerprint).
 struct ExplicitBundle {
     engine: ExplicitEngine,
     assert_pendings: Vec<Lit>,
     fair_pendings: Vec<Lit>,
 }
 
-/// Build state of the lazily-constructed explicit-state fallback.
-enum ExplicitState {
-    /// Construction has not been attempted yet.
-    Untried,
-    /// Disabled, or exploration exceeded its limits: permanently absent.
-    Unavailable,
-    /// Explored and ready to answer queries.
-    Ready(Box<ExplicitBundle>),
+/// Returns the shared explicit-engine bundle for `model`, building it on
+/// first use.  `None` when the engine is disabled or exploration exceeded
+/// its limits (memoized, so the exploration cost is paid at most once per
+/// fingerprint).
+fn explicit_bundle(
+    ctx: &TaskCtx<'_>,
+    fp: Fingerprint,
+    model: &Model,
+) -> Option<Arc<ExplicitBundle>> {
+    if ctx.options.disable_explicit {
+        return None;
+    }
+    let cell = {
+        let mut memo = ctx.explicit_memo.lock().expect("explicit memo");
+        memo.entry(fp).or_default().clone()
+    };
+    cell.get_or_init(|| {
+        let (augmented, assert_pendings, fair_pendings) = model.with_pending_monitors();
+        ExplicitEngine::explore(&augmented, &ctx.options.explicit).map(|engine| {
+            Arc::new(ExplicitBundle {
+                engine,
+                assert_pendings,
+                fair_pendings,
+            })
+        })
+    })
+    .clone()
 }
 
-impl ExplicitState {
-    /// Returns the engine bundle, building it on first use.
-    fn bundle(
-        &mut self,
-        compiled: &CompiledTestbench,
-        options: &CheckOptions,
-    ) -> Option<&ExplicitBundle> {
-        if matches!(self, ExplicitState::Untried) {
-            *self = if options.disable_explicit {
-                ExplicitState::Unavailable
-            } else {
-                let (augmented, assert_pendings, fair_pendings) =
-                    compiled.model.with_pending_monitors();
-                match ExplicitEngine::explore(&augmented, &options.explicit) {
-                    Some(engine) => ExplicitState::Ready(Box::new(ExplicitBundle {
-                        engine,
-                        assert_pendings,
-                        fair_pendings,
-                    })),
-                    None => ExplicitState::Unavailable,
-                }
-            };
+/// The per-property wall-clock budget, checked between engine stages (the
+/// engines themselves bound their work by depth/query budgets).
+struct Budget {
+    deadline: Option<Instant>,
+}
+
+impl Budget {
+    fn start(options: &CheckOptions) -> Budget {
+        Budget {
+            deadline: options
+                .parallel
+                .property_timeout
+                .map(|limit| Instant::now() + limit),
         }
-        match self {
-            ExplicitState::Ready(bundle) => Some(bundle),
-            _ => None,
-        }
+    }
+
+    fn exhausted(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() > d)
+    }
+
+    fn note(&self, options: &CheckOptions) -> Option<String> {
+        options.parallel.property_timeout.map(|limit| {
+            format!("undecided: the per-property time budget ({limit:?}) was exhausted")
+        })
     }
 }
 
@@ -431,149 +712,392 @@ fn invariant_proof(invariant: &crate::pdr::Invariant, aig: &crate::aig::Aig) -> 
     }
 }
 
-fn check_one(
-    compiled: &CompiledTestbench,
-    l2s: Option<&crate::model::LivenessSafetyModel>,
-    prop: &crate::compile::CompiledProperty,
-    options: &CheckOptions,
-    explicit: &mut ExplicitState,
-) -> PropertyStatus {
-    match &prop.kind {
-        CompiledKind::Skipped(reason) => PropertyStatus::NotChecked(reason),
-        CompiledKind::Constraint => {
-            PropertyStatus::NotChecked("assumption (constrains the environment)")
+/// Converts a validated cache hit into a property status.
+fn cached_status(verdict: CachedVerdict, model: &Model) -> PropertyStatus {
+    match verdict {
+        CachedVerdict::Induction { depth } => PropertyStatus::Proven(Proof::Induction { depth }),
+        CachedVerdict::Invariant(invariant) => {
+            PropertyStatus::Proven(invariant_proof(&invariant, &model.aig))
         }
-        CompiledKind::Fairness => PropertyStatus::NotChecked("fairness assumption"),
-        CompiledKind::Safety(index) => {
-            // Quick, shallow BMC first: it produces the shortest traces for
-            // the common "bug within a few cycles" case at minimal cost.
-            let quick = BmcOptions {
-                max_depth: options.quick_bmc_depth.min(options.bmc.max_depth),
-                max_induction: 3.min(options.bmc.max_induction),
-            };
-            match check_safety(&compiled.model, *index, &quick) {
-                SafetyResult::Proven { induction_depth } => {
-                    return PropertyStatus::Proven(Proof::Induction {
-                        depth: induction_depth,
-                    })
-                }
-                SafetyResult::Violated(trace) => return PropertyStatus::Violated(trace),
-                SafetyResult::Unknown { .. } => {}
-            }
-            // PDR: the unbounded engine that closes the reachability-
-            // dependent proofs (counter-vs-state invariants) induction
-            // cannot, without the explicit engine's exponential cliff.
-            if !options.disable_pdr {
-                match check_pdr(&compiled.model, *index, &options.pdr) {
-                    PdrResult::Proven(invariant) => {
-                        return PropertyStatus::Proven(invariant_proof(
-                            &invariant,
-                            &compiled.model.aig,
-                        ))
-                    }
-                    PdrResult::Violated(trace) => return PropertyStatus::Violated(trace),
-                    PdrResult::Unknown { .. } => {}
-                }
-            }
-            let bad = compiled.model.bads[*index].lit;
-            if let Some(bundle) = explicit.bundle(compiled, options) {
-                match bundle.engine.check_bad(bad) {
-                    ExplicitResult::Proven => return PropertyStatus::Proven(Proof::Reachability),
-                    ExplicitResult::Violated(trace) => return PropertyStatus::Violated(trace),
-                    ExplicitResult::Exceeded => {}
-                }
-            }
-            // Exact engines unavailable: fall back to the full-depth bounded
-            // engines.
-            match check_safety(&compiled.model, *index, &options.bmc) {
-                SafetyResult::Proven { induction_depth } => {
-                    PropertyStatus::Proven(Proof::Induction {
-                        depth: induction_depth,
-                    })
-                }
-                SafetyResult::Violated(trace) => PropertyStatus::Violated(trace),
-                SafetyResult::Unknown { .. } => PropertyStatus::Unknown,
-            }
+        CachedVerdict::Reachability => PropertyStatus::Proven(Proof::Reachability),
+        CachedVerdict::Unreachable => PropertyStatus::Unreachable,
+        CachedVerdict::Violated(trace) => PropertyStatus::Violated(trace),
+        CachedVerdict::Covered(trace) => PropertyStatus::Covered(trace),
+    }
+}
+
+fn store(cache: Option<&ProofCache>, key: &CacheKey, outcome: CachedOutcome) {
+    if let Some(cache) = cache {
+        cache.store(key.clone(), outcome);
+    }
+}
+
+fn run_task(task: &PropertyTask, ctx: &TaskCtx<'_>) -> (PropertyStatus, Option<String>) {
+    match &task.kind {
+        TaskKind::Done(status) => (status.clone(), None),
+        TaskKind::Safety { model, index, fp } => check_safety_task(model, *index, *fp, ctx),
+        TaskKind::Cover { model, index, fp } => check_cover_task(model, *index, *fp, ctx),
+        TaskKind::Liveness {
+            base,
+            l2s,
+            index,
+            fp,
+        } => check_liveness_task(base, l2s, *index, *fp, ctx),
+    }
+}
+
+fn check_safety_task(
+    model: &Model,
+    index: usize,
+    fp: Fingerprint,
+    ctx: &TaskCtx<'_>,
+) -> (PropertyStatus, Option<String>) {
+    let options = ctx.options;
+    let cache = options.parallel.cache.as_ref();
+    let bad = model.bads[index].lit;
+    let key = CacheKey {
+        fingerprint: fp,
+        property: model.bads[index].name.clone(),
+    };
+    if let Some(cache) = cache {
+        if let Some(verdict) = cache.lookup(&key, model, bad) {
+            return (cached_status(verdict, model), None);
         }
-        CompiledKind::Cover(index) => {
-            let quick = BmcOptions {
-                max_depth: options.quick_bmc_depth.min(options.bmc.max_depth),
-                max_induction: 3.min(options.bmc.max_induction),
-            };
-            match check_cover(&compiled.model, *index, &quick) {
-                CoverResult::Covered(trace) => return PropertyStatus::Covered(trace),
-                CoverResult::Unreachable => return PropertyStatus::Unreachable,
-                CoverResult::Unknown { .. } => {}
-            }
-            let target = compiled.model.covers[*index].lit;
-            // PDR decides reachability of the cover target: a "proof" means
-            // the target is unreachable, a "counterexample" is the witness.
-            if !options.disable_pdr {
-                match check_pdr_lit(&compiled.model, target, &options.pdr) {
-                    PdrResult::Proven(_) => return PropertyStatus::Unreachable,
-                    PdrResult::Violated(trace) => return PropertyStatus::Covered(trace),
-                    PdrResult::Unknown { .. } => {}
-                }
-            }
-            if let Some(bundle) = explicit.bundle(compiled, options) {
-                match bundle.engine.check_cover(target) {
-                    ExplicitResult::Proven => return PropertyStatus::Unreachable,
-                    ExplicitResult::Violated(trace) => return PropertyStatus::Covered(trace),
-                    ExplicitResult::Exceeded => {}
-                }
-            }
-            match check_cover(&compiled.model, *index, &options.bmc) {
-                CoverResult::Covered(trace) => PropertyStatus::Covered(trace),
-                CoverResult::Unreachable => PropertyStatus::Unreachable,
-                CoverResult::Unknown { .. } => PropertyStatus::Unknown,
-            }
+    }
+    let budget = Budget::start(options);
+    // Quick, shallow BMC first: it produces the shortest traces for the
+    // common "bug within a few cycles" case at minimal cost.
+    let quick = BmcOptions {
+        max_depth: options.quick_bmc_depth.min(options.bmc.max_depth),
+        max_induction: 3.min(options.bmc.max_induction),
+    };
+    match check_safety(model, index, &quick) {
+        SafetyResult::Proven { induction_depth } => {
+            store(
+                cache,
+                &key,
+                CachedOutcome::Induction {
+                    depth: induction_depth,
+                },
+            );
+            return (
+                PropertyStatus::Proven(Proof::Induction {
+                    depth: induction_depth,
+                }),
+                None,
+            );
         }
-        CompiledKind::Liveness(index) => {
-            let l2s = l2s.expect("liveness model exists when liveness properties exist");
-            // The index into the original model's liveness vector equals the
-            // index into the transformed model's bad vector.  BMC on the
-            // transformed model finds short counterexample lassos; proofs
-            // fall through to PDR and then to the exact engine.
-            let quick = BmcOptions {
-                max_depth: options.quick_bmc_depth.min(options.liveness_bmc.max_depth),
-                max_induction: options.liveness_bmc.max_induction.min(3),
-            };
-            match check_safety(&l2s.model, *index, &quick) {
-                SafetyResult::Proven { induction_depth } => {
-                    return PropertyStatus::Proven(Proof::Induction {
-                        depth: induction_depth,
-                    })
-                }
-                SafetyResult::Violated(trace) => return PropertyStatus::Violated(trace),
-                SafetyResult::Unknown { .. } => {}
-            }
-            if !options.disable_pdr {
-                match check_pdr(&l2s.model, *index, &options.pdr) {
-                    PdrResult::Proven(invariant) => {
-                        return PropertyStatus::Proven(invariant_proof(&invariant, &l2s.model.aig))
-                    }
-                    PdrResult::Violated(trace) => return PropertyStatus::Violated(trace),
-                    PdrResult::Unknown { .. } => {}
-                }
-            }
-            if let Some(bundle) = explicit.bundle(compiled, options) {
-                let pending = bundle.assert_pendings[*index];
-                match bundle.engine.check_liveness(pending, &bundle.fair_pendings) {
-                    ExplicitResult::Proven => return PropertyStatus::Proven(Proof::Reachability),
-                    ExplicitResult::Violated(trace) => return PropertyStatus::Violated(trace),
-                    ExplicitResult::Exceeded => {}
-                }
-            }
-            match check_safety(&l2s.model, *index, &options.liveness_bmc) {
-                SafetyResult::Proven { induction_depth } => {
-                    PropertyStatus::Proven(Proof::Induction {
-                        depth: induction_depth,
-                    })
-                }
-                SafetyResult::Violated(trace) => PropertyStatus::Violated(trace),
-                SafetyResult::Unknown { .. } => PropertyStatus::Unknown,
-            }
+        SafetyResult::Violated(trace) => {
+            store(cache, &key, CachedOutcome::Violated(trace.clone()));
+            return (PropertyStatus::Violated(trace), None);
         }
+        SafetyResult::Unknown { .. } => {}
+    }
+    if budget.exhausted() {
+        return (PropertyStatus::Unknown, budget.note(options));
+    }
+    // PDR: the unbounded engine that closes the reachability-dependent
+    // proofs (counter-vs-state invariants) induction cannot, without the
+    // explicit engine's exponential cliff.
+    if !options.disable_pdr {
+        match check_pdr(model, index, &options.pdr) {
+            PdrResult::Proven(invariant) => {
+                store(
+                    cache,
+                    &key,
+                    CachedOutcome::Invariant {
+                        clauses: invariant.clauses().to_vec(),
+                        frames: invariant.frames_explored,
+                    },
+                );
+                return (
+                    PropertyStatus::Proven(invariant_proof(&invariant, &model.aig)),
+                    None,
+                );
+            }
+            PdrResult::Violated(trace) => {
+                store(cache, &key, CachedOutcome::Violated(trace.clone()));
+                return (PropertyStatus::Violated(trace), None);
+            }
+            PdrResult::Unknown { .. } => {}
+        }
+    }
+    if budget.exhausted() {
+        return (PropertyStatus::Unknown, budget.note(options));
+    }
+    if let Some(bundle) = explicit_bundle(ctx, fp, model) {
+        match bundle.engine.check_bad(bad) {
+            ExplicitResult::Proven => {
+                store(cache, &key, CachedOutcome::Reachability);
+                return (PropertyStatus::Proven(Proof::Reachability), None);
+            }
+            ExplicitResult::Violated(trace) => {
+                store(cache, &key, CachedOutcome::Violated(trace.clone()));
+                return (PropertyStatus::Violated(trace), None);
+            }
+            ExplicitResult::Exceeded => {}
+        }
+    }
+    if budget.exhausted() {
+        return (PropertyStatus::Unknown, budget.note(options));
+    }
+    // Exact engines unavailable: fall back to the full-depth bounded
+    // engines.
+    match check_safety(model, index, &options.bmc) {
+        SafetyResult::Proven { induction_depth } => {
+            store(
+                cache,
+                &key,
+                CachedOutcome::Induction {
+                    depth: induction_depth,
+                },
+            );
+            (
+                PropertyStatus::Proven(Proof::Induction {
+                    depth: induction_depth,
+                }),
+                None,
+            )
+        }
+        SafetyResult::Violated(trace) => {
+            store(cache, &key, CachedOutcome::Violated(trace.clone()));
+            (PropertyStatus::Violated(trace), None)
+        }
+        SafetyResult::Unknown { .. } => (PropertyStatus::Unknown, None),
+    }
+}
+
+fn check_cover_task(
+    model: &Model,
+    index: usize,
+    fp: Fingerprint,
+    ctx: &TaskCtx<'_>,
+) -> (PropertyStatus, Option<String>) {
+    let options = ctx.options;
+    let cache = options.parallel.cache.as_ref();
+    let target = model.covers[index].lit;
+    let key = CacheKey {
+        fingerprint: fp,
+        property: model.covers[index].name.clone(),
+    };
+    if let Some(cache) = cache {
+        if let Some(verdict) = cache.lookup(&key, model, target) {
+            return (cached_status(verdict, model), None);
+        }
+    }
+    let budget = Budget::start(options);
+    let quick = BmcOptions {
+        max_depth: options.quick_bmc_depth.min(options.bmc.max_depth),
+        max_induction: 3.min(options.bmc.max_induction),
+    };
+    match check_cover(model, index, &quick) {
+        CoverResult::Covered(trace) => {
+            store(cache, &key, CachedOutcome::Covered(trace.clone()));
+            return (PropertyStatus::Covered(trace), None);
+        }
+        CoverResult::Unreachable => {
+            store(
+                cache,
+                &key,
+                CachedOutcome::Unreachable { certificate: None },
+            );
+            return (PropertyStatus::Unreachable, None);
+        }
+        CoverResult::Unknown { .. } => {}
+    }
+    if budget.exhausted() {
+        return (PropertyStatus::Unknown, budget.note(options));
+    }
+    // PDR decides reachability of the cover target: a "proof" means the
+    // target is unreachable, a "counterexample" is the witness.
+    if !options.disable_pdr {
+        match check_pdr_lit(model, target, &options.pdr) {
+            PdrResult::Proven(invariant) => {
+                store(
+                    cache,
+                    &key,
+                    CachedOutcome::Unreachable {
+                        certificate: Some((
+                            invariant.clauses().to_vec(),
+                            invariant.frames_explored,
+                        )),
+                    },
+                );
+                return (PropertyStatus::Unreachable, None);
+            }
+            PdrResult::Violated(trace) => {
+                store(cache, &key, CachedOutcome::Covered(trace.clone()));
+                return (PropertyStatus::Covered(trace), None);
+            }
+            PdrResult::Unknown { .. } => {}
+        }
+    }
+    if budget.exhausted() {
+        return (PropertyStatus::Unknown, budget.note(options));
+    }
+    if let Some(bundle) = explicit_bundle(ctx, fp, model) {
+        match bundle.engine.check_cover(target) {
+            ExplicitResult::Proven => {
+                store(
+                    cache,
+                    &key,
+                    CachedOutcome::Unreachable { certificate: None },
+                );
+                return (PropertyStatus::Unreachable, None);
+            }
+            ExplicitResult::Violated(trace) => {
+                store(cache, &key, CachedOutcome::Covered(trace.clone()));
+                return (PropertyStatus::Covered(trace), None);
+            }
+            ExplicitResult::Exceeded => {}
+        }
+    }
+    if budget.exhausted() {
+        return (PropertyStatus::Unknown, budget.note(options));
+    }
+    match check_cover(model, index, &options.bmc) {
+        CoverResult::Covered(trace) => {
+            store(cache, &key, CachedOutcome::Covered(trace.clone()));
+            (PropertyStatus::Covered(trace), None)
+        }
+        CoverResult::Unreachable => {
+            store(
+                cache,
+                &key,
+                CachedOutcome::Unreachable { certificate: None },
+            );
+            (PropertyStatus::Unreachable, None)
+        }
+        CoverResult::Unknown { .. } => (PropertyStatus::Unknown, None),
+    }
+}
+
+fn check_liveness_task(
+    base: &Model,
+    l2s: &LivenessSafetyModel,
+    index: usize,
+    fp: Fingerprint,
+    ctx: &TaskCtx<'_>,
+) -> (PropertyStatus, Option<String>) {
+    let options = ctx.options;
+    let cache = options.parallel.cache.as_ref();
+    let model = &l2s.model;
+    let bad = model.bads[index].lit;
+    let key = CacheKey {
+        fingerprint: fp,
+        property: model.bads[index].name.clone(),
+    };
+    if let Some(cache) = cache {
+        if let Some(verdict) = cache.lookup(&key, model, bad) {
+            return (cached_status(verdict, model), None);
+        }
+    }
+    let budget = Budget::start(options);
+    // The index into the base model's liveness vector equals the index into
+    // the transformed model's bad vector.  BMC on the transformed model
+    // finds short counterexample lassos; proofs fall through to PDR and
+    // then to the exact engine.
+    let quick = BmcOptions {
+        max_depth: options.quick_bmc_depth.min(options.liveness_bmc.max_depth),
+        max_induction: options.liveness_bmc.max_induction.min(3),
+    };
+    match check_safety(model, index, &quick) {
+        SafetyResult::Proven { induction_depth } => {
+            store(
+                cache,
+                &key,
+                CachedOutcome::Induction {
+                    depth: induction_depth,
+                },
+            );
+            return (
+                PropertyStatus::Proven(Proof::Induction {
+                    depth: induction_depth,
+                }),
+                None,
+            );
+        }
+        SafetyResult::Violated(trace) => {
+            store(cache, &key, CachedOutcome::Violated(trace.clone()));
+            return (PropertyStatus::Violated(trace), None);
+        }
+        SafetyResult::Unknown { .. } => {}
+    }
+    if budget.exhausted() {
+        return (PropertyStatus::Unknown, budget.note(options));
+    }
+    if !options.disable_pdr {
+        match check_pdr(model, index, &options.pdr) {
+            PdrResult::Proven(invariant) => {
+                store(
+                    cache,
+                    &key,
+                    CachedOutcome::Invariant {
+                        clauses: invariant.clauses().to_vec(),
+                        frames: invariant.frames_explored,
+                    },
+                );
+                return (
+                    PropertyStatus::Proven(invariant_proof(&invariant, &model.aig)),
+                    None,
+                );
+            }
+            PdrResult::Violated(trace) => {
+                store(cache, &key, CachedOutcome::Violated(trace.clone()));
+                return (PropertyStatus::Violated(trace), None);
+            }
+            PdrResult::Unknown { .. } => {}
+        }
+    }
+    if budget.exhausted() {
+        return (PropertyStatus::Unknown, budget.note(options));
+    }
+    if let Some(bundle) = explicit_bundle(ctx, fp, base) {
+        let pending = bundle.assert_pendings[index];
+        match bundle.engine.check_liveness(pending, &bundle.fair_pendings) {
+            ExplicitResult::Proven => {
+                store(cache, &key, CachedOutcome::Reachability);
+                return (PropertyStatus::Proven(Proof::Reachability), None);
+            }
+            // The explicit lasso lives on the monitor-augmented base model,
+            // not the L2S transform, so it is not cached (replay validation
+            // runs on the transform).
+            ExplicitResult::Violated(trace) => return (PropertyStatus::Violated(trace), None),
+            ExplicitResult::Exceeded => {}
+        }
+    }
+    if budget.exhausted() {
+        return (PropertyStatus::Unknown, budget.note(options));
+    }
+    match check_safety(model, index, &options.liveness_bmc) {
+        SafetyResult::Proven { induction_depth } => {
+            store(
+                cache,
+                &key,
+                CachedOutcome::Induction {
+                    depth: induction_depth,
+                },
+            );
+            (
+                PropertyStatus::Proven(Proof::Induction {
+                    depth: induction_depth,
+                }),
+                None,
+            )
+        }
+        SafetyResult::Violated(trace) => {
+            store(cache, &key, CachedOutcome::Violated(trace.clone()));
+            (PropertyStatus::Violated(trace), None)
+        }
+        SafetyResult::Unknown { .. } => (
+            PropertyStatus::Unknown,
+            Some(format!(
+                "bounded lasso search: counterexamples need stem+loop within {} cycles \
+                 (CheckOptions::liveness_bmc.max_depth); starvation scenarios with longer \
+                 stems would be missed",
+                options.liveness_bmc.max_depth
+            )),
+        ),
     }
 }
 
@@ -796,6 +1320,106 @@ endmodule
             "expected an explicit-reachability proof, got {:?}",
             had.status
         );
+    }
+
+    #[test]
+    fn sequential_and_parallel_runs_render_identically() {
+        let ft = generate_ft(ECHO_SLOW, &AutosvaOptions::default()).unwrap();
+        let mut sequential = CheckOptions::default();
+        sequential.parallel.threads = 1;
+        let mut parallel = CheckOptions::default();
+        parallel.parallel.threads = 4;
+        let seq = verify(ECHO_SLOW, &ft, &sequential).unwrap();
+        let par = verify(ECHO_SLOW, &ft, &parallel).unwrap();
+        assert_eq!(seq.render(), par.render());
+        // The timed rendering carries the same rows plus runtimes.
+        assert!(seq.render_timed().contains("proof rate"));
+    }
+
+    #[test]
+    fn slicing_off_matches_slicing_on() {
+        let ft = generate_ft(ECHO_GOOD, &AutosvaOptions::default()).unwrap();
+        let mut unsliced = CheckOptions::default();
+        unsliced.parallel.slice = false;
+        let sliced = verify(ECHO_GOOD, &ft, &CheckOptions::default()).unwrap();
+        let full = verify(ECHO_GOOD, &ft, &unsliced).unwrap();
+        // Same verdicts; the unsliced run reports the full model as every
+        // property's cone.
+        for (a, b) in sliced.results.iter().zip(&full.results) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(
+                format!("{}", a.status),
+                format!("{}", b.status),
+                "{}: sliced and unsliced verdicts diverge",
+                a.name
+            );
+            assert!(a.slice_latches <= b.slice_latches);
+        }
+        assert!(full
+            .checked()
+            .all(|r| r.slice_latches == full.model_latches));
+    }
+
+    #[test]
+    fn proof_cache_reuses_verdicts_across_runs() {
+        let ft = generate_ft(ECHO_SLOW, &AutosvaOptions::default()).unwrap();
+        let cache = crate::portfolio::ProofCache::new();
+        let mut options = CheckOptions::default();
+        options.parallel.cache = Some(cache.clone());
+
+        let cold = verify(ECHO_SLOW, &ft, &options).unwrap();
+        let cold_stats = cache.stats();
+        assert!(
+            cold_stats.insertions > 0,
+            "cold run must populate the cache"
+        );
+        assert_eq!(cold_stats.hits, 0);
+
+        let warm = verify(ECHO_SLOW, &ft, &options).unwrap();
+        let warm_stats = cache.stats();
+        assert!(
+            warm_stats.hits >= cold_stats.insertions,
+            "warm run must answer from the cache: {warm_stats:?}"
+        );
+        assert_eq!(warm_stats.rejected, 0, "no entry may fail re-validation");
+        assert_eq!(
+            cold.render(),
+            warm.render(),
+            "cache hits must not change the report"
+        );
+    }
+
+    #[test]
+    fn undecided_liveness_reports_the_lasso_bound_caveat() {
+        // With PDR and the explicit engine disabled and induction off, the
+        // (true) eventual-response obligation of the slow echo cannot be
+        // decided within the lasso bound — the report must say so.
+        let ft = generate_ft(ECHO_SLOW, &AutosvaOptions::default()).unwrap();
+        let mut options = CheckOptions::default();
+        options.disable_pdr = true;
+        options.disable_explicit = true;
+        options.liveness_bmc = BmcOptions {
+            max_depth: 2,
+            max_induction: 0,
+        };
+        let report = verify(ECHO_SLOW, &ft, &options).unwrap();
+        let undecided = report
+            .results
+            .iter()
+            .find(|r| {
+                r.class == PropertyClass::Liveness && matches!(r.status, PropertyStatus::Unknown)
+            })
+            .expect("an undecided liveness property");
+        let note = undecided.note.as_ref().expect("caveat note attached");
+        assert!(
+            note.contains("lasso"),
+            "note must explain the bound: {note}"
+        );
+        assert!(
+            note.contains("2"),
+            "note must state the configured bound: {note}"
+        );
+        assert!(report.render().contains("note:"));
     }
 
     #[test]

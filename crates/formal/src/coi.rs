@@ -1,0 +1,495 @@
+//! Per-property cone-of-influence reduction with content fingerprinting.
+//!
+//! AutoSVA's leverage is fan-out: one annotation line expands into many
+//! properties, but each property usually *observes* only a fraction of the
+//! compiled model — a response-integrity check never reads the free-running
+//! statistics counter sitting next to it, and one transaction's monitors are
+//! blind to another transaction's auxiliary state.  Every engine of the
+//! cascade nevertheless pays for the full latch set on every property.
+//!
+//! This module slices the model per property: starting from the property's
+//! root literals (plus every invariant constraint, which can prune paths of
+//! any latch it mentions, and — for liveness — every fairness assumption),
+//! it walks the transitive fanin through AND gates and latch next-state
+//! functions, then rebuilds a self-contained [`Model`] containing exactly
+//! the reachable nodes.  Slicing is verdict-preserving:
+//!
+//! * **safety / cover** — the sliced circuit computes bit-identical values
+//!   for every cone signal on every input sequence, so a bad/cover literal
+//!   is reachable in the slice iff it is reachable in the full model;
+//! * **liveness** — a fair counterexample lasso of the slice extends to a
+//!   full-model lasso (the non-cone latches are a deterministic finite
+//!   system driven by free inputs: under the lasso's periodic cone inputs
+//!   they eventually enter a periodic orbit, and the product of the two
+//!   periods closes a genuine full-state loop on which the cone signals —
+//!   hence the pending obligation and every fairness witness — repeat), and
+//!   conversely a full-model lasso projects onto the cone.
+//!
+//! Each slice carries a stable content [`Fingerprint`] over its entire
+//! functional description (structure, initial values, names, property
+//! literals).  Identical cones — across buggy/fixed design variants,
+//! repeated bench iterations, or properties generated from the same
+//! annotation — hash identically, which is what the proof cache
+//! ([`crate::portfolio::ProofCache`]) keys on.
+
+use crate::aig::{Aig, Lit, Node};
+use crate::model::Model;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Which property of a [`Model`] a slice is built for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SliceTarget {
+    /// Slice for `model.bads[i]`; the slice holds it as `bads[0]`.
+    Bad(usize),
+    /// Slice for `model.covers[i]`; the slice holds it as `covers[0]`.
+    Cover(usize),
+    /// Slice for `model.liveness[i]` (kept as `liveness[0]`) together with
+    /// every fairness assumption, which liveness checking depends on.
+    Liveness(usize),
+}
+
+/// A per-property slice: the reduced model plus its content fingerprint.
+#[derive(Debug, Clone)]
+pub struct Slice {
+    /// The self-contained sliced model (the target property at index 0).
+    pub model: Model,
+    /// Stable content hash of everything in `model`.
+    pub fingerprint: Fingerprint,
+}
+
+/// A 128-bit content hash of a sliced model, stable across processes and
+/// runs (pure FNV-1a over the model's canonical description — no pointer or
+/// allocation order leaks in).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub u64, pub u64);
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}{:016x}", self.0, self.1)
+    }
+}
+
+/// Incremental FNV-1a in two 64-bit lanes with distinct offset bases, giving
+/// a 128-bit digest without external dependencies.
+struct Fnv2 {
+    a: u64,
+    b: u64,
+}
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+impl Fnv2 {
+    fn new() -> Self {
+        Fnv2 {
+            a: 0xCBF2_9CE4_8422_2325,
+            // Second lane: the standard offset basis xored with a fixed
+            // constant so the lanes decorrelate from the first byte on.
+            b: 0xCBF2_9CE4_8422_2325 ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    fn byte(&mut self, x: u8) {
+        self.a = (self.a ^ u64::from(x)).wrapping_mul(FNV_PRIME);
+        self.b = (self.b ^ u64::from(x.rotate_left(3))).wrapping_mul(FNV_PRIME);
+    }
+
+    fn u32(&mut self, x: u32) {
+        for byte in x.to_le_bytes() {
+            self.byte(byte);
+        }
+    }
+
+    fn usize(&mut self, x: usize) {
+        self.u32(x as u32);
+        self.u32((x as u64 >> 32) as u32);
+    }
+
+    fn lit(&mut self, l: Lit) {
+        self.u32(l.raw());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        for byte in s.bytes() {
+            self.byte(byte);
+        }
+    }
+
+    fn finish(&self) -> Fingerprint {
+        Fingerprint(self.a, self.b)
+    }
+}
+
+/// Computes the stable content fingerprint of a model (used directly for
+/// un-sliced models, and by [`cone_of_influence`] for slices).
+pub fn fingerprint(model: &Model) -> Fingerprint {
+    let mut h = Fnv2::new();
+    let aig = &model.aig;
+    h.usize(aig.num_nodes());
+    for idx in 0..aig.num_nodes() {
+        match aig.node(idx) {
+            Node::False => h.byte(0),
+            Node::Input => h.byte(1),
+            Node::Latch => h.byte(2),
+            Node::And(a, b) => {
+                h.byte(3);
+                h.lit(a);
+                h.lit(b);
+            }
+        }
+        h.str(aig.name_of(idx).unwrap_or(""));
+    }
+    h.usize(aig.num_inputs());
+    for &node in aig.inputs() {
+        h.usize(node);
+    }
+    h.usize(aig.num_latches());
+    for latch in aig.latches() {
+        h.usize(latch.node);
+        h.byte(u8::from(latch.init));
+        h.lit(latch.next);
+    }
+    h.usize(model.bads.len());
+    for bad in &model.bads {
+        h.str(&bad.name);
+        h.lit(bad.lit);
+    }
+    h.usize(model.covers.len());
+    for cover in &model.covers {
+        h.str(&cover.name);
+        h.lit(cover.lit);
+    }
+    h.usize(model.constraints.len());
+    for &c in &model.constraints {
+        h.lit(c);
+    }
+    h.usize(model.liveness.len());
+    for p in &model.liveness {
+        h.str(&p.name);
+        h.lit(p.trigger);
+        h.lit(p.target);
+    }
+    h.usize(model.fairness.len());
+    for p in &model.fairness {
+        h.str(&p.name);
+        h.lit(p.trigger);
+        h.lit(p.target);
+    }
+    h.finish()
+}
+
+/// Builds the cone-of-influence slice of `model` for one property.
+///
+/// The slice keeps every node in the transitive fanin of the property's
+/// literals, all invariant constraints (a constraint over *any* latch can
+/// make full-model paths infeasible, so dropping one would be unsound), and
+/// — for liveness targets — every fairness assumption.  Latch initial
+/// values, input/latch/gate names and creation order are preserved, so
+/// traces and invariant renderings read identically to the full model.
+///
+/// # Panics
+///
+/// Panics if the target index is out of range for `model`.
+pub fn cone_of_influence(model: &Model, target: SliceTarget) -> Slice {
+    let aig = &model.aig;
+
+    // ------------------------------------------------------------------
+    // Roots.
+    // ------------------------------------------------------------------
+    let mut roots: Vec<Lit> = Vec::new();
+    match target {
+        SliceTarget::Bad(i) => roots.push(model.bads[i].lit),
+        SliceTarget::Cover(i) => roots.push(model.covers[i].lit),
+        SliceTarget::Liveness(i) => {
+            roots.push(model.liveness[i].trigger);
+            roots.push(model.liveness[i].target);
+            for f in &model.fairness {
+                roots.push(f.trigger);
+                roots.push(f.target);
+            }
+        }
+    }
+    roots.extend_from_slice(&model.constraints);
+
+    // ------------------------------------------------------------------
+    // Transitive fanin (latches pull in their next-state functions).
+    // ------------------------------------------------------------------
+    let next_of: HashMap<usize, Lit> = aig.latches().iter().map(|l| (l.node, l.next)).collect();
+    let mut in_cone = vec![false; aig.num_nodes()];
+    in_cone[0] = true; // the constant node always exists
+    let mut worklist: Vec<usize> = roots.iter().map(|l| l.node()).collect();
+    while let Some(node) = worklist.pop() {
+        if in_cone[node] {
+            continue;
+        }
+        in_cone[node] = true;
+        match aig.node(node) {
+            Node::False | Node::Input => {}
+            Node::Latch => worklist.push(next_of[&node].node()),
+            Node::And(a, b) => {
+                worklist.push(a.node());
+                worklist.push(b.node());
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Rebuild, in original node order (deterministic indices).
+    // ------------------------------------------------------------------
+    let mut sliced = Aig::new();
+    let mut map: HashMap<usize, Lit> = HashMap::new();
+    map.insert(0, Lit::FALSE);
+    let map_lit =
+        |map: &HashMap<usize, Lit>, l: Lit| -> Lit { map[&l.node()].invert_if(l.is_inverted()) };
+    let input_name_of: HashMap<usize, &str> = aig
+        .inputs()
+        .iter()
+        .enumerate()
+        .map(|(i, &node)| (node, aig.input_name(i)))
+        .collect();
+    for idx in 1..aig.num_nodes() {
+        if !in_cone[idx] {
+            continue;
+        }
+        let new_lit = match aig.node(idx) {
+            Node::False => unreachable!("only node 0 is the constant"),
+            Node::Input => sliced.add_input(input_name_of[&idx]),
+            Node::Latch => {
+                let latch = aig
+                    .latches()
+                    .iter()
+                    .find(|l| l.node == idx)
+                    .expect("cone latch exists");
+                sliced.add_latch(aig.name_of(idx).unwrap_or("latch"), latch.init)
+            }
+            Node::And(a, b) => {
+                let lit = {
+                    let (na, nb) = (map_lit(&map, a), map_lit(&map, b));
+                    sliced.and(na, nb)
+                };
+                if let Some(name) = aig.name_of(idx) {
+                    if !lit.is_const() {
+                        sliced.set_name(lit, name);
+                    }
+                }
+                lit
+            }
+        };
+        map.insert(idx, new_lit);
+    }
+    for latch in aig.latches() {
+        if in_cone[latch.node] {
+            let new_latch = map[&latch.node];
+            let new_next = map_lit(&map, latch.next);
+            sliced.set_latch_next(new_latch, new_next);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Sliced model.
+    // ------------------------------------------------------------------
+    let mut out = Model::new(sliced);
+    out.constraints = model
+        .constraints
+        .iter()
+        .map(|&c| map_lit(&map, c))
+        .collect();
+    match target {
+        SliceTarget::Bad(i) => {
+            let bad = &model.bads[i];
+            out.bads.push(crate::model::BadProperty {
+                name: bad.name.clone(),
+                lit: map_lit(&map, bad.lit),
+            });
+        }
+        SliceTarget::Cover(i) => {
+            let cover = &model.covers[i];
+            out.covers.push(crate::model::CoverProperty {
+                name: cover.name.clone(),
+                lit: map_lit(&map, cover.lit),
+            });
+        }
+        SliceTarget::Liveness(i) => {
+            let p = &model.liveness[i];
+            out.liveness.push(crate::model::ResponseProperty {
+                name: p.name.clone(),
+                trigger: map_lit(&map, p.trigger),
+                target: map_lit(&map, p.target),
+            });
+            out.fairness = model
+                .fairness
+                .iter()
+                .map(|f| crate::model::ResponseProperty {
+                    name: f.name.clone(),
+                    trigger: map_lit(&map, f.trigger),
+                    target: map_lit(&map, f.target),
+                })
+                .collect();
+        }
+    }
+    let fingerprint = fingerprint(&out);
+    Slice {
+        model: out,
+        fingerprint,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{BadProperty, ResponseProperty};
+
+    /// Two independent subsystems in one AIG: a request/busy bit driven by
+    /// input `req`, and a free-running 3-bit counter the property never
+    /// observes.
+    fn two_subsystems() -> (Model, Lit) {
+        let mut aig = Aig::new();
+        let req = aig.add_input("req");
+        let busy = aig.add_latch("busy", false);
+        let next_busy = aig.or(busy, req);
+        aig.set_latch_next(busy, next_busy);
+        // Unrelated counter.
+        let c0 = aig.add_latch("c0", false);
+        let c1 = aig.add_latch("c1", false);
+        let c2 = aig.add_latch("c2", false);
+        let n0 = aig.not(c0);
+        let n1 = aig.xor(c1, c0);
+        let carry = aig.and(c0, c1);
+        let n2 = aig.xor(c2, carry);
+        aig.set_latch_next(c0, n0);
+        aig.set_latch_next(c1, n1);
+        aig.set_latch_next(c2, n2);
+        let mut model = Model::new(aig);
+        model.bads.push(BadProperty {
+            name: "busy_without_req".into(),
+            lit: busy,
+        });
+        (model, req)
+    }
+
+    #[test]
+    fn slice_drops_unobserved_latches() {
+        let (model, _) = two_subsystems();
+        assert_eq!(model.aig.num_latches(), 4);
+        let slice = cone_of_influence(&model, SliceTarget::Bad(0));
+        assert_eq!(slice.model.aig.num_latches(), 1);
+        assert_eq!(slice.model.bads.len(), 1);
+        assert_eq!(slice.model.bads[0].name, "busy_without_req");
+        // The surviving latch keeps its name.
+        let latch = slice.model.aig.latches()[0];
+        assert_eq!(slice.model.aig.name_of(latch.node), Some("busy"));
+    }
+
+    #[test]
+    fn constraints_anchor_their_cone() {
+        let (mut model, _) = two_subsystems();
+        // A constraint over the unrelated counter forces it into the cone:
+        // an infeasible constraint can cut *all* paths, so it must be kept.
+        let c2 = Lit::new(model.aig.latches()[3].node, false);
+        model.constraints.push(c2.invert());
+        let slice = cone_of_influence(&model, SliceTarget::Bad(0));
+        assert_eq!(slice.model.aig.num_latches(), 4);
+        assert_eq!(slice.model.constraints.len(), 1);
+    }
+
+    #[test]
+    fn identical_cones_fingerprint_identically() {
+        let (model_a, _) = two_subsystems();
+        let (model_b, _) = two_subsystems();
+        let fa = cone_of_influence(&model_a, SliceTarget::Bad(0)).fingerprint;
+        let fb = cone_of_influence(&model_b, SliceTarget::Bad(0)).fingerprint;
+        assert_eq!(fa, fb);
+    }
+
+    #[test]
+    fn different_init_values_fingerprint_differently() {
+        let build = |init: bool| {
+            let mut aig = Aig::new();
+            let req = aig.add_input("req");
+            let busy = aig.add_latch("busy", init);
+            let next_busy = aig.or(busy, req);
+            aig.set_latch_next(busy, next_busy);
+            let mut model = Model::new(aig);
+            model.bads.push(BadProperty {
+                name: "busy_without_req".into(),
+                lit: busy,
+            });
+            model
+        };
+        let fa = cone_of_influence(&build(false), SliceTarget::Bad(0)).fingerprint;
+        let fb = cone_of_influence(&build(true), SliceTarget::Bad(0)).fingerprint;
+        assert_ne!(fa, fb);
+    }
+
+    #[test]
+    fn liveness_slice_keeps_fairness_cones() {
+        let mut aig = Aig::new();
+        let req = aig.add_input("req");
+        let gnt = aig.add_input("gnt");
+        let busy = aig.add_latch("busy", false);
+        let raised = aig.or(busy, req);
+        let next = aig.and(raised, gnt.invert());
+        aig.set_latch_next(busy, next);
+        // Unrelated latch.
+        let junk = aig.add_latch("junk", false);
+        aig.set_latch_next(junk, junk.invert());
+        // A latch observed only through the fairness assumption.
+        let fair_state = aig.add_latch("fair_state", false);
+        aig.set_latch_next(fair_state, gnt);
+        let mut model = Model::new(aig);
+        model.liveness.push(ResponseProperty {
+            name: "busy_clears".into(),
+            trigger: busy,
+            target: busy.invert(),
+        });
+        model.fairness.push(ResponseProperty {
+            name: "gnt_fair".into(),
+            trigger: fair_state,
+            target: gnt,
+        });
+        let slice = cone_of_influence(&model, SliceTarget::Liveness(0));
+        // `junk` is gone, `fair_state` stays (fairness root).
+        assert_eq!(slice.model.aig.num_latches(), 2);
+        assert_eq!(slice.model.liveness.len(), 1);
+        assert_eq!(slice.model.fairness.len(), 1);
+        let names: Vec<&str> = slice
+            .model
+            .aig
+            .latches()
+            .iter()
+            .filter_map(|l| slice.model.aig.name_of(l.node))
+            .collect();
+        assert!(names.contains(&"busy"));
+        assert!(names.contains(&"fair_state"));
+    }
+
+    #[test]
+    fn slice_of_full_cone_is_the_whole_model() {
+        // When the property observes everything, the slice is the model.
+        let mut aig = Aig::new();
+        let a = aig.add_latch("a", false);
+        let b = aig.add_latch("b", true);
+        aig.set_latch_next(a, b);
+        aig.set_latch_next(b, a);
+        let bad = aig.and(a, b);
+        let mut model = Model::new(aig);
+        model.bads.push(BadProperty {
+            name: "both".into(),
+            lit: bad,
+        });
+        let slice = cone_of_influence(&model, SliceTarget::Bad(0));
+        assert_eq!(slice.model.aig.num_latches(), 2);
+        assert_eq!(slice.model.aig.num_ands(), model.aig.num_ands());
+    }
+
+    #[test]
+    fn constant_target_slices_to_the_empty_cone() {
+        let (model, _) = two_subsystems();
+        let mut model = model;
+        model.bads[0].lit = Lit::FALSE;
+        let slice = cone_of_influence(&model, SliceTarget::Bad(0));
+        assert_eq!(slice.model.aig.num_latches(), 0);
+        assert_eq!(slice.model.bads[0].lit, Lit::FALSE);
+    }
+}

@@ -24,9 +24,17 @@
 //! * [`explicit`] — an exact explicit-state engine (bit-parallel reachability
 //!   and fairness-aware SCC analysis) kept as the last-resort fallback for
 //!   small designs and liveness under fairness;
-//! * [`checker`] — the portfolio driver tying everything together (the
-//!   cascade runs BMC, k-induction, PDR, then the explicit engine) and
-//!   producing per-property reports with counterexample [`trace`]s.
+//! * [`coi`] — per-property cone-of-influence slicing with stable content
+//!   fingerprints, so every property is checked on exactly the circuit it
+//!   observes;
+//! * [`portfolio`] — the parallel orchestration layer: a self-scheduling
+//!   worker pool over `std::thread`, per-property budgets, a shared
+//!   cancellation flag, and a fingerprint-keyed proof cache whose hits are
+//!   re-certified (invariants) or replayed (traces);
+//! * [`checker`] — the portfolio driver tying everything together (each
+//!   property runs the BMC → k-induction → PDR → explicit cascade on its
+//!   own slice, concurrently) and producing deterministic per-property
+//!   reports with counterexample [`trace`]s.
 //!
 //! # Quick start
 //!
@@ -60,11 +68,13 @@
 pub mod aig;
 pub mod bmc;
 pub mod checker;
+pub mod coi;
 pub mod compile;
 pub mod elab;
 pub mod explicit;
 pub mod model;
 pub mod pdr;
+pub mod portfolio;
 pub mod sat;
 pub mod sim;
 pub mod trace;

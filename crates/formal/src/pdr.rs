@@ -75,6 +75,18 @@ pub struct Invariant {
 }
 
 impl Invariant {
+    /// Rebuilds an invariant from raw clauses (disjunctions of latch
+    /// literals of the target model's AIG).
+    ///
+    /// Used by the proof cache to reconstitute a stored certificate; the
+    /// result carries no guarantee until [`Invariant::certify`] accepts it.
+    pub fn from_clauses(clauses: Vec<Vec<Lit>>, frames_explored: usize) -> Invariant {
+        Invariant {
+            clauses,
+            frames_explored,
+        }
+    }
+
     /// The clauses of the invariant (disjunctions of latch literals).
     pub fn clauses(&self) -> &[Vec<Lit>] {
         &self.clauses
@@ -750,6 +762,12 @@ impl<'a> Pdr<'a> {
                     frames_explored: self.frames.len() - 1,
                 };
             }
+            // Between frames: garbage-collect the clause database.  Every
+            // blocked-cube query retires its temporary ¬cube clause through
+            // a negated activation unit, and learnt clauses satisfied at
+            // level 0 accumulate with them — the blocking phase above is
+            // where both pile up.
+            self.unroller.simplify();
             self.push_frame();
             if let Some(invariant) = self.propagate_clauses() {
                 return PdrResult::Proven(invariant);

@@ -1,0 +1,537 @@
+//! Parallel verification orchestration: scheduling, budgets and the proof
+//! cache.
+//!
+//! The checker turns every property of a testbench into an independent task
+//! on its own cone-of-influence slice (see [`crate::coi`]); this module
+//! supplies the machinery that runs those tasks:
+//!
+//! * [`ParallelOptions`] — the orchestration knobs on
+//!   [`crate::checker::CheckOptions`]: worker count (`threads = 1` is the
+//!   sequential escape hatch), slicing on/off, an optional per-property time
+//!   budget, first-violation cancellation, and an optional [`ProofCache`];
+//! * [`run_ordered`] — a self-scheduling worker pool over [`std::thread`]
+//!   (no external dependencies): idle workers steal the next property index
+//!   from a shared atomic queue head, results land in annotation order, and
+//!   a shared cancellation flag stops the fleet early.  Statuses are
+//!   deterministic — every engine is single-threaded and runs on an
+//!   identical slice regardless of interleaving — so a report assembled
+//!   from a parallel run renders byte-identically to a sequential one;
+//! * [`ProofCache`] — a process-wide store keyed by *slice fingerprint +
+//!   property name*.  Identical cones (buggy/fixed design variants,
+//!   repeated bench iterations, properties stamped out by the same
+//!   annotation) reuse verdicts instead of re-running engines.  Cache hits
+//!   are never trusted blindly where an artifact can be re-checked: PDR
+//!   invariants are re-certified against the slice with an independent SAT
+//!   check, and counterexample/witness traces are replayed through the
+//!   two-state simulator; entries that fail validation are evicted and the
+//!   property is re-verified from scratch.
+
+use crate::aig::Lit;
+use crate::coi::Fingerprint;
+use crate::model::{BadProperty, Model};
+use crate::pdr::Invariant;
+use crate::sim::Simulator;
+use crate::trace::Trace;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Orchestration options for a verification run (part of
+/// [`crate::checker::CheckOptions`]).
+#[derive(Debug, Clone)]
+pub struct ParallelOptions {
+    /// Number of worker threads; `0` uses every available core, `1` is the
+    /// fully sequential escape hatch.
+    pub threads: usize,
+    /// Check each property on its cone-of-influence slice instead of the
+    /// full compiled model (verdict-preserving; see [`crate::coi`]).
+    pub slice: bool,
+    /// Wall-clock budget per property; a property still undecided when its
+    /// budget runs out between engine stages reports
+    /// [`crate::checker::PropertyStatus::Unknown`] with an explanatory note.
+    /// Budgets make outcomes timing-dependent, so the default is `None`.
+    pub property_timeout: Option<Duration>,
+    /// Raise the shared cancellation flag as soon as any property is
+    /// violated; properties not yet started report `Unknown`.  Useful for
+    /// bug-hunting sweeps; off by default because it makes reports depend on
+    /// scheduling order.
+    pub stop_on_violation: bool,
+    /// Share verified verdicts across runs keyed by slice fingerprint.
+    pub cache: Option<ProofCache>,
+}
+
+impl Default for ParallelOptions {
+    fn default() -> Self {
+        ParallelOptions {
+            threads: 0,
+            slice: true,
+            property_timeout: None,
+            stop_on_violation: false,
+            cache: None,
+        }
+    }
+}
+
+impl ParallelOptions {
+    /// The effective worker count: `threads`, or every available core when
+    /// `threads == 0`.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// Runs `run(i, &items[i])` for every item on up to `threads` workers and
+/// returns the results in item order.
+///
+/// Workers self-schedule from a shared queue head, so long-running
+/// properties never block short ones behind a static partition.  When
+/// `cancel` is raised, remaining unstarted items yield `None`; items whose
+/// run already started complete normally.
+pub(crate) fn run_ordered<T, R, F>(
+    items: &[T],
+    threads: usize,
+    cancel: &AtomicBool,
+    run: F,
+) -> Vec<Option<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = threads.max(1).min(items.len().max(1));
+    if workers <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| {
+                if cancel.load(Ordering::Relaxed) {
+                    None
+                } else {
+                    Some(run(i, item))
+                }
+            })
+            .collect();
+    }
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                if cancel.load(Ordering::Relaxed) {
+                    continue;
+                }
+                let r = run(i, &items[i]);
+                let mut slots = results.lock().expect("result slots");
+                slots[i] = Some(r);
+            });
+        }
+    });
+    results.into_inner().expect("result slots")
+}
+
+/// Counters describing the effectiveness of a [`ProofCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache (after successful re-validation).
+    pub hits: u64,
+    /// Lookups that found no entry.
+    pub misses: u64,
+    /// Verdicts stored.
+    pub insertions: u64,
+    /// Entries evicted because re-validation (invariant certification or
+    /// trace replay) failed.
+    pub rejected: u64,
+}
+
+/// The key of a cached verdict: the content fingerprint of the checked
+/// slice plus the property's full name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct CacheKey {
+    pub fingerprint: Fingerprint,
+    pub property: String,
+}
+
+/// A verdict as stored in the cache (artifacts in slice-literal terms).
+#[derive(Debug, Clone)]
+pub(crate) enum CachedOutcome {
+    /// k-induction proof at the recorded depth.
+    Induction {
+        /// Induction depth.
+        depth: usize,
+    },
+    /// PDR proof; the invariant clauses are re-certified on every hit.
+    Invariant {
+        /// Invariant clauses over slice latch literals.
+        clauses: Vec<Vec<Lit>>,
+        /// Frames explored when the proof closed.
+        frames: usize,
+    },
+    /// Explicit-engine (exhaustive reachability) proof.
+    Reachability,
+    /// Cover target proven unreachable; when PDR produced the proof the
+    /// invariant certificate is kept and re-checked on hits.
+    Unreachable {
+        /// `(clauses, frames)` of the PDR certificate, if one exists.
+        certificate: Option<(Vec<Vec<Lit>>, usize)>,
+    },
+    /// Counterexample; replayed through the simulator on every hit.
+    Violated(Trace),
+    /// Cover witness; replayed through the simulator on every hit.
+    Covered(Trace),
+}
+
+/// A cache hit after successful re-validation, in engine terms.
+#[derive(Debug, Clone)]
+pub(crate) enum CachedVerdict {
+    /// k-induction proof.
+    Induction {
+        /// Induction depth.
+        depth: usize,
+    },
+    /// Re-certified PDR invariant.
+    Invariant(Invariant),
+    /// Explicit-engine proof.
+    Reachability,
+    /// Cover target unreachable.
+    Unreachable,
+    /// Replayed counterexample.
+    Violated(Trace),
+    /// Replayed cover witness.
+    Covered(Trace),
+}
+
+#[derive(Default)]
+struct CacheInner {
+    entries: HashMap<CacheKey, CachedOutcome>,
+    stats: CacheStats,
+}
+
+/// A process-wide proof cache shared by verification runs (cheaply cloneable
+/// handle; clones share the same store).
+///
+/// See the module documentation for the validation performed on hits.
+#[derive(Clone, Default)]
+pub struct ProofCache {
+    inner: Arc<Mutex<CacheInner>>,
+}
+
+impl fmt::Debug for ProofCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.lock().expect("cache lock");
+        f.debug_struct("ProofCache")
+            .field("entries", &inner.entries.len())
+            .field("stats", &inner.stats)
+            .finish()
+    }
+}
+
+impl ProofCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        ProofCache::default()
+    }
+
+    /// Number of stored verdicts.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock").entries.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current hit/miss/insert/reject counters.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().expect("cache lock").stats
+    }
+
+    /// Drops every entry (counters are kept).
+    pub fn clear(&self) {
+        self.inner.lock().expect("cache lock").entries.clear();
+    }
+
+    /// Stores a verdict (last write wins).
+    pub(crate) fn store(&self, key: CacheKey, outcome: CachedOutcome) {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.stats.insertions += 1;
+        inner.entries.insert(key, outcome);
+    }
+
+    /// Looks up and re-validates a verdict for a property checked on
+    /// `model` with bad/cover literal `target`.
+    ///
+    /// The entry (if any) was produced on a slice with the same content
+    /// fingerprint, so validation failure indicates a hash collision or a
+    /// corrupted entry — the entry is evicted and `None` returned so the
+    /// property is re-verified from scratch.
+    pub(crate) fn lookup(
+        &self,
+        key: &CacheKey,
+        model: &Model,
+        target: Lit,
+    ) -> Option<CachedVerdict> {
+        let outcome = {
+            let mut inner = self.inner.lock().expect("cache lock");
+            match inner.entries.get(key) {
+                Some(entry) => entry.clone(),
+                None => {
+                    inner.stats.misses += 1;
+                    return None;
+                }
+            }
+        };
+        // Validation runs outside the lock: certification and replay are
+        // real engine work and must not serialize the worker pool.
+        let verdict = match outcome {
+            CachedOutcome::Induction { depth } => Some(CachedVerdict::Induction { depth }),
+            CachedOutcome::Reachability => Some(CachedVerdict::Reachability),
+            CachedOutcome::Invariant { clauses, frames } => {
+                let invariant = Invariant::from_clauses(clauses, frames);
+                if invariant.certify(model, target) {
+                    Some(CachedVerdict::Invariant(invariant))
+                } else {
+                    None
+                }
+            }
+            CachedOutcome::Unreachable { certificate } => match certificate {
+                None => Some(CachedVerdict::Unreachable),
+                Some((clauses, frames)) => {
+                    let invariant = Invariant::from_clauses(clauses, frames);
+                    if invariant.certify(model, target) {
+                        Some(CachedVerdict::Unreachable)
+                    } else {
+                        None
+                    }
+                }
+            },
+            CachedOutcome::Violated(trace) => {
+                if replay_confirms(model, target, &trace) {
+                    Some(CachedVerdict::Violated(trace))
+                } else {
+                    None
+                }
+            }
+            CachedOutcome::Covered(trace) => {
+                if replay_confirms(model, target, &trace) {
+                    Some(CachedVerdict::Covered(trace))
+                } else {
+                    None
+                }
+            }
+        };
+        let mut inner = self.inner.lock().expect("cache lock");
+        match verdict {
+            Some(v) => {
+                inner.stats.hits += 1;
+                Some(v)
+            }
+            None => {
+                inner.stats.rejected += 1;
+                inner.entries.remove(key);
+                None
+            }
+        }
+    }
+}
+
+/// Replays a cached trace through the two-state simulator: the target
+/// literal must fire at the final cycle and every invariant constraint must
+/// hold throughout.
+fn replay_confirms(model: &Model, target: Lit, trace: &Trace) -> bool {
+    if trace.is_empty() {
+        return false;
+    }
+    let mut check_model = model.clone();
+    check_model.bads = vec![BadProperty {
+        name: "__cached_target__".into(),
+        lit: target,
+    }];
+    let input_names: Vec<String> = (0..model.aig.num_inputs())
+        .map(|i| model.aig.input_name(i).to_string())
+        .collect();
+    let mut sim = Simulator::new(&check_model);
+    let mut fired_last = false;
+    for cycle in 0..trace.len() {
+        let inputs: HashMap<String, bool> = input_names
+            .iter()
+            .map(|n| (n.clone(), trace.value(cycle, n).unwrap_or(false)))
+            .collect();
+        let violations = sim.step(&inputs);
+        if violations
+            .iter()
+            .any(|v| v.property.starts_with("constraint_"))
+        {
+            return false;
+        }
+        fired_last = violations.iter().any(|v| v.property == "__cached_target__");
+    }
+    fired_last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aig::Aig;
+
+    #[test]
+    fn run_ordered_preserves_item_order() {
+        let items: Vec<usize> = (0..64).collect();
+        let cancel = AtomicBool::new(false);
+        let out = run_ordered(&items, 8, &cancel, |i, &item| {
+            assert_eq!(i, item);
+            item * 2
+        });
+        let values: Vec<usize> = out.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(values, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_ordered_sequential_matches_parallel() {
+        let items: Vec<usize> = (0..32).collect();
+        let cancel = AtomicBool::new(false);
+        let seq = run_ordered(&items, 1, &cancel, |_, &x| x + 1);
+        let par = run_ordered(&items, 4, &cancel, |_, &x| x + 1);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn cancelled_items_yield_none() {
+        let items: Vec<usize> = (0..8).collect();
+        let cancel = AtomicBool::new(true);
+        let out = run_ordered(&items, 4, &cancel, |_, &x| x);
+        assert!(out.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn effective_threads_resolves_auto() {
+        let auto = ParallelOptions::default();
+        assert!(auto.effective_threads() >= 1);
+        let one = ParallelOptions {
+            threads: 1,
+            ..ParallelOptions::default()
+        };
+        assert_eq!(one.effective_threads(), 1);
+    }
+
+    /// One latch driven by one input, bad when the latch is high.
+    fn tiny_model() -> (Model, Lit) {
+        let mut aig = Aig::new();
+        let x = aig.add_input("x");
+        let q = aig.add_latch("q", false);
+        aig.set_latch_next(q, x);
+        let mut model = Model::new(aig);
+        model.bads.push(BadProperty {
+            name: "q_high".into(),
+            lit: q,
+        });
+        (model, q)
+    }
+
+    fn key() -> CacheKey {
+        CacheKey {
+            fingerprint: Fingerprint(1, 2),
+            property: "q_high".into(),
+        }
+    }
+
+    #[test]
+    fn violated_entries_replay_on_hit() {
+        let (model, q) = tiny_model();
+        let cache = ProofCache::new();
+        // A genuine 2-cycle counterexample: x=1 at cycle 0, q=1 at cycle 1.
+        let mut trace = Trace::new(2);
+        trace.record(0, "x", true, true);
+        trace.record(1, "q", true, false);
+        cache.store(key(), CachedOutcome::Violated(trace));
+        match cache.lookup(&key(), &model, q) {
+            Some(CachedVerdict::Violated(t)) => assert_eq!(t.len(), 2),
+            other => panic!("expected replayed violation, got {other:?}"),
+        }
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn bogus_traces_are_evicted() {
+        let (model, q) = tiny_model();
+        let cache = ProofCache::new();
+        // x never high: the bad state is not reached and replay must fail.
+        let mut trace = Trace::new(2);
+        trace.record(0, "x", false, true);
+        cache.store(key(), CachedOutcome::Violated(trace));
+        assert!(cache.lookup(&key(), &model, q).is_none());
+        assert_eq!(cache.stats().rejected, 1);
+        assert!(cache.is_empty(), "failed entries must be evicted");
+    }
+
+    #[test]
+    fn invariants_are_recertified_on_hit() {
+        // busy-sticky model where "!q" is NOT inductive (input can set q):
+        // a bogus invariant entry must be rejected.
+        let (model, q) = tiny_model();
+        let cache = ProofCache::new();
+        cache.store(
+            key(),
+            CachedOutcome::Invariant {
+                clauses: vec![vec![q.invert()]],
+                frames: 1,
+            },
+        );
+        assert!(cache.lookup(&key(), &model, q).is_none());
+        assert_eq!(cache.stats().rejected, 1);
+
+        // A model where the latch really never rises (next = FALSE): the
+        // empty invariant certifies (q is initially low and stays low).
+        let mut aig = Aig::new();
+        let q2 = aig.add_latch("q", false);
+        aig.set_latch_next(q2, Lit::FALSE);
+        let mut safe = Model::new(aig);
+        safe.bads.push(BadProperty {
+            name: "q_high".into(),
+            lit: q2,
+        });
+        cache.store(
+            key(),
+            CachedOutcome::Invariant {
+                clauses: vec![vec![q2.invert()]],
+                frames: 1,
+            },
+        );
+        match cache.lookup(&key(), &safe, q2) {
+            Some(CachedVerdict::Invariant(inv)) => assert_eq!(inv.num_clauses(), 1),
+            other => panic!("expected certified invariant, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn induction_entries_hit_directly() {
+        let (model, q) = tiny_model();
+        let cache = ProofCache::new();
+        cache.store(key(), CachedOutcome::Induction { depth: 3 });
+        match cache.lookup(&key(), &model, q) {
+            Some(CachedVerdict::Induction { depth }) => assert_eq!(depth, 3),
+            other => panic!("expected induction hit, got {other:?}"),
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.insertions), (1, 0, 1));
+        // A different property name misses.
+        let other_key = CacheKey {
+            fingerprint: Fingerprint(1, 2),
+            property: "other".into(),
+        };
+        assert!(cache.lookup(&other_key, &model, q).is_none());
+        assert_eq!(cache.stats().misses, 1);
+    }
+}

@@ -523,6 +523,83 @@ impl Solver {
         (0..self.num_vars).find(|&v| self.assigns[v] == Assign::Unassigned)
     }
 
+    /// Garbage-collects the clause database at decision level 0.
+    ///
+    /// Removes every clause satisfied at level 0 — which is how clauses
+    /// guarded by a *retired* activation literal (the PDR pattern: assert
+    /// the negated activation as a unit) and stale learnt clauses leave the
+    /// database for good — and deletes level-0-falsified literals from the
+    /// clauses that remain, rebuilding the watch lists from scratch.
+    ///
+    /// Semantically a no-op: unit propagation already treats satisfied
+    /// clauses and false literals as inert; this reclaims the memory and
+    /// the watch-list traversal cost.  Returns `(clauses_removed,
+    /// literals_removed)`.
+    pub fn simplify(&mut self) -> (usize, usize) {
+        if self.unsat {
+            return (0, 0);
+        }
+        self.backtrack(0);
+        if self.propagate().is_some() {
+            self.unsat = true;
+            return (0, 0);
+        }
+        let old_clauses = std::mem::take(&mut self.clauses);
+        for watch_list in &mut self.watches {
+            watch_list.clear();
+        }
+        // Reasons of level-0 assignments may point at clause indices that
+        // are about to be compacted away; level-0 literals are never
+        // resolved on, so the references can simply be dropped.
+        for i in 0..self.trail.len() {
+            self.reasons[self.trail[i].var()] = NO_REASON;
+        }
+        let mut removed_clauses = 0;
+        let mut removed_lits = 0;
+        'clauses: for mut clause in old_clauses {
+            let mut i = 0;
+            while i < clause.lits.len() {
+                match self.lit_value(clause.lits[i]) {
+                    Some(true) => {
+                        removed_clauses += 1;
+                        continue 'clauses;
+                    }
+                    Some(false) => {
+                        clause.lits.swap_remove(i);
+                        removed_lits += 1;
+                    }
+                    None => i += 1,
+                }
+            }
+            // After a conflict-free level-0 propagation every surviving
+            // clause has at least two unassigned literals; handle the
+            // shorter shapes defensively anyway.
+            match clause.lits.len() {
+                0 => {
+                    self.unsat = true;
+                    return (removed_clauses, removed_lits);
+                }
+                1 => {
+                    removed_clauses += 1;
+                    if !self.enqueue(clause.lits[0], NO_REASON) {
+                        self.unsat = true;
+                        return (removed_clauses, removed_lits);
+                    }
+                }
+                _ => {
+                    let idx = self.clauses.len();
+                    self.watch(clause.lits[0], idx);
+                    self.watch(clause.lits[1], idx);
+                    self.clauses.push(clause);
+                }
+            }
+        }
+        if self.propagate().is_some() {
+            self.unsat = true;
+        }
+        (removed_clauses, removed_lits)
+    }
+
     /// After an [`SatResult::Unsat`] answer from [`Solver::solve`], the
     /// subset of the assumption literals that sufficed for the conflict (the
     /// *final conflict*).  Empty when the clause database is unsatisfiable
@@ -851,6 +928,91 @@ mod tests {
             }
         }
         assert!(unsat_seen > 0, "test never exercised the Unsat path");
+    }
+
+    #[test]
+    fn simplify_removes_retired_activation_clauses() {
+        let mut s = Solver::new();
+        let act = s.new_var();
+        let x = s.new_var();
+        let y = s.new_var();
+        s.add_clause(&[SatLit::neg(act), SatLit::pos(x)]);
+        s.add_clause(&[SatLit::neg(act), SatLit::pos(y)]);
+        s.add_clause(&[SatLit::pos(x), SatLit::pos(y)]);
+        assert_eq!(s.num_clauses(), 3);
+        // Retire the activation literal for good (the PDR pattern).
+        s.add_clause(&[SatLit::neg(act)]);
+        let (clauses_removed, _) = s.simplify();
+        assert_eq!(clauses_removed, 2);
+        assert_eq!(s.num_clauses(), 1);
+        // The retired clauses no longer constrain x and y.
+        assert_eq!(s.solve(&[SatLit::neg(x)]), SatResult::Sat);
+        assert_eq!(s.value(y), Some(true));
+    }
+
+    #[test]
+    fn simplify_strips_false_literals() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        let c = s.new_var();
+        s.add_clause(&[SatLit::pos(a), SatLit::pos(b), SatLit::pos(c)]);
+        s.add_clause(&[SatLit::neg(a)]);
+        let (clauses_removed, lits_removed) = s.simplify();
+        assert_eq!(clauses_removed, 0);
+        assert_eq!(lits_removed, 1);
+        // The shrunk clause (b | c) still constrains correctly.
+        assert_eq!(s.solve(&[SatLit::neg(b)]), SatResult::Sat);
+        assert_eq!(s.value(c), Some(true));
+        assert_eq!(s.solve(&[SatLit::neg(b), SatLit::neg(c)]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn simplify_preserves_answers_on_random_instances() {
+        // Interleaving simplify() with solving must never change a verdict:
+        // build the same instance into a plain solver and a simplified one
+        // and compare under identical assumptions.
+        let mut seed: u64 = 0xC0FFEE;
+        let mut next = || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..40 {
+            let num_vars = 8;
+            let clauses: Vec<Vec<SatLit>> = (0..24)
+                .map(|_| {
+                    (0..3)
+                        .map(|_| SatLit::new((next() % num_vars as u64) as usize, next() % 2 == 0))
+                        .collect()
+                })
+                .collect();
+            let mut plain = Solver::new();
+            let mut gc = Solver::new();
+            for _ in 0..num_vars {
+                plain.new_var();
+                gc.new_var();
+            }
+            for (i, clause) in clauses.iter().enumerate() {
+                plain.add_clause(clause);
+                gc.add_clause(clause);
+                if i == clauses.len() / 2 {
+                    // Mid-build solve generates learnt clauses to collect.
+                    let _ = gc.solve(&[]);
+                    gc.simplify();
+                }
+            }
+            gc.simplify();
+            let assumptions: Vec<SatLit> = (0..3)
+                .map(|_| SatLit::new((next() % num_vars as u64) as usize, next() % 2 == 0))
+                .collect();
+            assert_eq!(
+                plain.solve(&assumptions),
+                gc.solve(&assumptions),
+                "simplify changed the verdict on {clauses:?} under {assumptions:?}"
+            );
+        }
     }
 
     #[test]

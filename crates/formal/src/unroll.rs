@@ -65,6 +65,12 @@ impl<'a> Unroller<'a> {
         self.solver.unsat_core()
     }
 
+    /// Garbage-collects the underlying solver's clause database (see
+    /// [`Solver::simplify`]); returns `(clauses_removed, literals_removed)`.
+    pub fn simplify(&mut self) -> (usize, usize) {
+        self.solver.simplify()
+    }
+
     /// The model value of a raw SAT literal after a satisfiable query
     /// (defaults to `false` for irrelevant variables).
     pub fn sat_value(&self, lit: SatLit) -> bool {

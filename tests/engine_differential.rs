@@ -8,8 +8,12 @@
 //! invariant that re-certifies under an independent SAT check, and every
 //! PDR counterexample must replay concretely in the two-state simulator.
 
+use autosva_bench::{build_testbench, default_check_options};
+use autosva_designs::{all_cases, elaborated, Variant};
 use autosva_formal::aig::{Aig, Lit};
 use autosva_formal::bmc::{check_safety, BmcOptions, SafetyResult};
+use autosva_formal::checker::verify_elaborated;
+use autosva_formal::coi::{cone_of_influence, SliceTarget};
 use autosva_formal::explicit::{ExplicitEngine, ExplicitOptions, ExplicitResult};
 use autosva_formal::model::{BadProperty, Model};
 use autosva_formal::pdr::{check_pdr, PdrOptions, PdrResult};
@@ -165,6 +169,121 @@ proptest! {
             PdrResult::Unknown { frames_explored } => {
                 panic!("PDR undecided on a tiny model (seed {seed}, {frames_explored} frames)")
             }
+        }
+    }
+
+    /// Cone-of-influence slicing is verdict-preserving: the sliced model
+    /// must agree with the full model (whose ground truth comes from
+    /// exhaustive explicit-state exploration) on every random AIG, under
+    /// both the bounded engines and PDR, and the slice never grows.
+    #[test]
+    fn sliced_and_unsliced_verdicts_agree(
+        seed in 1u64..u64::MAX,
+        num_latches in 2usize..6,
+        num_inputs in 1usize..3,
+        num_gates in 4usize..14,
+    ) {
+        let model = random_model(seed, num_latches, num_inputs, num_gates);
+        let slice = cone_of_influence(&model, SliceTarget::Bad(0));
+
+        prop_assert!(
+            slice.model.aig.num_latches() <= model.aig.num_latches(),
+            "slice grew the latch set (seed {seed})"
+        );
+        prop_assert!(
+            slice.model.aig.num_ands() <= model.aig.num_ands(),
+            "slice grew the gate count (seed {seed})"
+        );
+        // Re-slicing the same property yields the same fingerprint.
+        prop_assert_eq!(
+            cone_of_influence(&model, SliceTarget::Bad(0)).fingerprint,
+            slice.fingerprint
+        );
+
+        // Ground truth from the full model.
+        let explicit = ExplicitEngine::explore(
+            &model,
+            &ExplicitOptions {
+                max_states: 1 << 12,
+                max_inputs: 8,
+            },
+        )
+        .expect("explicit exploration succeeds on tiny models");
+        let exact_safe = match explicit.check_bad(model.bads[0].lit) {
+            ExplicitResult::Proven => true,
+            ExplicitResult::Violated(_) => false,
+            ExplicitResult::Exceeded => panic!("tiny model exceeded explicit limits"),
+        };
+
+        // Bounded engines on the slice.
+        match check_safety(
+            &slice.model,
+            0,
+            &BmcOptions { max_depth: 40, max_induction: 40 },
+        ) {
+            SafetyResult::Proven { .. } =>
+                prop_assert!(exact_safe, "sliced k-induction proved a violated model (seed {seed})"),
+            SafetyResult::Violated(_) =>
+                prop_assert!(!exact_safe, "sliced BMC refuted a safe model (seed {seed})"),
+            SafetyResult::Unknown { .. } =>
+                panic!("sliced bounded engines undecided on a tiny model (seed {seed})"),
+        }
+
+        // PDR on the slice, with certification against the slice.
+        match check_pdr(&slice.model, 0, &PdrOptions::default()) {
+            PdrResult::Proven(invariant) => {
+                prop_assert!(exact_safe, "sliced PDR proved a violated model (seed {seed})");
+                prop_assert!(
+                    invariant.certify(&slice.model, slice.model.bads[0].lit),
+                    "sliced PDR invariant failed certification (seed {seed})"
+                );
+            }
+            PdrResult::Violated(trace) => {
+                prop_assert!(!exact_safe, "sliced PDR refuted a safe model (seed {seed})");
+                prop_assert!(
+                    trace_replays(&slice.model, &trace),
+                    "sliced PDR counterexample does not replay on the slice (seed {seed})"
+                );
+            }
+            PdrResult::Unknown { frames_explored } => {
+                panic!("sliced PDR undecided on a tiny model (seed {seed}, {frames_explored} frames)")
+            }
+        }
+    }
+}
+
+/// The orchestrator's determinism contract: a fully sequential run
+/// (`threads = 1`) and a parallel run (`threads = 4`) of the whole Table III
+/// corpus must render byte-identical reports — same statuses, same proof
+/// artifacts, same slice sizes, independent of thread interleaving.
+#[test]
+fn parallel_and_sequential_corpus_reports_are_byte_identical() {
+    for case in all_cases() {
+        let variants: &[Variant] = if case.has_bug_parameter {
+            &[Variant::Fixed, Variant::Buggy]
+        } else {
+            &[Variant::Fixed]
+        };
+        for &variant in variants {
+            let ft = build_testbench(&case);
+            let design = elaborated(&case, variant);
+
+            let mut sequential = default_check_options(&case, variant);
+            sequential.parallel.threads = 1;
+            let seq_report =
+                verify_elaborated(&design, &ft, &sequential).expect("sequential run succeeds");
+
+            let mut parallel = default_check_options(&case, variant);
+            parallel.parallel.threads = 4;
+            let par_report =
+                verify_elaborated(&design, &ft, &parallel).expect("parallel run succeeds");
+
+            assert_eq!(
+                seq_report.render(),
+                par_report.render(),
+                "{} ({variant:?}): sequential and parallel reports diverge",
+                case.id
+            );
         }
     }
 }

@@ -215,9 +215,29 @@ fn o2_scaled_l15_proof_closes_via_pdr_not_explicit() {
         other => panic!("expected a PDR proof, got {other:?}"),
     }
 
-    // With PDR disabled the cascade falls back to the explicit engine and
-    // the bounded engines — neither can close the proof any more, which is
-    // exactly the cliff the PDR stage removes.
+    // With PDR disabled *and cone-of-influence slicing off*, the cascade
+    // falls back to the explicit engine and the bounded engines on the full
+    // 36-latch model — neither can close the proof, which is exactly the
+    // cliff the PDR stage removes.
+    let mut options = default_check_options(&case, Variant::Fixed);
+    options.disable_pdr = true;
+    options.parallel.slice = false;
+    let report = verify_elaborated(&design, &ft, &options).expect("verification runs");
+    let had = report
+        .results
+        .iter()
+        .find(|r| r.name.contains("l15_miss_had_a_request"))
+        .expect("monitor property exists");
+    assert!(
+        matches!(had.status, PropertyStatus::Unknown),
+        "the explicit path must not close the scaled proof on the full model, got {:?}",
+        had.status
+    );
+
+    // COI slicing removes the same cliff from the other side: the
+    // free-running miss counter is outside the property's cone, so with
+    // slicing on (the default) even the explicit engine closes the proof on
+    // the slice.
     let mut options = default_check_options(&case, Variant::Fixed);
     options.disable_pdr = true;
     let report = verify_elaborated(&design, &ft, &options).expect("verification runs");
@@ -227,9 +247,72 @@ fn o2_scaled_l15_proof_closes_via_pdr_not_explicit() {
         .find(|r| r.name.contains("l15_miss_had_a_request"))
         .expect("monitor property exists");
     assert!(
-        matches!(had.status, PropertyStatus::Unknown),
-        "the explicit path must no longer close the scaled proof, got {:?}",
+        matches!(had.status.proof(), Some(Proof::Reachability)),
+        "the sliced model must sit below the explicit cliff, got {:?}",
         had.status
+    );
+    assert!(
+        had.slice_latches < report.model_latches,
+        "slice ({} latches) must be strictly smaller than the model ({})",
+        had.slice_latches,
+        report.model_latches
+    );
+}
+
+#[test]
+fn coi_slices_are_strictly_smaller_for_ptw_and_l15() {
+    // The orchestrator checks every property on its cone-of-influence
+    // slice.  For the PTW (two independent transactions) and the scaled
+    // L1.5 (20-bit statistics counter no property observes) every checked
+    // property's cone must be strictly smaller than the compiled model.
+    for id in ["A1", "O2"] {
+        let run = run_case(&by_id(id).unwrap(), Variant::Fixed);
+        let checked: Vec<_> = run
+            .report
+            .results
+            .iter()
+            .filter(|r| !matches!(r.status, PropertyStatus::NotChecked(_)))
+            .collect();
+        assert!(!checked.is_empty(), "{id}: no checked properties");
+        for r in &checked {
+            assert!(
+                r.slice_latches <= run.report.model_latches,
+                "{id}/{}: slice ({} latches) larger than the model ({})",
+                r.name,
+                r.slice_latches,
+                run.report.model_latches
+            );
+        }
+        // A cone can legitimately span the whole design (the PTW
+        // data-integrity check reads every latch), but for these two
+        // multi-transaction / counter-carrying designs the majority of
+        // properties must observe strictly less than the full model.
+        let smaller = checked
+            .iter()
+            .filter(|r| r.slice_latches < run.report.model_latches)
+            .count();
+        assert!(
+            smaller * 2 > checked.len(),
+            "{id}: only {smaller}/{} properties have strictly smaller cones",
+            checked.len()
+        );
+        // Slice sizes are part of the rendered report.
+        assert!(run.report.render().contains("cone"), "{id}: no cone sizes");
+    }
+
+    // The L1.5 slices must specifically exclude the 20-bit miss counter.
+    let o2 = run_case(&by_id("O2").unwrap(), Variant::Fixed);
+    let max_slice = o2
+        .report
+        .results
+        .iter()
+        .map(|r| r.slice_latches)
+        .max()
+        .unwrap();
+    assert!(
+        max_slice + 20 <= o2.report.model_latches,
+        "largest O2 cone ({max_slice} latches) should exclude the 20 counter latches (model: {})",
+        o2.report.model_latches
     );
 }
 

@@ -121,6 +121,9 @@ pub struct Aig {
     nodes: Vec<Node>,
     inputs: Vec<usize>,
     latches: Vec<Latch>,
+    /// Node index → position in `latches`, so per-latch updates during
+    /// elaboration stay O(1) instead of scanning the latch vector.
+    latch_pos: HashMap<usize, usize>,
     input_names: Vec<String>,
     /// Structural hashing of AND gates for deduplication.
     strash: HashMap<(Lit, Lit), Lit>,
@@ -135,6 +138,7 @@ impl Aig {
             nodes: vec![Node::False],
             inputs: Vec::new(),
             latches: Vec::new(),
+            latch_pos: HashMap::new(),
             input_names: Vec::new(),
             strash: HashMap::new(),
             names: HashMap::new(),
@@ -214,6 +218,7 @@ impl Aig {
     pub fn add_latch(&mut self, name: impl Into<String>, init: bool) -> Lit {
         let idx = self.nodes.len();
         self.nodes.push(Node::Latch);
+        self.latch_pos.insert(idx, self.latches.len());
         self.latches.push(Latch {
             node: idx,
             init,
@@ -223,19 +228,19 @@ impl Aig {
         Lit::new(idx, false)
     }
 
-    /// Sets the next-state literal of the latch at node `latch_lit`.
+    /// Sets the next-state literal of the latch at node `latch_lit` (O(1)
+    /// via the node→latch-position map).
     ///
     /// # Panics
     ///
     /// Panics if `latch_lit` does not refer to a latch node.
     pub fn set_latch_next(&mut self, latch_lit: Lit, next: Lit) {
         let node = latch_lit.node();
-        let latch = self
-            .latches
-            .iter_mut()
-            .find(|l| l.node == node)
+        let pos = *self
+            .latch_pos
+            .get(&node)
             .expect("set_latch_next called on a non-latch literal");
-        latch.next = next;
+        self.latches[pos].next = next;
     }
 
     /// Builds `a AND b`, with constant folding and structural hashing.

@@ -8,6 +8,7 @@
 
 use crate::aig::Lit;
 use crate::model::Model;
+use crate::sat::{SolverConfig, SolverStats};
 use crate::trace::Trace;
 use crate::unroll::Unroller;
 
@@ -127,29 +128,50 @@ fn extract_trace(model: &Model, unroller: &mut Unroller<'_>, depth: usize) -> Tr
 ///
 /// Panics if `bad_index` is out of range.
 pub fn check_safety(model: &Model, bad_index: usize, options: &BmcOptions) -> SafetyResult {
+    check_safety_detailed(model, bad_index, options, SolverConfig::default()).0
+}
+
+/// Like [`check_safety`], with an explicit solver configuration; also
+/// returns the aggregated [`SolverStats`] of the BMC and induction solvers
+/// so callers can attribute runtime to search work.
+pub fn check_safety_detailed(
+    model: &Model,
+    bad_index: usize,
+    options: &BmcOptions,
+    solver: SolverConfig,
+) -> (SafetyResult, SolverStats) {
     let bad = model.bads[bad_index].lit;
 
     // Phase 1: BMC — look for a counterexample with increasing depth.
-    let mut bmc = Unroller::new(&model.aig, true);
-    let mut induction = Induction::new(model, bad);
+    let mut bmc = Unroller::with_config(&model.aig, true, solver);
+    let mut induction = Induction::new(model, bad, solver);
     for depth in 0..=options.max_depth {
         apply_constraints(&mut bmc, &model.constraints, depth);
         if bmc.solve_with(&[(bad, depth, true)]) {
             let trace = extract_trace(model, &mut bmc, depth);
-            return SafetyResult::Violated(trace);
+            let stats = bmc.stats() + induction.stats();
+            return (SafetyResult::Violated(trace), stats);
         }
         // Try to close a k-induction proof at this depth before unrolling
         // further; `depth` counterexample-free frames form the base case.
         if depth <= options.max_induction && try_induction_at(depth) && induction.step_holds(depth)
         {
-            return SafetyResult::Proven {
-                induction_depth: depth,
-            };
+            let stats = bmc.stats() + induction.stats();
+            return (
+                SafetyResult::Proven {
+                    induction_depth: depth,
+                },
+                stats,
+            );
         }
     }
-    SafetyResult::Unknown {
-        explored_depth: options.max_depth,
-    }
+    let stats = bmc.stats() + induction.stats();
+    (
+        SafetyResult::Unknown {
+            explored_depth: options.max_depth,
+        },
+        stats,
+    )
 }
 
 /// Induction is attempted at every small depth and then every third depth.
@@ -175,13 +197,19 @@ struct Induction<'a> {
     constrained: Option<usize>,
 }
 
+impl Induction<'_> {
+    fn stats(&self) -> SolverStats {
+        self.unroller.stats()
+    }
+}
+
 impl<'a> Induction<'a> {
-    fn new(model: &'a Model, bad: Lit) -> Self {
+    fn new(model: &'a Model, bad: Lit, solver: SolverConfig) -> Self {
         Induction {
             model,
             bad,
             // No initial-state constraint: the step starts from any state.
-            unroller: Unroller::new(&model.aig, false),
+            unroller: Unroller::with_config(&model.aig, false, solver),
             latch_lits: model
                 .aig
                 .latches()
@@ -244,23 +272,40 @@ impl<'a> Induction<'a> {
 ///
 /// Panics if `cover_index` is out of range.
 pub fn check_cover(model: &Model, cover_index: usize, options: &BmcOptions) -> CoverResult {
+    check_cover_detailed(model, cover_index, options, SolverConfig::default()).0
+}
+
+/// Like [`check_cover`], with an explicit solver configuration and the
+/// aggregated [`SolverStats`] of the underlying solvers.
+pub fn check_cover_detailed(
+    model: &Model,
+    cover_index: usize,
+    options: &BmcOptions,
+    solver: SolverConfig,
+) -> (CoverResult, SolverStats) {
     let target = model.covers[cover_index].lit;
-    let mut bmc = Unroller::new(&model.aig, true);
-    let mut induction = Induction::new(model, target);
+    let mut bmc = Unroller::with_config(&model.aig, true, solver);
+    let mut induction = Induction::new(model, target, solver);
     for depth in 0..=options.max_depth {
         apply_constraints(&mut bmc, &model.constraints, depth);
         if bmc.solve_with(&[(target, depth, true)]) {
             let trace = extract_trace(model, &mut bmc, depth);
-            return CoverResult::Covered(trace);
+            let stats = bmc.stats() + induction.stats();
+            return (CoverResult::Covered(trace), stats);
         }
         if depth <= options.max_induction && try_induction_at(depth) && induction.step_holds(depth)
         {
-            return CoverResult::Unreachable;
+            let stats = bmc.stats() + induction.stats();
+            return (CoverResult::Unreachable, stats);
         }
     }
-    CoverResult::Unknown {
-        explored_depth: options.max_depth,
-    }
+    let stats = bmc.stats() + induction.stats();
+    (
+        CoverResult::Unknown {
+            explored_depth: options.max_depth,
+        },
+        stats,
+    )
 }
 
 #[cfg(test)]

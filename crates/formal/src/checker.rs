@@ -20,21 +20,25 @@
 //! buggy/fixed design variants or repeated bench iterations).
 
 use crate::aig::Lit;
-use crate::bmc::{check_cover, check_safety, BmcOptions, CoverResult, SafetyResult};
+use crate::bmc::{
+    check_cover_detailed, check_safety_detailed, BmcOptions, CoverResult, SafetyResult,
+};
 use crate::coi::{cone_of_influence, fingerprint, Fingerprint, SliceTarget};
 use crate::compile::{compile, CompiledKind, CompiledTestbench};
 use crate::elab::{elaborate, ElabDesign, ElabOptions, Result};
 use crate::explicit::{ExplicitEngine, ExplicitOptions, ExplicitResult};
 use crate::model::{LivenessSafetyModel, Model};
-use crate::pdr::{check_pdr, check_pdr_lit, PdrOptions, PdrResult};
+use crate::pdr::{check_pdr_detailed, check_pdr_lit_detailed, PdrOptions, PdrResult};
 use crate::portfolio::{
     run_ordered, CacheKey, CachedOutcome, CachedVerdict, ParallelOptions, ProofCache,
 };
+use crate::sat::{SolverConfig, SolverStats};
 use crate::trace::Trace;
 use autosva::sva::{Directive, PropertyClass};
 use autosva::FormalTestbench;
 use std::collections::HashMap;
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
@@ -70,6 +74,27 @@ pub struct CheckOptions {
     /// escape hatch), per-property cone-of-influence slicing, optional
     /// per-property time budgets, and the proof cache.
     pub parallel: ParallelOptions,
+    /// Proof-cache persistence: when a directory is set, verdicts spill to
+    /// disk there and reload in later processes.
+    pub cache: CacheOptions,
+    /// SAT search-loop feature toggles, shared by every engine stage (the
+    /// solver ablation bench flips them; the defaults enable everything).
+    pub solver: SolverConfig,
+}
+
+/// Proof-cache persistence knobs (part of [`CheckOptions`]).
+///
+/// The in-process cache handle lives on [`ParallelOptions::cache`]; these
+/// options control the on-disk spill.  When `dir` is set and no in-process
+/// handle was supplied, [`verify_elaborated`] opens a disk-backed
+/// [`ProofCache`] in that directory for the run and flushes it afterwards,
+/// so repeated CLI/CI invocations reuse proofs across processes.  Cached
+/// verdicts are re-validated on every hit exactly as in-memory hits are.
+#[derive(Debug, Clone, Default)]
+pub struct CacheOptions {
+    /// Directory holding the spill file (created if missing).  `None`
+    /// keeps the cache (if any) in-memory only.
+    pub dir: Option<PathBuf>,
 }
 
 impl Default for CheckOptions {
@@ -94,6 +119,8 @@ impl Default for CheckOptions {
             disable_pdr: false,
             quick_bmc_depth: 10,
             parallel: ParallelOptions::default(),
+            cache: CacheOptions::default(),
+            solver: SolverConfig::default(),
         }
     }
 }
@@ -230,6 +257,12 @@ pub struct PropertyResult {
     /// Caveat attached to the outcome (e.g. the bounded-lasso note on an
     /// undecided liveness property, or an exhausted time budget).
     pub note: Option<String>,
+    /// Aggregated SAT-solver counters across every engine stage that ran
+    /// for this property (all zeros for cache hits and unchecked
+    /// properties).  Rendered by [`VerificationReport::render_timed`];
+    /// [`VerificationReport::render`] stays stats-free so cold and
+    /// cache-warm runs stay byte-identical.
+    pub stats: SolverStats,
 }
 
 /// The report of a full verification run.
@@ -356,7 +389,8 @@ impl VerificationReport {
     }
 
     /// Like [`VerificationReport::render`], with per-property and total
-    /// wall-clock times added (and therefore not byte-stable across runs).
+    /// wall-clock times plus per-property solver counters added (and
+    /// therefore not byte-stable across runs).
     pub fn render_timed(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
@@ -367,6 +401,22 @@ impl VerificationReport {
         for r in &self.results {
             let prefix = format!("  {:>8.1?}", r.runtime);
             self.render_row(&mut out, r, name_width, &prefix);
+            if r.stats != SolverStats::default() {
+                let pad = name_width + prefix.chars().count();
+                let s = r.stats;
+                out.push_str(&format!(
+                    "  {:pad$}  solver: {} conflicts, {} decisions, {} propagations, \
+                     {} restarts, {} learnt ({} minimized lits, {} deleted)\n",
+                    "",
+                    s.conflicts,
+                    s.decisions,
+                    s.propagations,
+                    s.restarts,
+                    s.learnt,
+                    s.minimized_lits,
+                    s.learnt_deleted,
+                ));
+            }
         }
         out.push_str(&format!(
             "proof rate {:.0}%, {} violation(s), total {:.1?}\n",
@@ -416,8 +466,17 @@ pub fn verify_elaborated(
     let start = Instant::now();
     let compiled = compile(design, testbench)?;
     let tasks = build_tasks(&compiled, options);
+    // The effective proof cache: an explicit in-process handle wins;
+    // otherwise a configured cache directory opens a disk-backed cache for
+    // this run (flushed below, so the next process reloads the verdicts).
+    let cache = options
+        .parallel
+        .cache
+        .clone()
+        .or_else(|| options.cache.dir.as_ref().map(ProofCache::open));
     let ctx = TaskCtx {
         options,
+        cache,
         cancel: AtomicBool::new(false),
         explicit_memo: Mutex::new(HashMap::new()),
     };
@@ -428,20 +487,21 @@ pub fn verify_elaborated(
     let threads = options.parallel.effective_threads();
     let outcomes = run_ordered(&tasks, threads, &ctx.cancel, |_, task| {
         let t0 = Instant::now();
-        let (status, note) = run_task(task, &ctx);
+        let (status, note, stats) = run_task(task, &ctx);
         if ctx.options.parallel.stop_on_violation && status.is_violation() {
             ctx.cancel.store(true, Ordering::Relaxed);
         }
-        (status, note, t0.elapsed())
+        (status, note, stats, t0.elapsed())
     });
 
     // Assembly in annotation order, independent of completion order.
     let mut results = Vec::with_capacity(tasks.len());
     for ((prop, task), outcome) in compiled.properties.iter().zip(&tasks).zip(outcomes) {
-        let (status, note, runtime) = outcome.unwrap_or_else(|| {
+        let (status, note, stats, runtime) = outcome.unwrap_or_else(|| {
             (
                 PropertyStatus::Unknown,
                 Some("not started: the shared cancellation flag was raised".to_string()),
+                SolverStats::default(),
                 Duration::ZERO,
             )
         });
@@ -454,7 +514,14 @@ pub fn verify_elaborated(
             slice_latches: task.cone_latches,
             slice_gates: task.cone_gates,
             note,
+            stats,
         });
+    }
+
+    // Spill the cache to disk (no-op for in-memory caches).  Failures are
+    // non-fatal: the cache is advisory and the report is already complete.
+    if let Some(cache) = &ctx.cache {
+        let _ = cache.flush();
     }
 
     Ok(VerificationReport {
@@ -630,6 +697,9 @@ fn build_tasks(compiled: &CompiledTestbench, options: &CheckOptions) -> Vec<Prop
 /// Shared, immutable context of one verification run.
 struct TaskCtx<'a> {
     options: &'a CheckOptions,
+    /// The effective proof cache of this run (explicit in-process handle or
+    /// a disk-backed cache opened from [`CacheOptions::dir`]).
+    cache: Option<ProofCache>,
     /// Raised by `stop_on_violation` (or future external cancellation):
     /// tasks not yet started report `Unknown` instead of running.
     cancel: AtomicBool,
@@ -732,9 +802,12 @@ fn store(cache: Option<&ProofCache>, key: &CacheKey, outcome: CachedOutcome) {
     }
 }
 
-fn run_task(task: &PropertyTask, ctx: &TaskCtx<'_>) -> (PropertyStatus, Option<String>) {
+fn run_task(
+    task: &PropertyTask,
+    ctx: &TaskCtx<'_>,
+) -> (PropertyStatus, Option<String>, SolverStats) {
     match &task.kind {
-        TaskKind::Done(status) => (status.clone(), None),
+        TaskKind::Done(status) => (status.clone(), None, SolverStats::default()),
         TaskKind::Safety { model, index, fp } => check_safety_task(model, *index, *fp, ctx),
         TaskKind::Cover { model, index, fp } => check_cover_task(model, *index, *fp, ctx),
         TaskKind::Liveness {
@@ -751,17 +824,18 @@ fn check_safety_task(
     index: usize,
     fp: Fingerprint,
     ctx: &TaskCtx<'_>,
-) -> (PropertyStatus, Option<String>) {
+) -> (PropertyStatus, Option<String>, SolverStats) {
     let options = ctx.options;
-    let cache = options.parallel.cache.as_ref();
+    let cache = ctx.cache.as_ref();
     let bad = model.bads[index].lit;
     let key = CacheKey {
         fingerprint: fp,
         property: model.bads[index].name.clone(),
     };
+    let mut stats = SolverStats::default();
     if let Some(cache) = cache {
         if let Some(verdict) = cache.lookup(&key, model, bad) {
-            return (cached_status(verdict, model), None);
+            return (cached_status(verdict, model), None, stats);
         }
     }
     let budget = Budget::start(options);
@@ -771,7 +845,9 @@ fn check_safety_task(
         max_depth: options.quick_bmc_depth.min(options.bmc.max_depth),
         max_induction: 3.min(options.bmc.max_induction),
     };
-    match check_safety(model, index, &quick) {
+    let (result, s) = check_safety_detailed(model, index, &quick, options.solver);
+    stats += s;
+    match result {
         SafetyResult::Proven { induction_depth } => {
             store(
                 cache,
@@ -785,22 +861,25 @@ fn check_safety_task(
                     depth: induction_depth,
                 }),
                 None,
+                stats,
             );
         }
         SafetyResult::Violated(trace) => {
             store(cache, &key, CachedOutcome::Violated(trace.clone()));
-            return (PropertyStatus::Violated(trace), None);
+            return (PropertyStatus::Violated(trace), None, stats);
         }
         SafetyResult::Unknown { .. } => {}
     }
     if budget.exhausted() {
-        return (PropertyStatus::Unknown, budget.note(options));
+        return (PropertyStatus::Unknown, budget.note(options), stats);
     }
     // PDR: the unbounded engine that closes the reachability-dependent
     // proofs (counter-vs-state invariants) induction cannot, without the
     // explicit engine's exponential cliff.
     if !options.disable_pdr {
-        match check_pdr(model, index, &options.pdr) {
+        let (result, s) = check_pdr_detailed(model, index, &options.pdr, options.solver);
+        stats += s;
+        match result {
             PdrResult::Proven(invariant) => {
                 store(
                     cache,
@@ -813,37 +892,40 @@ fn check_safety_task(
                 return (
                     PropertyStatus::Proven(invariant_proof(&invariant, &model.aig)),
                     None,
+                    stats,
                 );
             }
             PdrResult::Violated(trace) => {
                 store(cache, &key, CachedOutcome::Violated(trace.clone()));
-                return (PropertyStatus::Violated(trace), None);
+                return (PropertyStatus::Violated(trace), None, stats);
             }
             PdrResult::Unknown { .. } => {}
         }
     }
     if budget.exhausted() {
-        return (PropertyStatus::Unknown, budget.note(options));
+        return (PropertyStatus::Unknown, budget.note(options), stats);
     }
     if let Some(bundle) = explicit_bundle(ctx, fp, model) {
         match bundle.engine.check_bad(bad) {
             ExplicitResult::Proven => {
                 store(cache, &key, CachedOutcome::Reachability);
-                return (PropertyStatus::Proven(Proof::Reachability), None);
+                return (PropertyStatus::Proven(Proof::Reachability), None, stats);
             }
             ExplicitResult::Violated(trace) => {
                 store(cache, &key, CachedOutcome::Violated(trace.clone()));
-                return (PropertyStatus::Violated(trace), None);
+                return (PropertyStatus::Violated(trace), None, stats);
             }
             ExplicitResult::Exceeded => {}
         }
     }
     if budget.exhausted() {
-        return (PropertyStatus::Unknown, budget.note(options));
+        return (PropertyStatus::Unknown, budget.note(options), stats);
     }
     // Exact engines unavailable: fall back to the full-depth bounded
     // engines.
-    match check_safety(model, index, &options.bmc) {
+    let (result, s) = check_safety_detailed(model, index, &options.bmc, options.solver);
+    stats += s;
+    match result {
         SafetyResult::Proven { induction_depth } => {
             store(
                 cache,
@@ -857,13 +939,14 @@ fn check_safety_task(
                     depth: induction_depth,
                 }),
                 None,
+                stats,
             )
         }
         SafetyResult::Violated(trace) => {
             store(cache, &key, CachedOutcome::Violated(trace.clone()));
-            (PropertyStatus::Violated(trace), None)
+            (PropertyStatus::Violated(trace), None, stats)
         }
-        SafetyResult::Unknown { .. } => (PropertyStatus::Unknown, None),
+        SafetyResult::Unknown { .. } => (PropertyStatus::Unknown, None, stats),
     }
 }
 
@@ -872,17 +955,18 @@ fn check_cover_task(
     index: usize,
     fp: Fingerprint,
     ctx: &TaskCtx<'_>,
-) -> (PropertyStatus, Option<String>) {
+) -> (PropertyStatus, Option<String>, SolverStats) {
     let options = ctx.options;
-    let cache = options.parallel.cache.as_ref();
+    let cache = ctx.cache.as_ref();
     let target = model.covers[index].lit;
     let key = CacheKey {
         fingerprint: fp,
         property: model.covers[index].name.clone(),
     };
+    let mut stats = SolverStats::default();
     if let Some(cache) = cache {
         if let Some(verdict) = cache.lookup(&key, model, target) {
-            return (cached_status(verdict, model), None);
+            return (cached_status(verdict, model), None, stats);
         }
     }
     let budget = Budget::start(options);
@@ -890,10 +974,12 @@ fn check_cover_task(
         max_depth: options.quick_bmc_depth.min(options.bmc.max_depth),
         max_induction: 3.min(options.bmc.max_induction),
     };
-    match check_cover(model, index, &quick) {
+    let (result, s) = check_cover_detailed(model, index, &quick, options.solver);
+    stats += s;
+    match result {
         CoverResult::Covered(trace) => {
             store(cache, &key, CachedOutcome::Covered(trace.clone()));
-            return (PropertyStatus::Covered(trace), None);
+            return (PropertyStatus::Covered(trace), None, stats);
         }
         CoverResult::Unreachable => {
             store(
@@ -901,17 +987,19 @@ fn check_cover_task(
                 &key,
                 CachedOutcome::Unreachable { certificate: None },
             );
-            return (PropertyStatus::Unreachable, None);
+            return (PropertyStatus::Unreachable, None, stats);
         }
         CoverResult::Unknown { .. } => {}
     }
     if budget.exhausted() {
-        return (PropertyStatus::Unknown, budget.note(options));
+        return (PropertyStatus::Unknown, budget.note(options), stats);
     }
     // PDR decides reachability of the cover target: a "proof" means the
     // target is unreachable, a "counterexample" is the witness.
     if !options.disable_pdr {
-        match check_pdr_lit(model, target, &options.pdr) {
+        let (result, s) = check_pdr_lit_detailed(model, target, &options.pdr, options.solver);
+        stats += s;
+        match result {
             PdrResult::Proven(invariant) => {
                 store(
                     cache,
@@ -923,17 +1011,17 @@ fn check_cover_task(
                         )),
                     },
                 );
-                return (PropertyStatus::Unreachable, None);
+                return (PropertyStatus::Unreachable, None, stats);
             }
             PdrResult::Violated(trace) => {
                 store(cache, &key, CachedOutcome::Covered(trace.clone()));
-                return (PropertyStatus::Covered(trace), None);
+                return (PropertyStatus::Covered(trace), None, stats);
             }
             PdrResult::Unknown { .. } => {}
         }
     }
     if budget.exhausted() {
-        return (PropertyStatus::Unknown, budget.note(options));
+        return (PropertyStatus::Unknown, budget.note(options), stats);
     }
     if let Some(bundle) = explicit_bundle(ctx, fp, model) {
         match bundle.engine.check_cover(target) {
@@ -943,22 +1031,24 @@ fn check_cover_task(
                     &key,
                     CachedOutcome::Unreachable { certificate: None },
                 );
-                return (PropertyStatus::Unreachable, None);
+                return (PropertyStatus::Unreachable, None, stats);
             }
             ExplicitResult::Violated(trace) => {
                 store(cache, &key, CachedOutcome::Covered(trace.clone()));
-                return (PropertyStatus::Covered(trace), None);
+                return (PropertyStatus::Covered(trace), None, stats);
             }
             ExplicitResult::Exceeded => {}
         }
     }
     if budget.exhausted() {
-        return (PropertyStatus::Unknown, budget.note(options));
+        return (PropertyStatus::Unknown, budget.note(options), stats);
     }
-    match check_cover(model, index, &options.bmc) {
+    let (result, s) = check_cover_detailed(model, index, &options.bmc, options.solver);
+    stats += s;
+    match result {
         CoverResult::Covered(trace) => {
             store(cache, &key, CachedOutcome::Covered(trace.clone()));
-            (PropertyStatus::Covered(trace), None)
+            (PropertyStatus::Covered(trace), None, stats)
         }
         CoverResult::Unreachable => {
             store(
@@ -966,9 +1056,9 @@ fn check_cover_task(
                 &key,
                 CachedOutcome::Unreachable { certificate: None },
             );
-            (PropertyStatus::Unreachable, None)
+            (PropertyStatus::Unreachable, None, stats)
         }
-        CoverResult::Unknown { .. } => (PropertyStatus::Unknown, None),
+        CoverResult::Unknown { .. } => (PropertyStatus::Unknown, None, stats),
     }
 }
 
@@ -978,18 +1068,19 @@ fn check_liveness_task(
     index: usize,
     fp: Fingerprint,
     ctx: &TaskCtx<'_>,
-) -> (PropertyStatus, Option<String>) {
+) -> (PropertyStatus, Option<String>, SolverStats) {
     let options = ctx.options;
-    let cache = options.parallel.cache.as_ref();
+    let cache = ctx.cache.as_ref();
     let model = &l2s.model;
     let bad = model.bads[index].lit;
     let key = CacheKey {
         fingerprint: fp,
         property: model.bads[index].name.clone(),
     };
+    let mut stats = SolverStats::default();
     if let Some(cache) = cache {
         if let Some(verdict) = cache.lookup(&key, model, bad) {
-            return (cached_status(verdict, model), None);
+            return (cached_status(verdict, model), None, stats);
         }
     }
     let budget = Budget::start(options);
@@ -1001,7 +1092,9 @@ fn check_liveness_task(
         max_depth: options.quick_bmc_depth.min(options.liveness_bmc.max_depth),
         max_induction: options.liveness_bmc.max_induction.min(3),
     };
-    match check_safety(model, index, &quick) {
+    let (result, s) = check_safety_detailed(model, index, &quick, options.solver);
+    stats += s;
+    match result {
         SafetyResult::Proven { induction_depth } => {
             store(
                 cache,
@@ -1015,19 +1108,22 @@ fn check_liveness_task(
                     depth: induction_depth,
                 }),
                 None,
+                stats,
             );
         }
         SafetyResult::Violated(trace) => {
             store(cache, &key, CachedOutcome::Violated(trace.clone()));
-            return (PropertyStatus::Violated(trace), None);
+            return (PropertyStatus::Violated(trace), None, stats);
         }
         SafetyResult::Unknown { .. } => {}
     }
     if budget.exhausted() {
-        return (PropertyStatus::Unknown, budget.note(options));
+        return (PropertyStatus::Unknown, budget.note(options), stats);
     }
     if !options.disable_pdr {
-        match check_pdr(model, index, &options.pdr) {
+        let (result, s) = check_pdr_detailed(model, index, &options.pdr, options.solver);
+        stats += s;
+        match result {
             PdrResult::Proven(invariant) => {
                 store(
                     cache,
@@ -1040,36 +1136,41 @@ fn check_liveness_task(
                 return (
                     PropertyStatus::Proven(invariant_proof(&invariant, &model.aig)),
                     None,
+                    stats,
                 );
             }
             PdrResult::Violated(trace) => {
                 store(cache, &key, CachedOutcome::Violated(trace.clone()));
-                return (PropertyStatus::Violated(trace), None);
+                return (PropertyStatus::Violated(trace), None, stats);
             }
             PdrResult::Unknown { .. } => {}
         }
     }
     if budget.exhausted() {
-        return (PropertyStatus::Unknown, budget.note(options));
+        return (PropertyStatus::Unknown, budget.note(options), stats);
     }
     if let Some(bundle) = explicit_bundle(ctx, fp, base) {
         let pending = bundle.assert_pendings[index];
         match bundle.engine.check_liveness(pending, &bundle.fair_pendings) {
             ExplicitResult::Proven => {
                 store(cache, &key, CachedOutcome::Reachability);
-                return (PropertyStatus::Proven(Proof::Reachability), None);
+                return (PropertyStatus::Proven(Proof::Reachability), None, stats);
             }
             // The explicit lasso lives on the monitor-augmented base model,
             // not the L2S transform, so it is not cached (replay validation
             // runs on the transform).
-            ExplicitResult::Violated(trace) => return (PropertyStatus::Violated(trace), None),
+            ExplicitResult::Violated(trace) => {
+                return (PropertyStatus::Violated(trace), None, stats)
+            }
             ExplicitResult::Exceeded => {}
         }
     }
     if budget.exhausted() {
-        return (PropertyStatus::Unknown, budget.note(options));
+        return (PropertyStatus::Unknown, budget.note(options), stats);
     }
-    match check_safety(model, index, &options.liveness_bmc) {
+    let (result, s) = check_safety_detailed(model, index, &options.liveness_bmc, options.solver);
+    stats += s;
+    match result {
         SafetyResult::Proven { induction_depth } => {
             store(
                 cache,
@@ -1083,11 +1184,12 @@ fn check_liveness_task(
                     depth: induction_depth,
                 }),
                 None,
+                stats,
             )
         }
         SafetyResult::Violated(trace) => {
             store(cache, &key, CachedOutcome::Violated(trace.clone()));
-            (PropertyStatus::Violated(trace), None)
+            (PropertyStatus::Violated(trace), None, stats)
         }
         SafetyResult::Unknown { .. } => (
             PropertyStatus::Unknown,
@@ -1097,6 +1199,7 @@ fn check_liveness_task(
                  stems would be missed",
                 options.liveness_bmc.max_depth
             )),
+            stats,
         ),
     }
 }
@@ -1387,6 +1490,78 @@ endmodule
             warm.render(),
             "cache hits must not change the report"
         );
+    }
+
+    #[test]
+    fn cache_dir_persists_verdicts_across_fresh_caches() {
+        // CacheOptions::dir must make verdicts survive into a later run
+        // that opens its own cache from the same directory (the fresh-
+        // process CLI/CI pattern).
+        let dir =
+            std::env::temp_dir().join(format!("autosva-checker-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let ft = generate_ft(ECHO_SLOW, &AutosvaOptions::default()).unwrap();
+        let mut options = CheckOptions::default();
+        options.cache.dir = Some(dir.clone());
+
+        let cold = verify(ECHO_SLOW, &ft, &options).unwrap();
+        assert!(
+            dir.join("proofs.cache").exists(),
+            "the run must spill the cache to disk"
+        );
+        assert!(
+            cold.results
+                .iter()
+                .any(|r| r.stats != crate::sat::SolverStats::default()),
+            "the cold run must do solver work"
+        );
+
+        // Each verify call opens a fresh ProofCache from the directory, so
+        // this exercises the disk load path, not the in-memory store.
+        let warm = verify(ECHO_SLOW, &ft, &options).unwrap();
+        assert_eq!(
+            cold.render(),
+            warm.render(),
+            "disk-warm verdicts must match the cold run byte-for-byte"
+        );
+        assert!(
+            warm.checked()
+                .all(|r| r.stats == crate::sat::SolverStats::default()),
+            "the disk-warm run must answer every checked property from the cache"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn solver_stats_surface_in_the_timed_rendering_only() {
+        let report = run(ECHO_SLOW);
+        let had = report
+            .results
+            .iter()
+            .find(|r| r.name.contains("had_a_request"))
+            .expect("monitor property exists");
+        assert!(
+            had.stats.conflicts > 0 && had.stats.propagations > 0,
+            "a PDR-closed proof must report solver work: {:?}",
+            had.stats
+        );
+        assert!(report.render_timed().contains("solver:"));
+        assert!(
+            !report.render().contains("solver:"),
+            "render() must stay stats-free (byte-stable across cache states)"
+        );
+    }
+
+    #[test]
+    fn solver_feature_ablation_agrees_on_verdicts() {
+        // The checker with every solver feature off must reach the same
+        // report as the default full-featured configuration.
+        let ft = generate_ft(ECHO_SLOW, &AutosvaOptions::default()).unwrap();
+        let full = verify(ECHO_SLOW, &ft, &CheckOptions::default()).unwrap();
+        let mut stripped = CheckOptions::default();
+        stripped.solver = crate::sat::SolverConfig::baseline();
+        let baseline = verify(ECHO_SLOW, &ft, &stripped).unwrap();
+        assert_eq!(full.render(), baseline.render());
     }
 
     #[test]

@@ -471,7 +471,12 @@ impl<'a> Elaborator<'a> {
         // ------------------------------------------------------------------
         // Resolve every signal value (wires lazily, with cycle detection).
         // ------------------------------------------------------------------
-        let all_names: Vec<String> = scope.infos.keys().cloned().collect();
+        // Resolution order fixes the AIG node numbering, and hash-map key
+        // order is randomized per process — sort so the compiled model (and
+        // therefore every slice fingerprint keying the on-disk proof cache)
+        // is byte-stable across processes.
+        let mut all_names: Vec<String> = scope.infos.keys().cloned().collect();
+        all_names.sort_unstable();
         for name in &all_names {
             self.resolve_signal(module, &mut scope, &drivers, name)?;
         }

@@ -33,7 +33,7 @@
 
 use crate::aig::{Aig, Lit, Node};
 use crate::model::Model;
-use crate::sat::{SatLit, SatResult};
+use crate::sat::{SatLit, SatResult, SolverConfig, SolverStats};
 use crate::trace::Trace;
 use crate::unroll::Unroller;
 use std::cmp::Reverse;
@@ -207,11 +207,35 @@ pub fn check_pdr(model: &Model, bad_index: usize, options: &PdrOptions) -> PdrRe
     check_pdr_lit(model, model.bads[bad_index].lit, options)
 }
 
+/// Like [`check_pdr`], with an explicit solver configuration; also returns
+/// the [`SolverStats`] of the incremental solver behind the run.
+pub fn check_pdr_detailed(
+    model: &Model,
+    bad_index: usize,
+    options: &PdrOptions,
+    solver: SolverConfig,
+) -> (PdrResult, SolverStats) {
+    check_pdr_lit_detailed(model, model.bads[bad_index].lit, options, solver)
+}
+
 /// Checks an arbitrary target literal of `model` as a bad-state property
 /// (used for assertions, unreachability of cover targets, and the
 /// differential test harness).
 pub fn check_pdr_lit(model: &Model, bad: Lit, options: &PdrOptions) -> PdrResult {
-    Pdr::new(model, bad, options).run()
+    check_pdr_lit_detailed(model, bad, options, SolverConfig::default()).0
+}
+
+/// Like [`check_pdr_lit`], with an explicit solver configuration and the
+/// solver's cumulative search counters.
+pub fn check_pdr_lit_detailed(
+    model: &Model,
+    bad: Lit,
+    options: &PdrOptions,
+    solver: SolverConfig,
+) -> (PdrResult, SolverStats) {
+    let mut pdr = Pdr::new(model, bad, options, solver);
+    let result = pdr.run();
+    (result, pdr.unroller.stats())
 }
 
 /// A cube: a partial latch valuation, as sorted `(latch position, value)`
@@ -269,9 +293,9 @@ struct Pdr<'a> {
 }
 
 impl<'a> Pdr<'a> {
-    fn new(model: &'a Model, bad: Lit, options: &'a PdrOptions) -> Self {
+    fn new(model: &'a Model, bad: Lit, options: &'a PdrOptions, solver: SolverConfig) -> Self {
         let aig = &model.aig;
-        let mut unroller = Unroller::new(aig, false);
+        let mut unroller = Unroller::with_config(aig, false, solver);
         let latch_nodes: Vec<usize> = aig.latches().iter().map(|l| l.node).collect();
         let latch_init: Vec<bool> = aig.latches().iter().map(|l| l.init).collect();
         let latch_next: Vec<Lit> = aig.latches().iter().map(|l| l.next).collect();

@@ -22,9 +22,13 @@
 //!   annotation) reuse verdicts instead of re-running engines.  Cache hits
 //!   are never trusted blindly where an artifact can be re-checked: PDR
 //!   invariants are re-certified against the slice with an independent SAT
-//!   check, and counterexample/witness traces are replayed through the
-//!   two-state simulator; entries that fail validation are evicted and the
-//!   property is re-verified from scratch.
+//!   check, counterexample/witness traces are replayed through the
+//!   two-state simulator, and disk-loaded k-induction verdicts are
+//!   re-proven at their recorded depth on first use; entries that fail
+//!   validation are evicted and the property is re-verified from scratch.
+//!   The cache can spill to disk
+//!   ([`ProofCache::open`]/[`ProofCache::flush`]) — only these
+//!   re-checkable kinds cross the process boundary.
 
 use crate::aig::Lit;
 use crate::coi::Fingerprint;
@@ -34,6 +38,9 @@ use crate::sim::Simulator;
 use crate::trace::Trace;
 use std::collections::HashMap;
 use std::fmt;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -153,6 +160,8 @@ pub struct CacheStats {
     /// Entries evicted because re-validation (invariant certification or
     /// trace replay) failed.
     pub rejected: u64,
+    /// Entries loaded from the on-disk spill at open time.
+    pub loaded: u64,
 }
 
 /// The key of a cached verdict: the content fingerprint of the checked
@@ -212,14 +221,48 @@ pub(crate) enum CachedVerdict {
     Covered(Trace),
 }
 
+/// A stored verdict plus its provenance: entries loaded from the on-disk
+/// spill are re-validated more aggressively than entries produced by this
+/// process (the spill file is a trust boundary; the in-process store is
+/// not).
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    outcome: CachedOutcome,
+    /// Loaded from disk and not yet re-validated by this process.
+    unvalidated: bool,
+}
+
 #[derive(Default)]
 struct CacheInner {
-    entries: HashMap<CacheKey, CachedOutcome>,
+    entries: HashMap<CacheKey, CacheEntry>,
     stats: CacheStats,
+    /// On-disk spill file (None for a purely in-memory cache).
+    path: Option<PathBuf>,
+    /// Entries changed since the last flush.
+    dirty: bool,
 }
 
 /// A process-wide proof cache shared by verification runs (cheaply cloneable
 /// handle; clones share the same store).
+///
+/// A cache opened with [`ProofCache::open`] is backed by a versioned
+/// on-disk spill file: entries load at open time (corruption-tolerant — a
+/// truncated or garbled file yields the readable prefix, never an error)
+/// and [`ProofCache::flush`] writes them back atomically, so repeated
+/// CLI/CI invocations reuse proofs across processes.  The spill file is a
+/// trust boundary, so only verdict kinds whose artifact can be
+/// independently re-checked ever cross it: invariants (re-certified on
+/// every hit), traces (replayed on every hit) and induction proofs
+/// (re-proven at their recorded depth on the first hit after loading;
+/// entries stored by this process stay trusted on the fingerprint match).
+/// Parsed artifacts are bounds-checked (depth, clause, cycle and signal
+/// caps; invariant literals must name latches of the live model), so an
+/// oversized forgery rejects cheaply instead of hanging the re-proof or
+/// panicking the encoder.  Verdicts with no re-checkable artifact —
+/// explicit-engine reachability and certificate-less unreachability —
+/// stay process-local: they are neither written to nor parsed from the
+/// spill file.  A stale, garbled or hand-forged file can therefore cost a
+/// re-verification but never mislead a report.
 ///
 /// See the module documentation for the validation performed on hits.
 #[derive(Clone, Default)]
@@ -243,6 +286,86 @@ impl ProofCache {
         ProofCache::default()
     }
 
+    /// Opens a disk-backed cache in `dir` (created if missing), loading any
+    /// entries a previous process spilled there.
+    ///
+    /// Loading is corruption-tolerant: a missing, truncated, garbled or
+    /// version-mismatched spill file yields whatever prefix parses cleanly
+    /// (possibly nothing) — the cache always opens.  Call
+    /// [`ProofCache::flush`] (the checker does so after every run) to write
+    /// the current entries back.
+    pub fn open(dir: impl AsRef<Path>) -> ProofCache {
+        let dir = dir.as_ref();
+        let _ = std::fs::create_dir_all(dir);
+        let path = dir.join(CACHE_FILE);
+        let cache = ProofCache::new();
+        {
+            let mut inner = cache.inner.lock().expect("cache lock");
+            if let Ok(text) = std::fs::read_to_string(&path) {
+                inner.entries = parse_cache_file(&text);
+                inner.stats.loaded = inner.entries.len() as u64;
+            }
+            inner.path = Some(path);
+        }
+        cache
+    }
+
+    /// The spill file backing this cache, if it was opened with
+    /// [`ProofCache::open`].
+    pub fn spill_path(&self) -> Option<PathBuf> {
+        self.inner.lock().expect("cache lock").path.clone()
+    }
+
+    /// Writes the entries to the on-disk spill file (atomically, via a
+    /// temporary file and rename).  A no-op for in-memory caches and when
+    /// nothing changed since the last flush.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from writing or renaming the spill file.
+    pub fn flush(&self) -> std::io::Result<()> {
+        let mut inner = self.inner.lock().expect("cache lock");
+        let Some(path) = inner.path.clone() else {
+            return Ok(());
+        };
+        if !inner.dirty {
+            return Ok(());
+        }
+        let mut entries: Vec<(&CacheKey, &CacheEntry)> = inner.entries.iter().collect();
+        // Deterministic file contents regardless of hash-map order.
+        entries.sort_by(|a, b| {
+            (a.0.fingerprint.0, a.0.fingerprint.1, &a.0.property).cmp(&(
+                b.0.fingerprint.0,
+                b.0.fingerprint.1,
+                &b.0.property,
+            ))
+        });
+        let mut text = String::new();
+        text.push_str(CACHE_HEADER);
+        text.push('\n');
+        for (key, entry) in entries {
+            // Verdicts without an independently re-checkable artifact are
+            // process-local: the spill file is a trust boundary and a hit
+            // on these kinds could not be re-validated.
+            if matches!(
+                entry.outcome,
+                CachedOutcome::Reachability | CachedOutcome::Unreachable { certificate: None }
+            ) {
+                continue;
+            }
+            render_cache_entry(&mut text, key, &entry.outcome);
+        }
+        let tmp = path.with_extension("tmp");
+        {
+            let mut file = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+            file.write_all(text.as_bytes())?;
+            file.flush()?;
+        }
+        std::fs::rename(&tmp, &path)?;
+        inner.dirty = false;
+        Ok(())
+    }
+
     /// Number of stored verdicts.
     pub fn len(&self) -> usize {
         self.inner.lock().expect("cache lock").entries.len()
@@ -260,14 +383,23 @@ impl ProofCache {
 
     /// Drops every entry (counters are kept).
     pub fn clear(&self) {
-        self.inner.lock().expect("cache lock").entries.clear();
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.entries.clear();
+        inner.dirty = true;
     }
 
     /// Stores a verdict (last write wins).
     pub(crate) fn store(&self, key: CacheKey, outcome: CachedOutcome) {
         let mut inner = self.inner.lock().expect("cache lock");
         inner.stats.insertions += 1;
-        inner.entries.insert(key, outcome);
+        inner.entries.insert(
+            key,
+            CacheEntry {
+                outcome,
+                unvalidated: false,
+            },
+        );
+        inner.dirty = true;
     }
 
     /// Looks up and re-validates a verdict for a property checked on
@@ -283,7 +415,7 @@ impl ProofCache {
         model: &Model,
         target: Lit,
     ) -> Option<CachedVerdict> {
-        let outcome = {
+        let entry = {
             let mut inner = self.inner.lock().expect("cache lock");
             match inner.entries.get(key) {
                 Some(entry) => entry.clone(),
@@ -293,15 +425,31 @@ impl ProofCache {
                 }
             }
         };
+        let unvalidated = entry.unvalidated;
         // Validation runs outside the lock: certification and replay are
         // real engine work and must not serialize the worker pool.
-        let verdict = match outcome {
-            CachedOutcome::Induction { depth } => Some(CachedVerdict::Induction { depth }),
+        let verdict = match entry.outcome {
+            CachedOutcome::Induction { depth } => {
+                // In-process entries are trusted on the fingerprint match
+                // (the verdict was computed by this process); disk-loaded
+                // entries are re-proven at their recorded depth once.
+                if !unvalidated || induction_reproves(model, target, depth) {
+                    Some(CachedVerdict::Induction { depth })
+                } else {
+                    None
+                }
+            }
+            // Process-local kind (never spilled to disk): trusted on the
+            // fingerprint match, exactly as before persistence existed.
             CachedOutcome::Reachability => Some(CachedVerdict::Reachability),
             CachedOutcome::Invariant { clauses, frames } => {
-                let invariant = Invariant::from_clauses(clauses, frames);
-                if invariant.certify(model, target) {
-                    Some(CachedVerdict::Invariant(invariant))
+                if clauses_fit_model(model, &clauses) {
+                    let invariant = Invariant::from_clauses(clauses, frames);
+                    if invariant.certify(model, target) {
+                        Some(CachedVerdict::Invariant(invariant))
+                    } else {
+                        None
+                    }
                 } else {
                     None
                 }
@@ -309,9 +457,13 @@ impl ProofCache {
             CachedOutcome::Unreachable { certificate } => match certificate {
                 None => Some(CachedVerdict::Unreachable),
                 Some((clauses, frames)) => {
-                    let invariant = Invariant::from_clauses(clauses, frames);
-                    if invariant.certify(model, target) {
-                        Some(CachedVerdict::Unreachable)
+                    if clauses_fit_model(model, &clauses) {
+                        let invariant = Invariant::from_clauses(clauses, frames);
+                        if invariant.certify(model, target) {
+                            Some(CachedVerdict::Unreachable)
+                        } else {
+                            None
+                        }
                     } else {
                         None
                     }
@@ -336,15 +488,322 @@ impl ProofCache {
         match verdict {
             Some(v) => {
                 inner.stats.hits += 1;
+                if unvalidated {
+                    // The disk-loaded entry survived validation against the
+                    // live model: treat it as in-process from here on.
+                    if let Some(entry) = inner.entries.get_mut(key) {
+                        entry.unvalidated = false;
+                    }
+                }
                 Some(v)
             }
             None => {
                 inner.stats.rejected += 1;
                 inner.entries.remove(key);
+                inner.dirty = true;
                 None
             }
         }
     }
+}
+
+/// Spill-file name inside the cache directory.
+const CACHE_FILE: &str = "proofs.cache";
+/// Version header; bump on any format change (older files are ignored,
+/// which is safe: the cache is advisory).
+const CACHE_HEADER: &str = "autosva-proof-cache v1";
+/// Sanity bounds on parsed entries.  Legitimate artifacts sit far below
+/// these (induction depths ≤ the configured `max_induction`, traces ≤ the
+/// BMC bound, invariants ≤ a few hundred clauses); anything larger is a
+/// forged or corrupted entry, and the bound keeps its *rejection* cheap —
+/// without it, a huge induction depth would hang the re-proof and a huge
+/// clause count would allocate unboundedly before validation could say no.
+const MAX_CACHE_DEPTH: usize = 256;
+const MAX_CACHE_CLAUSES: usize = 65_536;
+const MAX_CACHE_CYCLES: usize = 65_536;
+const MAX_CACHE_SIGNALS: usize = 65_536;
+
+/// Percent-escapes a property name so it survives the line-oriented format.
+fn escape_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        match c {
+            '%' => out.push_str("%25"),
+            ' ' => out.push_str("%20"),
+            '\n' => out.push_str("%0A"),
+            '\r' => out.push_str("%0D"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape_name(escaped: &str) -> Option<String> {
+    let mut out = String::with_capacity(escaped.len());
+    let mut chars = escaped.chars();
+    while let Some(c) = chars.next() {
+        if c != '%' {
+            out.push(c);
+            continue;
+        }
+        let hi = chars.next()?;
+        let lo = chars.next()?;
+        let byte = u8::from_str_radix(&format!("{hi}{lo}"), 16).ok()?;
+        out.push(byte as char);
+    }
+    Some(out)
+}
+
+fn render_clauses(out: &mut String, clauses: &[Vec<Lit>]) {
+    for clause in clauses {
+        out.push_str("clause");
+        for lit in clause {
+            let _ = write!(out, " {}", lit.raw());
+        }
+        out.push('\n');
+    }
+}
+
+fn render_trace(out: &mut String, trace: &Trace) {
+    let _ = writeln!(out, "{} {}", trace.len(), trace.num_signals());
+    for sig in trace.signals() {
+        let bits: String = sig
+            .values
+            .iter()
+            .map(|&v| if v { '1' } else { '0' })
+            .collect();
+        let _ = writeln!(
+            out,
+            "signal {} {} {}",
+            u8::from(sig.is_input),
+            bits,
+            escape_name(&sig.name)
+        );
+    }
+}
+
+/// Serializes one cache entry into the line-oriented spill format.
+fn render_cache_entry(out: &mut String, key: &CacheKey, outcome: &CachedOutcome) {
+    let _ = writeln!(
+        out,
+        "entry {:016x} {:016x} {}",
+        key.fingerprint.0,
+        key.fingerprint.1,
+        escape_name(&key.property)
+    );
+    match outcome {
+        CachedOutcome::Induction { depth } => {
+            let _ = writeln!(out, "induction {depth}");
+        }
+        CachedOutcome::Invariant { clauses, frames } => {
+            let _ = writeln!(out, "invariant {frames} {}", clauses.len());
+            render_clauses(out, clauses);
+        }
+        CachedOutcome::Reachability => out.push_str("reachability\n"),
+        CachedOutcome::Unreachable { certificate } => match certificate {
+            None => out.push_str("unreachable\n"),
+            Some((clauses, frames)) => {
+                let _ = writeln!(out, "unreachable-cert {frames} {}", clauses.len());
+                render_clauses(out, clauses);
+            }
+        },
+        CachedOutcome::Violated(trace) => {
+            out.push_str("violated ");
+            render_trace(out, trace);
+        }
+        CachedOutcome::Covered(trace) => {
+            out.push_str("covered ");
+            render_trace(out, trace);
+        }
+    }
+}
+
+/// Line-cursor over the spill file; every parse helper returns `Option` so
+/// any corruption aborts the current entry without panicking.
+struct CacheLines<'a> {
+    lines: std::str::Lines<'a>,
+}
+
+impl<'a> CacheLines<'a> {
+    fn next(&mut self) -> Option<&'a str> {
+        self.lines.next()
+    }
+}
+
+fn parse_clauses(lines: &mut CacheLines<'_>, count: usize) -> Option<Vec<Vec<Lit>>> {
+    let mut clauses = Vec::with_capacity(count);
+    for _ in 0..count {
+        let line = lines.next()?;
+        let mut fields = line.split(' ');
+        if fields.next()? != "clause" {
+            return None;
+        }
+        let mut clause = Vec::new();
+        for field in fields {
+            let raw: u32 = field.parse().ok()?;
+            clause.push(Lit::new((raw >> 1) as usize, raw & 1 == 1));
+        }
+        clauses.push(clause);
+    }
+    Some(clauses)
+}
+
+fn parse_trace(header: &str, lines: &mut CacheLines<'_>) -> Option<Trace> {
+    let mut fields = header.split(' ');
+    let cycles: usize = fields.next()?.parse().ok()?;
+    let num_signals: usize = fields.next()?.parse().ok()?;
+    if cycles > MAX_CACHE_CYCLES || num_signals > MAX_CACHE_SIGNALS {
+        return None;
+    }
+    let mut trace = Trace::new(cycles);
+    for _ in 0..num_signals {
+        let line = lines.next()?;
+        let mut fields = line.split(' ');
+        if fields.next()? != "signal" {
+            return None;
+        }
+        let is_input = match fields.next()? {
+            "0" => false,
+            "1" => true,
+            _ => return None,
+        };
+        let bits = fields.next()?;
+        let name = unescape_name(fields.next()?)?;
+        if bits.len() != cycles || fields.next().is_some() {
+            return None;
+        }
+        for (cycle, bit) in bits.chars().enumerate() {
+            let value = match bit {
+                '0' => false,
+                '1' => true,
+                _ => return None,
+            };
+            trace.record(cycle, &name, value, is_input);
+        }
+    }
+    Some(trace)
+}
+
+/// Parses one entry (the `entry` line was already consumed and split into
+/// `key`); returns `None` on any malformed line.
+fn parse_outcome(lines: &mut CacheLines<'_>) -> Option<CachedOutcome> {
+    let line = lines.next()?;
+    let (tag, rest) = line.split_once(' ').unwrap_or((line, ""));
+    match tag {
+        "induction" => {
+            let depth: usize = rest.parse().ok()?;
+            // A forged depth would make the hit-time re-proof arbitrarily
+            // expensive; real induction depths are two orders below this.
+            if depth > MAX_CACHE_DEPTH {
+                return None;
+            }
+            Some(CachedOutcome::Induction { depth })
+        }
+        "invariant" | "unreachable-cert" => {
+            let mut fields = rest.split(' ');
+            let frames: usize = fields.next()?.parse().ok()?;
+            let count: usize = fields.next()?.parse().ok()?;
+            if count > MAX_CACHE_CLAUSES {
+                return None;
+            }
+            let clauses = parse_clauses(lines, count)?;
+            Some(if tag == "invariant" {
+                CachedOutcome::Invariant { clauses, frames }
+            } else {
+                CachedOutcome::Unreachable {
+                    certificate: Some((clauses, frames)),
+                }
+            })
+        }
+        // "reachability" and certificate-less "unreachable" are never
+        // written (process-local kinds, see `flush`); an unknown tag stops
+        // the load at the clean prefix, so a forged one cannot smuggle an
+        // unvalidatable verdict in.
+        "violated" => Some(CachedOutcome::Violated(parse_trace(rest, lines)?)),
+        "covered" => Some(CachedOutcome::Covered(parse_trace(rest, lines)?)),
+        _ => None,
+    }
+}
+
+/// Parses a spill file, keeping every entry up to the first corruption.
+/// Loaded entries are marked `unvalidated`: the file is a trust boundary,
+/// so the first hit on each re-validates its artifact against the live
+/// model before the verdict is reused.
+fn parse_cache_file(text: &str) -> HashMap<CacheKey, CacheEntry> {
+    let mut entries = HashMap::new();
+    let mut lines = CacheLines {
+        lines: text.lines(),
+    };
+    if lines.next() != Some(CACHE_HEADER) {
+        return entries;
+    }
+    while let Some(line) = lines.next() {
+        let mut fields = line.split(' ');
+        let parsed = (|| {
+            if fields.next()? != "entry" {
+                return None;
+            }
+            let hi = u64::from_str_radix(fields.next()?, 16).ok()?;
+            let lo = u64::from_str_radix(fields.next()?, 16).ok()?;
+            let property = unescape_name(fields.next()?)?;
+            let key = CacheKey {
+                fingerprint: Fingerprint(hi, lo),
+                property,
+            };
+            let outcome = parse_outcome(&mut lines)?;
+            Some((key, outcome))
+        })();
+        match parsed {
+            Some((key, outcome)) => {
+                entries.insert(
+                    key,
+                    CacheEntry {
+                        outcome,
+                        unvalidated: true,
+                    },
+                );
+            }
+            // Corrupted entry: stop here, keep the clean prefix.
+            None => break,
+        }
+    }
+    entries
+}
+
+/// `true` when every clause literal references a latch node of `model` —
+/// the only shape `Invariant::certify` accepts without panicking.  A
+/// forged or hash-colliding entry whose literals point past the model's
+/// node table must reject cleanly instead of indexing out of bounds.
+fn clauses_fit_model(model: &Model, clauses: &[Vec<Lit>]) -> bool {
+    let latches: std::collections::HashSet<usize> =
+        model.aig.latches().iter().map(|l| l.node).collect();
+    clauses
+        .iter()
+        .flatten()
+        .all(|l| latches.contains(&l.node()))
+}
+
+/// Re-validates a cached k-induction verdict by actually re-proving it:
+/// BMC up to the recorded depth must stay counterexample-free and the
+/// induction step must close by then.  Cheap — recorded depths are small
+/// (the deep proofs go to PDR and carry certificates instead) — and it
+/// turns a stale or forged entry into a rejection rather than a bogus
+/// "proven" row.
+fn induction_reproves(model: &Model, target: Lit, depth: usize) -> bool {
+    let Some(index) = model.bads.iter().position(|b| b.lit == target) else {
+        return false;
+    };
+    matches!(
+        crate::bmc::check_safety(
+            model,
+            index,
+            &crate::bmc::BmcOptions {
+                max_depth: depth,
+                max_induction: depth,
+            },
+        ),
+        crate::bmc::SafetyResult::Proven { .. }
+    )
 }
 
 /// Replays a cached trace through the two-state simulator: the target
@@ -515,8 +974,213 @@ mod tests {
         }
     }
 
+    /// A unique scratch directory under the target tmpdir.
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("autosva-cache-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
     #[test]
-    fn induction_entries_hit_directly() {
+    fn disk_cache_round_trips_every_outcome_kind() {
+        let dir = scratch_dir("roundtrip");
+        let cache = ProofCache::open(&dir);
+        assert_eq!(cache.stats().loaded, 0);
+
+        let mut trace = Trace::new(3);
+        trace.record(0, "x", true, true);
+        trace.record(2, "q", true, false);
+        trace.record(1, "name with spaces", false, false);
+        let entry = |name: &str| CacheKey {
+            fingerprint: Fingerprint(0xABCD, 42),
+            property: name.into(),
+        };
+        let inv_clauses = vec![vec![Lit::new(3, true), Lit::new(7, false)], vec![]];
+        cache.store(entry("ind"), CachedOutcome::Induction { depth: 9 });
+        cache.store(
+            entry("inv"),
+            CachedOutcome::Invariant {
+                clauses: inv_clauses.clone(),
+                frames: 4,
+            },
+        );
+        cache.store(entry("reach"), CachedOutcome::Reachability);
+        cache.store(
+            entry("unreach"),
+            CachedOutcome::Unreachable { certificate: None },
+        );
+        cache.store(
+            entry("unreach-cert"),
+            CachedOutcome::Unreachable {
+                certificate: Some((inv_clauses.clone(), 2)),
+            },
+        );
+        cache.store(entry("cex"), CachedOutcome::Violated(trace.clone()));
+        cache.store(entry("wit"), CachedOutcome::Covered(trace.clone()));
+        cache.flush().expect("flush succeeds");
+
+        // A "fresh process": a new handle over the same directory.  The
+        // two kinds with no re-checkable artifact are process-local and
+        // must not have crossed the disk boundary.
+        let reloaded = ProofCache::open(&dir);
+        assert_eq!(reloaded.len(), 5);
+        assert_eq!(reloaded.stats().loaded, 5);
+        let entries = &reloaded.inner.lock().expect("lock").entries;
+        assert!(
+            entries.get(&entry("reach")).is_none(),
+            "explicit-reachability verdicts must not persist"
+        );
+        assert!(
+            entries.get(&entry("unreach")).is_none(),
+            "certificate-less unreachability verdicts must not persist"
+        );
+        match entries.get(&entry("ind")).map(|e| &e.outcome) {
+            Some(CachedOutcome::Induction { depth: 9 }) => {}
+            other => panic!("induction entry corrupted: {other:?}"),
+        }
+        match entries.get(&entry("inv")).map(|e| &e.outcome) {
+            Some(CachedOutcome::Invariant { clauses, frames: 4 }) => {
+                assert_eq!(clauses, &inv_clauses);
+            }
+            other => panic!("invariant entry corrupted: {other:?}"),
+        }
+        match entries.get(&entry("unreach-cert")).map(|e| &e.outcome) {
+            Some(CachedOutcome::Unreachable {
+                certificate: Some((clauses, 2)),
+            }) => assert_eq!(clauses, &inv_clauses),
+            other => panic!("certificate entry corrupted: {other:?}"),
+        }
+        match entries.get(&entry("cex")).map(|e| &e.outcome) {
+            Some(CachedOutcome::Violated(t)) => assert_eq!(t, &trace),
+            other => panic!("trace entry corrupted: {other:?}"),
+        }
+        match entries.get(&entry("wit")).map(|e| &e.outcome) {
+            Some(CachedOutcome::Covered(t)) => assert_eq!(t, &trace),
+            other => panic!("witness entry corrupted: {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_cache_flush_is_deterministic_and_idempotent() {
+        let dir = scratch_dir("determinism");
+        let cache = ProofCache::open(&dir);
+        for i in 0..8u64 {
+            cache.store(
+                CacheKey {
+                    fingerprint: Fingerprint(i, i * 3),
+                    property: format!("p{i}"),
+                },
+                CachedOutcome::Induction { depth: i as usize },
+            );
+        }
+        cache.flush().expect("flush");
+        let path = cache.spill_path().expect("persistent cache has a path");
+        let first = std::fs::read_to_string(&path).expect("spill file exists");
+        // Reload and re-flush (after a dirtying store of identical content):
+        // the file must be byte-identical despite hash-map iteration order.
+        let reloaded = ProofCache::open(&dir);
+        reloaded.store(
+            CacheKey {
+                fingerprint: Fingerprint(0, 0),
+                property: "p0".into(),
+            },
+            CachedOutcome::Induction { depth: 0 },
+        );
+        reloaded.flush().expect("flush");
+        let second = std::fs::read_to_string(&path).expect("spill file exists");
+        assert_eq!(first, second, "spill file must be deterministic");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_spill_files_load_their_clean_prefix() {
+        let dir = scratch_dir("corruption");
+        let cache = ProofCache::open(&dir);
+        cache.store(
+            CacheKey {
+                fingerprint: Fingerprint(1, 1),
+                property: "a".into(),
+            },
+            CachedOutcome::Induction { depth: 1 },
+        );
+        cache.store(
+            CacheKey {
+                fingerprint: Fingerprint(2, 2),
+                property: "b".into(),
+            },
+            CachedOutcome::Induction { depth: 2 },
+        );
+        cache.flush().expect("flush");
+        let path = cache.spill_path().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+
+        // Truncated mid-entry: the clean prefix loads, nothing panics.
+        let cut = text.len() - 5;
+        std::fs::write(&path, &text[..cut]).unwrap();
+        let truncated = ProofCache::open(&dir);
+        assert!(
+            truncated.len() < 2,
+            "truncated file must drop the torn entry"
+        );
+
+        // Garbage (including invalid UTF-8): loads empty.
+        std::fs::write(&path, b"!!! not a cache file !!!\x00\xff binary junk").unwrap();
+        assert!(ProofCache::open(&dir).is_empty());
+
+        // Wrong version: ignored wholesale.
+        std::fs::write(&path, text.replace("v1", "v999")).unwrap();
+        assert!(ProofCache::open(&dir).is_empty());
+
+        // Interior corruption: entries before the bad line survive.
+        let mut lines: Vec<&str> = text.lines().collect();
+        let n = lines.len();
+        lines.insert(n - 1, "entry zzzz not-hex garbage");
+        std::fs::write(&path, lines.join("\n")).unwrap();
+        let partial = ProofCache::open(&dir);
+        assert_eq!(partial.len(), 1, "prefix before the corruption must load");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn in_memory_cache_flush_is_a_noop() {
+        let cache = ProofCache::new();
+        cache.store(key(), CachedOutcome::Induction { depth: 1 });
+        assert!(cache.spill_path().is_none());
+        cache.flush().expect("no-op flush succeeds");
+    }
+
+    #[test]
+    fn property_names_escape_and_unescape() {
+        for name in ["plain", "with space", "perc%ent", "new\nline", "a%20b"] {
+            assert_eq!(
+                unescape_name(&escape_name(name)).as_deref(),
+                Some(name),
+                "round trip failed for {name:?}"
+            );
+        }
+        assert_eq!(unescape_name("dangling%2"), None);
+    }
+
+    /// A latch that never rises (next = FALSE): "q high" is provable by
+    /// induction at depth 0.
+    fn safe_model() -> (Model, Lit) {
+        let mut aig = Aig::new();
+        let q = aig.add_latch("q", false);
+        aig.set_latch_next(q, Lit::FALSE);
+        let mut model = Model::new(aig);
+        model.bads.push(BadProperty {
+            name: "q_high".into(),
+            lit: q,
+        });
+        (model, q)
+    }
+
+    #[test]
+    fn in_process_induction_entries_hit_directly() {
+        // Entries stored by this process are trusted on the fingerprint
+        // match (pre-persistence semantics): no re-proof on hit.
         let (model, q) = tiny_model();
         let cache = ProofCache::new();
         cache.store(key(), CachedOutcome::Induction { depth: 3 });
@@ -533,5 +1197,91 @@ mod tests {
         };
         assert!(cache.lookup(&other_key, &model, q).is_none());
         assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn disk_loaded_induction_entries_reprove_on_first_hit() {
+        let dir = scratch_dir("induction-reprove");
+        let (model, q) = safe_model();
+        {
+            let cache = ProofCache::open(&dir);
+            cache.store(key(), CachedOutcome::Induction { depth: 1 });
+            cache.flush().expect("flush");
+        }
+        // Fresh process: the loaded entry re-proves against the live model
+        // (which really is 1-inductive) and then hits directly.
+        let cache = ProofCache::open(&dir);
+        for _ in 0..2 {
+            match cache.lookup(&key(), &model, q) {
+                Some(CachedVerdict::Induction { depth }) => assert_eq!(depth, 1),
+                other => panic!("expected induction hit, got {other:?}"),
+            }
+        }
+        assert_eq!(cache.stats().rejected, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bogus_disk_induction_entries_are_rejected() {
+        // The bad state of tiny_model is reachable (the input drives the
+        // latch), so a disk-loaded "proven by induction" verdict is a lie —
+        // the first-hit re-proof must reject and evict it.
+        let dir = scratch_dir("induction-bogus");
+        {
+            let cache = ProofCache::open(&dir);
+            cache.store(key(), CachedOutcome::Induction { depth: 3 });
+            cache.flush().expect("flush");
+        }
+        let (model, q) = tiny_model();
+        let cache = ProofCache::open(&dir);
+        assert!(cache.lookup(&key(), &model, q).is_none());
+        assert_eq!(cache.stats().rejected, 1);
+        assert!(cache.is_empty(), "rejected entries must be evicted");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn forged_spill_entries_reject_cleanly() {
+        // Hand-forged entries with out-of-range artifacts must be rejected
+        // at parse or validation time — never hang, allocate unboundedly,
+        // or panic.
+        let dir = scratch_dir("forged");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("proofs.cache");
+        let fp = "0000000000000001 0000000000000002";
+        // (a) absurd induction depth: rejected at parse time.
+        std::fs::write(
+            &path,
+            format!("{CACHE_HEADER}\nentry {fp} q_high\ninduction 999999999\n"),
+        )
+        .unwrap();
+        assert!(ProofCache::open(&dir).is_empty());
+        // (b) absurd clause count: rejected before any allocation.
+        std::fs::write(
+            &path,
+            format!("{CACHE_HEADER}\nentry {fp} q_high\ninvariant 1 4000000000\n"),
+        )
+        .unwrap();
+        assert!(ProofCache::open(&dir).is_empty());
+        // (c) absurd trace bounds: rejected at parse time.
+        std::fs::write(
+            &path,
+            format!("{CACHE_HEADER}\nentry {fp} q_high\nviolated 4000000000 0\n"),
+        )
+        .unwrap();
+        assert!(ProofCache::open(&dir).is_empty());
+        // (d) invariant clause referencing a node beyond the model: parses,
+        // but validation rejects instead of panicking in the encoder.
+        let (model, q) = tiny_model();
+        std::fs::write(
+            &path,
+            format!("{CACHE_HEADER}\nentry {fp} q_high\ninvariant 1 1\nclause 99999\n"),
+        )
+        .unwrap();
+        let cache = ProofCache::open(&dir);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.lookup(&key(), &model, q).is_none());
+        assert_eq!(cache.stats().rejected, 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -8,7 +8,7 @@
 //! checks.
 
 use crate::aig::{Aig, Lit, Node};
-use crate::sat::{SatLit, Solver, Var};
+use crate::sat::{SatLit, Solver, SolverConfig, SolverStats, Var};
 use std::collections::HashMap;
 
 /// Incremental time-frame expansion of an [`Aig`] into a [`Solver`].
@@ -30,7 +30,14 @@ impl<'a> Unroller<'a> {
     /// `false`, frame-0 latches are free (used for the inductive step of
     /// k-induction).
     pub fn new(aig: &'a Aig, constrain_init: bool) -> Self {
-        let mut solver = Solver::new();
+        Unroller::with_config(aig, constrain_init, SolverConfig::default())
+    }
+
+    /// Like [`Unroller::new`], with an explicit solver feature
+    /// configuration (used by the differential suite and the solver
+    /// ablation bench to toggle restarts/minimization/reduction).
+    pub fn with_config(aig: &'a Aig, constrain_init: bool, config: SolverConfig) -> Self {
+        let mut solver = Solver::with_config(config);
         let true_var = solver.new_var();
         solver.add_clause(&[SatLit::pos(true_var)]);
         Unroller {
@@ -45,6 +52,17 @@ impl<'a> Unroller<'a> {
     /// Access to the underlying solver (e.g. for statistics).
     pub fn solver(&self) -> &Solver {
         &self.solver
+    }
+
+    /// Mutable access to the underlying solver (feature toggles, direct
+    /// clause surgery in tests).
+    pub fn solver_mut(&mut self) -> &mut Solver {
+        &mut self.solver
+    }
+
+    /// The cumulative search counters of the underlying solver.
+    pub fn stats(&self) -> SolverStats {
+        self.solver.stats
     }
 
     /// Allocates a fresh SAT variable in the underlying solver without tying

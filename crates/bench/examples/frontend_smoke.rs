@@ -1,0 +1,65 @@
+//! Front-end smoke: parse and elaborate every corpus design (both variants)
+//! plus the struct-port demo and its hand-flattened twin, in one fresh
+//! process, failing on any diagnostic.
+//!
+//! This is the CI "Front-end smoke" step: it exercises the lexer, parser
+//! (struct/enum typedefs, package-scoped types, member access), the type
+//! table, and the per-output instance elaborator on every design the repo
+//! ships — without the engine cascade, so front-end regressions fail in
+//! seconds with the rendered diagnostic instead of a downstream test.
+
+use autosva_designs::{all_cases, struct_demo_sources, Variant};
+use autosva_formal::elab::{elaborate, ElabOptions};
+use std::process::ExitCode;
+
+fn check(label: &str, top: &str, source: &str, params: Vec<(String, u128)>) -> Result<(), String> {
+    let file = svparse::parse(source)
+        .map_err(|e| format!("{label}: parse error:\n{}", e.render(source)))?;
+    let design = elaborate(
+        &file,
+        &ElabOptions {
+            top: Some(top.to_string()),
+            params,
+            ..ElabOptions::default()
+        },
+    )
+    .map_err(|e| format!("{label}: {}", e.render(source)))?;
+    println!(
+        "  {label:14} {:3} inputs, {:3} latches, {:5} gates",
+        design.aig.num_inputs(),
+        design.aig.num_latches(),
+        design.aig.num_ands()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut failures = 0usize;
+    println!("Front-end smoke: parse + elaborate every shipped design");
+    for case in all_cases() {
+        let variants: &[Variant] = if case.has_bug_parameter {
+            &[Variant::Fixed, Variant::Buggy]
+        } else {
+            &[Variant::Fixed]
+        };
+        for &variant in variants {
+            let label = format!("{} ({variant:?})", case.id);
+            if let Err(e) = check(&label, case.module, case.source, case.params(variant)) {
+                eprintln!("FAIL {e}");
+                failures += 1;
+            }
+        }
+    }
+    for (label, top, source) in struct_demo_sources() {
+        if let Err(e) = check(label, top, source, Vec::new()) {
+            eprintln!("FAIL {e}");
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        eprintln!("front-end smoke: {failures} design(s) failed");
+        return ExitCode::FAILURE;
+    }
+    println!("front-end smoke: all designs parse and elaborate cleanly");
+    ExitCode::SUCCESS
+}

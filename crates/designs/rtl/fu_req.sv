@@ -1,0 +1,61 @@
+// S1 — paper-style LSU/FU request with a packed-struct port.
+//
+// This is the annotation scenario of Fig. 3 of the paper in its *original*
+// form: the request payload arrives as a `fu_data_t` packed struct defined
+// in a package, and the annotations index its fields directly
+// (`fu_data_i.fu == LOAD`).  The A4 corpus entry keeps the historical
+// flattened-port adaptation; this design exercises the struct-aware front
+// end end-to-end.  `fu_req_flat.sv` is the hand-flattened twin used by the
+// differential front-end tests: both must compile to byte-identical models.
+package fu_pkg;
+  parameter TRANS_ID_BITS = 3;
+  typedef enum logic [1:0] { FU_NONE, LOAD, STORE } fu_op_t;
+  typedef struct packed {
+    logic [TRANS_ID_BITS-1:0] trans_id;
+    fu_op_t                   fu;
+  } fu_data_t;
+endpackage
+
+/*AUTOSVA
+fu_load: lsu_req -in> lsu_res
+lsu_req_val = lsu_valid_i && fu_data_i.fu == LOAD
+lsu_req_rdy = lsu_ready_o
+[2:0] lsu_req_transid = fu_data_i.trans_id
+lsu_res_val = load_valid_o
+[2:0] lsu_res_transid = load_trans_id_o
+*/
+module fu_req import fu_pkg::*; (
+  input  logic             clk_i,
+  input  logic             rst_ni,
+  input  logic             lsu_valid_i,
+  input  fu_pkg::fu_data_t fu_data_i,
+  output logic             lsu_ready_o,
+  output logic             load_valid_o,
+  output logic [2:0]       load_trans_id_o
+);
+
+  logic       busy_q;
+  logic [2:0] id_q;
+
+  wire load_req = lsu_valid_i && fu_data_i.fu == LOAD;
+  wire hsk      = load_req && lsu_ready_o;
+
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) begin
+      busy_q <= 1'b0;
+      id_q   <= 3'b0;
+    end else begin
+      if (hsk) begin
+        busy_q <= 1'b1;
+        id_q   <= fu_data_i.trans_id;
+      end else begin
+        busy_q <= 1'b0;
+      end
+    end
+  end
+
+  assign lsu_ready_o     = !busy_q;
+  assign load_valid_o    = busy_q;
+  assign load_trans_id_o = id_q;
+
+endmodule

@@ -1,0 +1,52 @@
+// Hand-flattened twin of fu_req.sv.
+//
+// The `fu_data_t` struct port is replaced by a flat 5-bit vector and every
+// member access by the equivalent explicit bit slice (`fu` occupies bits
+// [1:0], `trans_id` bits [4:2] — packed structs place the first-declared
+// field at the MSB end).  The module name, port names, annotation block and
+// logic structure are otherwise identical, so the struct-aware front end
+// must produce a byte-identical verification report for both files; the
+// differential tests pin that equivalence.
+/*AUTOSVA
+fu_load: lsu_req -in> lsu_res
+lsu_req_val = lsu_valid_i && fu_data_i[1:0] == 2'd1
+lsu_req_rdy = lsu_ready_o
+[2:0] lsu_req_transid = fu_data_i[4:2]
+lsu_res_val = load_valid_o
+[2:0] lsu_res_transid = load_trans_id_o
+*/
+module fu_req (
+  input  logic       clk_i,
+  input  logic       rst_ni,
+  input  logic       lsu_valid_i,
+  input  logic [4:0] fu_data_i,
+  output logic       lsu_ready_o,
+  output logic       load_valid_o,
+  output logic [2:0] load_trans_id_o
+);
+
+  logic       busy_q;
+  logic [2:0] id_q;
+
+  wire load_req = lsu_valid_i && fu_data_i[1:0] == 2'd1;
+  wire hsk      = load_req && lsu_ready_o;
+
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) begin
+      busy_q <= 1'b0;
+      id_q   <= 3'b0;
+    end else begin
+      if (hsk) begin
+        busy_q <= 1'b1;
+        id_q   <= fu_data_i[4:2];
+      end else begin
+        busy_q <= 1'b0;
+      end
+    end
+  end
+
+  assign lsu_ready_o     = !busy_q;
+  assign load_valid_o    = busy_q;
+  assign load_trans_id_o = id_q;
+
+endmodule

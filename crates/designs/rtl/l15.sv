@@ -45,9 +45,16 @@ module l15 (
   // Only a fill return (type 01) completes the miss; other return types are
   // dropped, and nothing forces the environment to ever send a fill.
   wire fill = noc_res_val && noc_res_rtntype_i == 1'b1;
-  // The accepted miss is handed to the staging buffer one cycle later,
-  // which keeps the acknowledge path free of the buffer's ready signal.
-  wire stage_push = busy_q && !pushed_q;
+  // The pending miss is offered to the staging buffer whenever the buffer is
+  // ready — the natural handshake: the push strobe is gated on the buffer's
+  // *ready output* in the same cycle.  This is a combinational path into and
+  // back out of the `noc_stage` instance (push_rdy_o depends only on the
+  // buffer's own state, never on push_val_i), which an instance-atomic
+  // elaborator misreports as a combinational cycle; per-output instance
+  // elaboration resolves it.  (PR 1 worked around the false cycle by keeping
+  // the strobe off the ready signal and qualifying the register update
+  // instead.)
+  wire stage_push = busy_q && !pushed_q && stage_rdy;
 
   always_ff @(posedge clk_i or negedge rst_ni) begin
     if (!rst_ni) begin
@@ -62,7 +69,7 @@ module l15 (
         id_q       <= l15_req_transid;
         miss_cnt_q <= miss_cnt_q + 20'd1;
       end else begin
-        if (stage_push && stage_rdy) begin
+        if (stage_push) begin
           pushed_q <= 1'b1;
         end
         if (busy_q && fill) begin

@@ -446,9 +446,8 @@ pub fn verify(
     testbench: &FormalTestbench,
     options: &CheckOptions,
 ) -> Result<VerificationReport> {
-    let file = svparse::parse(source).map_err(|e| crate::elab::ElabError {
-        message: format!("parse error: {e}"),
-    })?;
+    let file = svparse::parse(source)
+        .map_err(|e| crate::elab::ElabError::new(format!("parse error: {e}")))?;
     let mut elab_options = options.elab.clone();
     if elab_options.top.is_none() {
         elab_options.top = Some(testbench.dut_name.clone());

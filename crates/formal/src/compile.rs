@@ -70,6 +70,9 @@ pub fn compile(design: &ElabDesign, testbench: &FormalTestbench) -> Result<Compi
         aig: design.aig.clone(),
         symbols: design.symbols.clone(),
         params: design.params.clone(),
+        types: design.types.clone(),
+        signal_types: design.signal_types.clone(),
+        top: design.top.clone(),
         not_first: None,
     };
 
@@ -82,12 +85,19 @@ pub fn compile(design: &ElabDesign, testbench: &FormalTestbench) -> Result<Compi
     // cases; iterate until fixed point with a bounded number of rounds.
     let mut remaining: Vec<AuxSignal> = aux.clone();
     let mut rounds = 0;
+    let mut last_err: Option<ElabError> = None;
     while !remaining.is_empty() {
         rounds += 1;
         if rounds > aux.len() + 2 {
             let names: Vec<String> = remaining.iter().map(|a| a.name.clone()).collect();
-            return Err(ElabError {
-                message: format!("could not resolve auxiliary signals: {names:?}"),
+            // Surface both the stuck signal set (which points at cyclic aux
+            // definitions) and the underlying per-signal cause.
+            return Err(match last_err {
+                Some(e) => ElabError::new(format!(
+                    "could not resolve auxiliary signals {names:?}: {}",
+                    e.message
+                )),
+                None => ElabError::new(format!("could not resolve auxiliary signals: {names:?}")),
             });
         }
         let mut next_round = Vec::new();
@@ -96,7 +106,14 @@ pub fn compile(design: &ElabDesign, testbench: &FormalTestbench) -> Result<Compi
                 Ok(bits) => {
                     ctx.symbols.insert(sig.name.clone(), bits);
                 }
-                Err(_) => next_round.push(sig),
+                // A forward reference to a later aux wire is retried on the
+                // next round; a structured error (e.g. an unknown struct
+                // field) can never succeed later and fails fast.
+                Err(e) if e.unknown_field.is_some() => return Err(e),
+                Err(e) => {
+                    last_err = Some(e);
+                    next_round.push(sig);
+                }
             }
         }
         remaining = next_round;
@@ -226,6 +243,14 @@ struct Compiler {
     aig: Aig,
     symbols: HashMap<String, Vec<Lit>>,
     params: HashMap<String, u128>,
+    /// Resolved user-defined types of the design (struct layouts, enum
+    /// constants), so annotations can use `port.field` and enum members.
+    types: crate::elab::TypeTable,
+    /// Symbol name → struct layout index for struct-typed design signals.
+    signal_types: HashMap<String, usize>,
+    /// Name of the top module — the scope annotation identifiers resolve in
+    /// (module-local enum members are registered as `top::MEMBER`).
+    top: String,
     /// Lazily created "this is not the first cycle" latch, used by `$stable`
     /// and `|=>` lowering.
     not_first: Option<Lit>,
@@ -233,9 +258,7 @@ struct Compiler {
 
 impl Compiler {
     fn err(message: impl Into<String>) -> ElabError {
-        ElabError {
-            message: message.into(),
-        }
+        ElabError::new(message)
     }
 
     fn not_first_cycle(&mut self) -> Lit {
@@ -400,6 +423,52 @@ impl Compiler {
         bits.iter().map(|&b| self.delayed(b)).collect()
     }
 
+    /// Resolves a member access against the design's struct-typed signals:
+    /// `Some((symbol, lsb offset, width))` when the base is a struct-typed
+    /// signal (nested members walk sub-layouts), `None` when it is not (the
+    /// caller falls back to naming-convention matching).  A struct-typed
+    /// base with a nonexistent field is an error carrying the valid fields.
+    fn member_slice(&self, base: &Expr, member: &str) -> Result<Option<(String, usize, usize)>> {
+        let Some((symbol, offset, layout_ix)) = self.struct_value_of(base)? else {
+            return Ok(None);
+        };
+        let field = self.field_of(base, layout_ix, member)?;
+        Ok(Some((symbol, offset + field.offset, field.width)))
+    }
+
+    /// Resolves one field of a known struct layout, erroring with the list
+    /// of the type's valid fields when it does not exist.
+    fn field_of(
+        &self,
+        base: &Expr,
+        layout_ix: usize,
+        member: &str,
+    ) -> Result<&crate::elab::FieldLayout> {
+        let layout = self.types.layout(layout_ix);
+        layout.field(member).ok_or_else(|| {
+            ElabError::field_error(svparse::pretty::print_expr(base), member, layout)
+        })
+    }
+
+    /// The struct value an expression denotes: `(symbol, offset, layout)` for
+    /// a struct-typed signal or a struct-typed field of one.
+    fn struct_value_of(&self, expr: &Expr) -> Result<Option<(String, usize, usize)>> {
+        match expr {
+            Expr::Ident(name) => Ok(self.signal_types.get(name).map(|&ix| (name.clone(), 0, ix))),
+            Expr::Member { base, member } => {
+                let Some((symbol, offset, layout_ix)) = self.struct_value_of(base)? else {
+                    return Ok(None);
+                };
+                let field = self.field_of(base, layout_ix, member)?;
+                match field.layout {
+                    Some(sub) => Ok(Some((symbol, offset + field.offset, sub))),
+                    None => Ok(None),
+                }
+            }
+            _ => Ok(None),
+        }
+    }
+
     /// Evaluates an SVA expression to a single bit (non-zero test).
     fn expr_bool(&mut self, expr: &Expr) -> Result<Lit> {
         let bits = self.expr_word(expr)?;
@@ -419,6 +488,15 @@ impl Compiler {
                 }
                 if let Some(&value) = self.params.get(name) {
                     return Ok(words::constant(value, 32));
+                }
+                if let Some((value, width)) = self.types.enum_const_in(Some(&self.top), name) {
+                    return Ok(words::constant(value, width.max(1)));
+                }
+                if self.types.ambiguous_const(name) {
+                    return Err(Self::err(format!(
+                        "enum member `{name}` is ambiguous: multiple packages export \
+                         conflicting values — use a scoped reference (`pkg::{name}`)"
+                    )));
                 }
                 Err(Self::err(format!(
                     "property references unknown signal `{name}`"
@@ -534,9 +612,21 @@ impl Compiler {
                     .collect())
             }
             Expr::Member { base, member } => {
-                // Struct members are resolved by naming convention:
-                // `port.field` falls back to the flattened `port_field` or
-                // `port.field` symbol if the design provides one.
+                // Struct-typed design signals resolve through the type
+                // table: `port.field` becomes the field's bit slice of the
+                // flat signal (nested access walks sub-layouts).
+                if let Some((symbol, offset, width)) = self.member_slice(base, member)? {
+                    let bits = self
+                        .symbols
+                        .get(&symbol)
+                        .ok_or_else(|| Self::err(format!("unknown signal `{symbol}`")))?;
+                    return Ok((offset..offset + width)
+                        .map(|i| bits.get(i).copied().unwrap_or(Lit::FALSE))
+                        .collect());
+                }
+                // Otherwise fall back to the naming convention: `port.field`
+                // matches a flattened `port_field` or literal `port.field`
+                // symbol when the design provides one.
                 let base_name = base
                     .as_ident()
                     .ok_or_else(|| Self::err("unsupported nested member access"))?;
@@ -677,6 +767,87 @@ endmodule
         let file = svparse::parse(src).unwrap();
         let design = elaborate(&file, &ElabOptions::default()).unwrap();
         assert!(compile(&design, &ft).is_err());
+    }
+
+    const STRUCT_DUT: &str = r#"
+package fu_pkg;
+  typedef enum logic [1:0] { FU_NONE, LOAD, STORE } fu_op_t;
+  typedef struct packed {
+    logic [2:0] trans_id;
+    fu_op_t fu;
+  } fu_data_t;
+endpackage
+/*AUTOSVA
+fu_load: lsu_req -in> lsu_res
+lsu_req_val = lsu_valid_i && fu_data_i.fu == LOAD
+[2:0] lsu_req_transid = fu_data_i.trans_id
+lsu_res_val = res_val_o
+[2:0] lsu_res_transid = res_id_o
+*/
+module fu_dut (
+  input  logic clk_i,
+  input  logic rst_ni,
+  input  logic lsu_valid_i,
+  input  fu_pkg::fu_data_t fu_data_i,
+  output logic res_val_o,
+  output logic [2:0] res_id_o
+);
+  logic busy_q;
+  logic [2:0] id_q;
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) begin
+      busy_q <= 1'b0;
+      id_q   <= 3'b0;
+    end else begin
+      if (lsu_valid_i && fu_data_i.fu == LOAD) begin
+        busy_q <= 1'b1;
+        id_q   <= fu_data_i.trans_id;
+      end else begin
+        busy_q <= 1'b0;
+      end
+    end
+  end
+  assign res_val_o = busy_q;
+  assign res_id_o  = id_q;
+endmodule
+"#;
+
+    #[test]
+    fn struct_member_annotations_compile_to_slices() {
+        let ft = generate_ft(STRUCT_DUT, &AutosvaOptions::default()).unwrap();
+        let file = svparse::parse(STRUCT_DUT).unwrap();
+        let design = elaborate(&file, &ElabOptions::default()).unwrap();
+        let c = compile(&design, &ft).expect("member-access annotations compile");
+        assert!(!c.model.bads.is_empty());
+        // The sampled request transid is the trans_id slice of the port.
+        assert!(c.aux_symbols.contains_key("fu_load_sampled"));
+    }
+
+    #[test]
+    fn annotation_with_unknown_struct_field_renders_caret_and_valid_fields() {
+        // `fu_data_i.op` does not exist (the field is called `fu`): the
+        // compile error must carry the field info and render a caret snippet
+        // on the annotation line listing the valid fields of `fu_data_t`.
+        let src = STRUCT_DUT.replace(
+            "lsu_req_val = lsu_valid_i && fu_data_i.fu == LOAD",
+            "lsu_req_val = lsu_valid_i && fu_data_i.op == LOAD",
+        );
+        let ft = generate_ft(&src, &AutosvaOptions::default()).unwrap();
+        let file = svparse::parse(&src).unwrap();
+        let design = elaborate(&file, &ElabOptions::default()).unwrap();
+        let err = compile(&design, &ft).unwrap_err();
+        assert!(err.message.contains("no field `op`"), "{}", err.message);
+        let rendered = err.render(&src);
+        // Line/column point into the annotation block, the caret underlines
+        // the bad field, and the struct's real fields are listed.
+        assert!(rendered.contains("fu_data_i.op"), "rendered: {rendered}");
+        assert!(rendered.contains("^^"), "rendered: {rendered}");
+        assert!(
+            rendered.contains("valid fields of `fu_data_t`: trans_id, fu"),
+            "rendered: {rendered}"
+        );
+        // The snippet names the annotation line (line 11 of the source).
+        assert!(rendered.starts_with("11:"), "rendered: {rendered}");
     }
 
     #[test]

@@ -170,6 +170,29 @@ pub enum NetKind {
     Integer,
     /// A named (user-defined) type, e.g. a struct typedef.
     Named,
+    /// A `struct packed { ... }` type; fields in [`DataType::struct_fields`].
+    Struct,
+    /// An `enum [base] { ... }` type; members in [`DataType::enum_members`].
+    Enum,
+}
+
+/// One field of a `struct packed` type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructField {
+    /// Field type (vectors and named types; nested anonymous structs are not
+    /// supported).
+    pub ty: DataType,
+    /// Field name.
+    pub name: String,
+}
+
+/// One member of an `enum` type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnumMember {
+    /// Member name.
+    pub name: String,
+    /// Explicit value, when one was written (`LOAD = 1`).
+    pub value: Option<Expr>,
 }
 
 /// A data type: net kind, optional signedness, packed dimensions, and a name
@@ -183,8 +206,14 @@ pub struct DataType {
     pub type_name: Option<String>,
     /// `true` if declared `signed`.
     pub signed: bool,
-    /// Packed dimensions, outermost first.
+    /// Packed dimensions, outermost first.  For `kind == NetKind::Enum` these
+    /// are the dimensions of the explicit base type (`enum logic [1:0]`).
     pub packed_dims: Vec<Range>,
+    /// Fields of a `struct packed` body, MSB-first as written (only for
+    /// `kind == NetKind::Struct`).
+    pub struct_fields: Vec<StructField>,
+    /// Members of an `enum` body (only for `kind == NetKind::Enum`).
+    pub enum_members: Vec<EnumMember>,
 }
 
 impl DataType {

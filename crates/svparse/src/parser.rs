@@ -262,25 +262,25 @@ impl<'a> Parser<'a> {
 
     fn typedef(&mut self) -> Result<Typedef> {
         let start = self.expect_keyword(Keyword::Typedef)?;
-        // Struct/enum bodies are skipped; vector aliases are captured.
+        let body_start = self.pos;
         let ty = if self.peek().is_keyword(Keyword::Struct) || self.peek().is_keyword(Keyword::Enum)
         {
-            self.bump();
-            self.eat_keyword(Keyword::Packed);
-            // Optional base type for enums: enum logic [1:0]
-            if matches!(
-                self.peek_kind(),
-                TokenKind::Keyword(Keyword::Logic) | TokenKind::Keyword(Keyword::Bit)
-            ) {
-                self.bump();
-                if self.peek().is_punct(Punct::LBracket) {
-                    self.skip_balanced(Punct::LBracket, Punct::RBracket)?;
+            match self.struct_or_enum_type() {
+                Ok(ty) => ty,
+                // Constructs outside the structured subset (e.g. fields with
+                // unpacked dimensions) fall back to an *opaque* typedef: the
+                // body is skipped balanced-brace style, the name is still
+                // bound, and only a *use* of the type errs downstream.  This
+                // keeps files whose headers carry exotic typedefs verifiable
+                // as long as the annotated logic never touches them.
+                Err(_) => {
+                    self.pos = body_start;
+                    self.skip_type_body()?;
+                    DataType {
+                        kind: NetKind::Named,
+                        ..DataType::default()
+                    }
                 }
-            }
-            self.skip_balanced(Punct::LBrace, Punct::RBrace)?;
-            DataType {
-                kind: NetKind::Named,
-                ..DataType::default()
             }
         } else {
             self.data_type()?
@@ -294,24 +294,130 @@ impl<'a> Parser<'a> {
         })
     }
 
-    fn skip_balanced(&mut self, open: Punct, close: Punct) -> Result<()> {
-        self.expect_punct(open)?;
-        let mut depth = 1usize;
-        while depth > 0 {
+    /// Parses a `struct packed { ... }` or `enum [base] { ... }` type body
+    /// (the keyword is still un-consumed).  Nested anonymous structs are
+    /// supported as field types.
+    fn struct_or_enum_type(&mut self) -> Result<DataType> {
+        if self.eat_keyword(Keyword::Struct) {
+            self.eat_keyword(Keyword::Packed);
+            self.expect_punct(Punct::LBrace)?;
+            let mut struct_fields = Vec::new();
+            while !self.peek().is_punct(Punct::RBrace) {
+                if self.at_eof() {
+                    return Err(ParseError::new(
+                        ParseErrorKind::UnexpectedEof("struct body".into()),
+                        self.peek().span,
+                    ));
+                }
+                let field_ty = if self.peek().is_keyword(Keyword::Struct)
+                    || self.peek().is_keyword(Keyword::Enum)
+                {
+                    self.struct_or_enum_type()?
+                } else {
+                    self.data_type()?
+                };
+                // One field type may declare several names: `logic a, b;`
+                loop {
+                    let (name, _) = self.expect_ident()?;
+                    struct_fields.push(StructField {
+                        ty: field_ty.clone(),
+                        name,
+                    });
+                    if !self.eat_punct(Punct::Comma) {
+                        break;
+                    }
+                }
+                self.expect_punct(Punct::Semicolon)?;
+            }
+            self.expect_punct(Punct::RBrace)?;
+            return Ok(DataType {
+                kind: NetKind::Struct,
+                struct_fields,
+                ..DataType::default()
+            });
+        }
+        self.expect_keyword(Keyword::Enum)?;
+        // Optional base type: enum logic [1:0], enum bit [3:0], enum int.
+        let mut packed_dims = Vec::new();
+        if matches!(
+            self.peek_kind(),
+            TokenKind::Keyword(
+                Keyword::Logic | Keyword::Bit | Keyword::Reg | Keyword::Integer | Keyword::Int
+            )
+        ) {
+            let scalar_base = matches!(
+                self.peek_kind(),
+                TokenKind::Keyword(Keyword::Logic | Keyword::Bit | Keyword::Reg)
+            );
+            self.bump();
+            while self.peek().is_punct(Punct::LBracket) {
+                packed_dims.push(self.range()?);
+            }
+            // An undimensioned scalar base (`enum logic { ... }`) is a
+            // 1-bit enum; record the width explicitly so downstream
+            // consumers can tell it apart from the no-base 32-bit
+            // default (`enum { ... }` / `enum int { ... }`).
+            if scalar_base && packed_dims.is_empty() {
+                packed_dims.push(Range {
+                    msb: Expr::number(0),
+                    lsb: Expr::number(0),
+                });
+            }
+        }
+        self.expect_punct(Punct::LBrace)?;
+        let mut enum_members = Vec::new();
+        loop {
+            let (name, _) = self.expect_ident()?;
+            let value = if self.eat_punct(Punct::Eq) {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            enum_members.push(EnumMember { name, value });
+            if !self.eat_punct(Punct::Comma) {
+                break;
+            }
+        }
+        self.expect_punct(Punct::RBrace)?;
+        Ok(DataType {
+            kind: NetKind::Enum,
+            packed_dims,
+            enum_members,
+            ..DataType::default()
+        })
+    }
+
+    /// Skips an unsupported struct/enum typedef body: the keyword, any base
+    /// type tokens, and the balanced `{ ... }` block.
+    fn skip_type_body(&mut self) -> Result<()> {
+        // struct/enum keyword plus everything up to the opening brace.
+        while !self.peek().is_punct(Punct::LBrace) {
             if self.at_eof() {
                 return Err(ParseError::new(
-                    ParseErrorKind::UnexpectedEof(format!("`{close}`")),
+                    ParseErrorKind::UnexpectedEof("`{`".into()),
+                    self.peek().span,
+                ));
+            }
+            self.bump();
+        }
+        let mut depth = 0usize;
+        loop {
+            if self.at_eof() {
+                return Err(ParseError::new(
+                    ParseErrorKind::UnexpectedEof("`}`".into()),
                     self.peek().span,
                 ));
             }
             let tok = self.bump();
-            if tok.is_punct(open) {
+            if tok.is_punct(Punct::LBrace) {
                 depth += 1;
-            } else if tok.is_punct(close) {
+            } else if tok.is_punct(Punct::RBrace) {
                 depth -= 1;
+                if depth == 0 {
+                    return Ok(());
+                }
             }
         }
-        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -1461,6 +1567,79 @@ mod tests {
         assert_eq!(pkg.name, "riscv");
         assert_eq!(pkg.params.len(), 2);
         assert_eq!(pkg.typedefs.len(), 1);
+    }
+
+    #[test]
+    fn struct_typedef_fields_are_captured() {
+        let file = parse(
+            "package fu_pkg;\n\
+               parameter TRANS_ID_BITS = 3;\n\
+               typedef enum logic [1:0] { NONE, LOAD, STORE } fu_op_t;\n\
+               typedef struct packed {\n\
+                 logic [TRANS_ID_BITS-1:0] trans_id;\n\
+                 fu_op_t fu;\n\
+               } fu_data_t;\n\
+             endpackage",
+        )
+        .unwrap();
+        let pkg = match &file.items[0] {
+            Item::Package(p) => p,
+            other => panic!("expected package, got {other:?}"),
+        };
+        assert_eq!(pkg.typedefs.len(), 2);
+        let fu_op = &pkg.typedefs[0];
+        assert_eq!(fu_op.name, "fu_op_t");
+        assert_eq!(fu_op.ty.kind, NetKind::Enum);
+        let members: Vec<&str> = fu_op
+            .ty
+            .enum_members
+            .iter()
+            .map(|m| m.name.as_str())
+            .collect();
+        assert_eq!(members, vec!["NONE", "LOAD", "STORE"]);
+        assert_eq!(fu_op.ty.packed_dims.len(), 1);
+
+        let fu_data = &pkg.typedefs[1];
+        assert_eq!(fu_data.name, "fu_data_t");
+        assert_eq!(fu_data.ty.kind, NetKind::Struct);
+        assert_eq!(fu_data.ty.struct_fields.len(), 2);
+        assert_eq!(fu_data.ty.struct_fields[0].name, "trans_id");
+        assert_eq!(fu_data.ty.struct_fields[0].ty.packed_dims.len(), 1);
+        assert_eq!(fu_data.ty.struct_fields[1].name, "fu");
+        assert_eq!(
+            fu_data.ty.struct_fields[1].ty.type_name.as_deref(),
+            Some("fu_op_t")
+        );
+    }
+
+    #[test]
+    fn enum_typedef_with_explicit_values() {
+        let file =
+            parse("typedef enum logic [2:0] { A = 1, B, C = 6 } state_t;\nmodule m (input logic x);\nendmodule")
+                .unwrap();
+        let td = match &file.items[0] {
+            Item::Typedef(t) => t,
+            other => panic!("expected typedef, got {other:?}"),
+        };
+        assert_eq!(td.ty.enum_members.len(), 3);
+        assert!(td.ty.enum_members[0].value.is_some());
+        assert!(td.ty.enum_members[1].value.is_none());
+    }
+
+    #[test]
+    fn struct_field_multi_declarators() {
+        let file = parse("typedef struct packed { logic a, b; logic [3:0] c; } t;").unwrap();
+        let td = match &file.items[0] {
+            Item::Typedef(t) => t,
+            other => panic!("expected typedef, got {other:?}"),
+        };
+        let names: Vec<&str> = td
+            .ty
+            .struct_fields
+            .iter()
+            .map(|f| f.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
     }
 
     #[test]

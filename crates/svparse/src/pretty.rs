@@ -129,6 +129,38 @@ pub fn print_data_type(ty: &DataType) -> String {
         NetKind::Bit => s.push_str("bit"),
         NetKind::Integer => s.push_str("integer"),
         NetKind::Named => s.push_str(ty.type_name.as_deref().unwrap_or("logic")),
+        NetKind::Struct => {
+            s.push_str("struct packed {");
+            for f in &ty.struct_fields {
+                let _ = write!(s, " {} {};", print_data_type(&f.ty), f.name);
+            }
+            s.push_str(" }");
+            return s;
+        }
+        NetKind::Enum => {
+            // No recorded dimensions means the 32-bit no-base default; print
+            // it without a base so the round trip preserves the width (the
+            // parser gives `enum logic` an explicit [0:0]).
+            s.push_str("enum");
+            if !ty.packed_dims.is_empty() {
+                s.push_str(" logic");
+                for dim in &ty.packed_dims {
+                    let _ = write!(s, " [{}:{}]", print_expr(&dim.msb), print_expr(&dim.lsb));
+                }
+            }
+            s.push_str(" {");
+            for (i, m) in ty.enum_members.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, " {}", m.name);
+                if let Some(v) = &m.value {
+                    let _ = write!(s, " = {}", print_expr(v));
+                }
+            }
+            s.push_str(" }");
+            return s;
+        }
     }
     if ty.signed {
         s.push_str(" signed");
@@ -263,10 +295,36 @@ mod tests {
         let ty = DataType {
             kind: NetKind::Named,
             type_name: Some("riscv::xlen_t".into()),
-            signed: false,
-            packed_dims: vec![],
+            ..DataType::default()
         };
         assert_eq!(print_data_type(&ty), "riscv::xlen_t");
+    }
+
+    #[test]
+    fn enum_print_preserves_width_through_reparse() {
+        // No-base (32-bit) and scalar-base (1-bit) enums must round-trip to
+        // the same width: the printer emits no base for the 32-bit default,
+        // and the parser records an explicit [0:0] for `enum logic`.
+        for (src, dims) in [
+            ("typedef enum { A, B } t;", 0),
+            ("typedef enum logic { A, B } t;", 1),
+            ("typedef enum logic [1:0] { A, B } t;", 1),
+        ] {
+            let file = parse(src).unwrap();
+            let td = match &file.items[0] {
+                Item::Typedef(t) => t,
+                other => panic!("expected typedef, got {other:?}"),
+            };
+            assert_eq!(td.ty.packed_dims.len(), dims, "{src}");
+            let printed = print_data_type(&td.ty);
+            let src2 = format!("typedef {printed} t2;");
+            let file2 = parse(&src2).unwrap();
+            let td2 = match &file2.items[0] {
+                Item::Typedef(t) => t,
+                other => panic!("expected typedef, got {other:?}"),
+            };
+            assert_eq!(td2.ty.packed_dims, td.ty.packed_dims, "{src} -> {src2}");
+        }
     }
 
     #[test]

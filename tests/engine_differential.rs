@@ -381,6 +381,79 @@ proptest! {
     }
 }
 
+/// The struct-aware front end is a zero-cost view over flat signals: the
+/// struct-port demo design (`fu_data_t` port, `fu_data_i.fu == LOAD`-style
+/// annotations) and its hand-flattened twin must verify through the full
+/// cascade to **byte-identical** deterministic reports, and every property's
+/// cone-of-influence slice must carry an identical content fingerprint.
+#[test]
+fn struct_and_flat_twin_reports_are_byte_identical() {
+    use autosva::{generate_ft, AutosvaOptions};
+    use autosva_formal::checker::{verify, CheckOptions};
+    use autosva_formal::coi::Fingerprint;
+    use autosva_formal::compile::compile;
+    use autosva_formal::elab::{elaborate, ElabOptions};
+
+    let sources = autosva_designs::struct_demo_sources();
+    assert_eq!(sources.len(), 2);
+
+    let mut reports: Vec<String> = Vec::new();
+    let mut fingerprints: Vec<Vec<(String, Fingerprint)>> = Vec::new();
+    for (label, top, source) in &sources {
+        let ft = generate_ft(source, &AutosvaOptions::default())
+            .unwrap_or_else(|e| panic!("{label}: testbench generation failed: {e}"));
+        assert_eq!(&ft.dut_name, top);
+        let report = verify(source, &ft, &CheckOptions::default())
+            .unwrap_or_else(|e| panic!("{label}: verification failed: {e}"));
+        // The struct design must verify through the full cascade: every
+        // assertion proven, both cover targets reachable, nothing undecided.
+        assert_eq!(report.violations(), 0, "{label}:\n{}", report.render());
+        assert!(
+            (report.proof_rate() - 1.0).abs() < f64::EPSILON,
+            "{label}: expected a full proof:\n{}",
+            report.render()
+        );
+        reports.push(report.render());
+
+        // Per-property COI slice fingerprints.
+        let file = svparse::parse(source).unwrap();
+        let design = elaborate(
+            &file,
+            &ElabOptions {
+                top: Some(top.to_string()),
+                ..ElabOptions::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("{label}: elaboration failed: {e}"));
+        let compiled = compile(&design, &ft).unwrap();
+        let mut fps = Vec::new();
+        for (i, bad) in compiled.model.bads.iter().enumerate() {
+            let slice = cone_of_influence(&compiled.model, SliceTarget::Bad(i));
+            fps.push((format!("bad:{}", bad.name), slice.fingerprint));
+        }
+        for (i, cover) in compiled.model.covers.iter().enumerate() {
+            let slice = cone_of_influence(&compiled.model, SliceTarget::Cover(i));
+            fps.push((format!("cover:{}", cover.name), slice.fingerprint));
+        }
+        for (i, live) in compiled.model.liveness.iter().enumerate() {
+            let slice = cone_of_influence(&compiled.model, SliceTarget::Liveness(i));
+            fps.push((format!("liveness:{}", live.name), slice.fingerprint));
+        }
+        assert!(!fps.is_empty(), "{label}: no properties compiled");
+        fingerprints.push(fps);
+    }
+
+    assert_eq!(
+        reports[0], reports[1],
+        "struct and flat twin reports diverge:\n--- struct ---\n{}\n--- flat ---\n{}",
+        reports[0], reports[1]
+    );
+    assert_eq!(
+        fingerprints[0], fingerprints[1],
+        "struct and flat twin COI fingerprints diverge"
+    );
+}
+
 /// The orchestrator's determinism contract: a fully sequential run
 /// (`threads = 1`) and a parallel run (`threads = 4`) of the whole Table III
 /// corpus must render byte-identical reports — same statuses, same proof

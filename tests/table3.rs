@@ -260,6 +260,69 @@ fn o2_scaled_l15_proof_closes_via_pdr_not_explicit() {
 }
 
 #[test]
+fn l15_staging_buffer_combinational_instance_path_elaborates() {
+    // Regression for the PR 1 workaround: the natural L1.5 staging-buffer
+    // wiring gates the push strobe on the buffer's *ready output* in the
+    // same cycle (`stage_push = ... && stage_rdy` feeding `push_val_i`).
+    // That in-through-out path is acyclic per port (`push_rdy_o` depends
+    // only on the buffer's own state), but an instance-atomic elaborator
+    // reports a false combinational cycle — PR 1 registered the push path to
+    // dodge it.  The workaround is now gone: pin both the wiring and the
+    // fact that it elaborates.
+    let case = by_id("O2").unwrap();
+    assert!(
+        case.source.contains("&& stage_rdy"),
+        "l15.sv no longer wires the push strobe through the buffer's ready output"
+    );
+    let design = elaborated(&case, Variant::Fixed);
+    assert!(design.signal("u_noc_stage.vld_q").is_some());
+
+    // The same shape in isolation: a parent whose instance input depends
+    // combinationally on another output of that same instance.
+    let src = "module buf2 (input logic clk_i, input logic rst_ni,\n\
+                 input logic push_i, output logic rdy_o, output logic out_o);\n\
+                 logic full_q;\n\
+                 always_ff @(posedge clk_i or negedge rst_ni) begin\n\
+                   if (!rst_ni) full_q <= 1'b0;\n\
+                   else if (push_i && rdy_o) full_q <= 1'b1;\n\
+                   else full_q <= 1'b0;\n\
+                 end\n\
+                 assign rdy_o = !full_q;\n\
+                 assign out_o = full_q;\n\
+               endmodule\n\
+               module top (input logic clk_i, input logic rst_ni,\n\
+                 input logic req_i, output logic busy_o);\n\
+                 logic rdy;\n\
+                 wire push = req_i && rdy;\n\
+                 buf2 u_b (.clk_i(clk_i), .rst_ni(rst_ni), .push_i(push),\n\
+                           .rdy_o(rdy), .out_o(busy_o));\n\
+               endmodule";
+    let file = svparse::parse(src).expect("parse");
+    let design = autosva_formal::elab::elaborate(
+        &file,
+        &autosva_formal::elab::ElabOptions {
+            top: Some("top".to_string()),
+            ..Default::default()
+        },
+    )
+    .expect("the acyclic-per-port instance path must elaborate");
+    assert!(design.signal("u_b.full_q").is_some());
+
+    // Table III verdicts for O2 are unchanged by the rewiring: the safety
+    // side proves, the under-constrained liveness side still shows CEXs.
+    let run = run_case(&case, Variant::Fixed);
+    assert!(run.report.violations() > 0);
+    assert!(run
+        .report
+        .results
+        .iter()
+        .any(|r| r.name.contains("l15_miss_had_a_request") && format!("{}", r.status) == "proven"));
+    let (_, _, covered, unknown) = status_counts(&run.report);
+    assert!(covered >= 2);
+    assert_eq!(unknown, 0);
+}
+
+#[test]
 fn coi_slices_are_strictly_smaller_for_ptw_and_l15() {
     // The orchestrator checks every property on its cone-of-influence
     // slice.  For the PTW (two independent transactions) and the scaled

@@ -1,0 +1,97 @@
+//! Lint smoke: the design lint over every shipped design in a fresh
+//! process.
+//!
+//! Two assertions, mirroring the lint's two contracts:
+//!
+//! 1. the clean corpus — all seven Table III designs in both variants plus
+//!    the struct-port demos — produces **zero** findings (the conservative
+//!    inference stays noise-free);
+//! 2. `lint_demo.sv` reproduces its golden machine-readable report, which
+//!    this program prints to stdout so CI can diff it against
+//!    `crates/designs/golden/lint_demo.json`.
+//!
+//! ```sh
+//! cargo run --release -p autosva-bench --example lint_smoke > lint-demo.json
+//! diff lint-demo.json crates/designs/golden/lint_demo.json
+//! ```
+
+use autosva::{generate_ft, AutosvaOptions};
+use autosva_bench::build_testbench;
+use autosva_designs::{all_cases, elaborated, lint_demo_source, struct_demo_sources, Variant};
+use autosva_formal::compile::compile;
+use autosva_formal::elab::{elaborate, ElabDesign, ElabOptions};
+use autosva_formal::lint::{self, LintOptions, LintReport};
+
+fn lint_source(module: &str, source: &str) -> (ElabDesign, LintReport) {
+    let ft = generate_ft(source, &AutosvaOptions::default())
+        .unwrap_or_else(|e| panic!("{module}: testbench generation failed: {e}"));
+    let file = svparse::parse(source).unwrap_or_else(|e| panic!("{module}: {}", e.render(source)));
+    let design = elaborate(
+        &file,
+        &ElabOptions {
+            top: Some(module.to_string()),
+            ..ElabOptions::default()
+        },
+    )
+    .unwrap_or_else(|e| panic!("{module}: elaboration failed: {e}"));
+    let compiled = compile(&design, &ft).unwrap_or_else(|e| panic!("{module}: compile: {e}"));
+    let report = lint::run(
+        &design,
+        &compiled,
+        &ft,
+        Some(source),
+        &LintOptions::default(),
+    );
+    (design, report)
+}
+
+fn main() {
+    // Contract 1: the clean corpus lints without findings.
+    let mut designs = 0usize;
+    for case in all_cases() {
+        for variant in [Variant::Buggy, Variant::Fixed] {
+            if variant == Variant::Buggy && !case.has_bug_parameter {
+                continue;
+            }
+            let design = elaborated(&case, variant);
+            let ft = build_testbench(&case);
+            let compiled =
+                compile(&design, &ft).unwrap_or_else(|e| panic!("{}: compile: {e}", case.id));
+            let report = lint::run(
+                &design,
+                &compiled,
+                &ft,
+                Some(case.source),
+                &LintOptions::default(),
+            );
+            assert!(
+                report.is_empty(),
+                "{} {:?} should lint clean but reported:\n{}",
+                case.id,
+                variant,
+                report.render()
+            );
+            designs += 1;
+        }
+    }
+    for (label, module, source) in struct_demo_sources() {
+        let (_, report) = lint_source(module, source);
+        assert!(
+            report.is_empty(),
+            "{label} should lint clean but reported:\n{}",
+            report.render()
+        );
+        designs += 1;
+    }
+    eprintln!("lint_smoke: {designs} clean designs, 0 findings");
+
+    // Contract 2: the demo's machine-readable report, for the golden diff.
+    let (label, module, source) = lint_demo_source();
+    let (_, report) = lint_source(module, source);
+    eprintln!(
+        "lint_smoke: {label}: {} findings ({} errors)",
+        report.findings.len(),
+        report.error_count()
+    );
+    print!("{}", report.to_json());
+}

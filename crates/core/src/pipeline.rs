@@ -163,6 +163,105 @@ impl FormalTestbench {
             .filter(|p| p.class == class)
             .collect()
     }
+
+    /// Every signal name the testbench's verification intent may bind to:
+    /// identifiers referenced by any property (including X-prop-only ones,
+    /// which the model compiler skips) or auxiliary-signal definition, plus
+    /// the `base.member` / `base_member` spellings a member access can
+    /// resolve to.  This is the conservative "referenced by an annotation"
+    /// set the design lint uses for its unused-signal and coverage-gap
+    /// checks.
+    pub fn referenced_signals(&self) -> std::collections::BTreeSet<String> {
+        use crate::signals::AuxKind;
+        use crate::sva::PropertyBody;
+        let mut out = std::collections::BTreeSet::new();
+        for aux in self.model.aux_signals() {
+            match &aux.kind {
+                AuxKind::Wire { def } => collect_signal_refs(def, &mut out),
+                AuxKind::Symbolic => {}
+                AuxKind::Counter { incr, decr } => {
+                    collect_signal_refs(incr, &mut out);
+                    collect_signal_refs(decr, &mut out);
+                }
+                AuxKind::Sample { enable, value } => {
+                    collect_signal_refs(enable, &mut out);
+                    collect_signal_refs(value, &mut out);
+                }
+            }
+        }
+        for prop in self.all_properties() {
+            match &prop.body {
+                PropertyBody::Invariant(e) => collect_signal_refs(e, &mut out),
+                PropertyBody::Implication {
+                    antecedent,
+                    consequent,
+                    ..
+                } => {
+                    collect_signal_refs(antecedent, &mut out);
+                    collect_signal_refs(consequent.expr(), &mut out);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Collects the signal names an annotation expression can refer to.  Unlike
+/// [`svparse::ast::Expr::referenced_idents`] this keeps member accesses:
+/// `port.field` contributes `port`, `port.field` *and* `port_field`, because
+/// the compiler resolves it against any of the three.
+fn collect_signal_refs(expr: &svparse::ast::Expr, out: &mut std::collections::BTreeSet<String>) {
+    use svparse::ast::Expr;
+    match expr {
+        Expr::Ident(name) => {
+            out.insert(name.clone());
+        }
+        Expr::Number(_) | Expr::Str(_) | Expr::Macro(_) => {}
+        Expr::Unary { operand, .. } => collect_signal_refs(operand, out),
+        Expr::Binary { lhs, rhs, .. } => {
+            collect_signal_refs(lhs, out);
+            collect_signal_refs(rhs, out);
+        }
+        Expr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+        } => {
+            collect_signal_refs(cond, out);
+            collect_signal_refs(then_expr, out);
+            collect_signal_refs(else_expr, out);
+        }
+        Expr::Index { base, index } => {
+            collect_signal_refs(base, out);
+            collect_signal_refs(index, out);
+        }
+        Expr::RangeSelect { base, msb, lsb } => {
+            collect_signal_refs(base, out);
+            collect_signal_refs(msb, out);
+            collect_signal_refs(lsb, out);
+        }
+        Expr::Member { base, member } => {
+            if let Some(b) = base.as_ident() {
+                out.insert(format!("{b}.{member}"));
+                out.insert(format!("{b}_{member}"));
+            }
+            collect_signal_refs(base, out);
+        }
+        Expr::Concat(parts) => {
+            for p in parts {
+                collect_signal_refs(p, out);
+            }
+        }
+        Expr::Replicate { count, value } => {
+            collect_signal_refs(count, out);
+            collect_signal_refs(value, out);
+        }
+        Expr::Call { args, .. } => {
+            for a in args {
+                collect_signal_refs(a, out);
+            }
+        }
+    }
 }
 
 /// Runs the full AutoSVA pipeline on annotated RTL source text.

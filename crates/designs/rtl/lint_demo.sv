@@ -1,0 +1,89 @@
+// Lint demonstration design: NOT part of the Table III corpus.
+//
+// Every block below seeds exactly one (or two, where noted) design-lint
+// findings, and the golden-diagnostics test pins the full report — code,
+// line, column and caret snippet — so the lint engine's output is locked
+// down end to end.  The module still parses, elaborates and compiles: the
+// lint findings are *warnings about legal-but-suspicious* code plus the
+// one hard error (the multiply-driven `clash`).
+//
+// Seeded findings:
+//   L001  `ghost` is read by `req_ack` but never driven
+//   L002  `clash` is driven by two continuous assigns
+//   L003  `scratch` (4 bits) is assigned a 2-bit literal
+//   L004  `demo_txn_data_sampled` declared [3:0] samples the 2-bit `req_id`
+//   L005  `stuck_q` provably never leaves its reset value
+//   L006  `unused_cnt` is written but never read
+//   L007  enum state `FAIL` is never referenced (unreachable)
+//   L008  output `dbg_state` is not covered by any generated property
+//   L009  annotation path `req.id` resolves to `req_id` by naming convention
+/*AUTOSVA
+demo_txn: req -in> res
+[3:0] req_transid = req.id
+[3:0] res_transid = res_id
+[3:0] req_data = req_id
+[3:0] res_data = res_id
+*/
+module lint_demo (
+  input  logic       clk_i,
+  input  logic       rst_ni,
+  input  logic       req_val,
+  output logic       req_ack,
+  input  logic [1:0] req_id,
+  output logic       res_val,
+  input  logic       res_ack,
+  output logic [3:0] res_id,
+  output logic [1:0] dbg_state
+);
+
+  typedef enum logic [1:0] {IDLE, BUSY, DONE, FAIL} state_e;
+
+  state_e     state_q;
+  logic [3:0] scratch;
+  logic [1:0] unused_cnt;
+  logic       ghost;
+  logic       clash;
+  logic       stuck_q;
+
+  // L002: `clash` has two whole-signal drivers; the second silently wins.
+  assign clash = req_val;
+  assign clash = !req_val;
+
+  // L003: 4-bit target, explicitly 2-bit source.
+  assign scratch = 2'd1;
+
+  // L006: written here, read nowhere.
+  assign unused_cnt = req_id;
+
+  // L005: holds its reset value forever.
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) begin
+      stuck_q <= 1'b0;
+    end else begin
+      stuck_q <= stuck_q;
+    end
+  end
+
+  // The real state machine; `FAIL` is never assigned nor compared (L007).
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) begin
+      state_q <= IDLE;
+    end else begin
+      case (state_q)
+        IDLE:    if (req_val && req_ack) state_q <= BUSY;
+        BUSY:    state_q <= DONE;
+        DONE:    if (res_ack) state_q <= IDLE;
+        default: state_q <= IDLE;
+      endcase
+    end
+  end
+
+  // L001: `ghost` gates the handshake but nothing drives it.
+  assign req_ack = (state_q == IDLE) && ghost;
+  assign res_val = (state_q == DONE);
+  assign res_id  = {scratch[3:1], clash};
+
+  // L008: no generated property ever reads this output.
+  assign dbg_state = state_q;
+
+endmodule

@@ -203,6 +203,18 @@ pub fn struct_demo_sources() -> Vec<(&'static str, &'static str, &'static str)> 
     ]
 }
 
+/// Deliberately suspicious RTL that seeds one finding for every design-lint
+/// code.  Not part of the Table III corpus ([`all_cases`] stays at seven
+/// entries); the golden-diagnostics snapshot in `crates/designs/golden/`
+/// pins the exact report the lint engine produces for it.
+pub const LINT_DEMO_SV: &str = include_str!("../rtl/lint_demo.sv");
+
+/// The lint demo as a `(label, top module, source)` entry, mirroring
+/// [`struct_demo_sources`].
+pub fn lint_demo_source() -> (&'static str, &'static str, &'static str) {
+    ("lint-demo", "lint_demo", LINT_DEMO_SV)
+}
+
 /// The assumption the paper adds to the MMU testbench to remove the
 /// DTLB-over-ITLB starvation counterexample ("one instruction cannot do many
 /// DTLB lookups"): the LSU does not issue translation requests while an ITLB

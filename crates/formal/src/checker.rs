@@ -27,6 +27,7 @@ use crate::coi::{cone_of_influence, fingerprint, Fingerprint, SliceTarget};
 use crate::compile::{compile, CompiledKind, CompiledTestbench};
 use crate::elab::{elaborate, ElabDesign, ElabOptions, Result};
 use crate::explicit::{ExplicitEngine, ExplicitOptions, ExplicitResult};
+use crate::lint::{LintOptions, LintReport};
 use crate::model::{LivenessSafetyModel, Model};
 use crate::pdr::{check_pdr_detailed, check_pdr_lit_detailed, PdrOptions, PdrResult};
 use crate::portfolio::{
@@ -80,6 +81,10 @@ pub struct CheckOptions {
     /// SAT search-loop feature toggles, shared by every engine stage (the
     /// solver ablation bench flips them; the defaults enable everything).
     pub solver: SolverConfig,
+    /// Design-lint configuration (level and deny-warnings).  The lint runs
+    /// between compilation and the engine cascade; error-severity findings
+    /// fail the run before any engine starts.
+    pub lint: LintOptions,
 }
 
 /// Proof-cache persistence knobs (part of [`CheckOptions`]).
@@ -121,6 +126,7 @@ impl Default for CheckOptions {
             parallel: ParallelOptions::default(),
             cache: CacheOptions::default(),
             solver: SolverConfig::default(),
+            lint: LintOptions::default(),
         }
     }
 }
@@ -278,6 +284,8 @@ pub struct VerificationReport {
     pub model_latches: usize,
     /// Number of AIG and-gates in the compiled model.
     pub model_gates: usize,
+    /// Design-lint findings (empty when the lint is off or clean).
+    pub lint: LintReport,
 }
 
 impl VerificationReport {
@@ -380,6 +388,9 @@ impl VerificationReport {
         for r in &self.results {
             self.render_row(&mut out, r, name_width, "");
         }
+        if !self.lint.is_empty() {
+            out.push_str(&self.lint.render());
+        }
         out.push_str(&format!(
             "proof rate {:.0}%, {} violation(s)\n",
             self.proof_rate() * 100.0,
@@ -418,6 +429,9 @@ impl VerificationReport {
                 ));
             }
         }
+        if !self.lint.is_empty() {
+            out.push_str(&self.lint.render());
+        }
         out.push_str(&format!(
             "proof rate {:.0}%, {} violation(s), total {:.1?}\n",
             self.proof_rate() * 100.0,
@@ -453,17 +467,45 @@ pub fn verify(
         elab_options.top = Some(testbench.dut_name.clone());
     }
     let design = elaborate(&file, &elab_options)?;
-    verify_elaborated(&design, testbench, options)
+    verify_elaborated_with_source(&design, testbench, Some(source), options)
 }
 
-/// Like [`verify`], but for an already elaborated design.
+/// Like [`verify`], but for an already elaborated design.  Without the
+/// source text the lint still runs, but its source-dependent passes (width
+/// mismatches, dead signals, unreachable enum states) are skipped and
+/// findings carry no line/column; prefer
+/// [`verify_elaborated_with_source`] when the RTL text is at hand.
 pub fn verify_elaborated(
     design: &ElabDesign,
     testbench: &FormalTestbench,
     options: &CheckOptions,
 ) -> Result<VerificationReport> {
+    verify_elaborated_with_source(design, testbench, None, options)
+}
+
+/// Like [`verify_elaborated`], with the original RTL source enabling the
+/// full design lint (source-located findings with caret snippets).
+pub fn verify_elaborated_with_source(
+    design: &ElabDesign,
+    testbench: &FormalTestbench,
+    source: Option<&str>,
+    options: &CheckOptions,
+) -> Result<VerificationReport> {
     let start = Instant::now();
     let compiled = compile(design, testbench)?;
+
+    // Level-1 static analysis between compile and the cascade: error
+    // findings (multiply-driven signals, or anything under deny-warnings)
+    // stop the run before any engine spends time on a broken design.
+    let lint = crate::lint::run(design, &compiled, testbench, source, &options.lint);
+    if lint.has_errors() {
+        return Err(crate::elab::ElabError::new(format!(
+            "design lint failed with {} error(s):\n{}",
+            lint.error_count(),
+            lint.render()
+        )));
+    }
+
     let tasks = build_tasks(&compiled, options);
     // The effective proof cache: an explicit in-process handle wins;
     // otherwise a configured cache directory opens a disk-backed cache for
@@ -529,6 +571,7 @@ pub fn verify_elaborated(
         total_runtime: start.elapsed(),
         model_latches: compiled.model.aig.num_latches(),
         model_gates: compiled.model.aig.num_ands(),
+        lint,
     })
 }
 
@@ -570,13 +613,26 @@ enum TaskKind {
 /// Builds one task per property.  With slicing enabled (the default) each
 /// checked property gets its cone-of-influence slice; content-identical
 /// slices share one model allocation (and thereby one explicit-engine memo
-/// entry).  With slicing disabled every task points at the full compiled
-/// model, preserving the pre-orchestrator cascade behaviour exactly.
+/// entry).  With the optimizer additionally enabled (also the default) each
+/// distinct slice is run through the [`crate::opt`] pass — constant
+/// sweeping, sequential/combinational equivalence sweeping, dead-node
+/// elimination — before any engine sees it; liveness slices are optimized
+/// first, then transformed via liveness-to-safety, and the product is
+/// optimized again (the order keeps the L2S snapshot sound: the transform
+/// always runs on the model the snapshots will be compared against).  With
+/// slicing disabled every task points at the full compiled model,
+/// preserving the pre-orchestrator cascade behaviour exactly; the
+/// optimizer never runs on that path.
 fn build_tasks(compiled: &CompiledTestbench, options: &CheckOptions) -> Vec<PropertyTask> {
     let slice_on = options.parallel.slice;
+    let opt_on = options.parallel.opt;
     let mut shared_full: Option<(Arc<Model>, Fingerprint)> = None;
     let mut shared_l2s: Option<Arc<LivenessSafetyModel>> = None;
-    let mut slices: HashMap<Fingerprint, Arc<Model>> = HashMap::new();
+    // Keyed by the *raw* slice fingerprint so content-identical slices are
+    // optimized at most once; the stored fingerprint is the optimized
+    // model's own (they coincide when the optimizer is off).
+    #[allow(clippy::type_complexity)]
+    let mut slices: HashMap<Fingerprint, (Arc<Model>, Fingerprint)> = HashMap::new();
     let mut l2s_slices: HashMap<Fingerprint, Arc<LivenessSafetyModel>> = HashMap::new();
 
     let full = |shared_full: &mut Option<(Arc<Model>, Fingerprint)>| {
@@ -585,6 +641,21 @@ fn build_tasks(compiled: &CompiledTestbench, options: &CheckOptions) -> Vec<Prop
                 let model = Arc::new(compiled.model.clone());
                 let fp = fingerprint(&model);
                 (model, fp)
+            })
+            .clone()
+    };
+    let sliced = |slices: &mut HashMap<Fingerprint, (Arc<Model>, Fingerprint)>,
+                  slice: crate::coi::Slice| {
+        let raw = slice.fingerprint;
+        slices
+            .entry(raw)
+            .or_insert_with(|| {
+                if opt_on {
+                    let (model, fp) = crate::opt::optimize_with_fingerprint(&slice.model);
+                    (Arc::new(model), fp)
+                } else {
+                    (Arc::new(slice.model), raw)
+                }
             })
             .clone()
     };
@@ -604,11 +675,7 @@ fn build_tasks(compiled: &CompiledTestbench, options: &CheckOptions) -> Vec<Prop
                 CompiledKind::Safety(i) => {
                     if slice_on {
                         let slice = cone_of_influence(&compiled.model, SliceTarget::Bad(*i));
-                        let fp = slice.fingerprint;
-                        let model = slices
-                            .entry(fp)
-                            .or_insert_with(|| Arc::new(slice.model))
-                            .clone();
+                        let (model, fp) = sliced(&mut slices, slice);
                         TaskKind::Safety {
                             model,
                             index: 0,
@@ -626,11 +693,7 @@ fn build_tasks(compiled: &CompiledTestbench, options: &CheckOptions) -> Vec<Prop
                 CompiledKind::Cover(i) => {
                     if slice_on {
                         let slice = cone_of_influence(&compiled.model, SliceTarget::Cover(*i));
-                        let fp = slice.fingerprint;
-                        let model = slices
-                            .entry(fp)
-                            .or_insert_with(|| Arc::new(slice.model))
-                            .clone();
+                        let (model, fp) = sliced(&mut slices, slice);
                         TaskKind::Cover {
                             model,
                             index: 0,
@@ -648,14 +711,25 @@ fn build_tasks(compiled: &CompiledTestbench, options: &CheckOptions) -> Vec<Prop
                 CompiledKind::Liveness(i) => {
                     if slice_on {
                         let slice = cone_of_influence(&compiled.model, SliceTarget::Liveness(*i));
-                        let fp = slice.fingerprint;
-                        let base = slices
-                            .entry(fp)
-                            .or_insert_with(|| Arc::new(slice.model))
-                            .clone();
+                        let raw = slice.fingerprint;
+                        let (base, fp) = sliced(&mut slices, slice);
+                        // The L2S product of the (optimized) base is itself
+                        // a plain safety model, so it gets its own opt pass:
+                        // the snapshot/monitor plumbing often pins latches
+                        // the original cone had already lost.
                         let l2s = l2s_slices
-                            .entry(fp)
-                            .or_insert_with(|| Arc::new(base.to_liveness_safety()))
+                            .entry(raw)
+                            .or_insert_with(|| {
+                                let product = base.to_liveness_safety();
+                                if opt_on {
+                                    Arc::new(LivenessSafetyModel {
+                                        model: crate::opt::optimize(&product.model).model,
+                                        property_names: product.property_names,
+                                    })
+                                } else {
+                                    Arc::new(product)
+                                }
+                            })
                             .clone();
                         TaskKind::Liveness {
                             base,
@@ -1391,10 +1465,17 @@ endmodule
     fn cascade_runs_pdr_before_the_explicit_fallback() {
         let ft = generate_ft(ECHO_SLOW, &AutosvaOptions::default()).unwrap();
 
+        // The slice optimizer discharges this counter-vs-state proof
+        // structurally (sequential sweeping merges the monitor latch), so
+        // keep it off: this test pins the *cascade staging*, and needs the
+        // proof to stay reachability-dependent.
+        let mut options = CheckOptions::default();
+        options.parallel.opt = false;
+
         // Default cascade: the reachability-dependent safety proof must be
         // closed by the PDR stage (an inductive-invariant certificate), not
         // by the explicit engine sitting behind it.
-        let report = verify(ECHO_SLOW, &ft, &CheckOptions::default()).unwrap();
+        let report = verify(ECHO_SLOW, &ft, &options).unwrap();
         let had = report
             .results
             .iter()
@@ -1410,6 +1491,7 @@ endmodule
         // With PDR disabled the same property falls through to the explicit
         // engine — proving the stage really sits in front of it.
         let mut no_pdr = CheckOptions::default();
+        no_pdr.parallel.opt = false;
         no_pdr.disable_pdr = true;
         let report = verify(ECHO_SLOW, &ft, &no_pdr).unwrap();
         let had = report
@@ -1533,7 +1615,12 @@ endmodule
 
     #[test]
     fn solver_stats_surface_in_the_timed_rendering_only() {
-        let report = run(ECHO_SLOW);
+        // Optimizer off: the sweep makes this proof trivially inductive,
+        // and the test needs real PDR solver work to show up in the stats.
+        let ft = generate_ft(ECHO_SLOW, &AutosvaOptions::default()).unwrap();
+        let mut options = CheckOptions::default();
+        options.parallel.opt = false;
+        let report = verify(ECHO_SLOW, &ft, &options).unwrap();
         let had = report
             .results
             .iter()

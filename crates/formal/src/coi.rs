@@ -31,6 +31,14 @@
 //! repeated bench iterations, or properties generated from the same
 //! annotation — hash identically, which is what the proof cache
 //! ([`crate::portfolio::ProofCache`]) keys on.
+//!
+//! Downstream of the slice, the orchestrator runs the AIG optimization pass
+//! ([`crate::opt`]) — structural hashing, sequential constant sweeping,
+//! dead-node elimination — before handing the model to the engines.  The
+//! raw slice fingerprint dedups that work (content-identical slices are
+//! optimized once); the *optimized* model's own fingerprint is what the
+//! proof cache then keys on, since that is the model the engines and the
+//! hit-validation replay actually see.
 
 use crate::aig::{Aig, Lit, Node};
 use crate::model::Model;

@@ -16,7 +16,7 @@ use autosva::annotation::WidthSpec;
 use autosva::signals::{AuxKind, AuxSignal};
 use autosva::sva::{Consequent, Directive, PropertyBody, SvaProperty};
 use autosva::FormalTestbench;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use svparse::ast::{BinaryOp, Expr, UnaryOp};
 
 /// How each property of the testbench was mapped into the model, so the
@@ -47,6 +47,27 @@ pub struct CompiledProperty {
     pub kind: CompiledKind,
 }
 
+/// Facts the compiler collects as a side effect of lowering annotations, for
+/// the design lint ([`crate::lint`]).  Collecting them here costs nothing and
+/// keeps the lint pass from re-implementing the resolution rules.
+#[derive(Debug, Clone, Default)]
+pub struct CompileLintFacts {
+    /// `port.field` accesses that only resolved through the *naming
+    /// convention* fallback (`port_field`): requested path → bound symbol.
+    /// The binding is a guess, so the lint surfaces it instead of staying
+    /// silent.
+    pub fallback_bindings: BTreeMap<String, String>,
+    /// Auxiliary signals whose declared width disagrees with the width of the
+    /// expression that defines or feeds them: (name, declared, actual,
+    /// needle).  The needle is the first identifier of the offending
+    /// expression — generated aux names never appear in the source verbatim,
+    /// so the lint locates the finding by what the annotation actually wrote.
+    pub width_mismatches: Vec<(String, usize, usize, Option<String>)>,
+    /// Every design/aux symbol an annotation expression resolved to — the
+    /// read set the unused-signal and coverage-gap lints start from.
+    pub referenced_symbols: BTreeSet<String>,
+}
+
 /// The compiled model: the circuit with properties plus per-property mapping.
 #[derive(Debug, Clone)]
 pub struct CompiledTestbench {
@@ -57,6 +78,8 @@ pub struct CompiledTestbench {
     pub properties: Vec<CompiledProperty>,
     /// Bits of every auxiliary signal, for trace rendering.
     pub aux_symbols: HashMap<String, Vec<Lit>>,
+    /// Side-effect facts for the design lint.
+    pub lint: CompileLintFacts,
 }
 
 /// Compiles `testbench` against an already elaborated DUT.
@@ -74,6 +97,7 @@ pub fn compile(design: &ElabDesign, testbench: &FormalTestbench) -> Result<Compi
         signal_types: design.signal_types.clone(),
         top: design.top.clone(),
         not_first: None,
+        lint: CompileLintFacts::default(),
     };
 
     // ------------------------------------------------------------------
@@ -236,6 +260,7 @@ pub fn compile(design: &ElabDesign, testbench: &FormalTestbench) -> Result<Compi
         model,
         properties: compiled,
         aux_symbols,
+        lint: ctx.lint,
     })
 }
 
@@ -254,6 +279,8 @@ struct Compiler {
     /// Lazily created "this is not the first cycle" latch, used by `$stable`
     /// and `|=>` lowering.
     not_first: Option<Lit>,
+    /// Facts collected for the design lint while lowering.
+    lint: CompileLintFacts,
 }
 
 impl Compiler {
@@ -284,7 +311,24 @@ impl Compiler {
 
     fn elab_aux(&mut self, sig: &AuxSignal) -> Result<Vec<Lit>> {
         match &sig.kind {
-            AuxKind::Wire { def } => self.expr_word(def),
+            AuxKind::Wire { def } => {
+                let bits = self.expr_word(def)?;
+                // The wire takes the definition's width; a disagreeing
+                // declared width is kept working (legacy behaviour) but
+                // reported to the lint.
+                if sig.width.is_some() {
+                    let declared = self.width_of(&sig.width)?;
+                    if declared != bits.len() {
+                        self.lint.width_mismatches.push((
+                            sig.name.clone(),
+                            declared,
+                            bits.len(),
+                            first_ident(def),
+                        ));
+                    }
+                }
+                Ok(bits)
+            }
             AuxKind::Symbolic => {
                 let width = self.width_of(&sig.width)?;
                 // A symbolic constant: captured from a free input on the first
@@ -331,6 +375,17 @@ impl Compiler {
                     Some(_) => self.width_of(&sig.width)?,
                     None => value_bits.len(),
                 };
+                if width != value_bits.len() {
+                    // The sampled value is resized to the declared width
+                    // below; silently dropping (or zero-extending) bits is
+                    // worth a lint warning.
+                    self.lint.width_mismatches.push((
+                        sig.name.clone(),
+                        width,
+                        value_bits.len(),
+                        first_ident(value),
+                    ));
+                }
                 let enable = self.expr_bool(enable)?;
                 let bits: Vec<Lit> = (0..width)
                     .map(|i| self.aig.add_latch(format!("{}[{i}]", sig.name), false))
@@ -484,6 +539,7 @@ impl Compiler {
             }
             Expr::Ident(name) => {
                 if let Some(bits) = self.symbols.get(name) {
+                    self.lint.referenced_symbols.insert(name.clone());
                     return Ok(bits.clone());
                 }
                 if let Some(&value) = self.params.get(name) {
@@ -620,6 +676,7 @@ impl Compiler {
                         .symbols
                         .get(&symbol)
                         .ok_or_else(|| Self::err(format!("unknown signal `{symbol}`")))?;
+                    self.lint.referenced_symbols.insert(symbol);
                     return Ok((offset..offset + width)
                         .map(|i| bits.get(i).copied().unwrap_or(Lit::FALSE))
                         .collect());
@@ -630,11 +687,19 @@ impl Compiler {
                 let base_name = base
                     .as_ident()
                     .ok_or_else(|| Self::err("unsupported nested member access"))?;
-                for candidate in [
-                    format!("{base_name}.{member}"),
-                    format!("{base_name}_{member}"),
+                for (guessed, candidate) in [
+                    (false, format!("{base_name}.{member}")),
+                    (true, format!("{base_name}_{member}")),
                 ] {
                     if let Some(bits) = self.symbols.get(&candidate) {
+                        self.lint.referenced_symbols.insert(candidate.clone());
+                        if guessed {
+                            // `port_field` is a *naming-convention* guess, not
+                            // a declared binding — record it for the lint.
+                            self.lint
+                                .fallback_bindings
+                                .insert(format!("{base_name}.{member}"), candidate);
+                        }
                         return Ok(bits.clone());
                     }
                 }
@@ -652,6 +717,30 @@ impl Compiler {
                 "strings/macros are not supported in property expressions",
             )),
         }
+    }
+}
+
+/// The leftmost identifier (or `base.member` path) inside `expr` — the
+/// needle the lint uses to locate annotation-level findings in the source.
+fn first_ident(expr: &Expr) -> Option<String> {
+    match expr {
+        Expr::Ident(n) => Some(n.clone()),
+        Expr::Member { base, member } => first_ident(base).map(|b| format!("{b}.{member}")),
+        Expr::Unary { operand, .. } => first_ident(operand),
+        Expr::Binary { lhs, rhs, .. } => first_ident(lhs).or_else(|| first_ident(rhs)),
+        Expr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+        } => first_ident(cond)
+            .or_else(|| first_ident(then_expr))
+            .or_else(|| first_ident(else_expr)),
+        Expr::Index { base, index } => first_ident(base).or_else(|| first_ident(index)),
+        Expr::RangeSelect { base, .. } => first_ident(base),
+        Expr::Concat(items) => items.iter().find_map(first_ident),
+        Expr::Replicate { value, .. } => first_ident(value),
+        Expr::Call { args, .. } => args.iter().find_map(first_ident),
+        Expr::Number(_) | Expr::Str(_) | Expr::Macro(_) => None,
     }
 }
 

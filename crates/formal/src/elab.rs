@@ -224,6 +224,10 @@ pub struct TypeTable {
     /// Enum member name (both `pkg::MEMBER` and unscoped alias) →
     /// `(value, width)`.
     enum_consts: HashMap<String, (u128, usize)>,
+    /// Enum type key (same keys as `widths`) → its members in declaration
+    /// order, so the design lint can reason about whole enums (unreachable
+    /// states) rather than individual constants.
+    enum_defs: HashMap<String, Vec<(String, u128)>>,
     /// Unscoped type names with conflicting definitions across scopes; the
     /// alias is withdrawn so only `pkg::name` access resolves.
     poisoned_types: HashSet<String>,
@@ -281,6 +285,12 @@ impl TypeTable {
     /// Value and width of an enum member constant, if known.
     pub fn enum_const(&self, name: &str) -> Option<(u128, usize)> {
         self.enum_consts.get(name).copied()
+    }
+
+    /// Members (name, value) of an enum type in declaration order, when the
+    /// key (as returned by [`TypeTable::resolve_name`]) names an enum.
+    pub fn enum_members(&self, key: &str) -> Option<&[(String, u128)]> {
+        self.enum_defs.get(key).map(Vec::as_slice)
     }
 
     /// Like [`TypeTable::enum_const`], preferring the enclosing scope for
@@ -343,6 +353,27 @@ impl TypeTable {
     }
 }
 
+/// Facts the elaborator records as it goes, consumed by the design lint
+/// ([`crate::lint`]).  They describe decisions that are sound for model
+/// construction but worth surfacing to the designer: signals silently
+/// modeled as free inputs, drivers that shadow each other, and the type
+/// inventory the lint's enum reachability analysis needs.
+#[derive(Debug, Clone, Default)]
+pub struct ElabLintFacts {
+    /// Non-input signals with no driver, modeled as free inputs (sound
+    /// over-approximation).  Hierarchical names (`inst.sig`) for submodule
+    /// signals.
+    pub undriven: Vec<String>,
+    /// Signals with more than one driver; the model keeps the last one and
+    /// silently ignores the rest.  `(name, description of the collision)`.
+    pub multiply_driven: Vec<(String, String)>,
+    /// Output port names of the top module, for annotation-coverage checks.
+    pub top_outputs: Vec<String>,
+    /// Top-module signals with an enum type: `(signal, enum type key)` —
+    /// the key looks up [`TypeTable::enum_members`].
+    pub enum_signals: Vec<(String, String)>,
+}
+
 /// The elaborated design: circuit plus symbol table.
 #[derive(Debug, Clone)]
 pub struct ElabDesign {
@@ -363,6 +394,8 @@ pub struct ElabDesign {
     /// a packed-struct type, so property compilation can lower member access
     /// (`fu_data_i.fu`) to bit slices of the flat signal.
     pub signal_types: HashMap<String, usize>,
+    /// Facts recorded for the design lint ([`crate::lint`]).
+    pub lint: ElabLintFacts,
 }
 
 impl ElabDesign {
@@ -412,6 +445,7 @@ pub fn elaborate(file: &SourceFile, options: &ElabOptions) -> Result<ElabDesign>
         pkg_params,
         deps_memo: HashMap::new(),
         deps_visiting: HashSet::new(),
+        lint: ElabLintFacts::default(),
     };
     let overrides: Vec<(String, u128)> = options.params.clone();
     let (mut scope, drivers, regs) = ctx.setup_scope(top, "", &overrides)?;
@@ -424,6 +458,7 @@ pub fn elaborate(file: &SourceFile, options: &ElabOptions) -> Result<ElabDesign>
         params: ctx.top_params,
         types: ctx.types,
         signal_types: ctx.signal_types,
+        lint: ctx.lint,
     })
 }
 
@@ -562,6 +597,7 @@ fn build_type_table(file: &SourceFile) -> Result<(TypeTable, HashMap<String, u12
                             &mut table,
                             scope.as_deref(),
                             alias,
+                            &td.name,
                             &td.ty,
                             width,
                             &env,
@@ -779,11 +815,13 @@ fn register_enum_members(
     table: &mut TypeTable,
     scope: Option<&str>,
     alias: bool,
+    type_name: &str,
     ty: &DataType,
     width: usize,
     env: &HashMap<String, u128>,
 ) -> Result<()> {
     let mut next_value: u128 = 0;
+    let mut members: Vec<(String, u128)> = Vec::with_capacity(ty.enum_members.len());
     for member in &ty.enum_members {
         let value = match &member.value {
             Some(expr) => const_eval(expr, env)?,
@@ -797,6 +835,7 @@ fn register_enum_members(
             )));
         }
         next_value = value + 1;
+        members.push((member.name.clone(), value));
         if let Some(scope) = scope {
             table
                 .enum_consts
@@ -821,6 +860,16 @@ fn register_enum_members(
                     .insert(member.name.clone(), (value, width));
             }
         }
+    }
+    // The member list registers under the same keys as the type's width, so
+    // a `resolve_name` result looks both up consistently.
+    if let Some(scope) = scope {
+        table
+            .enum_defs
+            .insert(format!("{scope}::{type_name}"), members.clone());
+    }
+    if alias {
+        table.enum_defs.insert(type_name.to_string(), members);
     }
     Ok(())
 }
@@ -875,6 +924,8 @@ struct Elaborator<'a> {
     deps_memo: HashMap<String, Arc<HashMap<String, Vec<String>>>>,
     /// Modules currently being analysed (recursive-instantiation guard).
     deps_visiting: HashSet<String>,
+    /// Facts recorded for the design lint as elaboration proceeds.
+    lint: ElabLintFacts,
 }
 
 /// Per-module-instance elaboration state.
@@ -1002,6 +1053,12 @@ impl<'a> Elaborator<'a> {
                 Direction::Input => SigKind::Input,
                 Direction::Output | Direction::Inout => SigKind::Wire,
             };
+            if prefix.is_empty() {
+                if port.direction == Direction::Output {
+                    self.lint.top_outputs.push(port.name.clone());
+                }
+                self.record_enum_signal(&port.name, &port.ty, &module.name);
+            }
             scope.infos.insert(
                 port.name.clone(),
                 SigInfo {
@@ -1017,6 +1074,9 @@ impl<'a> Elaborator<'a> {
                 let (width, layout) = self.resolve_type(&decl.ty, &scope.params, &module.name)?;
                 for name in &decl.names {
                     let array = self.array_len(&name.unpacked_dims, &scope.params)?;
+                    if prefix.is_empty() {
+                        self.record_enum_signal(&name.name, &decl.ty, &module.name);
+                    }
                     scope.infos.entry(name.name.clone()).or_insert(SigInfo {
                         width,
                         array,
@@ -1027,11 +1087,30 @@ impl<'a> Elaborator<'a> {
             }
         }
 
-        // Registers: targets of non-blocking assignments in always_ff.
+        // Registers: targets of non-blocking assignments in always_ff.  A
+        // register wholly assigned from two distinct sequential blocks is
+        // multiply-driven (first block index per register is remembered).
         let mut reg_names: Vec<String> = Vec::new();
-        for item in &module.items {
+        let mut seq_block: HashMap<String, usize> = HashMap::new();
+        for (idx, item) in module.items.iter().enumerate() {
             if let ModuleItem::Always(block) = item {
                 if is_sequential(block) {
+                    let mut whole = Vec::new();
+                    collect_whole_assign_targets(&block.body, &mut whole);
+                    for t in whole {
+                        match seq_block.get(&t) {
+                            Some(&first) if first != idx => {
+                                self.lint.multiply_driven.push((
+                                    format!("{prefix}{t}"),
+                                    "two sequential always blocks".to_string(),
+                                ));
+                            }
+                            Some(_) => {}
+                            None => {
+                                seq_block.insert(t, idx);
+                            }
+                        }
+                    }
                     let mut targets = Vec::new();
                     collect_assign_targets(&block.body, false, &mut targets);
                     for t in targets {
@@ -1049,10 +1128,40 @@ impl<'a> Elaborator<'a> {
         }
 
         let drivers: HashMap<String, Driver> = {
+            // Collisions between *whole-signal* drivers are multiply-driven;
+            // the last driver wins in the map (unchanged semantics) while the
+            // lint records both sides.
+            let mut whole_by: HashMap<String, usize> = HashMap::new();
+            let mut collisions: Vec<(String, String)> = Vec::new();
+            let note_whole = |whole_by: &mut HashMap<String, usize>,
+                              collisions: &mut Vec<(String, String)>,
+                              target: &str,
+                              idx: usize,
+                              desc: &str| {
+                match whole_by.get(target) {
+                    Some(&first) if first != idx => collisions.push((
+                        format!("{prefix}{target}"),
+                        format!("{} and {desc}", driver_desc(&module.items[first])),
+                    )),
+                    Some(_) => {}
+                    None => {
+                        whole_by.insert(target.to_string(), idx);
+                    }
+                }
+            };
             let mut map = HashMap::new();
             for (idx, item) in module.items.iter().enumerate() {
                 match item {
                     ModuleItem::ContinuousAssign(assign) => {
+                        for target in whole_lvalue_targets(&assign.lhs) {
+                            note_whole(
+                                &mut whole_by,
+                                &mut collisions,
+                                &target,
+                                idx,
+                                "a continuous assign",
+                            );
+                        }
                         for target in lvalue_targets(&assign.lhs) {
                             map.insert(target, Driver::Assign(idx));
                         }
@@ -1060,11 +1169,30 @@ impl<'a> Elaborator<'a> {
                     ModuleItem::Decl(decl) => {
                         for (di, name) in decl.names.iter().enumerate() {
                             if name.init.is_some() {
+                                note_whole(
+                                    &mut whole_by,
+                                    &mut collisions,
+                                    &name.name,
+                                    idx,
+                                    "a declaration initializer",
+                                );
                                 map.insert(name.name.clone(), Driver::DeclInit(idx, di));
                             }
                         }
                     }
                     ModuleItem::Always(block) if !is_sequential(block) => {
+                        let mut whole = Vec::new();
+                        collect_whole_assign_targets(&block.body, &mut whole);
+                        whole.dedup();
+                        for t in &whole {
+                            note_whole(
+                                &mut whole_by,
+                                &mut collisions,
+                                t,
+                                idx,
+                                "a combinational always block",
+                            );
+                        }
                         let mut targets = Vec::new();
                         collect_assign_targets(&block.body, true, &mut targets);
                         for t in targets {
@@ -1081,6 +1209,13 @@ impl<'a> Elaborator<'a> {
                                 {
                                     if port.direction == Direction::Output {
                                         if let Some(name) = expr.as_ident() {
+                                            note_whole(
+                                                &mut whole_by,
+                                                &mut collisions,
+                                                name,
+                                                idx,
+                                                "an instance output",
+                                            );
                                             map.insert(
                                                 name.to_string(),
                                                 Driver::Instance(idx, conn.name.clone()),
@@ -1094,6 +1229,21 @@ impl<'a> Elaborator<'a> {
                     _ => {}
                 }
             }
+            // A register (sequential target) that also has a combinational
+            // driver is multiply-driven too.
+            for (target, &idx) in &whole_by {
+                if seq_block.contains_key(target) {
+                    collisions.push((
+                        format!("{prefix}{target}"),
+                        format!(
+                            "a sequential always block and {}",
+                            driver_desc(&module.items[idx])
+                        ),
+                    ));
+                }
+            }
+            collisions.sort();
+            self.lint.multiply_driven.extend(collisions);
             map
         };
 
@@ -1663,6 +1813,25 @@ impl<'a> Elaborator<'a> {
         Ok(Some((msb.max(lsb) - msb.min(lsb) + 1) as usize))
     }
 
+    /// Records `signal` as enum-typed (with its resolved type-table key) when
+    /// its declared type names an enum typedef — the unreachable-enum-state
+    /// lint checks which members the design source actually mentions.
+    fn record_enum_signal(&mut self, signal: &str, ty: &DataType, module_name: &str) {
+        use svparse::ast::NetKind;
+        if ty.kind != NetKind::Named {
+            return;
+        }
+        let Some(type_name) = ty.type_name.as_deref() else {
+            return;
+        };
+        let Some(key) = self.types.resolve_name(Some(module_name), type_name) else {
+            return;
+        };
+        if self.types.enum_members(&key).is_some() {
+            self.lint.enum_signals.push((signal.to_string(), key));
+        }
+    }
+
     /// Resolves the current-cycle value of a signal, evaluating its driver if
     /// needed.
     fn resolve_signal(
@@ -1752,6 +1921,7 @@ impl<'a> Elaborator<'a> {
                 }
                 // Undriven: free input (sound over-approximation).
                 let prefix = scope.prefix.clone();
+                self.lint.undriven.push(format!("{prefix}{name}"));
                 match info.array {
                     None => Val::Word(self.new_inputs(&format!("{prefix}{name}"), info.width)),
                     Some(len) => Val::Array(
@@ -2446,6 +2616,59 @@ fn lvalue_targets(lhs: &Expr) -> Vec<String> {
         Expr::Concat(parts) => parts.iter().flat_map(lvalue_targets).collect(),
         Expr::Member { base, .. } => lvalue_targets(base),
         _ => Vec::new(),
+    }
+}
+
+/// Human description of a driving module item, for multiply-driven lint
+/// messages.
+fn driver_desc(item: &ModuleItem) -> &'static str {
+    match item {
+        ModuleItem::ContinuousAssign(_) => "a continuous assign",
+        ModuleItem::Decl(_) => "a declaration initializer",
+        ModuleItem::Always(_) => "a combinational always block",
+        ModuleItem::Instance(_) => "an instance output",
+        _ => "another driver",
+    }
+}
+
+/// Signal names an lvalue assigns *in full*.  Bit/range selects and member
+/// writes are excluded: several statements each driving a different slice of
+/// one signal are legal, so only whole-signal targets feed the
+/// multiply-driven lint.
+fn whole_lvalue_targets(lhs: &Expr) -> Vec<String> {
+    match lhs {
+        Expr::Ident(name) => vec![name.clone()],
+        Expr::Concat(parts) => parts.iter().flat_map(whole_lvalue_targets).collect(),
+        _ => Vec::new(),
+    }
+}
+
+/// Whole-signal assignment targets of a statement tree (see
+/// [`whole_lvalue_targets`]).
+fn collect_whole_assign_targets(stmt: &Stmt, out: &mut Vec<String>) {
+    match stmt {
+        Stmt::Block(stmts) => {
+            for s in stmts {
+                collect_whole_assign_targets(s, out);
+            }
+        }
+        Stmt::Blocking(a) | Stmt::NonBlocking(a) => out.extend(whole_lvalue_targets(&a.lhs)),
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            collect_whole_assign_targets(then_branch, out);
+            if let Some(e) = else_branch {
+                collect_whole_assign_targets(e, out);
+            }
+        }
+        Stmt::Case { items, .. } => {
+            for item in items {
+                collect_whole_assign_targets(&item.body, out);
+            }
+        }
+        Stmt::Empty => {}
     }
 }
 

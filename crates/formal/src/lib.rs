@@ -72,7 +72,9 @@ pub mod coi;
 pub mod compile;
 pub mod elab;
 pub mod explicit;
+pub mod lint;
 pub mod model;
+pub mod opt;
 pub mod pdr;
 pub mod portfolio;
 pub mod sat;

@@ -1,0 +1,992 @@
+//! AIG static analysis and optimization between compile and the cascade.
+//!
+//! [`optimize`] rewrites a checked [`Model`] into a smaller, functionally
+//! equivalent one.  It is applied by the checker to every cone-of-influence
+//! slice (and, for liveness, to the liveness-to-safety product) before any
+//! engine runs, so BMC unrollings, PDR frames and explicit-state sweeps all
+//! pay for fewer gates and latches.  Five analyses cooperate:
+//!
+//! * **ternary constant sweeping** — a least-fixpoint three-valued
+//!   simulation from the reset state (inputs unknown) proves latches stuck
+//!   at their initial value ([`constant_latches`]); they are substituted by
+//!   constants, which cascades through the combinational logic;
+//! * **sequential latch sweeping** (van Eijk) — random sequential
+//!   simulation partitions latches into candidate equivalence classes
+//!   (including stuck-at-constant candidates the ternary analysis cannot
+//!   see); the candidates are then proven by SAT *induction* — assume the
+//!   equivalences over a free current state, show every next-state function
+//!   preserves them, refining the partition with each counterexample —
+//!   and proven classes are merged onto one representative register.  This
+//!   is where testbench monitor state that duplicates design state (e.g.
+//!   an AutoSVA transaction counter shadowing an RTL occupancy counter)
+//!   collapses;
+//! * **combinational gate sweeping** (FRAIG-style) — random-pattern
+//!   signatures partition AND nodes into candidate classes, a SAT miter
+//!   over a free state proves unconditional equivalence, and proven nodes
+//!   are merged onto the earliest representative, catching
+//!   structurally-different-but-equivalent logic the hash cannot;
+//! * **structural rewriting** — the rebuild funnels every AND gate through
+//!   the one-level strash of [`Aig::and`] *plus* the classic two-level
+//!   rules (subsumption, contradiction, or-absorption, substitution,
+//!   resolution), which collapse the redundant `or(s, and(!s, e))` shapes
+//!   that word-level mux lowering leaves behind;
+//! * **dead-node elimination** — only logic reachable from the model's
+//!   roots (bad/cover literals, invariant constraints, liveness and
+//!   fairness properties) is rebuilt; unobservable latches, inputs and
+//!   gates are dropped, exactly like [`crate::coi`] does for the initial
+//!   slice.
+//!
+//! Passes repeat until the content fingerprint is stable, which makes the
+//! whole transformation *idempotent* — `optimize(optimize(m))` returns a
+//! model fingerprint-identical to `optimize(m)` — and therefore safe to key
+//! the proof cache on.  Every transformation preserves the value of every
+//! kept root along every input sequence from reset (merged latches agree on
+//! all reachable states — the SAT induction certifies an inductive
+//! invariant — and the other four rewrites are equivalences everywhere), so
+//! verdicts, counterexample traces (replayed on either model: dropped
+//! inputs are provably irrelevant to all roots) and PDR invariants carry
+//! over unchanged.
+//!
+//! Constants discovered here are also reported by name so the Level-1 lint
+//! pass ([`crate::lint`]) can surface "register is stuck at its reset
+//! value" diagnostics from the same analysis.
+
+use crate::aig::{Aig, Lit, Node};
+use crate::coi::{fingerprint, Fingerprint};
+use crate::model::{BadProperty, CoverProperty, Model, ResponseProperty};
+use crate::sat::SatResult;
+use crate::unroll::Unroller;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, HashMap};
+
+/// A three-valued signal value for the reachability fixpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TVal {
+    /// Definitely false in every reachable state seen so far.
+    F,
+    /// Definitely true in every reachable state seen so far.
+    T,
+    /// Unknown / both values possible.
+    X,
+}
+
+impl TVal {
+    fn of(b: bool) -> TVal {
+        if b {
+            TVal::T
+        } else {
+            TVal::F
+        }
+    }
+
+    fn join(self, other: TVal) -> TVal {
+        if self == other {
+            self
+        } else {
+            TVal::X
+        }
+    }
+
+    fn not(self) -> TVal {
+        match self {
+            TVal::F => TVal::T,
+            TVal::T => TVal::F,
+            TVal::X => TVal::X,
+        }
+    }
+
+    fn and(self, other: TVal) -> TVal {
+        match (self, other) {
+            (TVal::F, _) | (_, TVal::F) => TVal::F,
+            (TVal::T, TVal::T) => TVal::T,
+            _ => TVal::X,
+        }
+    }
+}
+
+/// Latches of `aig` that provably hold their initial value in every
+/// reachable state, as `(latch node, stuck-at value)` pairs in node order.
+///
+/// The proof is a three-valued least-fixpoint simulation: starting from the
+/// concrete reset state with every primary input unknown, latch values are
+/// widened with each step's next-state evaluation until nothing changes.
+/// The lattice has height two per latch, so the loop terminates after at
+/// most `2 * num_latches + 1` rounds.  A latch still two-valued at the
+/// fixpoint is constant in *every* reachable state (the simulation
+/// overapproximates reachability), which makes the substitution in
+/// [`optimize`] sound for safety, cover and liveness targets alike.
+pub fn constant_latches(aig: &Aig) -> Vec<(usize, bool)> {
+    let latches = aig.latches();
+    if latches.is_empty() {
+        return Vec::new();
+    }
+    let mut state: HashMap<usize, TVal> =
+        latches.iter().map(|l| (l.node, TVal::of(l.init))).collect();
+    let mut vals: Vec<TVal> = vec![TVal::F; aig.num_nodes()];
+    loop {
+        // One forward evaluation pass; node indices are topologically
+        // ordered (AND inputs always reference earlier nodes).
+        for idx in 0..aig.num_nodes() {
+            vals[idx] = match aig.node(idx) {
+                Node::False => TVal::F,
+                Node::Input => TVal::X,
+                Node::Latch => state[&idx],
+                Node::And(a, b) => {
+                    let va = lit_val(&vals, a);
+                    let vb = lit_val(&vals, b);
+                    va.and(vb)
+                }
+            };
+        }
+        let mut changed = false;
+        for latch in latches {
+            let next = lit_val(&vals, latch.next);
+            let widened = state[&latch.node].join(next);
+            if widened != state[&latch.node] {
+                state.insert(latch.node, widened);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    latches
+        .iter()
+        .filter_map(|l| match state[&l.node] {
+            TVal::F => Some((l.node, false)),
+            TVal::T => Some((l.node, true)),
+            TVal::X => None,
+        })
+        .collect()
+}
+
+fn lit_val(vals: &[TVal], l: Lit) -> TVal {
+    let v = vals[l.node()];
+    if l.is_inverted() {
+        v.not()
+    } else {
+        v
+    }
+}
+
+/// The result of [`optimize`]: the rewritten model plus the latches proven
+/// constant, by their original names.
+#[derive(Debug, Clone)]
+pub struct OptResult {
+    /// The optimized, functionally equivalent model.
+    pub model: Model,
+    /// Latches proven stuck at their reset value across all passes, as
+    /// `(name, value)` in discovery order (deduplicated by name).
+    pub constant_latches: Vec<(String, bool)>,
+}
+
+/// Upper bound on rewrite passes; real models stabilize in two or three.
+const MAX_PASSES: usize = 8;
+
+/// Optimizes a model: constant sweeping, two-level AND rewriting and
+/// dead-node elimination, repeated to a fingerprint fixpoint.
+///
+/// Every property literal (bads, covers, constraints, liveness, fairness)
+/// is a root: the rewritten model computes bit-identical values for all of
+/// them on every input sequence, latch initial values and surviving names
+/// are preserved, and the bad/cover/liveness property lists keep their
+/// order.  The pass is deterministic and idempotent, so content
+/// fingerprints of optimized models are stable across processes and safe
+/// as proof-cache keys.
+pub fn optimize(model: &Model) -> OptResult {
+    let mut current = model.clone();
+    let mut fp = fingerprint(&current);
+    let mut constants: Vec<(String, bool)> = Vec::new();
+    for _ in 0..MAX_PASSES {
+        let next = one_pass(&current, &mut constants);
+        let next_fp = fingerprint(&next);
+        if next_fp == fp {
+            break;
+        }
+        current = next;
+        fp = next_fp;
+    }
+    OptResult {
+        model: current,
+        constant_latches: constants,
+    }
+}
+
+/// Convenience wrapper: the optimized model together with its fingerprint.
+pub fn optimize_with_fingerprint(model: &Model) -> (Model, Fingerprint) {
+    let optimized = optimize(model).model;
+    let fp = fingerprint(&optimized);
+    (optimized, fp)
+}
+
+/// Number of 64-bit random stimulus words per sequential simulation run.
+const SEQ_SIM_STEPS: usize = 48;
+/// Number of 64-bit random pattern words for combinational signatures.
+const COMB_SIM_WORDS: usize = 4;
+/// Fixed seed for the signature simulations (determinism across processes).
+const SWEEP_SEED: u64 = 0x005E_ED0F_0DD5;
+
+/// Evaluates every node of `aig` over 64 parallel bit-patterns.
+///
+/// `leaf` supplies the 64-bit word for inputs and latches; the result is
+/// indexed by node.
+fn eval_words(aig: &Aig, leaf: impl Fn(usize) -> u64) -> Vec<u64> {
+    let word = |vals: &[u64], l: Lit| -> u64 {
+        let w = vals[l.node()];
+        if l.is_inverted() {
+            !w
+        } else {
+            w
+        }
+    };
+    let mut vals = vec![0u64; aig.num_nodes()];
+    for idx in 1..aig.num_nodes() {
+        vals[idx] = match aig.node(idx) {
+            Node::False => 0,
+            Node::Input | Node::Latch => leaf(idx),
+            Node::And(a, b) => word(&vals, a) & word(&vals, b),
+        };
+    }
+    vals
+}
+
+/// Evaluates every node over one concrete leaf valuation.
+fn eval_bools(aig: &Aig, leaf: impl Fn(usize) -> bool) -> Vec<bool> {
+    let bit = |vals: &[bool], l: Lit| -> bool { vals[l.node()] ^ l.is_inverted() };
+    let mut vals = vec![false; aig.num_nodes()];
+    for idx in 1..aig.num_nodes() {
+        vals[idx] = match aig.node(idx) {
+            Node::False => false,
+            Node::Input | Node::Latch => leaf(idx),
+            Node::And(a, b) => bit(&vals, a) && bit(&vals, b),
+        };
+    }
+    vals
+}
+
+/// Sequentially-proven latch equivalences: `latch node -> representative
+/// literal` of the *original* AIG, where the representative is either an
+/// earlier latch (possibly inverted) or a constant.
+///
+/// Candidates come from random sequential simulation from reset: each latch
+/// is normalized by its initial value (`value XOR init`), so two latches in
+/// the same candidate class agree at reset *by construction* (base case)
+/// and — per simulation — on every sampled trace.  The candidates are then
+/// certified by SAT induction: over a free current state satisfying all
+/// candidate equivalences, every class member's next-state function must
+/// agree with its representative's.  A counterexample is turned into a
+/// full leaf valuation and used to split the classes; the loop repeats
+/// until the whole partition is inductive.
+///
+/// The induction step may assume the model's invariant constraints on the
+/// *current* state: engines discard any execution whose prefix violates a
+/// constraint, so every state they evaluate is either the initial state
+/// (which satisfies the equivalences by construction) or the successor of
+/// a constraint-satisfying state (where the induction step applies).  The
+/// certified equivalences therefore hold on every state any engine ever
+/// evaluates, and merging preserves all verdicts, traces and invariants.
+fn latch_equivalences(model: &Model) -> BTreeMap<usize, Lit> {
+    let aig = &model.aig;
+    let latches = aig.latches().to_vec();
+    if latches.is_empty() {
+        return BTreeMap::new();
+    }
+    let init_of: HashMap<usize, bool> = latches.iter().map(|l| (l.node, l.init)).collect();
+    let mask = |b: bool| -> u64 {
+        if b {
+            !0
+        } else {
+            0
+        }
+    };
+
+    // --- candidate partition from random sequential runs -----------------
+    //
+    // Lanes (bit positions of the 64-bit words) whose stimulus has violated
+    // an invariant constraint at an earlier cycle are masked out of the
+    // signatures: engines never evaluate such states, so divergence there
+    // must not split a candidate class.  Several short runs keep enough
+    // live lanes for discrimination even under tight assumptions.
+    let mut rng = StdRng::seed_from_u64(SWEEP_SEED);
+    let mut signatures: HashMap<usize, Vec<u64>> =
+        latches.iter().map(|l| (l.node, Vec::new())).collect();
+    const SEQ_SIM_RUNS: usize = 8;
+    let steps_per_run = SEQ_SIM_STEPS / SEQ_SIM_RUNS;
+    for _ in 0..SEQ_SIM_RUNS {
+        let mut state: HashMap<usize, u64> =
+            latches.iter().map(|l| (l.node, mask(l.init))).collect();
+        let mut valid: u64 = !0;
+        for _ in 0..steps_per_run {
+            let inputs: HashMap<usize, u64> =
+                aig.inputs().iter().map(|&n| (n, rng.next_u64())).collect();
+            let vals = eval_words(aig, |n| match aig.node(n) {
+                Node::Latch => state[&n],
+                _ => inputs[&n],
+            });
+            let word = |l: Lit| -> u64 {
+                let w = vals[l.node()];
+                if l.is_inverted() {
+                    !w
+                } else {
+                    w
+                }
+            };
+            for latch in &latches {
+                // The state at this cycle is evaluated whenever every
+                // *earlier* cycle satisfied the constraints, so it is
+                // masked by the prefix validity (before this cycle's
+                // constraint check).
+                signatures
+                    .get_mut(&latch.node)
+                    .unwrap()
+                    .push((state[&latch.node] ^ mask(latch.init)) & valid);
+            }
+            for &c in &model.constraints {
+                valid &= word(c);
+            }
+            for latch in &latches {
+                state.insert(latch.node, word(latch.next));
+            }
+        }
+    }
+    // Normalized signature -> member latch nodes (sorted by BTreeMap).
+    let mut classes: BTreeMap<Vec<u64>, Vec<usize>> = BTreeMap::new();
+    for latch in &latches {
+        classes
+            .entry(signatures.remove(&latch.node).unwrap())
+            .or_default()
+            .push(latch.node);
+    }
+    let zero_sig = vec![0u64; SEQ_SIM_RUNS * steps_per_run];
+    // Each class as (constant?, sorted members); non-constant classes keep
+    // their smallest member as the representative.
+    let mut partition: Vec<(bool, Vec<usize>)> = classes
+        .into_iter()
+        .map(|(sig, mut members)| {
+            members.sort_unstable();
+            (sig == zero_sig, members)
+        })
+        .filter(|(is_const, members)| *is_const || members.len() > 1)
+        .collect();
+    partition.sort_unstable_by_key(|(_, members)| members[0]);
+
+    // --- induction refinement loop --------------------------------------
+    loop {
+        // (member, rep) pairs to certify this round; rep==None ~ constant.
+        let pairs: Vec<(usize, Option<usize>)> = partition
+            .iter()
+            .flat_map(|(is_const, members)| {
+                let rep = if *is_const { None } else { Some(members[0]) };
+                members
+                    .iter()
+                    .skip(usize::from(!*is_const))
+                    .map(move |&m| (m, rep))
+            })
+            .collect();
+        if pairs.is_empty() {
+            return BTreeMap::new();
+        }
+
+        let mut unroller = Unroller::new(aig, false);
+        unroller.ensure_frame(0);
+        // The current state satisfies the invariant constraints (see the
+        // soundness argument in the doc comment).
+        for &c in &model.constraints {
+            unroller.constrain(c, 0, true);
+        }
+        // Induction hypothesis: every candidate equivalence holds now.
+        for &(member, rep) in &pairs {
+            let m0 = unroller.lit_in_frame(Lit::new(member, false), 0);
+            let m_norm = if init_of[&member] { m0.negate() } else { m0 };
+            match rep {
+                None => unroller.add_clause(&[m_norm.negate()]),
+                Some(rep) => {
+                    let r0 = unroller.lit_in_frame(Lit::new(rep, false), 0);
+                    let r_norm = if init_of[&rep] { r0.negate() } else { r0 };
+                    unroller.add_clause(&[m_norm.negate(), r_norm]);
+                    unroller.add_clause(&[m_norm, r_norm.negate()]);
+                }
+            }
+        }
+
+        let mut cex_leaf: Option<Vec<bool>> = None;
+        for &(member, rep) in &pairs {
+            let latch = latches.iter().find(|l| l.node == member).unwrap();
+            let mn = unroller.lit_in_frame(latch.next, 0);
+            let mn_norm = if init_of[&member] { mn.negate() } else { mn };
+            let activate = unroller.new_free_lit();
+            match rep {
+                None => {
+                    // activate -> member's next breaks stuck-at-init.
+                    unroller.add_clause(&[activate.negate(), mn_norm]);
+                }
+                Some(rep) => {
+                    let rep_latch = latches.iter().find(|l| l.node == rep).unwrap();
+                    let rn = unroller.lit_in_frame(rep_latch.next, 0);
+                    let rn_norm = if init_of[&rep] { rn.negate() } else { rn };
+                    // activate -> (member_next XOR rep_next).
+                    unroller.add_clause(&[activate.negate(), mn_norm, rn_norm]);
+                    unroller.add_clause(&[activate.negate(), mn_norm.negate(), rn_norm.negate()]);
+                }
+            }
+            if matches!(unroller.solve_sat(&[activate]), SatResult::Sat) {
+                // Read the full leaf valuation behind the counterexample
+                // (unconstrained leaves default to false, which is a valid
+                // completion: every encoded cone's leaves are encoded).
+                let leaf: Vec<bool> = (0..aig.num_nodes())
+                    .map(|n| match aig.node(n) {
+                        Node::Input | Node::Latch => unroller.model_value(Lit::new(n, false), 0),
+                        _ => false,
+                    })
+                    .collect();
+                cex_leaf = Some(leaf);
+                break;
+            }
+        }
+
+        match cex_leaf {
+            None => {
+                // Whole partition is inductive: emit the merges.
+                let mut equiv = BTreeMap::new();
+                for (member, rep) in pairs {
+                    let inv_member = init_of[&member];
+                    let target = match rep {
+                        None => Lit::FALSE.invert_if(inv_member),
+                        Some(rep) => Lit::new(rep, inv_member ^ init_of[&rep]),
+                    };
+                    equiv.insert(member, target);
+                }
+                return equiv;
+            }
+            Some(leaf) => {
+                // Split every class by the next-state value (normalized by
+                // init) each member takes in the counterexample state.
+                let vals = eval_bools(aig, |n| leaf[n]);
+                let next_norm = |node: usize| -> bool {
+                    let latch = latches.iter().find(|l| l.node == node).unwrap();
+                    (vals[latch.next.node()] ^ latch.next.is_inverted()) ^ latch.init
+                };
+                let mut refined: Vec<(bool, Vec<usize>)> = Vec::new();
+                for (is_const, members) in partition {
+                    let (zeros, ones): (Vec<usize>, Vec<usize>) =
+                        members.into_iter().partition(|&m| !next_norm(m));
+                    if (is_const || zeros.len() > 1) && !zeros.is_empty() {
+                        refined.push((is_const, zeros));
+                    }
+                    if ones.len() > 1 {
+                        refined.push((false, ones));
+                    }
+                }
+                refined.sort_unstable_by_key(|(_, members)| members[0]);
+                partition = refined;
+            }
+        }
+    }
+}
+
+/// Combinationally-proven gate equivalences: `AND node -> representative
+/// literal`, where the representative is any earlier node (input, latch,
+/// gate or constant, possibly inverted) computing the *same function of
+/// inputs and latches for every valuation* — reachability plays no role,
+/// so the merge is unconditionally sound.
+///
+/// Random 64-bit patterns over free leaves partition all nodes into
+/// candidate classes (complement-normalized on the first sampled bit); SAT
+/// miters over a single free frame certify each member against the class
+/// representative, counterexamples refine the partition, and the loop runs
+/// until it is certified.  Only AND nodes are ever merged.
+fn gate_equivalences(aig: &Aig) -> BTreeMap<usize, Lit> {
+    if aig.num_ands() == 0 {
+        return BTreeMap::new();
+    }
+    let mut rng = StdRng::seed_from_u64(SWEEP_SEED ^ 0xC0DE);
+    let mut signatures: Vec<Vec<u64>> = vec![Vec::new(); aig.num_nodes()];
+    for _ in 0..COMB_SIM_WORDS {
+        let words: HashMap<usize, u64> = (0..aig.num_nodes())
+            .filter(|&n| matches!(aig.node(n), Node::Input | Node::Latch))
+            .map(|n| (n, rng.next_u64()))
+            .collect();
+        let vals = eval_words(aig, |n| words[&n]);
+        for (n, sig) in signatures.iter_mut().enumerate() {
+            sig.push(vals[n]);
+        }
+    }
+    // Complement-normalize each signature on its first bit.
+    let mut classes: BTreeMap<Vec<u64>, Vec<(usize, bool)>> = BTreeMap::new();
+    for (n, raw) in signatures.iter().enumerate() {
+        let inv = raw[0] & 1 == 1;
+        let sig: Vec<u64> = raw.iter().map(|&w| if inv { !w } else { w }).collect();
+        classes.entry(sig).or_default().push((n, inv));
+    }
+    let mut partition: Vec<Vec<(usize, bool)>> = classes
+        .into_values()
+        .map(|mut members| {
+            members.sort_unstable();
+            members
+        })
+        .filter(|members| members.len() > 1 && members.iter().any(|&(n, _)| is_and(aig, n)))
+        .collect();
+    partition.sort_unstable_by_key(|members| members[0].0);
+
+    loop {
+        let pairs: Vec<(usize, bool, usize, bool)> = partition
+            .iter()
+            .flat_map(|members| {
+                let (rep, rep_inv) = members[0];
+                members
+                    .iter()
+                    .skip(1)
+                    .filter(move |&&(n, _)| is_and(aig, n))
+                    .map(move |&(n, inv)| (n, inv, rep, rep_inv))
+            })
+            .collect();
+        if pairs.is_empty() {
+            return BTreeMap::new();
+        }
+
+        let mut unroller = Unroller::new(aig, false);
+        unroller.ensure_frame(0);
+        let mut cex_leaf: Option<Vec<bool>> = None;
+        for &(member, inv, rep, rep_inv) in &pairs {
+            let m = unroller.lit_in_frame(Lit::new(member, inv), 0);
+            let r = unroller.lit_in_frame(Lit::new(rep, rep_inv), 0);
+            let activate = unroller.new_free_lit();
+            // activate -> (m XOR r).
+            unroller.add_clause(&[activate.negate(), m, r]);
+            unroller.add_clause(&[activate.negate(), m.negate(), r.negate()]);
+            if matches!(unroller.solve_sat(&[activate]), SatResult::Sat) {
+                let leaf: Vec<bool> = (0..aig.num_nodes())
+                    .map(|n| match aig.node(n) {
+                        Node::Input | Node::Latch => unroller.model_value(Lit::new(n, false), 0),
+                        _ => false,
+                    })
+                    .collect();
+                cex_leaf = Some(leaf);
+                break;
+            }
+        }
+
+        match cex_leaf {
+            None => {
+                let mut equiv = BTreeMap::new();
+                for (member, inv, rep, rep_inv) in pairs {
+                    equiv.insert(member, Lit::new(rep, inv ^ rep_inv));
+                }
+                return equiv;
+            }
+            Some(leaf) => {
+                let vals = eval_bools(aig, |n| leaf[n]);
+                let mut refined: Vec<Vec<(usize, bool)>> = Vec::new();
+                for members in partition {
+                    let (zeros, ones): (Vec<_>, Vec<_>) =
+                        members.into_iter().partition(|&(n, inv)| !(vals[n] ^ inv));
+                    for side in [zeros, ones] {
+                        if side.len() > 1 && side.iter().any(|&(n, _)| is_and(aig, n)) {
+                            refined.push(side);
+                        }
+                    }
+                }
+                refined.sort_unstable_by_key(|members| members[0].0);
+                partition = refined;
+            }
+        }
+    }
+}
+
+fn is_and(aig: &Aig, node: usize) -> bool {
+    matches!(aig.node(node), Node::And(..))
+}
+
+/// One sweep of constant substitution + equivalence merging + rewriting
+/// rebuild + dead-node elimination.  Newly proven constant latches are
+/// appended to `constants`.
+fn one_pass(model: &Model, constants: &mut Vec<(String, bool)>) -> Model {
+    let aig = &model.aig;
+    let consts: HashMap<usize, bool> = constant_latches(aig).into_iter().collect();
+    let latch_equiv = latch_equivalences(model);
+    let gate_equiv = gate_equivalences(aig);
+    let mut stuck: Vec<(usize, bool)> = consts.iter().map(|(&n, &v)| (n, v)).collect();
+    stuck.extend(latch_equiv.iter().filter_map(|(&n, &rep)| {
+        if rep.is_const() {
+            Some((n, rep == Lit::TRUE))
+        } else {
+            None
+        }
+    }));
+    stuck.sort_unstable();
+    for (node, value) in stuck {
+        let name = aig.name_of(node).unwrap_or("latch").to_string();
+        if !constants.iter().any(|(n, _)| n == &name) {
+            constants.push((name, value));
+        }
+    }
+    // Where a node's fanout should be redirected, if anywhere.  Targets
+    // always have a smaller node index, so redirections resolve in node
+    // order without chains.
+    let redirect = |node: usize| -> Option<Lit> {
+        if let Some(&value) = consts.get(&node) {
+            return Some(if value { Lit::TRUE } else { Lit::FALSE });
+        }
+        if let Some(&rep) = latch_equiv.get(&node) {
+            return Some(rep);
+        }
+        gate_equiv.get(&node).copied()
+    };
+
+    // ------------------------------------------------------------------
+    // Reachability from every root, with redirected nodes as cut points:
+    // a merged or constant node contributes its representative's cone
+    // instead of its own.
+    // ------------------------------------------------------------------
+    let mut roots: Vec<Lit> = Vec::new();
+    roots.extend(model.bads.iter().map(|b| b.lit));
+    roots.extend(model.covers.iter().map(|c| c.lit));
+    roots.extend_from_slice(&model.constraints);
+    for p in model.liveness.iter().chain(&model.fairness) {
+        roots.push(p.trigger);
+        roots.push(p.target);
+    }
+    let next_of: HashMap<usize, Lit> = aig.latches().iter().map(|l| (l.node, l.next)).collect();
+    let mut alive = vec![false; aig.num_nodes()];
+    alive[0] = true;
+    let mut visited = vec![false; aig.num_nodes()];
+    visited[0] = true;
+    let mut worklist: Vec<usize> = roots.iter().map(|l| l.node()).collect();
+    while let Some(node) = worklist.pop() {
+        if visited[node] {
+            continue;
+        }
+        visited[node] = true;
+        if let Some(rep) = redirect(node) {
+            worklist.push(rep.node());
+            continue;
+        }
+        alive[node] = true;
+        match aig.node(node) {
+            Node::False | Node::Input => {}
+            Node::Latch => worklist.push(next_of[&node].node()),
+            Node::And(a, b) => {
+                worklist.push(a.node());
+                worklist.push(b.node());
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Rebuild in original node order (deterministic indices), substituting
+    // constants and funnelling every gate through the rewrite rules.
+    // ------------------------------------------------------------------
+    let mut out = Aig::new();
+    let mut map: HashMap<usize, Lit> = HashMap::new();
+    map.insert(0, Lit::FALSE);
+    let map_lit =
+        |map: &HashMap<usize, Lit>, l: Lit| -> Lit { map[&l.node()].invert_if(l.is_inverted()) };
+    let input_name_of: HashMap<usize, &str> = aig
+        .inputs()
+        .iter()
+        .enumerate()
+        .map(|(i, &node)| (node, aig.input_name(i)))
+        .collect();
+    for idx in 1..aig.num_nodes() {
+        if let Some(rep) = redirect(idx) {
+            // Redirected fanout reads the representative's rebuilt literal
+            // (already mapped: representatives have smaller indices).
+            if let Some(&mapped) = map.get(&rep.node()) {
+                map.insert(idx, mapped.invert_if(rep.is_inverted()));
+            }
+            continue;
+        }
+        if !alive[idx] {
+            continue;
+        }
+        let new_lit = match aig.node(idx) {
+            Node::False => unreachable!("only node 0 is the constant"),
+            Node::Input => out.add_input(input_name_of[&idx]),
+            Node::Latch => {
+                let latch = aig
+                    .latches()
+                    .iter()
+                    .find(|l| l.node == idx)
+                    .expect("alive latch exists");
+                out.add_latch(aig.name_of(idx).unwrap_or("latch"), latch.init)
+            }
+            Node::And(a, b) => {
+                let lit = {
+                    let (na, nb) = (map_lit(&map, a), map_lit(&map, b));
+                    and_rewrite(&mut out, na, nb)
+                };
+                if let Some(name) = aig.name_of(idx) {
+                    if !lit.is_const() {
+                        out.set_name(lit, name);
+                    }
+                }
+                lit
+            }
+        };
+        map.insert(idx, new_lit);
+    }
+    for latch in aig.latches() {
+        if alive[latch.node] && redirect(latch.node).is_none() {
+            let new_latch = map[&latch.node];
+            let new_next = map_lit(&map, latch.next);
+            out.set_latch_next(new_latch, new_next);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Remap the property lists (order preserved).
+    // ------------------------------------------------------------------
+    let mut rebuilt = Model::new(out);
+    rebuilt.bads = model
+        .bads
+        .iter()
+        .map(|b| BadProperty {
+            name: b.name.clone(),
+            lit: map_lit(&map, b.lit),
+        })
+        .collect();
+    rebuilt.covers = model
+        .covers
+        .iter()
+        .map(|c| CoverProperty {
+            name: c.name.clone(),
+            lit: map_lit(&map, c.lit),
+        })
+        .collect();
+    rebuilt.constraints = model
+        .constraints
+        .iter()
+        .map(|&c| map_lit(&map, c))
+        .collect();
+    let map_resp = |p: &ResponseProperty| ResponseProperty {
+        name: p.name.clone(),
+        trigger: map_lit(&map, p.trigger),
+        target: map_lit(&map, p.target),
+    };
+    rebuilt.liveness = model.liveness.iter().map(map_resp).collect();
+    rebuilt.fairness = model.fairness.iter().map(map_resp).collect();
+    rebuilt
+}
+
+/// The two inputs of an AND node, or `None` for leaves.
+fn gate_of(aig: &Aig, l: Lit) -> Option<(Lit, Lit)> {
+    match aig.node(l.node()) {
+        Node::And(a, b) => Some((a, b)),
+        _ => None,
+    }
+}
+
+/// Builds `a & b` applying the classic two-level AIG rewrite rules on top
+/// of [`Aig::and`]'s one-level folding and structural hashing.
+///
+/// With `g = x & y` the implemented identities are:
+///
+/// * subsumption — `g & x = g`;
+/// * contradiction — `g & !x = 0`, and `(x & y) & (u & v) = 0` when the
+///   gates share a complemented literal;
+/// * or-absorption — `!g & !x = !x`;
+/// * substitution — `!g & x = x & !y`;
+/// * resolution — `!(x & y) & !(x & !y) = !x`.
+///
+/// Each rule either returns an existing literal or recurses on a strictly
+/// shallower pair, so the rewrite terminates; because rules fire at
+/// construction time, a model rebuilt through this function contains none
+/// of the redundant shapes, which is what makes [`optimize`] idempotent.
+fn and_rewrite(aig: &mut Aig, a: Lit, b: Lit) -> Lit {
+    if a.is_const() || b.is_const() || a == b || a == b.invert() {
+        return aig.and(a, b);
+    }
+    for (x, y) in [(a, b), (b, a)] {
+        if let Some((x0, x1)) = gate_of(aig, x) {
+            if !x.is_inverted() {
+                // x = x0 & x1
+                if y == x0 || y == x1 {
+                    return x; // subsumption
+                }
+                if y == x0.invert() || y == x1.invert() {
+                    return Lit::FALSE; // contradiction
+                }
+            } else {
+                // x = !(x0 & x1)
+                if y == x0.invert() || y == x1.invert() {
+                    return y; // or-absorption
+                }
+                if y == x0 {
+                    return and_rewrite(aig, y, x1.invert()); // substitution
+                }
+                if y == x1 {
+                    return and_rewrite(aig, y, x0.invert());
+                }
+            }
+        }
+    }
+    if !a.is_inverted() && !b.is_inverted() {
+        if let (Some((a0, a1)), Some((b0, b1))) = (gate_of(aig, a), gate_of(aig, b)) {
+            // (a0 & a1) & (b0 & b1) with a shared complemented literal.
+            for u in [a0, a1] {
+                for v in [b0, b1] {
+                    if u == v.invert() {
+                        return Lit::FALSE;
+                    }
+                }
+            }
+        }
+    }
+    if a.is_inverted() && b.is_inverted() {
+        if let (Some((a0, a1)), Some((b0, b1))) = (gate_of(aig, a), gate_of(aig, b)) {
+            // Resolution: !(x & y) & !(x & !y) = !x.
+            for (p, q) in [(a0, a1), (a1, a0)] {
+                for (r, s) in [(b0, b1), (b1, b0)] {
+                    if p == r && q == s.invert() {
+                        return p.invert();
+                    }
+                }
+            }
+        }
+    }
+    aig.and(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+    use std::collections::HashMap;
+
+    /// busy bit + a latch provably stuck at reset + a dead counter.
+    fn sample_model() -> Model {
+        let mut aig = Aig::new();
+        let req = aig.add_input("req");
+        let busy = aig.add_latch("busy", false);
+        let next_busy = aig.or(busy, req);
+        aig.set_latch_next(busy, next_busy);
+        // stuck_q holds itself: constant at its (false) reset value.
+        let stuck = aig.add_latch("stuck_q", false);
+        aig.set_latch_next(stuck, stuck);
+        // The bad observes busy AND the stuck latch.
+        let bad = aig.and(busy, stuck.invert());
+        // Dead free-running toggle no root observes.
+        let toggle = aig.add_latch("toggle", false);
+        aig.set_latch_next(toggle, toggle.invert());
+        let mut model = Model::new(aig);
+        model.bads.push(BadProperty {
+            name: "busy_while_clear".into(),
+            lit: bad,
+        });
+        model
+    }
+
+    #[test]
+    fn ternary_fixpoint_finds_stuck_latches() {
+        let model = sample_model();
+        let consts = constant_latches(&model.aig);
+        let names: Vec<(&str, bool)> = consts
+            .iter()
+            .map(|&(node, v)| (model.aig.name_of(node).unwrap(), v))
+            .collect();
+        assert_eq!(names, vec![("stuck_q", false)]);
+    }
+
+    #[test]
+    fn constant_chains_propagate_through_latches() {
+        // b follows a, a is stuck at true: both are constant.
+        let mut aig = Aig::new();
+        let a = aig.add_latch("a", true);
+        aig.set_latch_next(a, a);
+        let b = aig.add_latch("b", true);
+        aig.set_latch_next(b, a);
+        let consts = constant_latches(&aig);
+        assert_eq!(consts.len(), 2);
+        assert!(consts.iter().all(|&(_, v)| v));
+    }
+
+    #[test]
+    fn optimize_sweeps_constants_and_dead_state() {
+        let model = sample_model();
+        assert_eq!(model.aig.num_latches(), 3);
+        let opt = optimize(&model);
+        // stuck_q substituted, toggle dead: only busy survives.
+        assert_eq!(opt.model.aig.num_latches(), 1);
+        assert_eq!(
+            opt.model
+                .aig
+                .latches()
+                .iter()
+                .filter_map(|l| opt.model.aig.name_of(l.node))
+                .collect::<Vec<_>>(),
+            vec!["busy"]
+        );
+        assert_eq!(opt.constant_latches, vec![("stuck_q".to_string(), false)]);
+        // bad = busy & !stuck = busy & !false = busy (no gate needed).
+        assert_eq!(opt.model.aig.num_ands(), 1); // just busy | req
+    }
+
+    #[test]
+    fn rewrite_collapses_constant_branch_muxes() {
+        // mux(s, TRUE, e) lowered the word-level way: or(s, and(!s, e)),
+        // i.e. two gates where one suffices.
+        let mut aig = Aig::new();
+        let s = aig.add_input("s");
+        let e = aig.add_input("e");
+        let inner = aig.and(s.invert(), e);
+        let redundant = aig.or(s, inner);
+        let mut model = Model::new(aig);
+        model.bads.push(BadProperty {
+            name: "m".into(),
+            lit: redundant,
+        });
+        assert_eq!(model.aig.num_ands(), 2);
+        let opt = optimize(&model);
+        assert_eq!(opt.model.aig.num_ands(), 1, "or(s, !s&e) must become s|e");
+    }
+
+    #[test]
+    fn optimize_is_idempotent() {
+        let model = sample_model();
+        let once = optimize(&model).model;
+        let twice = optimize(&once).model;
+        assert_eq!(fingerprint(&once), fingerprint(&twice));
+    }
+
+    #[test]
+    fn optimized_model_agrees_with_original_on_random_inputs() {
+        let model = sample_model();
+        let opt = optimize(&model).model;
+        let mut orig_sim = Simulator::new(&model);
+        let mut opt_sim = Simulator::new(&opt);
+        // xorshift-style deterministic input stream.
+        let mut seed = 0x9E3779B9u32;
+        for _ in 0..64 {
+            seed ^= seed << 13;
+            seed ^= seed >> 17;
+            seed ^= seed << 5;
+            let mut inputs = HashMap::new();
+            inputs.insert("req".to_string(), seed & 1 == 1);
+            let orig_fired = !orig_sim.step(&inputs).is_empty();
+            let opt_fired = !opt_sim.step(&inputs).is_empty();
+            assert_eq!(orig_fired, opt_fired, "verdicts must agree every cycle");
+        }
+    }
+
+    #[test]
+    fn property_order_and_names_survive() {
+        let mut model = sample_model();
+        let lit = model.bads[0].lit;
+        model.covers.push(CoverProperty {
+            name: "c0".into(),
+            lit,
+        });
+        model.liveness.push(ResponseProperty {
+            name: "resp".into(),
+            trigger: lit,
+            target: lit.invert(),
+        });
+        let opt = optimize(&model).model;
+        assert_eq!(opt.bads[0].name, "busy_while_clear");
+        assert_eq!(opt.covers[0].name, "c0");
+        assert_eq!(opt.liveness[0].name, "resp");
+        assert_eq!(opt.constraints.len(), model.constraints.len());
+    }
+}

@@ -55,6 +55,13 @@ pub struct ParallelOptions {
     /// Check each property on its cone-of-influence slice instead of the
     /// full compiled model (verdict-preserving; see [`crate::coi`]).
     pub slice: bool,
+    /// Run the AIG static-analysis/optimization pass ([`crate::opt`]) on
+    /// each property slice before the engine cascade: constant sweeping,
+    /// sequential latch sweeping, combinational gate sweeping and dead-node
+    /// elimination, all verdict-preserving.  Only applies when `slice` is
+    /// on — the `slice: false` escape hatch keeps the exact
+    /// pre-orchestrator behaviour, untouched model included.
+    pub opt: bool,
     /// Wall-clock budget per property; a property still undecided when its
     /// budget runs out between engine stages reports
     /// [`crate::checker::PropertyStatus::Unknown`] with an explanatory note.
@@ -74,6 +81,7 @@ impl Default for ParallelOptions {
         ParallelOptions {
             threads: 0,
             slice: true,
+            opt: true,
             property_timeout: None,
             stop_on_violation: false,
             cache: None,

@@ -80,19 +80,33 @@ impl ParseError {
     pub fn render(&self, source: &str) -> String {
         let pos = line_col(source, self.span.start);
         let mut out = format!("{pos}: {}", self.kind);
-        // Attach the offending source line with a caret under the error
-        // column, the way compilers point at the problem.  Tabs are kept in
-        // the padding so the caret stays aligned however wide they render.
-        if let Some(line_text) = source.lines().nth(pos.line.saturating_sub(1)) {
-            let pad: String = line_text
-                .chars()
-                .take(pos.column.saturating_sub(1))
-                .map(|c| if c == '\t' { '\t' } else { ' ' })
-                .collect();
-            out.push_str(&format!("\n  {line_text}\n  {pad}^"));
+        if let Some(snippet) = caret_snippet(source, pos) {
+            out.push('\n');
+            out.push_str(&snippet);
         }
         out
     }
+}
+
+/// Renders the source line at `pos` with a caret under its column, the way
+/// compilers point at the problem:
+///
+/// ```text
+///   logic [3:0] bad $
+///                   ^
+/// ```
+///
+/// Tabs are kept in the caret padding so the caret stays aligned however
+/// wide they render.  Returns `None` when `pos.line` is past the end of the
+/// text.  Shared by parse errors and the design lint diagnostics.
+pub fn caret_snippet(source: &str, pos: crate::span::LineCol) -> Option<String> {
+    let line_text = source.lines().nth(pos.line.saturating_sub(1))?;
+    let pad: String = line_text
+        .chars()
+        .take(pos.column.saturating_sub(1))
+        .map(|c| if c == '\t' { '\t' } else { ' ' })
+        .collect();
+    Some(format!("  {line_text}\n  {pad}^"))
 }
 
 impl fmt::Display for ParseError {

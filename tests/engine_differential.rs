@@ -379,6 +379,92 @@ proptest! {
             }
         }
     }
+
+    /// The AIG optimization pass is verdict-preserving and idempotent: on
+    /// every random model the optimized AIG agrees with the unoptimized
+    /// ground truth (exhaustive explicit-state exploration) through the
+    /// bounded engines and PDR, never grows, and re-optimizing is a
+    /// fingerprint fixpoint.
+    #[test]
+    fn optimized_and_unoptimized_verdicts_agree(
+        seed in 1u64..u64::MAX,
+        num_latches in 2usize..6,
+        num_inputs in 1usize..3,
+        num_gates in 4usize..14,
+    ) {
+        use autosva_formal::coi::fingerprint;
+        use autosva_formal::opt;
+
+        let model = random_model(seed, num_latches, num_inputs, num_gates);
+        let optimized = opt::optimize(&model).model;
+
+        prop_assert!(
+            optimized.aig.num_latches() <= model.aig.num_latches(),
+            "optimization grew the latch set (seed {seed})"
+        );
+        prop_assert!(
+            optimized.aig.num_ands() <= model.aig.num_ands(),
+            "optimization grew the gate count (seed {seed})"
+        );
+
+        // Idempotence: a second pass is a fingerprint fixpoint.
+        let fp = fingerprint(&optimized);
+        prop_assert_eq!(
+            fingerprint(&opt::optimize(&optimized).model),
+            fp,
+            "optimization is not idempotent (seed {})", seed
+        );
+
+        // Ground truth from the unoptimized model.
+        let explicit = ExplicitEngine::explore(
+            &model,
+            &ExplicitOptions {
+                max_states: 1 << 12,
+                max_inputs: 8,
+            },
+        )
+        .expect("explicit exploration succeeds on tiny models");
+        let exact_safe = match explicit.check_bad(model.bads[0].lit) {
+            ExplicitResult::Proven => true,
+            ExplicitResult::Violated(_) => false,
+            ExplicitResult::Exceeded => panic!("tiny model exceeded explicit limits"),
+        };
+
+        // Bounded engines on the optimized model.
+        match check_safety(
+            &optimized,
+            0,
+            &BmcOptions { max_depth: 40, max_induction: 40 },
+        ) {
+            SafetyResult::Proven { .. } =>
+                prop_assert!(exact_safe, "optimized k-induction proved a violated model (seed {seed})"),
+            SafetyResult::Violated(_) =>
+                prop_assert!(!exact_safe, "optimized BMC refuted a safe model (seed {seed})"),
+            SafetyResult::Unknown { .. } =>
+                panic!("optimized bounded engines undecided on a tiny model (seed {seed})"),
+        }
+
+        // PDR on the optimized model, certifying against it.
+        match check_pdr(&optimized, 0, &PdrOptions::default()) {
+            PdrResult::Proven(invariant) => {
+                prop_assert!(exact_safe, "optimized PDR proved a violated model (seed {seed})");
+                prop_assert!(
+                    invariant.certify(&optimized, optimized.bads[0].lit),
+                    "optimized PDR invariant failed certification (seed {seed})"
+                );
+            }
+            PdrResult::Violated(trace) => {
+                prop_assert!(!exact_safe, "optimized PDR refuted a safe model (seed {seed})");
+                prop_assert!(
+                    trace_replays(&optimized, &trace),
+                    "optimized PDR counterexample does not replay (seed {seed})"
+                );
+            }
+            PdrResult::Unknown { frames_explored } => {
+                panic!("optimized PDR undecided on a tiny model (seed {seed}, {frames_explored} frames)")
+            }
+        }
+    }
 }
 
 /// The struct-aware front end is a zero-cost view over flat signals: the
@@ -457,7 +543,8 @@ fn struct_and_flat_twin_reports_are_byte_identical() {
 /// The orchestrator's determinism contract: a fully sequential run
 /// (`threads = 1`) and a parallel run (`threads = 4`) of the whole Table III
 /// corpus must render byte-identical reports — same statuses, same proof
-/// artifacts, same slice sizes, independent of thread interleaving.
+/// artifacts, same slice sizes, independent of thread interleaving — with
+/// the AIG optimization pass both enabled and disabled.
 #[test]
 fn parallel_and_sequential_corpus_reports_are_byte_identical() {
     for case in all_cases() {
@@ -470,22 +557,64 @@ fn parallel_and_sequential_corpus_reports_are_byte_identical() {
             let ft = build_testbench(&case);
             let design = elaborated(&case, variant);
 
-            let mut sequential = default_check_options(&case, variant);
-            sequential.parallel.threads = 1;
-            let seq_report =
-                verify_elaborated(&design, &ft, &sequential).expect("sequential run succeeds");
+            for opt in [true, false] {
+                let mut sequential = default_check_options(&case, variant);
+                sequential.parallel.threads = 1;
+                sequential.parallel.opt = opt;
+                let seq_report =
+                    verify_elaborated(&design, &ft, &sequential).expect("sequential run succeeds");
 
-            let mut parallel = default_check_options(&case, variant);
-            parallel.parallel.threads = 4;
-            let par_report =
-                verify_elaborated(&design, &ft, &parallel).expect("parallel run succeeds");
+                let mut parallel = default_check_options(&case, variant);
+                parallel.parallel.threads = 4;
+                parallel.parallel.opt = opt;
+                let par_report =
+                    verify_elaborated(&design, &ft, &parallel).expect("parallel run succeeds");
 
-            assert_eq!(
-                seq_report.render(),
-                par_report.render(),
-                "{} ({variant:?}): sequential and parallel reports diverge",
-                case.id
-            );
+                assert_eq!(
+                    seq_report.render(),
+                    par_report.render(),
+                    "{} ({variant:?}, opt={opt}): sequential and parallel reports diverge",
+                    case.id
+                );
+            }
         }
     }
+}
+
+/// The measured acceptance bar for the optimization pass: across every COI
+/// slice of the whole corpus (both variants), optimization shrinks the
+/// summed gate count by at least 15%.
+#[test]
+fn optimization_shrinks_the_summed_corpus_slices_by_at_least_15_percent() {
+    use autosva_formal::opt;
+
+    let mut before_total = 0usize;
+    let mut after_total = 0usize;
+    for case in all_cases() {
+        for variant in [Variant::Buggy, Variant::Fixed] {
+            if variant == Variant::Buggy && !case.has_bug_parameter {
+                continue;
+            }
+            let design = elaborated(&case, variant);
+            let ft = build_testbench(&case);
+            let compiled =
+                autosva_formal::compile::compile(&design, &ft).expect("corpus case compiles");
+            let model = &compiled.model;
+            let mut slices: Vec<SliceTarget> = Vec::new();
+            slices.extend((0..model.bads.len()).map(SliceTarget::Bad));
+            slices.extend((0..model.covers.len()).map(SliceTarget::Cover));
+            slices.extend((0..model.liveness.len()).map(SliceTarget::Liveness));
+            for target in slices {
+                let slice = cone_of_influence(model, target);
+                before_total += slice.model.aig.num_ands();
+                after_total += opt::optimize(&slice.model).model.aig.num_ands();
+            }
+        }
+    }
+    let reduction = 100.0 * (before_total - after_total) as f64 / before_total.max(1) as f64;
+    assert!(
+        reduction >= 15.0,
+        "optimization shrank summed corpus slice gates by only {reduction:.1}% \
+         ({before_total} -> {after_total}); the documented bar is 15%"
+    );
 }

@@ -21,7 +21,13 @@
 //!    corpus: asserts the summed slice gate count shrinks by at least the
 //!    documented 15%, and that the corpus verdicts are identical with the
 //!    pass on and off.
-//! 4. **Orchestrator ablation** — the full Table III corpus runs
+//! 4. **Simulation ablation** — the pre-cascade stimulus fuzzer on vs.
+//!    off over the whole corpus: asserts verdict counts agree and the
+//!    rendered reports are byte-identical (the determinism contract), then
+//!    times the buggy variants separately and asserts every safety
+//!    violation closes *pre-SAT* — found by the fuzzer, carrying
+//!    `engine: fuzz` provenance.
+//! 5. **Orchestrator ablation** — the full Table III corpus runs
 //!    sequentially on the full model (the pre-orchestrator baseline),
 //!    parallel on per-property cone-of-influence slices, parallel with the
 //!    in-memory proof cache (cold, then warm), and against an on-disk
@@ -301,6 +307,70 @@ fn opt_ablation() {
     );
 }
 
+fn simulation_ablation() {
+    use autosva::sva::{Directive, PropertyClass};
+
+    println!("\nSimulation ablation: pre-cascade stimulus fuzzer on vs. off, full corpus");
+    println!("{:-<130}", "");
+    let (on_time, on_counts, on_renders) = corpus_run("corpus, fuzzer on", |_| {});
+    let (off_time, off_counts, off_renders) = corpus_run("corpus, fuzzer off", |o| {
+        o.fuzz.enabled = false;
+    });
+    println!("corpus: fuzzer on {on_time:.1?}, off {off_time:.1?}");
+    assert_eq!(
+        on_counts, off_counts,
+        "the fuzz stage changed corpus verdicts"
+    );
+    assert_eq!(
+        on_renders, off_renders,
+        "the fuzz stage must not change a single report byte (confirmed hits \
+         are re-minimized to the canonical trace length before reporting)"
+    );
+
+    // The buggy variants in isolation: every safety violation must close
+    // *before* the first SAT query — found by the fuzzer and carrying its
+    // provenance — and the wall-clock shows what skipping the SAT search
+    // for the shallow bugs is worth.
+    println!("{:-<130}", "");
+    for case in all_cases() {
+        if !case.has_bug_parameter {
+            continue;
+        }
+        let ft = build_testbench(&case);
+        let design = elaborated(&case, Variant::Buggy);
+        let mut timings = Vec::new();
+        let mut fuzz_found = 0usize;
+        for enabled in [true, false] {
+            let mut options = default_check_options(&case, Variant::Buggy);
+            options.fuzz.enabled = enabled;
+            let start = Instant::now();
+            let report = verify_elaborated(&design, &ft, &options).expect("verification runs");
+            timings.push(start.elapsed());
+            if enabled {
+                for r in &report.results {
+                    if r.directive == Directive::Assert
+                        && r.class != PropertyClass::Liveness
+                        && r.status.is_violation()
+                    {
+                        assert_eq!(
+                            r.engine,
+                            Some("fuzz"),
+                            "{} buggy: safety violation {} was not closed pre-SAT",
+                            case.id,
+                            r.name
+                        );
+                        fuzz_found += 1;
+                    }
+                }
+            }
+        }
+        println!(
+            "{:<4} buggy: {} safety violation(s) closed pre-SAT; fuzzer on {:>9.1?}, off {:>9.1?}",
+            case.id, fuzz_found, timings[0], timings[1]
+        );
+    }
+}
+
 /// PR 3's release-mode cold full-corpus baseline was 2.6 s (PR 4's solver
 /// work brought it to ~1.3–1.4 s on the same machine).  The absolute guard
 /// uses 2x headroom so noisy shared CI runners don't flake, and a relative
@@ -478,5 +548,6 @@ fn main() {
 
     solver_ablation();
     opt_ablation();
+    simulation_ablation();
     orchestrator_ablation();
 }

@@ -1,0 +1,126 @@
+//! Fuzz smoke: the pre-cascade stimulus fuzzer **alone** — every SAT engine
+//! disabled — must find every shallow Table III buggy-variant safety
+//! violation within its default budget, report it with `engine: fuzz`
+//! provenance, and dump a standards-conformant VCD waveform for it.
+//!
+//! Ground truth comes from a fuzz-off run of the full cascade in the same
+//! process: the set of violated non-liveness assertions there is exactly
+//! the set the fuzzer must reproduce.  Fixed variants ride along as the
+//! no-false-positives half: the replay-confirmed fuzzer must stay silent on
+//! them.
+//!
+//! ```sh
+//! cargo run --release -p autosva-bench --example fuzz_smoke -- /tmp/fuzz-vcd
+//! ```
+
+use autosva::sva::{Directive, PropertyClass};
+use autosva_bench::{build_testbench, default_check_options};
+use autosva_designs::{all_cases, elaborated, Variant};
+use autosva_formal::checker::{verify_elaborated, VerificationReport};
+use autosva_formal::vcd;
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Names of the violated safety-side assertions (everything the fuzzer is
+/// in scope for: assert directive, non-liveness class).
+fn safety_violations(report: &VerificationReport) -> BTreeSet<String> {
+    report
+        .results
+        .iter()
+        .filter(|r| {
+            r.directive == Directive::Assert
+                && r.class != PropertyClass::Liveness
+                && r.status.is_violation()
+        })
+        .map(|r| r.name.clone())
+        .collect()
+}
+
+fn main() {
+    let vcd_root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            eprintln!("usage: fuzz_smoke <vcd-dir>");
+            std::process::exit(2);
+        });
+    let _ = std::fs::remove_dir_all(&vcd_root);
+
+    let start = Instant::now();
+    let mut bugs_found = 0usize;
+    let mut waveforms = 0usize;
+    for case in all_cases() {
+        let variants: &[Variant] = if case.has_bug_parameter {
+            &[Variant::Fixed, Variant::Buggy]
+        } else {
+            &[Variant::Fixed]
+        };
+        for &variant in variants {
+            let ft = build_testbench(&case);
+            let design = elaborated(&case, variant);
+
+            // Ground truth: the full SAT cascade, fuzz off.
+            let mut full = default_check_options(&case, variant);
+            full.fuzz.enabled = false;
+            let truth = verify_elaborated(&design, &ft, &full).expect("full cascade runs");
+            let expected = safety_violations(&truth);
+
+            // Fuzzer alone: every SAT engine off, waveforms on.
+            let vcd_dir = vcd_root.join(format!("{}_{variant:?}", case.id));
+            let mut fuzz_only = default_check_options(&case, variant);
+            fuzz_only.disable_bmc = true;
+            fuzz_only.disable_pdr = true;
+            fuzz_only.disable_explicit = true;
+            fuzz_only.vcd.dir = Some(vcd_dir.clone());
+            let fuzzed =
+                verify_elaborated(&design, &ft, &fuzz_only).expect("fuzz-only run succeeds");
+            let found = safety_violations(&fuzzed);
+
+            assert_eq!(
+                found,
+                expected,
+                "{} ({variant:?}): fuzz-only safety violations diverge from the \
+                 full cascade's\n--- fuzz-only ---\n{}\n--- full cascade ---\n{}",
+                case.id,
+                fuzzed.render(),
+                truth.render()
+            );
+            for r in &fuzzed.results {
+                if r.status.is_violation() {
+                    assert_eq!(
+                        r.engine,
+                        Some("fuzz"),
+                        "{} ({variant:?}): {} lacks fuzz provenance",
+                        case.id,
+                        r.name
+                    );
+                    let path = vcd_dir.join(vcd::file_name(&fuzzed.dut, &r.name));
+                    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                        panic!("{}: missing waveform {}: {e}", case.id, path.display())
+                    });
+                    let summary = vcd::validate(&text).unwrap_or_else(|e| {
+                        panic!("{}: {} fails validation: {e}", case.id, path.display())
+                    });
+                    assert!(summary.timestamps >= 2 && summary.vars >= 2);
+                    waveforms += 1;
+                }
+            }
+            bugs_found += found.len();
+            println!(
+                "{:12} {variant:?}: {} safety violation(s) by fuzz alone",
+                case.id,
+                found.len()
+            );
+        }
+    }
+    assert!(
+        bugs_found > 0,
+        "the buggy corpus must contain fuzzable safety violations"
+    );
+    assert_eq!(waveforms, bugs_found, "one waveform per violation");
+    eprintln!(
+        "fuzz_smoke: {bugs_found} bug(s), {waveforms} waveform(s) in {:.1?}",
+        start.elapsed()
+    );
+}

@@ -27,6 +27,7 @@ use crate::coi::{cone_of_influence, fingerprint, Fingerprint, SliceTarget};
 use crate::compile::{compile, CompiledKind, CompiledTestbench};
 use crate::elab::{elaborate, ElabDesign, ElabOptions, Result};
 use crate::explicit::{ExplicitEngine, ExplicitOptions, ExplicitResult};
+use crate::fuzz::{fuzz_safety, FuzzOptions};
 use crate::lint::{LintOptions, LintReport};
 use crate::model::{LivenessSafetyModel, Model};
 use crate::pdr::{check_pdr_detailed, check_pdr_lit_detailed, PdrOptions, PdrResult};
@@ -35,6 +36,7 @@ use crate::portfolio::{
 };
 use crate::sat::{SolverConfig, SolverStats};
 use crate::trace::Trace;
+use crate::vcd::VcdOptions;
 use autosva::sva::{Directive, PropertyClass};
 use autosva::FormalTestbench;
 use std::collections::HashMap;
@@ -66,11 +68,26 @@ pub struct CheckOptions {
     /// Disable the PDR stage entirely (used by the engine ablation
     /// benchmarks).
     pub disable_pdr: bool,
+    /// Disable every BMC stage (quick and full-depth) of the cascade.  Used
+    /// by the engine ablation benchmarks and the fuzz-only smoke mode; also
+    /// skips the SAT re-minimization of fuzzer-found counterexamples.
+    pub disable_bmc: bool,
     /// Depth of the *quick* BMC pass run before the exact engine.  Short
     /// counterexamples are found here with minimal effort; anything deeper is
     /// left to the exact engine (or to the full-depth BMC when the exact
     /// engine is unavailable).
     pub quick_bmc_depth: usize,
+    /// The pre-cascade stimulus fuzzer: bit-parallel simulation of every
+    /// safety property's slice, hunting shallow bugs before any SAT query.
+    /// Confirmed hits are re-minimized by a depth-bounded BMC call (unless
+    /// `disable_bmc`), so the reported trace — and therefore
+    /// [`VerificationReport::render`] — is byte-identical with the fuzz
+    /// stage on or off, for any seed.
+    pub fuzz: FuzzOptions,
+    /// Waveform output: when a directory is set, every counterexample and
+    /// witness trace — fuzzer-found and SAT-found — is written there as a
+    /// VCD file named by [`crate::vcd::file_name`].
+    pub vcd: VcdOptions,
     /// Orchestration: worker-thread count (`threads = 1` is the sequential
     /// escape hatch), per-property cone-of-influence slicing, optional
     /// per-property time budgets, and the proof cache.
@@ -122,7 +139,10 @@ impl Default for CheckOptions {
                 generalize_rounds: 2,
             },
             disable_pdr: false,
+            disable_bmc: false,
             quick_bmc_depth: 10,
+            fuzz: FuzzOptions::default(),
+            vcd: VcdOptions::default(),
             parallel: ParallelOptions::default(),
             cache: CacheOptions::default(),
             solver: SolverConfig::default(),
@@ -263,6 +283,13 @@ pub struct PropertyResult {
     /// Caveat attached to the outcome (e.g. the bounded-lasso note on an
     /// undecided liveness property, or an exhausted time budget).
     pub note: Option<String>,
+    /// Engine provenance when the verdict came from outside the SAT
+    /// cascade: `Some("fuzz")` marks a violation found by the pre-cascade
+    /// stimulus fuzzer (replay-confirmed, then re-minimized).  Rendered
+    /// only by [`VerificationReport::render_timed`], so
+    /// [`VerificationReport::render`] stays byte-identical with the fuzz
+    /// stage on or off.
+    pub engine: Option<&'static str>,
     /// Aggregated SAT-solver counters across every engine stage that ran
     /// for this property (all zeros for cache hits and unchecked
     /// properties).  Rendered by [`VerificationReport::render_timed`];
@@ -412,6 +439,10 @@ impl VerificationReport {
         for r in &self.results {
             let prefix = format!("  {:>8.1?}", r.runtime);
             self.render_row(&mut out, r, name_width, &prefix);
+            if let Some(engine) = r.engine {
+                let pad = name_width + prefix.chars().count();
+                out.push_str(&format!("  {:pad$}  engine: {engine}\n", ""));
+            }
             if r.stats != SolverStats::default() {
                 let pad = name_width + prefix.chars().count();
                 let s = r.stats;
@@ -528,21 +559,22 @@ pub fn verify_elaborated_with_source(
     let threads = options.parallel.effective_threads();
     let outcomes = run_ordered(&tasks, threads, &ctx.cancel, |_, task| {
         let t0 = Instant::now();
-        let (status, note, stats) = run_task(task, &ctx);
+        let (status, note, stats, engine) = run_task(task, &ctx);
         if ctx.options.parallel.stop_on_violation && status.is_violation() {
             ctx.cancel.store(true, Ordering::Relaxed);
         }
-        (status, note, stats, t0.elapsed())
+        (status, note, stats, engine, t0.elapsed())
     });
 
     // Assembly in annotation order, independent of completion order.
     let mut results = Vec::with_capacity(tasks.len());
     for ((prop, task), outcome) in compiled.properties.iter().zip(&tasks).zip(outcomes) {
-        let (status, note, stats, runtime) = outcome.unwrap_or_else(|| {
+        let (status, note, stats, engine, runtime) = outcome.unwrap_or_else(|| {
             (
                 PropertyStatus::Unknown,
                 Some("not started: the shared cancellation flag was raised".to_string()),
                 SolverStats::default(),
+                None,
                 Duration::ZERO,
             )
         });
@@ -555,6 +587,7 @@ pub fn verify_elaborated_with_source(
             slice_latches: task.cone_latches,
             slice_gates: task.cone_gates,
             note,
+            engine,
             stats,
         });
     }
@@ -563,6 +596,20 @@ pub fn verify_elaborated_with_source(
     // non-fatal: the cache is advisory and the report is already complete.
     if let Some(cache) = &ctx.cache {
         let _ = cache.flush();
+    }
+
+    // Waveform output: one VCD per counterexample/witness trace, under the
+    // stable on-disk naming scheme.  Best-effort like the cache — an I/O
+    // failure must not fail a completed verification run.
+    if let Some(dir) = &options.vcd.dir {
+        let _ = std::fs::create_dir_all(dir);
+        for r in &results {
+            if let Some(trace) = r.status.trace() {
+                let path = dir.join(crate::vcd::file_name(&testbench.dut_name, &r.name));
+                let text = crate::vcd::render(trace, &testbench.dut_name, &r.name);
+                let _ = std::fs::write(path, text);
+            }
+        }
     }
 
     Ok(VerificationReport {
@@ -875,20 +922,67 @@ fn store(cache: Option<&ProofCache>, key: &CacheKey, outcome: CachedOutcome) {
     }
 }
 
+/// The engine-provenance tag of verdicts produced by the pre-cascade
+/// stimulus fuzzer.
+pub const FUZZ_ENGINE: &str = "fuzz";
+
 fn run_task(
     task: &PropertyTask,
     ctx: &TaskCtx<'_>,
-) -> (PropertyStatus, Option<String>, SolverStats) {
+) -> (
+    PropertyStatus,
+    Option<String>,
+    SolverStats,
+    Option<&'static str>,
+) {
     match &task.kind {
-        TaskKind::Done(status) => (status.clone(), None, SolverStats::default()),
+        TaskKind::Done(status) => (status.clone(), None, SolverStats::default(), None),
         TaskKind::Safety { model, index, fp } => check_safety_task(model, *index, *fp, ctx),
-        TaskKind::Cover { model, index, fp } => check_cover_task(model, *index, *fp, ctx),
+        TaskKind::Cover { model, index, fp } => {
+            let (status, note, stats) = check_cover_task(model, *index, *fp, ctx);
+            (status, note, stats, None)
+        }
         TaskKind::Liveness {
             base,
             l2s,
             index,
             fp,
-        } => check_liveness_task(base, l2s, *index, *fp, ctx),
+        } => {
+            let (status, note, stats) = check_liveness_task(base, l2s, *index, *fp, ctx);
+            (status, note, stats, None)
+        }
+    }
+}
+
+/// Canonicalizes a safety counterexample to the *minimal* depth via a
+/// bounded BMC call (guaranteed SAT at or below the witnessed depth).  PDR
+/// and the explicit engine return correct but not necessarily shortest
+/// traces, and the fuzzer's hits land wherever the stimulus happened to
+/// strike; re-minimizing makes the reported trace length a function of the
+/// model alone, so `render()` is byte-identical no matter which engine got
+/// there first.  A no-op under `disable_bmc` (the ablation configurations
+/// keep each engine's raw trace).
+fn minimize_safety_cex(
+    model: &Model,
+    index: usize,
+    trace: Trace,
+    options: &CheckOptions,
+    stats: &mut SolverStats,
+) -> Trace {
+    if options.disable_bmc || trace.is_empty() {
+        return trace;
+    }
+    let bound = BmcOptions {
+        max_depth: trace.len() - 1,
+        max_induction: 0,
+    };
+    let (result, s) = check_safety_detailed(model, index, &bound, options.solver);
+    *stats += s;
+    match result {
+        SafetyResult::Violated(minimal) => minimal,
+        // Unreachable (a concrete witness exists at this depth), but never
+        // let the minimizer lose the verdict.
+        _ => trace,
     }
 }
 
@@ -897,7 +991,12 @@ fn check_safety_task(
     index: usize,
     fp: Fingerprint,
     ctx: &TaskCtx<'_>,
-) -> (PropertyStatus, Option<String>, SolverStats) {
+) -> (
+    PropertyStatus,
+    Option<String>,
+    SolverStats,
+    Option<&'static str>,
+) {
     let options = ctx.options;
     let cache = ctx.cache.as_ref();
     let bad = model.bads[index].lit;
@@ -908,43 +1007,67 @@ fn check_safety_task(
     let mut stats = SolverStats::default();
     if let Some(cache) = cache {
         if let Some(verdict) = cache.lookup(&key, model, bad) {
-            return (cached_status(verdict, model), None, stats);
+            return (cached_status(verdict, model), None, stats, None);
         }
     }
     let budget = Budget::start(options);
-    // Quick, shallow BMC first: it produces the shortest traces for the
-    // common "bug within a few cycles" case at minimal cost.
-    let quick = BmcOptions {
-        max_depth: options.quick_bmc_depth.min(options.bmc.max_depth),
-        max_induction: 3.min(options.bmc.max_induction),
-    };
-    let (result, s) = check_safety_detailed(model, index, &quick, options.solver);
-    stats += s;
-    match result {
-        SafetyResult::Proven { induction_depth } => {
-            store(
-                cache,
-                &key,
-                CachedOutcome::Induction {
-                    depth: induction_depth,
-                },
-            );
+    // The simulation fuzzer runs before any SAT query: concrete 64-lane
+    // stimulus over the slice, with every hit replay-confirmed.  The SAT
+    // engines only ever see the survivors.  A confirmed hit is re-minimized
+    // (see `minimize_safety_cex`) so the reported trace has the same
+    // minimal length the fuzz-off cascade reports and `render()` stays
+    // byte-identical with the stage on or off, for any seed.
+    if options.fuzz.enabled {
+        if let Some(hit) = fuzz_safety(model, index, &options.fuzz) {
+            let trace = minimize_safety_cex(model, index, hit.trace, options, &mut stats);
+            store(cache, &key, CachedOutcome::Violated(trace.clone()));
             return (
-                PropertyStatus::Proven(Proof::Induction {
-                    depth: induction_depth,
-                }),
+                PropertyStatus::Violated(trace),
                 None,
                 stats,
+                Some(FUZZ_ENGINE),
             );
         }
-        SafetyResult::Violated(trace) => {
-            store(cache, &key, CachedOutcome::Violated(trace.clone()));
-            return (PropertyStatus::Violated(trace), None, stats);
-        }
-        SafetyResult::Unknown { .. } => {}
     }
     if budget.exhausted() {
-        return (PropertyStatus::Unknown, budget.note(options), stats);
+        return (PropertyStatus::Unknown, budget.note(options), stats, None);
+    }
+    // Quick, shallow BMC first: it produces the shortest traces for the
+    // common "bug within a few cycles" case at minimal cost.
+    if !options.disable_bmc {
+        let quick = BmcOptions {
+            max_depth: options.quick_bmc_depth.min(options.bmc.max_depth),
+            max_induction: 3.min(options.bmc.max_induction),
+        };
+        let (result, s) = check_safety_detailed(model, index, &quick, options.solver);
+        stats += s;
+        match result {
+            SafetyResult::Proven { induction_depth } => {
+                store(
+                    cache,
+                    &key,
+                    CachedOutcome::Induction {
+                        depth: induction_depth,
+                    },
+                );
+                return (
+                    PropertyStatus::Proven(Proof::Induction {
+                        depth: induction_depth,
+                    }),
+                    None,
+                    stats,
+                    None,
+                );
+            }
+            SafetyResult::Violated(trace) => {
+                store(cache, &key, CachedOutcome::Violated(trace.clone()));
+                return (PropertyStatus::Violated(trace), None, stats, None);
+            }
+            SafetyResult::Unknown { .. } => {}
+        }
+    }
+    if budget.exhausted() {
+        return (PropertyStatus::Unknown, budget.note(options), stats, None);
     }
     // PDR: the unbounded engine that closes the reachability-dependent
     // proofs (counter-vs-state invariants) induction cannot, without the
@@ -966,33 +1089,41 @@ fn check_safety_task(
                     PropertyStatus::Proven(invariant_proof(&invariant, &model.aig)),
                     None,
                     stats,
+                    None,
                 );
             }
             PdrResult::Violated(trace) => {
+                let trace = minimize_safety_cex(model, index, trace, options, &mut stats);
                 store(cache, &key, CachedOutcome::Violated(trace.clone()));
-                return (PropertyStatus::Violated(trace), None, stats);
+                return (PropertyStatus::Violated(trace), None, stats, None);
             }
             PdrResult::Unknown { .. } => {}
         }
     }
     if budget.exhausted() {
-        return (PropertyStatus::Unknown, budget.note(options), stats);
+        return (PropertyStatus::Unknown, budget.note(options), stats, None);
     }
     if let Some(bundle) = explicit_bundle(ctx, fp, model) {
         match bundle.engine.check_bad(bad) {
             ExplicitResult::Proven => {
                 store(cache, &key, CachedOutcome::Reachability);
-                return (PropertyStatus::Proven(Proof::Reachability), None, stats);
+                return (
+                    PropertyStatus::Proven(Proof::Reachability),
+                    None,
+                    stats,
+                    None,
+                );
             }
             ExplicitResult::Violated(trace) => {
+                let trace = minimize_safety_cex(model, index, trace, options, &mut stats);
                 store(cache, &key, CachedOutcome::Violated(trace.clone()));
-                return (PropertyStatus::Violated(trace), None, stats);
+                return (PropertyStatus::Violated(trace), None, stats, None);
             }
             ExplicitResult::Exceeded => {}
         }
     }
-    if budget.exhausted() {
-        return (PropertyStatus::Unknown, budget.note(options), stats);
+    if budget.exhausted() || options.disable_bmc {
+        return (PropertyStatus::Unknown, budget.note(options), stats, None);
     }
     // Exact engines unavailable: fall back to the full-depth bounded
     // engines.
@@ -1013,13 +1144,14 @@ fn check_safety_task(
                 }),
                 None,
                 stats,
+                None,
             )
         }
         SafetyResult::Violated(trace) => {
             store(cache, &key, CachedOutcome::Violated(trace.clone()));
-            (PropertyStatus::Violated(trace), None, stats)
+            (PropertyStatus::Violated(trace), None, stats, None)
         }
-        SafetyResult::Unknown { .. } => (PropertyStatus::Unknown, None, stats),
+        SafetyResult::Unknown { .. } => (PropertyStatus::Unknown, None, stats, None),
     }
 }
 
@@ -1043,26 +1175,28 @@ fn check_cover_task(
         }
     }
     let budget = Budget::start(options);
-    let quick = BmcOptions {
-        max_depth: options.quick_bmc_depth.min(options.bmc.max_depth),
-        max_induction: 3.min(options.bmc.max_induction),
-    };
-    let (result, s) = check_cover_detailed(model, index, &quick, options.solver);
-    stats += s;
-    match result {
-        CoverResult::Covered(trace) => {
-            store(cache, &key, CachedOutcome::Covered(trace.clone()));
-            return (PropertyStatus::Covered(trace), None, stats);
+    if !options.disable_bmc {
+        let quick = BmcOptions {
+            max_depth: options.quick_bmc_depth.min(options.bmc.max_depth),
+            max_induction: 3.min(options.bmc.max_induction),
+        };
+        let (result, s) = check_cover_detailed(model, index, &quick, options.solver);
+        stats += s;
+        match result {
+            CoverResult::Covered(trace) => {
+                store(cache, &key, CachedOutcome::Covered(trace.clone()));
+                return (PropertyStatus::Covered(trace), None, stats);
+            }
+            CoverResult::Unreachable => {
+                store(
+                    cache,
+                    &key,
+                    CachedOutcome::Unreachable { certificate: None },
+                );
+                return (PropertyStatus::Unreachable, None, stats);
+            }
+            CoverResult::Unknown { .. } => {}
         }
-        CoverResult::Unreachable => {
-            store(
-                cache,
-                &key,
-                CachedOutcome::Unreachable { certificate: None },
-            );
-            return (PropertyStatus::Unreachable, None, stats);
-        }
-        CoverResult::Unknown { .. } => {}
     }
     if budget.exhausted() {
         return (PropertyStatus::Unknown, budget.note(options), stats);
@@ -1113,7 +1247,7 @@ fn check_cover_task(
             ExplicitResult::Exceeded => {}
         }
     }
-    if budget.exhausted() {
+    if budget.exhausted() || options.disable_bmc {
         return (PropertyStatus::Unknown, budget.note(options), stats);
     }
     let (result, s) = check_cover_detailed(model, index, &options.bmc, options.solver);
@@ -1161,34 +1295,36 @@ fn check_liveness_task(
     // the transformed model's bad vector.  BMC on the transformed model
     // finds short counterexample lassos; proofs fall through to PDR and
     // then to the exact engine.
-    let quick = BmcOptions {
-        max_depth: options.quick_bmc_depth.min(options.liveness_bmc.max_depth),
-        max_induction: options.liveness_bmc.max_induction.min(3),
-    };
-    let (result, s) = check_safety_detailed(model, index, &quick, options.solver);
-    stats += s;
-    match result {
-        SafetyResult::Proven { induction_depth } => {
-            store(
-                cache,
-                &key,
-                CachedOutcome::Induction {
-                    depth: induction_depth,
-                },
-            );
-            return (
-                PropertyStatus::Proven(Proof::Induction {
-                    depth: induction_depth,
-                }),
-                None,
-                stats,
-            );
+    if !options.disable_bmc {
+        let quick = BmcOptions {
+            max_depth: options.quick_bmc_depth.min(options.liveness_bmc.max_depth),
+            max_induction: options.liveness_bmc.max_induction.min(3),
+        };
+        let (result, s) = check_safety_detailed(model, index, &quick, options.solver);
+        stats += s;
+        match result {
+            SafetyResult::Proven { induction_depth } => {
+                store(
+                    cache,
+                    &key,
+                    CachedOutcome::Induction {
+                        depth: induction_depth,
+                    },
+                );
+                return (
+                    PropertyStatus::Proven(Proof::Induction {
+                        depth: induction_depth,
+                    }),
+                    None,
+                    stats,
+                );
+            }
+            SafetyResult::Violated(trace) => {
+                store(cache, &key, CachedOutcome::Violated(trace.clone()));
+                return (PropertyStatus::Violated(trace), None, stats);
+            }
+            SafetyResult::Unknown { .. } => {}
         }
-        SafetyResult::Violated(trace) => {
-            store(cache, &key, CachedOutcome::Violated(trace.clone()));
-            return (PropertyStatus::Violated(trace), None, stats);
-        }
-        SafetyResult::Unknown { .. } => {}
     }
     if budget.exhausted() {
         return (PropertyStatus::Unknown, budget.note(options), stats);
@@ -1240,6 +1376,9 @@ fn check_liveness_task(
     }
     if budget.exhausted() {
         return (PropertyStatus::Unknown, budget.note(options), stats);
+    }
+    if options.disable_bmc {
+        return (PropertyStatus::Unknown, None, stats);
     }
     let (result, s) = check_safety_detailed(model, index, &options.liveness_bmc, options.solver);
     stats += s;

@@ -3095,7 +3095,7 @@ mod tests {
                 .into_iter()
                 .map(|(n, v)| (n.to_string(), v))
                 .collect();
-        sim.step(&inputs);
+        sim.step_named(&inputs);
         let s_q = design.signal("s_q").unwrap();
         let got: u32 = s_q
             .iter()

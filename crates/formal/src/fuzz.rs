@@ -1,0 +1,377 @@
+//! Pre-cascade stimulus fuzzing over the bit-parallel simulator.
+//!
+//! Most of the Table III bugs are shallow: a few cycles of the right
+//! stimulus reach the bad state.  This module hunts for them *before* any
+//! SAT engine runs, by driving the 64-lane word evaluator
+//! ([`crate::psim`]) over the property's optimized cone-of-influence slice
+//! with a mix of stimulus strategies, split across the lanes of every word:
+//!
+//! * **seeded-random** — uniform per-bit stimulus from the deterministic
+//!   [`rand::rngs::StdRng`] stream;
+//! * **biased** — the same stream thinned toward all-zero (quiet
+//!   interfaces) and toward all-one (saturating handshakes), one lane group
+//!   each;
+//! * **reset-directed** — lanes that hold every input low for a
+//!   round-dependent warm-up window after reset before going random,
+//!   approximating directed post-reset sequences;
+//! * **constraint-respecting** — a lane whose stimulus would falsify an
+//!   invariant assumption gets its inputs redrawn (a bounded number of
+//!   times per cycle) until the assumptions hold again; lanes still
+//!   violating after the redraw budget are retired for the rest of the
+//!   round.  Plain rejection sampling dies within a few cycles under a
+//!   restrictive environment; per-cycle redrawing keeps the whole lane
+//!   population inside the legal stimulus space, so no spurious violation
+//!   can be reported and deep-but-legal paths stay reachable.
+//!
+//! A lane that reaches a bad state is extracted into a concrete per-cycle
+//! stimulus vector and **replayed through the existing two-state monitor**
+//! ([`crate::sim::Simulator`]): only if the replay confirms the violation —
+//! every constraint holds on every cycle and the bad fires at the final
+//! cycle — does the fuzzer report a [`FuzzHit`].  The SAT cascade only ever
+//! sees the survivors.
+//!
+//! The search is fully deterministic: fixed seed, fixed lane-group layout,
+//! first-hit-cycle/lowest-lane extraction order.
+
+use crate::aig::Lit;
+use crate::model::{BadProperty, Model};
+use crate::psim::{LaneWord, ParallelSim, ALL_LANES};
+use crate::sim::Simulator;
+use crate::trace::Trace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Lanes 0–15: uniform random stimulus.
+const RANDOM_LANES: LaneWord = 0x0000_0000_0000_FFFF;
+/// Lanes 16–31: stimulus biased low (each input high with p = 1/4).
+const LOW_LANES: LaneWord = 0x0000_0000_FFFF_0000;
+/// Lanes 32–47: stimulus biased high (each input high with p = 3/4).
+const HIGH_LANES: LaneWord = 0x0000_FFFF_0000_0000;
+/// Lanes 48–63: reset-directed — all inputs held low through a warm-up
+/// window, then uniform random.
+const RESET_LANES: LaneWord = 0xFFFF_0000_0000_0000;
+
+/// Per-cycle redraw attempts for lanes whose stimulus falsifies an
+/// invariant assumption before they are retired for the round.
+const CONSTRAINT_REDRAWS: usize = 8;
+
+/// Stimulus-fuzzer knobs (part of [`crate::checker::CheckOptions`]).
+///
+/// The per-property budget is `rounds * cycles` simulated cycles, each
+/// carrying 64 stimulus lanes — with the defaults, 65 536 concrete
+/// stimulus-cycles per safety property before the first SAT query.
+#[derive(Debug, Clone)]
+pub struct FuzzOptions {
+    /// Run the fuzz stage before the SAT cascade for safety properties.
+    /// The reported verdicts are unaffected either way (a confirmed hit is
+    /// a true violation and is re-minimized before reporting); the knob
+    /// exists for ablation and for byte-identity checks of the two paths.
+    pub enabled: bool,
+    /// Independent restarts per property, each from a derived seed and a
+    /// different reset-directed warm-up window.
+    pub rounds: usize,
+    /// Simulated cycles per round (the depth horizon of the search).
+    pub cycles: usize,
+    /// Base seed of the deterministic stimulus stream.
+    pub seed: u64,
+}
+
+impl Default for FuzzOptions {
+    fn default() -> Self {
+        FuzzOptions {
+            enabled: true,
+            rounds: 4,
+            cycles: 256,
+            seed: 0xDAC2_2021,
+        }
+    }
+}
+
+/// A replay-confirmed safety violation found by the fuzzer.
+#[derive(Debug, Clone)]
+pub struct FuzzHit {
+    /// The confirmed counterexample: inputs and latches per cycle, exactly
+    /// the shape the bounded model checker extracts.  The bad state fires
+    /// at the final cycle.
+    pub trace: Trace,
+    /// Cycle at which the bad state fired (`trace.len() - 1`).
+    pub cycle: usize,
+    /// Lane of the 64-lane word that hit the bad state.
+    pub lane: usize,
+    /// Round (restart) in which the hit was found.
+    pub round: usize,
+}
+
+/// Fuzzes safety property `model.bads[bad_index]` within the configured
+/// budget.  Returns the first replay-confirmed violation (deterministic:
+/// earliest round, then earliest cycle, then lowest lane), or `None` when
+/// the budget drains without a confirmed hit.
+pub fn fuzz_safety(model: &Model, bad_index: usize, options: &FuzzOptions) -> Option<FuzzHit> {
+    let bad = model.bads[bad_index].lit;
+    let num_inputs = model.aig.num_inputs();
+    let mut sim = ParallelSim::new(model);
+    let mut inputs = vec![0u64; num_inputs];
+    // Per-cycle stimulus history of the round, for lane extraction.
+    let mut history: Vec<Vec<LaneWord>> = Vec::with_capacity(options.cycles);
+
+    for round in 0..options.rounds {
+        // SplitMix-style round-seed derivation keeps the rounds' streams
+        // decorrelated even for adjacent base seeds.
+        let round_seed = options
+            .seed
+            .wrapping_add((round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = StdRng::seed_from_u64(round_seed);
+        let warmup = 2 + 3 * round;
+        sim.reset();
+        history.clear();
+        let mut alive = ALL_LANES;
+
+        for cycle in 0..options.cycles {
+            for word in inputs.iter_mut() {
+                let a = rng.next_u64();
+                let b = rng.next_u64();
+                let mut w = (a & RANDOM_LANES)
+                    | (a & b & LOW_LANES)
+                    | ((a | b) & HIGH_LANES)
+                    | (a & RESET_LANES);
+                if cycle < warmup {
+                    w &= !RESET_LANES;
+                }
+                *word = w;
+            }
+            sim.step_inputs(&inputs);
+            // Constraint-respecting: redraw the inputs of lanes whose
+            // stimulus falsifies an assumption this cycle (assumptions mix
+            // current inputs with latch state, so a fresh draw usually
+            // lands back inside the legal space), then retire whichever
+            // lanes still violate after the redraw budget.
+            let mut ok = sim.constraints_word();
+            for _ in 0..CONSTRAINT_REDRAWS {
+                let violating = alive & !ok;
+                if violating == 0 {
+                    break;
+                }
+                for word in inputs.iter_mut() {
+                    *word = (*word & !violating) | (rng.next_u64() & violating);
+                }
+                sim.step_inputs(&inputs);
+                ok = sim.constraints_word();
+            }
+            history.push(inputs.clone());
+            alive &= ok;
+            if alive == 0 {
+                break;
+            }
+            let mut hits = sim.word(bad) & alive;
+            while hits != 0 {
+                let lane = hits.trailing_zeros() as usize;
+                hits &= hits - 1;
+                let stimulus = extract_lane(&history, lane);
+                if let Some(trace) = replay_confirmed(model, bad_index, &stimulus) {
+                    return Some(FuzzHit {
+                        trace,
+                        cycle,
+                        lane,
+                        round,
+                    });
+                }
+                // A replay mismatch would mean the word evaluator and the
+                // monitor disagree; retire the lane and keep searching.
+                alive &= !(1 << lane);
+            }
+            sim.advance();
+        }
+    }
+    None
+}
+
+/// Extracts the concrete per-cycle stimulus of one lane from the word
+/// history.
+fn extract_lane(history: &[Vec<LaneWord>], lane: usize) -> Vec<Vec<bool>> {
+    history
+        .iter()
+        .map(|words| words.iter().map(|w| (w >> lane) & 1 == 1).collect())
+        .collect()
+}
+
+/// Replays `stimulus` through the existing cycle-accurate monitor
+/// ([`crate::sim::Simulator`]): every invariant constraint must hold on
+/// every cycle and the target bad must fire at the final cycle.  On
+/// confirmation, returns the full counterexample trace (inputs and latches
+/// per cycle, the same shape the bounded model checker extracts).
+fn replay_confirmed(model: &Model, bad_index: usize, stimulus: &[Vec<bool>]) -> Option<Trace> {
+    if stimulus.is_empty() {
+        return None;
+    }
+    // Check exactly one bad — the target — so a sibling property firing
+    // earlier cannot be mistaken for the confirmation.
+    let mut check_model = model.clone();
+    check_model.bads = vec![BadProperty {
+        name: "__fuzz_target__".into(),
+        lit: model.bads[bad_index].lit,
+    }];
+    let latch_lits: Vec<(String, Lit)> = model
+        .aig
+        .latches()
+        .iter()
+        .map(|l| {
+            let name = model.aig.name_of(l.node).unwrap_or("latch").to_string();
+            (name, Lit::new(l.node, false))
+        })
+        .collect();
+    let mut sim = Simulator::new(&check_model);
+    let mut trace = Trace::new(stimulus.len());
+    let mut fired_last = false;
+    for (cycle, inputs) in stimulus.iter().enumerate() {
+        // Latch values entering the cycle, inputs driven during it — the
+        // frame layout of `bmc::extract_trace`.
+        for (name, lit) in &latch_lits {
+            trace.record(cycle, name, sim.value(*lit), false);
+        }
+        for (i, &value) in inputs.iter().enumerate() {
+            trace.record(cycle, model.aig.input_name(i), value, true);
+        }
+        let violations = sim.step(inputs);
+        if violations
+            .iter()
+            .any(|v| v.property.starts_with("constraint_"))
+        {
+            return None;
+        }
+        fired_last = violations.iter().any(|v| v.property == "__fuzz_target__");
+    }
+    fired_last.then_some(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::elab::{elaborate, ElabOptions};
+    use autosva::{generate_ft, AutosvaOptions};
+
+    const ECHO_BAD: &str = r#"
+/*AUTOSVA
+t: req -in> res
+req_val = req_val
+req_ack = req_ack
+res_val = res_val
+*/
+module echo (
+  input  logic clk_i,
+  input  logic rst_ni,
+  input  logic req_val,
+  output logic req_ack,
+  output logic res_val
+);
+  assign req_ack = 1'b1;
+  assign res_val = !req_val;
+endmodule
+"#;
+
+    const ECHO_GOOD: &str = r#"
+/*AUTOSVA
+t: req -in> res
+req_val = req_val
+req_ack = req_ack
+res_val = res_val
+*/
+module echo (
+  input  logic clk_i,
+  input  logic rst_ni,
+  input  logic req_val,
+  output logic req_ack,
+  output logic res_val
+);
+  logic busy_q;
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) busy_q <= 1'b0;
+    else if (req_val && req_ack) busy_q <= 1'b1;
+    else busy_q <= 1'b0;
+  end
+  assign req_ack = !busy_q;
+  assign res_val = busy_q;
+endmodule
+"#;
+
+    fn compiled(src: &str) -> Model {
+        let ft = generate_ft(src, &AutosvaOptions::default()).unwrap();
+        let file = svparse::parse(src).unwrap();
+        let design = elaborate(&file, &ElabOptions::default()).unwrap();
+        compile(&design, &ft).unwrap().model
+    }
+
+    fn safety_index(model: &Model, needle: &str) -> usize {
+        model
+            .bads
+            .iter()
+            .position(|b| b.name.contains(needle))
+            .expect("safety property exists")
+    }
+
+    #[test]
+    fn finds_the_ghost_response_and_confirms_by_replay() {
+        let model = compiled(ECHO_BAD);
+        let index = safety_index(&model, "had_a_request");
+        let hit = fuzz_safety(&model, index, &FuzzOptions::default())
+            .expect("the ghost response is a shallow bug");
+        assert_eq!(hit.trace.len(), hit.cycle + 1);
+        // The confirmed trace must replay again, independently.
+        let stimulus: Vec<Vec<bool>> = (0..hit.trace.len())
+            .map(|cycle| {
+                (0..model.aig.num_inputs())
+                    .map(|i| {
+                        hit.trace
+                            .value(cycle, model.aig.input_name(i))
+                            .unwrap_or(false)
+                    })
+                    .collect()
+            })
+            .collect();
+        assert!(replay_confirmed(&model, index, &stimulus).is_some());
+    }
+
+    #[test]
+    fn healthy_design_yields_no_hit() {
+        let model = compiled(ECHO_GOOD);
+        let index = safety_index(&model, "had_a_request");
+        assert!(fuzz_safety(&model, index, &FuzzOptions::default()).is_none());
+    }
+
+    #[test]
+    fn search_is_deterministic_per_seed() {
+        let model = compiled(ECHO_BAD);
+        let index = safety_index(&model, "had_a_request");
+        let a = fuzz_safety(&model, index, &FuzzOptions::default()).unwrap();
+        let b = fuzz_safety(&model, index, &FuzzOptions::default()).unwrap();
+        assert_eq!(a.cycle, b.cycle);
+        assert_eq!(a.lane, b.lane);
+        assert_eq!(a.round, b.round);
+        assert_eq!(a.trace, b.trace);
+        // A different seed still finds the shallow bug.
+        let other = fuzz_safety(
+            &model,
+            index,
+            &FuzzOptions {
+                seed: 7,
+                ..FuzzOptions::default()
+            },
+        );
+        assert!(other.is_some());
+    }
+
+    #[test]
+    fn constraint_blocking_the_bug_yields_no_hit() {
+        // Assume requests are always pending: the ghost response (response
+        // while req_val is low) becomes unreachable stimulus, and the
+        // constraint-respecting lane mask must prevent any report.
+        let mut model = compiled(ECHO_BAD);
+        let index = safety_index(&model, "had_a_request");
+        let req = (0..model.aig.num_inputs())
+            .position(|i| model.aig.input_name(i) == "req_val")
+            .map(|i| Lit::new(model.aig.inputs()[i], false))
+            .expect("req_val input");
+        model.constraints.push(req);
+        assert!(fuzz_safety(&model, index, &FuzzOptions::default()).is_none());
+    }
+}

@@ -31,10 +31,19 @@
 //!   worker pool over `std::thread`, per-property budgets, a shared
 //!   cancellation flag, and a fingerprint-keyed proof cache whose hits are
 //!   re-certified (invariants) or replayed (traces);
+//! * [`psim`], [`fuzz`] — a bit-parallel two-state simulator (64 stimulus
+//!   lanes per machine word over the sliced AIG) and the stimulus fuzzer
+//!   that runs it *before* any SAT engine: seeded-random, reset-directed
+//!   and constraint-respecting lanes hunt for shallow safety bugs, and
+//!   every hit is replay-confirmed through the monitor so the cascade only
+//!   ever sees survivors;
+//! * [`vcd`] — a standards-conformant VCD waveform writer (plus structural
+//!   validator) that dumps every counterexample and witness trace with
+//!   hierarchical signal names recovered from the elaborated design;
 //! * [`checker`] — the portfolio driver tying everything together (each
-//!   property runs the BMC → k-induction → PDR → explicit cascade on its
-//!   own slice, concurrently) and producing deterministic per-property
-//!   reports with counterexample [`trace`]s.
+//!   property runs the fuzz → BMC → k-induction → PDR → explicit cascade
+//!   on its own slice, concurrently) and producing deterministic
+//!   per-property reports with counterexample [`trace`]s.
 //!
 //! # Quick start
 //!
@@ -72,13 +81,16 @@ pub mod coi;
 pub mod compile;
 pub mod elab;
 pub mod explicit;
+pub mod fuzz;
 pub mod lint;
 pub mod model;
 pub mod opt;
 pub mod pdr;
 pub mod portfolio;
+pub mod psim;
 pub mod sat;
 pub mod sim;
 pub mod trace;
 pub mod unroll;
+pub mod vcd;
 pub mod words;

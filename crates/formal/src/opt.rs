@@ -964,8 +964,8 @@ mod tests {
             seed ^= seed << 5;
             let mut inputs = HashMap::new();
             inputs.insert("req".to_string(), seed & 1 == 1);
-            let orig_fired = !orig_sim.step(&inputs).is_empty();
-            let opt_fired = !opt_sim.step(&inputs).is_empty();
+            let orig_fired = !orig_sim.step_named(&inputs).is_empty();
+            let opt_fired = !opt_sim.step_named(&inputs).is_empty();
             assert_eq!(orig_fired, opt_fired, "verdicts must agree every cycle");
         }
     }

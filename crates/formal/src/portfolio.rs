@@ -831,11 +831,11 @@ fn replay_confirms(model: &Model, target: Lit, trace: &Trace) -> bool {
         .collect();
     let mut sim = Simulator::new(&check_model);
     let mut fired_last = false;
+    let mut inputs = vec![false; input_names.len()];
     for cycle in 0..trace.len() {
-        let inputs: HashMap<String, bool> = input_names
-            .iter()
-            .map(|n| (n.clone(), trace.value(cycle, n).unwrap_or(false)))
-            .collect();
+        for (slot, name) in inputs.iter_mut().zip(&input_names) {
+            *slot = trace.value(cycle, name).unwrap_or(false);
+        }
         let violations = sim.step(&inputs);
         if violations
             .iter()

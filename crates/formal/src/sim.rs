@@ -8,9 +8,16 @@
 //! stimulus and evaluates every safety property and invariant constraint on
 //! the fly.  (Liveness and X-propagation checks are outside the scope of a
 //! finite two-state simulation, exactly as in the paper's VCS reuse.)
+//!
+//! Since the fuzzer landed, this simulator is a single-lane view over the
+//! bit-parallel word evaluator ([`crate::psim`]): the hot path takes inputs
+//! *indexed by input position* ([`Simulator::step`]) so a stimulus loop
+//! never allocates, and [`Simulator::step_named`] remains as the thin
+//! name-resolving wrapper for directed tests written against signal names.
 
-use crate::aig::{Aig, Lit, Node};
+use crate::aig::Lit;
 use crate::model::Model;
+use crate::psim::ParallelSim;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -27,10 +34,7 @@ pub struct SimViolation {
 /// A two-state simulator for a [`Model`].
 #[derive(Debug)]
 pub struct Simulator {
-    aig: Aig,
-    model: Model,
-    /// Current value of every AIG node.
-    values: Vec<bool>,
+    psim: ParallelSim,
     cycle: usize,
     violations: Vec<SimViolation>,
 }
@@ -38,18 +42,11 @@ pub struct Simulator {
 impl Simulator {
     /// Creates a simulator with every latch at its reset value.
     pub fn new(model: &Model) -> Self {
-        let aig = model.aig.clone();
-        let mut sim = Simulator {
-            values: vec![false; aig.num_nodes()],
-            aig,
-            model: model.clone(),
+        Simulator {
+            psim: ParallelSim::new(model),
             cycle: 0,
             violations: Vec::new(),
-        };
-        for latch in sim.aig.latches() {
-            sim.values[latch.node] = latch.init;
         }
-        sim
     }
 
     /// The current cycle number (number of [`Simulator::step`] calls so far).
@@ -62,45 +59,35 @@ impl Simulator {
         &self.violations
     }
 
-    /// Reads the current value of a literal.
+    /// Reads the current value of a literal (lane 0 of the word evaluator).
     pub fn value(&self, lit: Lit) -> bool {
-        self.values[lit.node()] ^ lit.is_inverted()
+        self.psim.word(lit) & 1 == 1
     }
 
-    fn eval_combinational(&mut self) {
-        for idx in 0..self.aig.num_nodes() {
-            if let Node::And(a, b) = self.aig.node(idx) {
-                let va = self.values[a.node()] ^ a.is_inverted();
-                let vb = self.values[b.node()] ^ b.is_inverted();
-                self.values[idx] = va && vb;
-            }
-        }
-    }
-
-    /// Applies one clock cycle with the given input values (inputs not named
-    /// in the map default to 0), evaluating every monitor.
+    /// Applies one clock cycle with the given input values, *indexed by
+    /// input position* (`inputs[i]` drives `aig.inputs()[i]`; missing
+    /// trailing entries default to 0), evaluating every monitor.
     ///
     /// Returns the violations newly observed in this cycle.
-    pub fn step(&mut self, inputs: &HashMap<String, bool>) -> Vec<SimViolation> {
-        // Drive inputs.
-        for (i, &node) in self.aig.inputs().to_vec().iter().enumerate() {
-            let name = self.aig.input_name(i).to_string();
-            self.values[node] = *inputs.get(&name).unwrap_or(&false);
-        }
-        self.eval_combinational();
+    pub fn step(&mut self, inputs: &[bool]) -> Vec<SimViolation> {
+        // Lane 0 carries the stimulus; the other 63 lanes ride along as
+        // zeroes (the word evaluator costs the same either way).
+        let words: Vec<u64> = inputs.iter().map(|&b| u64::from(b)).collect();
+        self.psim.step_inputs(&words);
 
         // Evaluate monitors on the settled cycle.
         let mut new_violations = Vec::new();
-        for bad in &self.model.bads {
-            if self.values[bad.lit.node()] ^ bad.lit.is_inverted() {
+        let model = self.psim.model();
+        for bad in &model.bads {
+            if self.psim.word(bad.lit) & 1 == 1 {
                 new_violations.push(SimViolation {
                     property: bad.name.clone(),
                     cycle: self.cycle,
                 });
             }
         }
-        for (i, &c) in self.model.constraints.iter().enumerate() {
-            if !(self.values[c.node()] ^ c.is_inverted()) {
+        for (i, &c) in model.constraints.iter().enumerate() {
+            if self.psim.word(c) & 1 == 0 {
                 new_violations.push(SimViolation {
                     property: format!("constraint_{i}"),
                     cycle: self.cycle,
@@ -110,17 +97,20 @@ impl Simulator {
         self.violations.extend(new_violations.clone());
 
         // Advance state.
-        let next: Vec<(usize, bool)> = self
-            .aig
-            .latches()
-            .iter()
-            .map(|l| (l.node, self.values[l.next.node()] ^ l.next.is_inverted()))
-            .collect();
-        for (node, value) in next {
-            self.values[node] = value;
-        }
+        self.psim.advance();
         self.cycle += 1;
         new_violations
+    }
+
+    /// Like [`Simulator::step`], with inputs given by name (inputs not named
+    /// in the map default to 0).  Thin wrapper for directed tests; the
+    /// per-cycle name resolution makes it unsuitable for stimulus loops.
+    pub fn step_named(&mut self, inputs: &HashMap<String, bool>) -> Vec<SimViolation> {
+        let aig = &self.psim.model().aig;
+        let indexed: Vec<bool> = (0..aig.num_inputs())
+            .map(|i| *inputs.get(aig.input_name(i)).unwrap_or(&false))
+            .collect();
+        self.step(&indexed)
     }
 
     /// Runs `cycles` cycles of uniformly random stimulus from a fixed seed,
@@ -128,15 +118,13 @@ impl Simulator {
     /// generated property file in a constrained-random simulation.
     pub fn run_random(&mut self, cycles: usize, seed: u64) -> Vec<SimViolation> {
         let mut rng = StdRng::seed_from_u64(seed);
-        let names: Vec<String> = (0..self.aig.num_inputs())
-            .map(|i| self.aig.input_name(i).to_string())
-            .collect();
+        let num_inputs = self.psim.num_inputs();
         let mut all = Vec::new();
+        let mut inputs = vec![false; num_inputs];
         for _ in 0..cycles {
-            let inputs: HashMap<String, bool> = names
-                .iter()
-                .map(|n| (n.clone(), rng.gen_bool(0.5)))
-                .collect();
+            for slot in inputs.iter_mut() {
+                *slot = rng.gen_bool(0.5);
+            }
             all.extend(self.step(&inputs));
         }
         all
@@ -201,10 +189,27 @@ endmodule
         let mut sim = Simulator::new(&model);
         let mut inputs = HashMap::new();
         inputs.insert("req_val".to_string(), true);
-        sim.step(&inputs);
+        sim.step_named(&inputs);
         // After an accepted request the design is busy and responds.
-        sim.step(&HashMap::new());
+        sim.step_named(&HashMap::new());
         assert_eq!(sim.cycle(), 2);
+    }
+
+    #[test]
+    fn named_and_indexed_steps_agree() {
+        let model = compiled(GOOD);
+        let req_index = (0..model.aig.num_inputs())
+            .position(|i| model.aig.input_name(i) == "req_val")
+            .expect("req_val is a primary input");
+        let mut named = Simulator::new(&model);
+        let mut indexed = Simulator::new(&model);
+        let mut map = HashMap::new();
+        map.insert("req_val".to_string(), true);
+        let mut vec = vec![false; model.aig.num_inputs()];
+        vec[req_index] = true;
+        for _ in 0..8 {
+            assert_eq!(named.step_named(&map), indexed.step(&vec));
+        }
     }
 
     #[test]

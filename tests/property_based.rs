@@ -209,7 +209,7 @@ proptest! {
                     inputs.insert(format!("d_i[{k}]"), (value >> k) & 1 == 1);
                 }
             }
-            sim.step(&inputs);
+            sim.step_named(&inputs);
             for (i, w) in widths.iter().enumerate() {
                 let expect = (value >> offsets[i]) & ((1u128 << w) - 1);
                 let got: u128 = s_q[offsets[i]..offsets[i] + w]

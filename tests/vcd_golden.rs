@@ -1,0 +1,150 @@
+//! Golden-waveform test for the VCD writer.
+//!
+//! Verifies a small buggy design end-to-end with waveform output enabled,
+//! pins the produced counterexample VCD byte-for-byte, and structurally
+//! validates the header (timescale, scope nesting, id-code uniqueness)
+//! through the writer's own re-parser.  Any change to the writer's header
+//! strings, id allocation, or value-change layout shows up here as a byte
+//! diff rather than as silently drifting waveforms.
+
+use autosva::{generate_ft, AutosvaOptions};
+use autosva_formal::checker::{verify, CheckOptions};
+use autosva_formal::vcd;
+use std::path::PathBuf;
+
+/// A design that produces a response without ever receiving a request: the
+/// `had_a_request` safety monitor has a short, deterministic counterexample.
+const ECHO_BAD: &str = r#"
+/*AUTOSVA
+t: req -in> res
+req_val = req_val
+req_ack = req_ack
+res_val = res_val
+*/
+module echo (
+  input  logic clk_i,
+  input  logic rst_ni,
+  input  logic req_val,
+  output logic req_ack,
+  output logic res_val
+);
+  assign req_ack = 1'b1;
+  assign res_val = !req_val;
+endmodule
+"#;
+
+/// The pinned waveform of the `as__t_had_a_request` counterexample: the
+/// ghost response fires in the very first cycle, so the trace is one cycle
+/// — initial values at #0, the clock falling at #5, and the closing
+/// timestamp at #10.  `t_sampled` is the testbench's transaction tracker,
+/// reassembled from its four bit-signals into one vector.
+const GOLDEN: &str = r##"$date
+    (fixed for reproducibility)
+$end
+$version
+    autosva-formal VCD writer
+$end
+$comment
+    property: as__t_had_a_request
+$end
+$timescale 1ns $end
+$scope module echo $end
+    $var wire 1 ! clk $end
+    $var wire 1 " req_val $end
+    $var wire 4 # t_sampled [3:0] $end
+$upscope $end
+$enddefinitions $end
+$dumpvars
+1!
+0"
+b0000 #
+$end
+#5
+0!
+#10
+"##;
+
+fn vcd_dir(label: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!("vcd_golden_{label}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn counterexample_waveform_is_pinned_byte_for_byte() {
+    let dir = vcd_dir("pin");
+    let ft = generate_ft(ECHO_BAD, &AutosvaOptions::default()).expect("testbench generates");
+    let options = CheckOptions {
+        vcd: vcd::VcdOptions {
+            dir: Some(dir.clone()),
+        },
+        ..CheckOptions::default()
+    };
+    let report = verify(ECHO_BAD, &ft, &options).expect("verification runs");
+    assert!(report.violations() > 0, "{}", report.render());
+
+    let path = dir.join(vcd::file_name("echo", "as__t_had_a_request"));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("expected waveform at {}: {e}", path.display()));
+    assert_eq!(
+        text, GOLDEN,
+        "the counterexample waveform drifted from the pinned golden copy"
+    );
+}
+
+#[test]
+fn every_dumped_waveform_is_structurally_valid() {
+    let dir = vcd_dir("validate");
+    let ft = generate_ft(ECHO_BAD, &AutosvaOptions::default()).expect("testbench generates");
+    let options = CheckOptions {
+        vcd: vcd::VcdOptions {
+            dir: Some(dir.clone()),
+        },
+        ..CheckOptions::default()
+    };
+    let report = verify(ECHO_BAD, &ft, &options).expect("verification runs");
+
+    // One VCD per trace-carrying result (counterexamples and cover
+    // witnesses), no strays, every one standards-conformant.
+    let with_traces = report
+        .results
+        .iter()
+        .filter(|r| r.status.trace().is_some())
+        .count();
+    assert!(with_traces > 0, "{}", report.render());
+    let mut seen = 0usize;
+    for entry in std::fs::read_dir(&dir).expect("waveform directory exists") {
+        let path = entry.expect("directory entry").path();
+        assert_eq!(
+            path.extension().and_then(|e| e.to_str()),
+            Some("vcd"),
+            "stray non-VCD file {}",
+            path.display()
+        );
+        let text = std::fs::read_to_string(&path).expect("waveform reads");
+        let summary = vcd::validate(&text)
+            .unwrap_or_else(|e| panic!("{} fails validation: {e}", path.display()));
+        assert_eq!(summary.timescale, "1ns");
+        assert!(summary.scopes >= 1, "no scope in {}", path.display());
+        assert!(summary.vars >= 2, "no signals in {}", path.display());
+        assert!(
+            summary.timestamps >= 2,
+            "no clock activity in {}",
+            path.display()
+        );
+        // Header shape beyond what the token-level validator checks: the
+        // required sections appear in declaration order.
+        let date = text.find("$date").expect("missing $date");
+        let timescale = text.find("$timescale").expect("missing $timescale");
+        let enddefs = text
+            .find("$enddefinitions")
+            .expect("missing $enddefinitions");
+        let dump = text.find("$dumpvars").expect("missing $dumpvars");
+        assert!(date < timescale && timescale < enddefs && enddefs < dump);
+        seen += 1;
+    }
+    assert_eq!(
+        seen, with_traces,
+        "expected one waveform per trace-carrying property"
+    );
+}

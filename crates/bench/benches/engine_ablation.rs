@@ -1,7 +1,7 @@
 //! Ablation of the verification-engine portfolio, its orchestrator, and
 //! the SAT core underneath.
 //!
-//! Three sections:
+//! Six sections:
 //!
 //! 1. **Engine ablation** — the checker layers four engines: shallow BMC
 //!    (short counterexamples), k-induction (cheap proofs), IC3/PDR
@@ -35,6 +35,11 @@
 //!    CLI/CI pattern) — with regression asserts that the cached and
 //!    disk-warm re-runs beat the cold runs, render byte-identical reports,
 //!    and that the cold parallel corpus run stays within the PR 3 budget.
+//! 6. **Telemetry trajectory** — one instrumented corpus pass writing
+//!    per-run telemetry JSON through the `CheckOptions::telemetry` file
+//!    sink and aggregating the byte-stable deterministic subsets into
+//!    `target/BENCH_engine_ablation.json` for commit-over-commit
+//!    trajectory diffing.
 //!
 //! All sections assert their guarantees, so a cascade, solver or
 //! orchestrator regression fails this bench (CI runs it with `-- --test`
@@ -497,6 +502,60 @@ fn orchestrator_ablation() {
     );
 }
 
+/// One instrumented corpus pass writing the telemetry trajectory:
+/// per-run JSON reports through the [`CheckOptions::telemetry`] file sink
+/// under `target/bench-telemetry/`, and the aggregated deterministic
+/// subsets as `target/BENCH_engine_ablation.json` — fixed key order and
+/// byte-stable across runs on any machine, so successive commits diff
+/// directly (the `BENCH_*.json` trajectory convention).
+fn write_bench_trajectory() {
+    println!("\nTelemetry trajectory: instrumented corpus pass");
+    println!("{:-<130}", "");
+    // Benches run with the package directory as CWD; anchor the output to
+    // the workspace `target/` so the trajectory lands in one known place.
+    let target = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target");
+    let sink_dir = target.join("bench-telemetry");
+    std::fs::create_dir_all(&sink_dir).expect("create telemetry sink directory");
+    let mut entries: Vec<(String, String)> = Vec::new();
+    for case in all_cases() {
+        let variants: &[Variant] = if case.has_bug_parameter {
+            &[Variant::Fixed, Variant::Buggy]
+        } else {
+            &[Variant::Fixed]
+        };
+        for &variant in variants {
+            let ft = build_testbench(&case);
+            let design = elaborated(&case, variant);
+            let tag = format!("{}_{variant:?}", case.id);
+            let mut options = default_check_options(&case, variant);
+            options.telemetry.enabled = true;
+            options.telemetry.json_path = Some(sink_dir.join(format!("{tag}.telemetry.json")));
+            let report = verify_elaborated(&design, &ft, &options).expect("verification runs");
+            let telemetry = report.telemetry.expect("telemetry attached");
+            entries.push((tag, telemetry.deterministic_json()));
+        }
+    }
+    let mut out =
+        String::from("{\n\"schema\": \"autosva-bench engine_ablation v1\",\n\"runs\": [\n");
+    for (i, (tag, det)) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!("{{\"run\": \"{tag}\", \"telemetry\": "));
+        out.push_str(det.trim_end());
+        out.push('}');
+    }
+    out.push_str("\n]\n}\n");
+    let path = target.join("BENCH_engine_ablation.json");
+    std::fs::write(&path, &out).expect("write bench trajectory");
+    println!(
+        "wrote {} instrumented run(s): {} plus per-run sinks in {}",
+        entries.len(),
+        path.display(),
+        sink_dir.display()
+    );
+}
+
 fn main() {
     // `cargo bench ... -- --test` passes `--test`: this harness always runs
     // one verification per configuration (no statistical measurement), so
@@ -550,4 +609,5 @@ fn main() {
     opt_ablation();
     simulation_ablation();
     orchestrator_ablation();
+    write_bench_trajectory();
 }

@@ -1,0 +1,152 @@
+//! Telemetry smoke: the full Table III corpus through the front end and
+//! cascade with telemetry on, in a fresh process.  For every case/variant
+//! it asserts the observability contract end to end:
+//!
+//! - the Chrome trace sink is written and structurally valid (balanced
+//!   begin/end pairs, per-track monotone timestamps), with one balanced
+//!   span per recorded span;
+//! - the JSON sink is written and embeds the deterministic subset
+//!   verbatim;
+//! - a second fresh run at a different thread count reproduces the
+//!   deterministic subset byte-for-byte;
+//! - `render()` is byte-identical to a telemetry-off run of the same
+//!   design (observation must not perturb verdicts).
+//!
+//! Across the corpus, every pipeline phase the taxonomy promises must
+//! have fired at least once — a silently dead probe fails here, not in a
+//! dashboard three PRs later.
+//!
+//! ```sh
+//! cargo run --release -p autosva-bench --example telemetry_smoke -- /tmp/autosva-telemetry
+//! ```
+
+use autosva_bench::{build_testbench, default_check_options};
+use autosva_designs::{all_cases, Variant};
+use autosva_formal::checker::verify;
+use autosva_formal::telemetry::validate_chrome_trace;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Phases that must appear somewhere in the corpus run.  `engine.explicit`
+/// and `cache.lookup` are deliberately absent: the explicit engine is a
+/// fallback the default cascade may never reach, and the default options
+/// run without a proof cache.
+const REQUIRED_PHASES: &[&str] = &[
+    "parse",
+    "elab",
+    "compile",
+    "lint",
+    "slice",
+    "opt",
+    "opt.pass",
+    "l2s",
+    "task",
+    "engine.fuzz",
+    "fuzz.round",
+    "engine.bmc",
+    "bmc.solve",
+    "engine.pdr",
+    "pdr.solve",
+];
+
+fn main() {
+    let out_root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            eprintln!("usage: telemetry_smoke <out-dir>");
+            std::process::exit(2);
+        });
+    let _ = std::fs::remove_dir_all(&out_root);
+    std::fs::create_dir_all(&out_root).expect("create output directory");
+
+    let start = Instant::now();
+    let mut phase_spans: BTreeMap<String, usize> = BTreeMap::new();
+    let mut runs = 0usize;
+    for case in all_cases() {
+        let variants: &[Variant] = if case.has_bug_parameter {
+            &[Variant::Fixed, Variant::Buggy]
+        } else {
+            &[Variant::Fixed]
+        };
+        for &variant in variants {
+            let ft = build_testbench(&case);
+            let tag = format!("{}_{variant:?}", case.id);
+            let trace_path = out_root.join(format!("{tag}.trace.json"));
+            let json_path = out_root.join(format!("{tag}.telemetry.json"));
+
+            // Baseline: telemetry off.  Its rendered report is the
+            // perturbation-freedom reference.
+            let plain = default_check_options(&case, variant);
+            let baseline = verify(case.source, &ft, &plain).expect("baseline run");
+
+            // Instrumented run with both file sinks.
+            let mut observed = default_check_options(&case, variant);
+            observed.telemetry.enabled = true;
+            observed.telemetry.trace_path = Some(trace_path.clone());
+            observed.telemetry.json_path = Some(json_path.clone());
+            let report = verify(case.source, &ft, &observed).expect("instrumented run");
+            assert_eq!(
+                baseline.render(),
+                report.render(),
+                "{tag}: telemetry perturbed the rendered report"
+            );
+            let telemetry = report.telemetry.as_ref().expect("telemetry attached");
+
+            let trace = std::fs::read_to_string(&trace_path)
+                .unwrap_or_else(|e| panic!("{tag}: trace sink missing: {e}"));
+            let summary = validate_chrome_trace(&trace)
+                .unwrap_or_else(|e| panic!("{tag}: invalid Chrome trace: {e}"));
+            assert_eq!(
+                summary.spans,
+                telemetry.spans.len(),
+                "{tag}: trace spans diverge from the report"
+            );
+            let json = std::fs::read_to_string(&json_path)
+                .unwrap_or_else(|e| panic!("{tag}: JSON sink missing: {e}"));
+            assert!(
+                json.contains(telemetry.deterministic_json().trim_end()),
+                "{tag}: JSON sink lacks the deterministic subset"
+            );
+
+            // Fresh sequential re-run: the deterministic subset must not
+            // depend on the process, the sinks or the thread count.
+            let mut sequential = default_check_options(&case, variant);
+            sequential.telemetry.enabled = true;
+            sequential.parallel.threads = 1;
+            let rerun = verify(case.source, &ft, &sequential).expect("sequential re-run");
+            assert_eq!(
+                telemetry.deterministic_json(),
+                rerun.telemetry.as_ref().unwrap().deterministic_json(),
+                "{tag}: deterministic subset drifted across fresh runs"
+            );
+
+            for (phase, stat) in telemetry.phases() {
+                *phase_spans.entry(phase.to_string()).or_insert(0) += stat.spans;
+            }
+            runs += 1;
+            println!(
+                "{:12} {variant:?}: {} span(s) on {} track(s), {} counter(s)",
+                case.id,
+                telemetry.spans.len(),
+                summary.tracks,
+                telemetry.counters.len()
+            );
+        }
+    }
+
+    for phase in REQUIRED_PHASES {
+        let spans = phase_spans.get(*phase).copied().unwrap_or(0);
+        assert!(
+            spans > 0,
+            "phase {phase:?} never fired across the corpus — dead probe?"
+        );
+    }
+    let total: usize = phase_spans.values().sum();
+    eprintln!(
+        "telemetry_smoke: {runs} run(s), {total} span(s), {} phase(s) in {:.1?}",
+        phase_spans.len(),
+        start.elapsed()
+    );
+}

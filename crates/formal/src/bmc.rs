@@ -140,6 +140,19 @@ pub fn check_safety_detailed(
     options: &BmcOptions,
     solver: SolverConfig,
 ) -> (SafetyResult, SolverStats) {
+    let _span = crate::telemetry::span("bmc.solve", &model.bads[bad_index].name);
+    let (result, stats) = check_safety_impl(model, bad_index, options, solver);
+    crate::telemetry::count_solver("bmc", &stats);
+    (result, stats)
+}
+
+/// The uninstrumented BMC + k-induction loop behind [`check_safety_detailed`].
+fn check_safety_impl(
+    model: &Model,
+    bad_index: usize,
+    options: &BmcOptions,
+    solver: SolverConfig,
+) -> (SafetyResult, SolverStats) {
     let bad = model.bads[bad_index].lit;
 
     // Phase 1: BMC — look for a counterexample with increasing depth.
@@ -278,6 +291,19 @@ pub fn check_cover(model: &Model, cover_index: usize, options: &BmcOptions) -> C
 /// Like [`check_cover`], with an explicit solver configuration and the
 /// aggregated [`SolverStats`] of the underlying solvers.
 pub fn check_cover_detailed(
+    model: &Model,
+    cover_index: usize,
+    options: &BmcOptions,
+    solver: SolverConfig,
+) -> (CoverResult, SolverStats) {
+    let _span = crate::telemetry::span("bmc.solve", &model.covers[cover_index].name);
+    let (result, stats) = check_cover_impl(model, cover_index, options, solver);
+    crate::telemetry::count_solver("bmc", &stats);
+    (result, stats)
+}
+
+/// The uninstrumented BMC + unreachability loop behind [`check_cover_detailed`].
+fn check_cover_impl(
     model: &Model,
     cover_index: usize,
     options: &BmcOptions,

@@ -27,14 +27,17 @@ use crate::coi::{cone_of_influence, fingerprint, Fingerprint, SliceTarget};
 use crate::compile::{compile, CompiledKind, CompiledTestbench};
 use crate::elab::{elaborate, ElabDesign, ElabOptions, Result};
 use crate::explicit::{ExplicitEngine, ExplicitOptions, ExplicitResult};
-use crate::fuzz::{fuzz_safety, FuzzOptions};
+use crate::fuzz::{fuzz_safety_with_stats, FuzzOptions, FuzzStats};
 use crate::lint::{LintOptions, LintReport};
 use crate::model::{LivenessSafetyModel, Model};
 use crate::pdr::{check_pdr_detailed, check_pdr_lit_detailed, PdrOptions, PdrResult};
 use crate::portfolio::{
-    run_ordered, CacheKey, CachedOutcome, CachedVerdict, ParallelOptions, ProofCache,
+    run_ordered, CacheKey, CacheStats, CachedOutcome, CachedVerdict, ParallelOptions, ProofCache,
 };
 use crate::sat::{SolverConfig, SolverStats};
+use crate::telemetry::{
+    self, RunSummary, Telemetry, TelemetryOptions, TelemetryReport, VerdictCounts,
+};
 use crate::trace::Trace;
 use crate::vcd::VcdOptions;
 use autosva::sva::{Directive, PropertyClass};
@@ -102,6 +105,11 @@ pub struct CheckOptions {
     /// between compilation and the engine cascade; error-severity findings
     /// fail the run before any engine starts.
     pub lint: LintOptions,
+    /// Observability: structured spans, the counter/gauge registry and the
+    /// trace/JSON sinks.  Default off — no collector is allocated and every
+    /// probe is a thread-local no-op.  [`VerificationReport::render`] is
+    /// byte-identical with telemetry on or off.
+    pub telemetry: TelemetryOptions,
 }
 
 /// Proof-cache persistence knobs (part of [`CheckOptions`]).
@@ -147,6 +155,7 @@ impl Default for CheckOptions {
             cache: CacheOptions::default(),
             solver: SolverConfig::default(),
             lint: LintOptions::default(),
+            telemetry: TelemetryOptions::default(),
         }
     }
 }
@@ -296,6 +305,10 @@ pub struct PropertyResult {
     /// [`VerificationReport::render`] stays stats-free so cold and
     /// cache-warm runs stay byte-identical.
     pub stats: SolverStats,
+    /// Search statistics of the pre-cascade stimulus fuzzer, when the fuzz
+    /// stage ran for this property (safety assertions with `fuzz.enabled`).
+    /// Rendered only by [`VerificationReport::render_timed`].
+    pub fuzz: Option<FuzzStats>,
 }
 
 /// The report of a full verification run.
@@ -313,6 +326,13 @@ pub struct VerificationReport {
     pub model_gates: usize,
     /// Design-lint findings (empty when the lint is off or clean).
     pub lint: LintReport,
+    /// Proof-cache counters for this run (hits/misses/insertions/rejected,
+    /// plus verdicts loaded from disk); `None` when the run had no cache.
+    /// Rendered only by [`VerificationReport::render_timed`].
+    pub cache_stats: Option<CacheStats>,
+    /// The merged telemetry of the run (spans, counters, gauges); `None`
+    /// unless [`CheckOptions::telemetry`] requested collection.
+    pub telemetry: Option<TelemetryReport>,
 }
 
 impl VerificationReport {
@@ -459,9 +479,32 @@ impl VerificationReport {
                     s.learnt_deleted,
                 ));
             }
+            if let Some(fz) = &r.fuzz {
+                let pad = name_width + prefix.chars().count();
+                out.push_str(&format!(
+                    "  {:pad$}  fuzz: {} round(s), {} cycles, {} lanes retired, \
+                     {} redraw(s), {} replay(s) ({} confirmed)\n",
+                    "",
+                    fz.rounds,
+                    fz.cycles,
+                    fz.lanes_retired,
+                    fz.redraws,
+                    fz.replays,
+                    fz.confirmed,
+                ));
+            }
         }
         if !self.lint.is_empty() {
             out.push_str(&self.lint.render());
+        }
+        if let Some(cs) = &self.cache_stats {
+            out.push_str(&format!(
+                "cache: {} hit(s), {} miss(es), {} insertion(s), {} rejected, {} loaded\n",
+                cs.hits, cs.misses, cs.insertions, cs.rejected, cs.loaded
+            ));
+        }
+        if let Some(t) = &self.telemetry {
+            out.push_str(&t.render_summary());
         }
         out.push_str(&format!(
             "proof rate {:.0}%, {} violation(s), total {:.1?}\n",
@@ -491,14 +534,19 @@ pub fn verify(
     testbench: &FormalTestbench,
     options: &CheckOptions,
 ) -> Result<VerificationReport> {
-    let file = svparse::parse(source)
-        .map_err(|e| crate::elab::ElabError::new(format!("parse error: {e}")))?;
+    let run_telemetry = Telemetry::new(&options.telemetry);
+    let _scope = telemetry::enter(&run_telemetry);
+    let file = {
+        let _span = telemetry::span("parse", &testbench.dut_name);
+        svparse::parse(source)
+            .map_err(|e| crate::elab::ElabError::new(format!("parse error: {e}")))?
+    };
     let mut elab_options = options.elab.clone();
     if elab_options.top.is_none() {
         elab_options.top = Some(testbench.dut_name.clone());
     }
     let design = elaborate(&file, &elab_options)?;
-    verify_elaborated_with_source(&design, testbench, Some(source), options)
+    verify_elaborated_inner(&design, testbench, Some(source), options, &run_telemetry)
 }
 
 /// Like [`verify`], but for an already elaborated design.  Without the
@@ -521,6 +569,21 @@ pub fn verify_elaborated_with_source(
     testbench: &FormalTestbench,
     source: Option<&str>,
     options: &CheckOptions,
+) -> Result<VerificationReport> {
+    let run_telemetry = Telemetry::new(&options.telemetry);
+    let _scope = telemetry::enter(&run_telemetry);
+    verify_elaborated_inner(design, testbench, source, options, &run_telemetry)
+}
+
+/// The shared body of [`verify`] and [`verify_elaborated_with_source`].
+/// Assumes the caller has already entered `run_telemetry`'s recording scope
+/// on this thread (so the orchestrating thread owns trace track 0).
+fn verify_elaborated_inner(
+    design: &ElabDesign,
+    testbench: &FormalTestbench,
+    source: Option<&str>,
+    options: &CheckOptions,
+    run_telemetry: &Telemetry,
 ) -> Result<VerificationReport> {
     let start = Instant::now();
     let compiled = compile(design, testbench)?;
@@ -546,6 +609,10 @@ pub fn verify_elaborated_with_source(
         .cache
         .clone()
         .or_else(|| options.cache.dir.as_ref().map(ProofCache::open));
+    // Snapshot the cache counters so the report carries this run's delta
+    // even when the handle is a long-lived in-process cache shared across
+    // runs (`loaded` stays absolute — it describes the open).
+    let cache_base = cache.as_ref().map(|c| c.stats());
     let ctx = TaskCtx {
         options,
         cache,
@@ -557,24 +624,31 @@ pub fn verify_elaborated_with_source(
     // (each engine is single-threaded on a fixed slice), so only runtimes
     // depend on the interleaving.
     let threads = options.parallel.effective_threads();
-    let outcomes = run_ordered(&tasks, threads, &ctx.cancel, |_, task| {
+    let names: Vec<String> = compiled
+        .properties
+        .iter()
+        .map(|p| p.property.full_name())
+        .collect();
+    let outcomes = run_ordered(&tasks, threads, &ctx.cancel, run_telemetry, |i, task| {
+        let _task_span = telemetry::span("task", &names[i]);
         let t0 = Instant::now();
-        let (status, note, stats, engine) = run_task(task, &ctx);
-        if ctx.options.parallel.stop_on_violation && status.is_violation() {
+        let outcome = run_task(task, &ctx);
+        if ctx.options.parallel.stop_on_violation && outcome.status.is_violation() {
             ctx.cancel.store(true, Ordering::Relaxed);
         }
-        (status, note, stats, engine, t0.elapsed())
+        (outcome, t0.elapsed())
     });
 
     // Assembly in annotation order, independent of completion order.
     let mut results = Vec::with_capacity(tasks.len());
-    for ((prop, task), outcome) in compiled.properties.iter().zip(&tasks).zip(outcomes) {
-        let (status, note, stats, engine, runtime) = outcome.unwrap_or_else(|| {
+    for ((prop, task), slot) in compiled.properties.iter().zip(&tasks).zip(outcomes) {
+        let (outcome, runtime) = slot.unwrap_or_else(|| {
             (
-                PropertyStatus::Unknown,
-                Some("not started: the shared cancellation flag was raised".to_string()),
-                SolverStats::default(),
-                None,
+                TaskOutcome::new(
+                    PropertyStatus::Unknown,
+                    Some("not started: the shared cancellation flag was raised".to_string()),
+                    SolverStats::default(),
+                ),
                 Duration::ZERO,
             )
         });
@@ -582,13 +656,14 @@ pub fn verify_elaborated_with_source(
             name: prop.property.full_name(),
             directive: prop.property.directive,
             class: prop.property.class,
-            status,
+            status: outcome.status,
             runtime,
             slice_latches: task.cone_latches,
             slice_gates: task.cone_gates,
-            note,
-            engine,
-            stats,
+            note: outcome.note,
+            engine: outcome.engine,
+            stats: outcome.stats,
+            fuzz: outcome.fuzz,
         });
     }
 
@@ -596,6 +671,20 @@ pub fn verify_elaborated_with_source(
     // non-fatal: the cache is advisory and the report is already complete.
     if let Some(cache) = &ctx.cache {
         let _ = cache.flush();
+    }
+
+    // This run's cache counter delta, surfaced on the report and fed into
+    // the metrics registry.
+    let cache_stats = ctx.cache.as_ref().map(|c| match &cache_base {
+        Some(base) => c.stats().since(base),
+        None => c.stats(),
+    });
+    if let Some(delta) = &cache_stats {
+        telemetry::count("cache.hits", delta.hits);
+        telemetry::count("cache.misses", delta.misses);
+        telemetry::count("cache.insertions", delta.insertions);
+        telemetry::count("cache.rejected", delta.rejected);
+        telemetry::count("cache.loaded", delta.loaded);
     }
 
     // Waveform output: one VCD per counterexample/witness trace, under the
@@ -612,6 +701,47 @@ pub fn verify_elaborated_with_source(
         }
     }
 
+    // Merge the telemetry buffers into the final report and write the
+    // sinks (best-effort, like the cache and VCD output).
+    let telemetry_report = if run_telemetry.is_active() {
+        let mut verdicts = VerdictCounts::default();
+        let mut slice_latches = 0;
+        let mut slice_gates = 0;
+        for r in &results {
+            match &r.status {
+                PropertyStatus::Proven(_) => verdicts.proven += 1,
+                PropertyStatus::Violated(_) => verdicts.violated += 1,
+                PropertyStatus::Covered(_) => verdicts.covered += 1,
+                PropertyStatus::Unreachable => verdicts.unreachable += 1,
+                PropertyStatus::Unknown => verdicts.unknown += 1,
+                PropertyStatus::NotChecked(_) => verdicts.not_checked += 1,
+            }
+            if !matches!(r.status, PropertyStatus::NotChecked(_)) {
+                slice_latches += r.slice_latches;
+                slice_gates += r.slice_gates;
+            }
+        }
+        run_telemetry.finish(RunSummary {
+            dut: testbench.dut_name.clone(),
+            properties: results.len(),
+            verdicts,
+            model_latches: compiled.model.aig.num_latches(),
+            model_gates: compiled.model.aig.num_ands(),
+            slice_latches,
+            slice_gates,
+        })
+    } else {
+        None
+    };
+    if let Some(report) = &telemetry_report {
+        if let Some(path) = &options.telemetry.trace_path {
+            let _ = std::fs::write(path, report.to_chrome_trace());
+        }
+        if let Some(path) = &options.telemetry.json_path {
+            let _ = std::fs::write(path, report.to_json());
+        }
+    }
+
     Ok(VerificationReport {
         dut: testbench.dut_name.clone(),
         results,
@@ -619,6 +749,8 @@ pub fn verify_elaborated_with_source(
         model_latches: compiled.model.aig.num_latches(),
         model_gates: compiled.model.aig.num_ands(),
         lint,
+        cache_stats,
+        telemetry: telemetry_report,
     })
 }
 
@@ -767,6 +899,7 @@ fn build_tasks(compiled: &CompiledTestbench, options: &CheckOptions) -> Vec<Prop
                         let l2s = l2s_slices
                             .entry(raw)
                             .or_insert_with(|| {
+                                let _span = telemetry::span("l2s", &prop.property.full_name());
                                 let product = base.to_liveness_safety();
                                 if opt_on {
                                     Arc::new(LivenessSafetyModel {
@@ -926,21 +1059,36 @@ fn store(cache: Option<&ProofCache>, key: &CacheKey, outcome: CachedOutcome) {
 /// stimulus fuzzer.
 pub const FUZZ_ENGINE: &str = "fuzz";
 
-fn run_task(
-    task: &PropertyTask,
-    ctx: &TaskCtx<'_>,
-) -> (
-    PropertyStatus,
-    Option<String>,
-    SolverStats,
-    Option<&'static str>,
-) {
+/// The outcome of one property task, before assembly into a
+/// [`PropertyResult`] (which adds the name/class/slice context and the
+/// wall-clock runtime).
+struct TaskOutcome {
+    status: PropertyStatus,
+    note: Option<String>,
+    stats: SolverStats,
+    engine: Option<&'static str>,
+    fuzz: Option<FuzzStats>,
+}
+
+impl TaskOutcome {
+    fn new(status: PropertyStatus, note: Option<String>, stats: SolverStats) -> TaskOutcome {
+        TaskOutcome {
+            status,
+            note,
+            stats,
+            engine: None,
+            fuzz: None,
+        }
+    }
+}
+
+fn run_task(task: &PropertyTask, ctx: &TaskCtx<'_>) -> TaskOutcome {
     match &task.kind {
-        TaskKind::Done(status) => (status.clone(), None, SolverStats::default(), None),
+        TaskKind::Done(status) => TaskOutcome::new(status.clone(), None, SolverStats::default()),
         TaskKind::Safety { model, index, fp } => check_safety_task(model, *index, *fp, ctx),
         TaskKind::Cover { model, index, fp } => {
             let (status, note, stats) = check_cover_task(model, *index, *fp, ctx);
-            (status, note, stats, None)
+            TaskOutcome::new(status, note, stats)
         }
         TaskKind::Liveness {
             base,
@@ -949,7 +1097,7 @@ fn run_task(
             fp,
         } => {
             let (status, note, stats) = check_liveness_task(base, l2s, *index, *fp, ctx);
-            (status, note, stats, None)
+            TaskOutcome::new(status, note, stats)
         }
     }
 }
@@ -972,6 +1120,12 @@ fn minimize_safety_cex(
     if options.disable_bmc || trace.is_empty() {
         return trace;
     }
+    let _span = telemetry::span_detail(
+        "engine.minimize",
+        &model.bads[index].name,
+        Some("bmc"),
+        None,
+    );
     let bound = BmcOptions {
         max_depth: trace.len() - 1,
         max_induction: 0,
@@ -991,12 +1145,7 @@ fn check_safety_task(
     index: usize,
     fp: Fingerprint,
     ctx: &TaskCtx<'_>,
-) -> (
-    PropertyStatus,
-    Option<String>,
-    SolverStats,
-    Option<&'static str>,
-) {
+) -> TaskOutcome {
     let options = ctx.options;
     let cache = ctx.cache.as_ref();
     let bad = model.bads[index].lit;
@@ -1005,9 +1154,27 @@ fn check_safety_task(
         property: model.bads[index].name.clone(),
     };
     let mut stats = SolverStats::default();
+    let mut fuzz_stats: Option<FuzzStats> = None;
+    // Every return site funnels through this so the fuzzer's search
+    // statistics survive no matter which engine produced the verdict.
+    macro_rules! done {
+        ($status:expr, $note:expr, $engine:expr) => {
+            return TaskOutcome {
+                status: $status,
+                note: $note,
+                stats,
+                engine: $engine,
+                fuzz: fuzz_stats,
+            }
+        };
+    }
     if let Some(cache) = cache {
-        if let Some(verdict) = cache.lookup(&key, model, bad) {
-            return (cached_status(verdict, model), None, stats, None);
+        let hit = {
+            let _span = telemetry::span_detail("cache.lookup", &key.property, None, Some(fp));
+            cache.lookup(&key, model, bad)
+        };
+        if let Some(verdict) = hit {
+            done!(cached_status(verdict, model), None, None);
         }
     }
     let budget = Budget::start(options);
@@ -1018,19 +1185,20 @@ fn check_safety_task(
     // minimal length the fuzz-off cascade reports and `render()` stays
     // byte-identical with the stage on or off, for any seed.
     if options.fuzz.enabled {
-        if let Some(hit) = fuzz_safety(model, index, &options.fuzz) {
+        let (hit, fstats) = {
+            let _span =
+                telemetry::span_detail("engine.fuzz", &key.property, Some(FUZZ_ENGINE), Some(fp));
+            fuzz_safety_with_stats(model, index, &options.fuzz)
+        };
+        fuzz_stats = Some(fstats);
+        if let Some(hit) = hit {
             let trace = minimize_safety_cex(model, index, hit.trace, options, &mut stats);
             store(cache, &key, CachedOutcome::Violated(trace.clone()));
-            return (
-                PropertyStatus::Violated(trace),
-                None,
-                stats,
-                Some(FUZZ_ENGINE),
-            );
+            done!(PropertyStatus::Violated(trace), None, Some(FUZZ_ENGINE));
         }
     }
     if budget.exhausted() {
-        return (PropertyStatus::Unknown, budget.note(options), stats, None);
+        done!(PropertyStatus::Unknown, budget.note(options), None);
     }
     // Quick, shallow BMC first: it produces the shortest traces for the
     // common "bug within a few cycles" case at minimal cost.
@@ -1039,7 +1207,10 @@ fn check_safety_task(
             max_depth: options.quick_bmc_depth.min(options.bmc.max_depth),
             max_induction: 3.min(options.bmc.max_induction),
         };
-        let (result, s) = check_safety_detailed(model, index, &quick, options.solver);
+        let (result, s) = {
+            let _span = telemetry::span_detail("engine.bmc", &key.property, Some("bmc"), Some(fp));
+            check_safety_detailed(model, index, &quick, options.solver)
+        };
         stats += s;
         match result {
             SafetyResult::Proven { induction_depth } => {
@@ -1050,30 +1221,32 @@ fn check_safety_task(
                         depth: induction_depth,
                     },
                 );
-                return (
+                done!(
                     PropertyStatus::Proven(Proof::Induction {
                         depth: induction_depth,
                     }),
                     None,
-                    stats,
-                    None,
+                    None
                 );
             }
             SafetyResult::Violated(trace) => {
                 store(cache, &key, CachedOutcome::Violated(trace.clone()));
-                return (PropertyStatus::Violated(trace), None, stats, None);
+                done!(PropertyStatus::Violated(trace), None, None);
             }
             SafetyResult::Unknown { .. } => {}
         }
     }
     if budget.exhausted() {
-        return (PropertyStatus::Unknown, budget.note(options), stats, None);
+        done!(PropertyStatus::Unknown, budget.note(options), None);
     }
     // PDR: the unbounded engine that closes the reachability-dependent
     // proofs (counter-vs-state invariants) induction cannot, without the
     // explicit engine's exponential cliff.
     if !options.disable_pdr {
-        let (result, s) = check_pdr_detailed(model, index, &options.pdr, options.solver);
+        let (result, s) = {
+            let _span = telemetry::span_detail("engine.pdr", &key.property, Some("pdr"), Some(fp));
+            check_pdr_detailed(model, index, &options.pdr, options.solver)
+        };
         stats += s;
         match result {
             PdrResult::Proven(invariant) => {
@@ -1085,51 +1258,50 @@ fn check_safety_task(
                         frames: invariant.frames_explored,
                     },
                 );
-                return (
+                done!(
                     PropertyStatus::Proven(invariant_proof(&invariant, &model.aig)),
                     None,
-                    stats,
-                    None,
+                    None
                 );
             }
             PdrResult::Violated(trace) => {
                 let trace = minimize_safety_cex(model, index, trace, options, &mut stats);
                 store(cache, &key, CachedOutcome::Violated(trace.clone()));
-                return (PropertyStatus::Violated(trace), None, stats, None);
+                done!(PropertyStatus::Violated(trace), None, None);
             }
             PdrResult::Unknown { .. } => {}
         }
     }
     if budget.exhausted() {
-        return (PropertyStatus::Unknown, budget.note(options), stats, None);
+        done!(PropertyStatus::Unknown, budget.note(options), None);
     }
     if let Some(bundle) = explicit_bundle(ctx, fp, model) {
+        let _span =
+            telemetry::span_detail("engine.explicit", &key.property, Some("explicit"), Some(fp));
         match bundle.engine.check_bad(bad) {
             ExplicitResult::Proven => {
                 store(cache, &key, CachedOutcome::Reachability);
-                return (
-                    PropertyStatus::Proven(Proof::Reachability),
-                    None,
-                    stats,
-                    None,
-                );
+                done!(PropertyStatus::Proven(Proof::Reachability), None, None);
             }
             ExplicitResult::Violated(trace) => {
                 let trace = minimize_safety_cex(model, index, trace, options, &mut stats);
                 store(cache, &key, CachedOutcome::Violated(trace.clone()));
-                return (PropertyStatus::Violated(trace), None, stats, None);
+                done!(PropertyStatus::Violated(trace), None, None);
             }
             ExplicitResult::Exceeded => {}
         }
     }
     if budget.exhausted() || options.disable_bmc {
-        return (PropertyStatus::Unknown, budget.note(options), stats, None);
+        done!(PropertyStatus::Unknown, budget.note(options), None);
     }
     // Exact engines unavailable: fall back to the full-depth bounded
     // engines.
-    let (result, s) = check_safety_detailed(model, index, &options.bmc, options.solver);
+    let (result, s) = {
+        let _span = telemetry::span_detail("engine.bmc", &key.property, Some("bmc"), Some(fp));
+        check_safety_detailed(model, index, &options.bmc, options.solver)
+    };
     stats += s;
-    match result {
+    let status = match result {
         SafetyResult::Proven { induction_depth } => {
             store(
                 cache,
@@ -1138,20 +1310,22 @@ fn check_safety_task(
                     depth: induction_depth,
                 },
             );
-            (
-                PropertyStatus::Proven(Proof::Induction {
-                    depth: induction_depth,
-                }),
-                None,
-                stats,
-                None,
-            )
+            PropertyStatus::Proven(Proof::Induction {
+                depth: induction_depth,
+            })
         }
         SafetyResult::Violated(trace) => {
             store(cache, &key, CachedOutcome::Violated(trace.clone()));
-            (PropertyStatus::Violated(trace), None, stats, None)
+            PropertyStatus::Violated(trace)
         }
-        SafetyResult::Unknown { .. } => (PropertyStatus::Unknown, None, stats, None),
+        SafetyResult::Unknown { .. } => PropertyStatus::Unknown,
+    };
+    TaskOutcome {
+        status,
+        note: None,
+        stats,
+        engine: None,
+        fuzz: fuzz_stats,
     }
 }
 
@@ -1170,7 +1344,11 @@ fn check_cover_task(
     };
     let mut stats = SolverStats::default();
     if let Some(cache) = cache {
-        if let Some(verdict) = cache.lookup(&key, model, target) {
+        let hit = {
+            let _span = telemetry::span_detail("cache.lookup", &key.property, None, Some(fp));
+            cache.lookup(&key, model, target)
+        };
+        if let Some(verdict) = hit {
             return (cached_status(verdict, model), None, stats);
         }
     }
@@ -1180,7 +1358,10 @@ fn check_cover_task(
             max_depth: options.quick_bmc_depth.min(options.bmc.max_depth),
             max_induction: 3.min(options.bmc.max_induction),
         };
-        let (result, s) = check_cover_detailed(model, index, &quick, options.solver);
+        let (result, s) = {
+            let _span = telemetry::span_detail("engine.bmc", &key.property, Some("bmc"), Some(fp));
+            check_cover_detailed(model, index, &quick, options.solver)
+        };
         stats += s;
         match result {
             CoverResult::Covered(trace) => {
@@ -1204,7 +1385,10 @@ fn check_cover_task(
     // PDR decides reachability of the cover target: a "proof" means the
     // target is unreachable, a "counterexample" is the witness.
     if !options.disable_pdr {
-        let (result, s) = check_pdr_lit_detailed(model, target, &options.pdr, options.solver);
+        let (result, s) = {
+            let _span = telemetry::span_detail("engine.pdr", &key.property, Some("pdr"), Some(fp));
+            check_pdr_lit_detailed(model, target, &options.pdr, options.solver)
+        };
         stats += s;
         match result {
             PdrResult::Proven(invariant) => {
@@ -1231,6 +1415,8 @@ fn check_cover_task(
         return (PropertyStatus::Unknown, budget.note(options), stats);
     }
     if let Some(bundle) = explicit_bundle(ctx, fp, model) {
+        let _span =
+            telemetry::span_detail("engine.explicit", &key.property, Some("explicit"), Some(fp));
         match bundle.engine.check_cover(target) {
             ExplicitResult::Proven => {
                 store(
@@ -1250,7 +1436,10 @@ fn check_cover_task(
     if budget.exhausted() || options.disable_bmc {
         return (PropertyStatus::Unknown, budget.note(options), stats);
     }
-    let (result, s) = check_cover_detailed(model, index, &options.bmc, options.solver);
+    let (result, s) = {
+        let _span = telemetry::span_detail("engine.bmc", &key.property, Some("bmc"), Some(fp));
+        check_cover_detailed(model, index, &options.bmc, options.solver)
+    };
     stats += s;
     match result {
         CoverResult::Covered(trace) => {
@@ -1286,7 +1475,11 @@ fn check_liveness_task(
     };
     let mut stats = SolverStats::default();
     if let Some(cache) = cache {
-        if let Some(verdict) = cache.lookup(&key, model, bad) {
+        let hit = {
+            let _span = telemetry::span_detail("cache.lookup", &key.property, None, Some(fp));
+            cache.lookup(&key, model, bad)
+        };
+        if let Some(verdict) = hit {
             return (cached_status(verdict, model), None, stats);
         }
     }
@@ -1300,7 +1493,10 @@ fn check_liveness_task(
             max_depth: options.quick_bmc_depth.min(options.liveness_bmc.max_depth),
             max_induction: options.liveness_bmc.max_induction.min(3),
         };
-        let (result, s) = check_safety_detailed(model, index, &quick, options.solver);
+        let (result, s) = {
+            let _span = telemetry::span_detail("engine.bmc", &key.property, Some("bmc"), Some(fp));
+            check_safety_detailed(model, index, &quick, options.solver)
+        };
         stats += s;
         match result {
             SafetyResult::Proven { induction_depth } => {
@@ -1330,7 +1526,10 @@ fn check_liveness_task(
         return (PropertyStatus::Unknown, budget.note(options), stats);
     }
     if !options.disable_pdr {
-        let (result, s) = check_pdr_detailed(model, index, &options.pdr, options.solver);
+        let (result, s) = {
+            let _span = telemetry::span_detail("engine.pdr", &key.property, Some("pdr"), Some(fp));
+            check_pdr_detailed(model, index, &options.pdr, options.solver)
+        };
         stats += s;
         match result {
             PdrResult::Proven(invariant) => {
@@ -1359,6 +1558,8 @@ fn check_liveness_task(
         return (PropertyStatus::Unknown, budget.note(options), stats);
     }
     if let Some(bundle) = explicit_bundle(ctx, fp, base) {
+        let _span =
+            telemetry::span_detail("engine.explicit", &key.property, Some("explicit"), Some(fp));
         let pending = bundle.assert_pendings[index];
         match bundle.engine.check_liveness(pending, &bundle.fair_pendings) {
             ExplicitResult::Proven => {
@@ -1380,7 +1581,10 @@ fn check_liveness_task(
     if options.disable_bmc {
         return (PropertyStatus::Unknown, None, stats);
     }
-    let (result, s) = check_safety_detailed(model, index, &options.liveness_bmc, options.solver);
+    let (result, s) = {
+        let _span = telemetry::span_detail("engine.bmc", &key.property, Some("bmc"), Some(fp));
+        check_safety_detailed(model, index, &options.liveness_bmc, options.solver)
+    };
     stats += s;
     match result {
         SafetyResult::Proven { induction_depth } => {

@@ -200,6 +200,12 @@ pub fn fingerprint(model: &Model) -> Fingerprint {
 ///
 /// Panics if the target index is out of range for `model`.
 pub fn cone_of_influence(model: &Model, target: SliceTarget) -> Slice {
+    let target_name = match target {
+        SliceTarget::Bad(i) => &model.bads[i].name,
+        SliceTarget::Cover(i) => &model.covers[i].name,
+        SliceTarget::Liveness(i) => &model.liveness[i].name,
+    };
+    let _span = crate::telemetry::span("slice", target_name);
     let aig = &model.aig;
 
     // ------------------------------------------------------------------

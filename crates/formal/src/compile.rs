@@ -89,6 +89,7 @@ pub struct CompiledTestbench {
 /// Fails when a property references a signal that does not exist in the
 /// design, or uses an expression form outside the supported subset.
 pub fn compile(design: &ElabDesign, testbench: &FormalTestbench) -> Result<CompiledTestbench> {
+    let _span = crate::telemetry::span("compile", &design.top);
     let mut ctx = Compiler {
         aig: design.aig.clone(),
         symbols: design.symbols.clone(),

@@ -423,6 +423,7 @@ impl ElabDesign {
 /// supported subset, when widths cannot be determined, or when combinational
 /// cycles are detected.
 pub fn elaborate(file: &SourceFile, options: &ElabOptions) -> Result<ElabDesign> {
+    let _span = crate::telemetry::span("elab", options.top.as_deref().unwrap_or(""));
     let top = match &options.top {
         Some(name) => file
             .module(name)

@@ -153,6 +153,7 @@ impl ExplicitEngine {
         if latch_nodes.len() > 63 || input_nodes.len() > options.max_inputs {
             return None;
         }
+        let _span = crate::telemetry::span("explicit.explore", "");
         let mut engine = ExplicitEngine {
             latch_nodes,
             input_nodes,
@@ -166,6 +167,7 @@ impl ExplicitEngine {
             aig,
         };
         engine.run();
+        crate::telemetry::count("explicit.states", engine.states.len() as u64);
         Some(engine)
     }
 

@@ -87,6 +87,29 @@ impl Default for FuzzOptions {
     }
 }
 
+/// Work counters of one fuzz run (one safety property).  Deterministic
+/// for a fixed model, seed and budget — the search itself is — so they are
+/// safe to surface in the telemetry registry's deterministic section.
+/// Plumbed into [`crate::checker::PropertyResult::fuzz`] so `engine: fuzz`
+/// verdicts are no longer stats-blind in the timed rendering.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FuzzStats {
+    /// Rounds (restarts) executed.
+    pub rounds: u64,
+    /// Concrete stimulus-cycles simulated (live lanes × cycles).
+    pub cycles: u64,
+    /// Lanes retired for a round: constraint violators past the redraw
+    /// budget, plus replay mismatches.
+    pub lanes_retired: u64,
+    /// Per-cycle input redraws forced by falsified assumptions.
+    pub redraws: u64,
+    /// Candidate hits replayed through the two-state monitor.
+    pub replays: u64,
+    /// Replays that confirmed the violation (0 or 1: the search stops at
+    /// the first confirmed hit).
+    pub confirmed: u64,
+}
+
 /// A replay-confirmed safety violation found by the fuzzer.
 #[derive(Debug, Clone)]
 pub struct FuzzHit {
@@ -107,7 +130,37 @@ pub struct FuzzHit {
 /// earliest round, then earliest cycle, then lowest lane), or `None` when
 /// the budget drains without a confirmed hit.
 pub fn fuzz_safety(model: &Model, bad_index: usize, options: &FuzzOptions) -> Option<FuzzHit> {
+    fuzz_safety_with_stats(model, bad_index, options).0
+}
+
+/// [`fuzz_safety`] plus the work counters of the search (see
+/// [`FuzzStats`]).  Each executed round is recorded as a `"fuzz.round"`
+/// telemetry span; the counters also feed the `fuzz.*` entries of the
+/// metrics registry.
+pub fn fuzz_safety_with_stats(
+    model: &Model,
+    bad_index: usize,
+    options: &FuzzOptions,
+) -> (Option<FuzzHit>, FuzzStats) {
+    let mut stats = FuzzStats::default();
+    let hit = fuzz_safety_inner(model, bad_index, options, &mut stats);
+    crate::telemetry::count("fuzz.rounds", stats.rounds);
+    crate::telemetry::count("fuzz.cycles", stats.cycles);
+    crate::telemetry::count("fuzz.lanes_retired", stats.lanes_retired);
+    crate::telemetry::count("fuzz.redraws", stats.redraws);
+    crate::telemetry::count("fuzz.replays", stats.replays);
+    crate::telemetry::count("fuzz.confirmed", stats.confirmed);
+    (hit, stats)
+}
+
+fn fuzz_safety_inner(
+    model: &Model,
+    bad_index: usize,
+    options: &FuzzOptions,
+    stats: &mut FuzzStats,
+) -> Option<FuzzHit> {
     let bad = model.bads[bad_index].lit;
+    let name = &model.bads[bad_index].name;
     let num_inputs = model.aig.num_inputs();
     let mut sim = ParallelSim::new(model);
     let mut inputs = vec![0u64; num_inputs];
@@ -115,6 +168,8 @@ pub fn fuzz_safety(model: &Model, bad_index: usize, options: &FuzzOptions) -> Op
     let mut history: Vec<Vec<LaneWord>> = Vec::with_capacity(options.cycles);
 
     for round in 0..options.rounds {
+        let _round_span = crate::telemetry::span("fuzz.round", name);
+        stats.rounds += 1;
         // SplitMix-style round-seed derivation keeps the rounds' streams
         // decorrelated even for adjacent base seeds.
         let round_seed = options
@@ -151,6 +206,7 @@ pub fn fuzz_safety(model: &Model, bad_index: usize, options: &FuzzOptions) -> Op
                 if violating == 0 {
                     break;
                 }
+                stats.redraws += u64::from(violating.count_ones());
                 for word in inputs.iter_mut() {
                     *word = (*word & !violating) | (rng.next_u64() & violating);
                 }
@@ -158,16 +214,20 @@ pub fn fuzz_safety(model: &Model, bad_index: usize, options: &FuzzOptions) -> Op
                 ok = sim.constraints_word();
             }
             history.push(inputs.clone());
+            stats.lanes_retired += u64::from((alive & !ok).count_ones());
             alive &= ok;
             if alive == 0 {
                 break;
             }
+            stats.cycles += u64::from(alive.count_ones());
             let mut hits = sim.word(bad) & alive;
             while hits != 0 {
                 let lane = hits.trailing_zeros() as usize;
                 hits &= hits - 1;
                 let stimulus = extract_lane(&history, lane);
+                stats.replays += 1;
                 if let Some(trace) = replay_confirmed(model, bad_index, &stimulus) {
+                    stats.confirmed += 1;
                     return Some(FuzzHit {
                         trace,
                         cycle,
@@ -177,6 +237,7 @@ pub fn fuzz_safety(model: &Model, bad_index: usize, options: &FuzzOptions) -> Op
                 }
                 // A replay mismatch would mean the word evaluator and the
                 // monitor disagree; retire the lane and keep searching.
+                stats.lanes_retired += 1;
                 alive &= !(1 << lane);
             }
             sim.advance();
@@ -358,6 +419,27 @@ endmodule
             },
         );
         assert!(other.is_some());
+    }
+
+    #[test]
+    fn stats_count_the_search_work_deterministically() {
+        let model = compiled(ECHO_BAD);
+        let index = safety_index(&model, "had_a_request");
+        let (hit, stats) = fuzz_safety_with_stats(&model, index, &FuzzOptions::default());
+        assert!(hit.is_some());
+        assert_eq!(stats.confirmed, 1);
+        assert!(stats.replays >= 1);
+        assert!(stats.cycles > 0);
+        assert!(stats.rounds >= 1);
+        let (_, again) = fuzz_safety_with_stats(&model, index, &FuzzOptions::default());
+        assert_eq!(stats, again, "counters must be deterministic per seed");
+        // A clean design drains the full round budget without confirming.
+        let good = compiled(ECHO_GOOD);
+        let gindex = safety_index(&good, "had_a_request");
+        let (ghit, gstats) = fuzz_safety_with_stats(&good, gindex, &FuzzOptions::default());
+        assert!(ghit.is_none());
+        assert_eq!(gstats.confirmed, 0);
+        assert_eq!(gstats.rounds, FuzzOptions::default().rounds as u64);
     }
 
     #[test]

@@ -40,6 +40,12 @@
 //! * [`vcd`] — a standards-conformant VCD waveform writer (plus structural
 //!   validator) that dumps every counterexample and witness trace with
 //!   hierarchical signal names recovered from the elaborated design;
+//! * [`telemetry`] — the observability layer: structured spans and a
+//!   counter/gauge metrics registry recorded across every pipeline stage
+//!   (per-worker lock-free-ish buffers, merged at run end), with a
+//!   fixed-key-order JSON run report, a Chrome trace-event sink (one
+//!   track per pool worker) and a human summary in the timed rendering —
+//!   all behind `CheckOptions::telemetry`, zero-cost when off;
 //! * [`checker`] — the portfolio driver tying everything together (each
 //!   property runs the fuzz → BMC → k-induction → PDR → explicit cascade
 //!   on its own slice, concurrently) and producing deterministic
@@ -90,6 +96,7 @@ pub mod portfolio;
 pub mod psim;
 pub mod sat;
 pub mod sim;
+pub mod telemetry;
 pub mod trace;
 pub mod unroll;
 pub mod vcd;

@@ -209,6 +209,7 @@ pub fn run(
     if options.level == LintLevel::Off {
         return LintReport::default();
     }
+    let _span = crate::telemetry::span("lint", &design.top);
     let mut ctx = LintCtx {
         design,
         compiled,

@@ -196,11 +196,18 @@ const MAX_PASSES: usize = 8;
 /// fingerprints of optimized models are stable across processes and safe
 /// as proof-cache keys.
 pub fn optimize(model: &Model) -> OptResult {
+    let _span = crate::telemetry::span("opt", "");
+    crate::telemetry::count("opt.gates_before", model.aig.num_ands() as u64);
+    crate::telemetry::count("opt.latches_before", model.aig.num_latches() as u64);
     let mut current = model.clone();
     let mut fp = fingerprint(&current);
     let mut constants: Vec<(String, bool)> = Vec::new();
     for _ in 0..MAX_PASSES {
-        let next = one_pass(&current, &mut constants);
+        let next = {
+            let _pass_span = crate::telemetry::span("opt.pass", "");
+            crate::telemetry::count("opt.passes", 1);
+            one_pass(&current, &mut constants)
+        };
         let next_fp = fingerprint(&next);
         if next_fp == fp {
             break;
@@ -208,6 +215,8 @@ pub fn optimize(model: &Model) -> OptResult {
         current = next;
         fp = next_fp;
     }
+    crate::telemetry::count("opt.gates_after", current.aig.num_ands() as u64);
+    crate::telemetry::count("opt.latches_after", current.aig.num_latches() as u64);
     OptResult {
         model: current,
         constant_latches: constants,

@@ -233,9 +233,12 @@ pub fn check_pdr_lit_detailed(
     options: &PdrOptions,
     solver: SolverConfig,
 ) -> (PdrResult, SolverStats) {
+    let _span = crate::telemetry::span("pdr.solve", "");
     let mut pdr = Pdr::new(model, bad, options, solver);
     let result = pdr.run();
-    (result, pdr.unroller.stats())
+    let stats = pdr.unroller.stats();
+    crate::telemetry::count_solver("pdr", &stats);
+    (result, stats)
 }
 
 /// A cube: a partial latch valuation, as sorted `(latch position, value)`

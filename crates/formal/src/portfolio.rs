@@ -114,6 +114,7 @@ pub(crate) fn run_ordered<T, R, F>(
     items: &[T],
     threads: usize,
     cancel: &AtomicBool,
+    telemetry: &crate::telemetry::Telemetry,
     run: F,
 ) -> Vec<Option<R>>
 where
@@ -123,6 +124,8 @@ where
 {
     let workers = threads.max(1).min(items.len().max(1));
     if workers <= 1 {
+        // Sequential escape hatch: runs on the calling thread, which is
+        // already inside the run's telemetry scope (track 0).
         return items
             .iter()
             .enumerate()
@@ -130,6 +133,10 @@ where
                 if cancel.load(Ordering::Relaxed) {
                     None
                 } else {
+                    crate::telemetry::gauge(
+                        "pool.queue_depth",
+                        items.len().saturating_sub(i) as u64,
+                    );
                     Some(run(i, item))
                 }
             })
@@ -139,17 +146,26 @@ where
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
+            scope.spawn(|| {
+                // Each pool worker records onto its own telemetry track
+                // (a fresh per-worker buffer; no-op when telemetry is off).
+                let _telemetry_scope = crate::telemetry::enter(telemetry);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    if cancel.load(Ordering::Relaxed) {
+                        continue;
+                    }
+                    crate::telemetry::gauge(
+                        "pool.queue_depth",
+                        items.len().saturating_sub(i) as u64,
+                    );
+                    let r = run(i, &items[i]);
+                    let mut slots = results.lock().expect("result slots");
+                    slots[i] = Some(r);
                 }
-                if cancel.load(Ordering::Relaxed) {
-                    continue;
-                }
-                let r = run(i, &items[i]);
-                let mut slots = results.lock().expect("result slots");
-                slots[i] = Some(r);
             });
         }
     });
@@ -170,6 +186,21 @@ pub struct CacheStats {
     pub rejected: u64,
     /// Entries loaded from the on-disk spill at open time.
     pub loaded: u64,
+}
+
+impl CacheStats {
+    /// The counter delta since `earlier` (a snapshot from the same cache):
+    /// what one run contributed.  `loaded` is kept absolute — it describes
+    /// the open, not the run.
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            insertions: self.insertions.saturating_sub(earlier.insertions),
+            rejected: self.rejected.saturating_sub(earlier.rejected),
+            loaded: self.loaded,
+        }
+    }
 }
 
 /// The key of a cached verdict: the content fingerprint of the checked
@@ -857,10 +888,16 @@ mod tests {
     fn run_ordered_preserves_item_order() {
         let items: Vec<usize> = (0..64).collect();
         let cancel = AtomicBool::new(false);
-        let out = run_ordered(&items, 8, &cancel, |i, &item| {
-            assert_eq!(i, item);
-            item * 2
-        });
+        let out = run_ordered(
+            &items,
+            8,
+            &cancel,
+            &crate::telemetry::Telemetry::disabled(),
+            |i, &item| {
+                assert_eq!(i, item);
+                item * 2
+            },
+        );
         let values: Vec<usize> = out.into_iter().map(|r| r.unwrap()).collect();
         assert_eq!(values, (0..64).map(|i| i * 2).collect::<Vec<_>>());
     }
@@ -869,8 +906,20 @@ mod tests {
     fn run_ordered_sequential_matches_parallel() {
         let items: Vec<usize> = (0..32).collect();
         let cancel = AtomicBool::new(false);
-        let seq = run_ordered(&items, 1, &cancel, |_, &x| x + 1);
-        let par = run_ordered(&items, 4, &cancel, |_, &x| x + 1);
+        let seq = run_ordered(
+            &items,
+            1,
+            &cancel,
+            &crate::telemetry::Telemetry::disabled(),
+            |_, &x| x + 1,
+        );
+        let par = run_ordered(
+            &items,
+            4,
+            &cancel,
+            &crate::telemetry::Telemetry::disabled(),
+            |_, &x| x + 1,
+        );
         assert_eq!(seq, par);
     }
 
@@ -878,7 +927,13 @@ mod tests {
     fn cancelled_items_yield_none() {
         let items: Vec<usize> = (0..8).collect();
         let cancel = AtomicBool::new(true);
-        let out = run_ordered(&items, 4, &cancel, |_, &x| x);
+        let out = run_ordered(
+            &items,
+            4,
+            &cancel,
+            &crate::telemetry::Telemetry::disabled(),
+            |_, &x| x,
+        );
         assert!(out.iter().all(Option::is_none));
     }
 

@@ -675,6 +675,64 @@ fn fuzz_on_and_off_corpus_reports_are_byte_identical() {
     }
 }
 
+/// The telemetry determinism contract: instrumenting the run must not
+/// perturb it.  Across the whole Table III corpus, `render()` is
+/// byte-identical with telemetry on or off, sequential or parallel — the
+/// spans, counters and gauges only ever observe the cascade, never steer
+/// it — and the deterministic subset of the telemetry JSON report is
+/// byte-identical between the sequential and parallel collection runs.
+#[test]
+fn telemetry_on_and_off_corpus_reports_are_byte_identical() {
+    for case in all_cases() {
+        let variants: &[Variant] = if case.has_bug_parameter {
+            &[Variant::Fixed, Variant::Buggy]
+        } else {
+            &[Variant::Fixed]
+        };
+        for &variant in variants {
+            let ft = build_testbench(&case);
+            let design = elaborated(&case, variant);
+
+            let mut deterministic_jsons: Vec<String> = Vec::new();
+            for threads in [1usize, 4] {
+                let mut off = default_check_options(&case, variant);
+                off.parallel.threads = threads;
+                let off_render = verify_elaborated(&design, &ft, &off)
+                    .expect("telemetry-off run succeeds")
+                    .render();
+
+                let mut on = default_check_options(&case, variant);
+                on.parallel.threads = threads;
+                on.telemetry.enabled = true;
+                let on_report =
+                    verify_elaborated(&design, &ft, &on).expect("telemetry-on run succeeds");
+                assert_eq!(
+                    off_render,
+                    on_report.render(),
+                    "{} ({variant:?}, threads={threads}): telemetry-on and -off reports diverge",
+                    case.id
+                );
+                let telemetry = on_report
+                    .telemetry
+                    .as_ref()
+                    .expect("telemetry-on run carries a telemetry report");
+                assert!(
+                    !telemetry.spans.is_empty(),
+                    "{}: no spans recorded",
+                    case.id
+                );
+                deterministic_jsons.push(telemetry.deterministic_json());
+            }
+            assert_eq!(
+                deterministic_jsons[0], deterministic_jsons[1],
+                "{} ({variant:?}): the deterministic telemetry subset depends on the \
+                 thread count",
+                case.id
+            );
+        }
+    }
+}
+
 /// The measured acceptance bar for the optimization pass: across every COI
 /// slice of the whole corpus (both variants), optimization shrinks the
 /// summed gate count by at least 15%.

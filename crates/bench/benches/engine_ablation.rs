@@ -113,6 +113,9 @@ fn run(id: &str, config: Config) -> VerificationReport {
     report
 }
 
+/// Per-run (proven, violated, covered, unknown) verdict counts.
+type VerdictCounts = (usize, usize, usize, usize);
+
 /// Runs the whole corpus (fixed variants, plus buggy where one exists)
 /// under one orchestrator configuration; returns the total checking
 /// wall-clock, per-run summary tuples and the rendered (runtime-free)
@@ -120,7 +123,7 @@ fn run(id: &str, config: Config) -> VerificationReport {
 fn corpus_run(
     label: &str,
     configure: impl Fn(&mut CheckOptions),
-) -> (Duration, Vec<(usize, usize, usize, usize)>, Vec<String>) {
+) -> (Duration, Vec<VerdictCounts>, Vec<String>) {
     let mut total = Duration::ZERO;
     let mut summaries = Vec::new();
     let mut renders = Vec::new();

@@ -189,7 +189,8 @@ pub fn status_counts(report: &VerificationReport) -> (usize, usize, usize, usize
             PropertyStatus::Proven(_) | PropertyStatus::Unreachable => proven += 1,
             PropertyStatus::Violated(_) => violated += 1,
             PropertyStatus::Covered(_) => covered += 1,
-            PropertyStatus::Unknown => unknown += 1,
+            // A fault-degraded property is undecided for scoring purposes.
+            PropertyStatus::Unknown | PropertyStatus::Error { .. } => unknown += 1,
             PropertyStatus::NotChecked(_) => {}
         }
     }

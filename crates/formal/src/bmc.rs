@@ -7,6 +7,7 @@
 //! * [`check_cover`] searches for a witness trace reaching a cover target.
 
 use crate::aig::Lit;
+use crate::interrupt::Interrupt;
 use crate::model::Model;
 use crate::sat::{SolverConfig, SolverStats};
 use crate::trace::Trace;
@@ -45,6 +46,9 @@ pub enum SafetyResult {
         /// Largest counterexample-free bound explored.
         explored_depth: usize,
     },
+    /// The check was preempted by its [`Interrupt`] handle (deadline,
+    /// budget or cancellation) before reaching a verdict.
+    Interrupted,
 }
 
 impl SafetyResult {
@@ -79,6 +83,9 @@ pub enum CoverResult {
         /// Largest witness-free bound explored.
         explored_depth: usize,
     },
+    /// The check was preempted by its [`Interrupt`] handle (deadline,
+    /// budget or cancellation) before reaching a verdict.
+    Interrupted,
 }
 
 fn apply_constraints(unroller: &mut Unroller<'_>, constraints: &[Lit], frame: usize) {
@@ -140,8 +147,21 @@ pub fn check_safety_detailed(
     options: &BmcOptions,
     solver: SolverConfig,
 ) -> (SafetyResult, SolverStats) {
+    check_safety_budgeted(model, bad_index, options, solver, &Interrupt::none())
+}
+
+/// Like [`check_safety_detailed`], preemptible: the [`Interrupt`] handle
+/// is polled at every depth step and inside the SAT search loops; when
+/// it fires the check returns [`SafetyResult::Interrupted`].
+pub fn check_safety_budgeted(
+    model: &Model,
+    bad_index: usize,
+    options: &BmcOptions,
+    solver: SolverConfig,
+    interrupt: &Interrupt,
+) -> (SafetyResult, SolverStats) {
     let _span = crate::telemetry::span("bmc.solve", &model.bads[bad_index].name);
-    let (result, stats) = check_safety_impl(model, bad_index, options, solver);
+    let (result, stats) = check_safety_impl(model, bad_index, options, solver, interrupt);
     crate::telemetry::count_solver("bmc", &stats);
     (result, stats)
 }
@@ -152,30 +172,54 @@ fn check_safety_impl(
     bad_index: usize,
     options: &BmcOptions,
     solver: SolverConfig,
+    interrupt: &Interrupt,
 ) -> (SafetyResult, SolverStats) {
     let bad = model.bads[bad_index].lit;
 
     // Phase 1: BMC — look for a counterexample with increasing depth.
     let mut bmc = Unroller::with_config(&model.aig, true, solver);
     let mut induction = Induction::new(model, bad, solver);
+    bmc.set_interrupt(interrupt.clone());
+    induction.unroller.set_interrupt(interrupt.clone());
     for depth in 0..=options.max_depth {
+        #[cfg(any(test, feature = "fault-injection"))]
+        crate::faults::point("bmc.depth_step");
+        if interrupt.poll().is_some() {
+            return (SafetyResult::Interrupted, bmc.stats() + induction.stats());
+        }
         apply_constraints(&mut bmc, &model.constraints, depth);
         if bmc.solve_with(&[(bad, depth, true)]) {
+            // A satisfiable answer is a genuine model even if the
+            // interrupt fired concurrently: extract the counterexample.
             let trace = extract_trace(model, &mut bmc, depth);
             let stats = bmc.stats() + induction.stats();
             return (SafetyResult::Violated(trace), stats);
+        }
+        if interrupt.triggered().is_some() {
+            // The "no counterexample at this depth" answer may be an
+            // interrupted solve in disguise; never unroll further.
+            return (SafetyResult::Interrupted, bmc.stats() + induction.stats());
         }
         // Try to close a k-induction proof at this depth before unrolling
         // further; `depth` counterexample-free frames form the base case.
         if depth <= options.max_induction && try_induction_at(depth) && induction.step_holds(depth)
         {
             let stats = bmc.stats() + induction.stats();
+            if interrupt.triggered().is_some() {
+                // `step_holds` negates a boolean solve: an interrupted
+                // query would read as "step holds".  The latch check
+                // keeps an interrupted solve from becoming a proof.
+                return (SafetyResult::Interrupted, stats);
+            }
             return (
                 SafetyResult::Proven {
                     induction_depth: depth,
                 },
                 stats,
             );
+        }
+        if interrupt.triggered().is_some() {
+            return (SafetyResult::Interrupted, bmc.stats() + induction.stats());
         }
     }
     let stats = bmc.stats() + induction.stats();
@@ -296,8 +340,20 @@ pub fn check_cover_detailed(
     options: &BmcOptions,
     solver: SolverConfig,
 ) -> (CoverResult, SolverStats) {
+    check_cover_budgeted(model, cover_index, options, solver, &Interrupt::none())
+}
+
+/// Like [`check_cover_detailed`], preemptible via the [`Interrupt`]
+/// handle (see [`check_safety_budgeted`]).
+pub fn check_cover_budgeted(
+    model: &Model,
+    cover_index: usize,
+    options: &BmcOptions,
+    solver: SolverConfig,
+    interrupt: &Interrupt,
+) -> (CoverResult, SolverStats) {
     let _span = crate::telemetry::span("bmc.solve", &model.covers[cover_index].name);
-    let (result, stats) = check_cover_impl(model, cover_index, options, solver);
+    let (result, stats) = check_cover_impl(model, cover_index, options, solver, interrupt);
     crate::telemetry::count_solver("bmc", &stats);
     (result, stats)
 }
@@ -308,21 +364,40 @@ fn check_cover_impl(
     cover_index: usize,
     options: &BmcOptions,
     solver: SolverConfig,
+    interrupt: &Interrupt,
 ) -> (CoverResult, SolverStats) {
     let target = model.covers[cover_index].lit;
     let mut bmc = Unroller::with_config(&model.aig, true, solver);
     let mut induction = Induction::new(model, target, solver);
+    bmc.set_interrupt(interrupt.clone());
+    induction.unroller.set_interrupt(interrupt.clone());
     for depth in 0..=options.max_depth {
+        #[cfg(any(test, feature = "fault-injection"))]
+        crate::faults::point("bmc.depth_step");
+        if interrupt.poll().is_some() {
+            return (CoverResult::Interrupted, bmc.stats() + induction.stats());
+        }
         apply_constraints(&mut bmc, &model.constraints, depth);
         if bmc.solve_with(&[(target, depth, true)]) {
             let trace = extract_trace(model, &mut bmc, depth);
             let stats = bmc.stats() + induction.stats();
             return (CoverResult::Covered(trace), stats);
         }
+        if interrupt.triggered().is_some() {
+            return (CoverResult::Interrupted, bmc.stats() + induction.stats());
+        }
         if depth <= options.max_induction && try_induction_at(depth) && induction.step_holds(depth)
         {
             let stats = bmc.stats() + induction.stats();
+            if interrupt.triggered().is_some() {
+                // An interrupted step query must not become an
+                // unreachability proof (see check_safety_impl).
+                return (CoverResult::Interrupted, stats);
+            }
             return (CoverResult::Unreachable, stats);
+        }
+        if interrupt.triggered().is_some() {
+            return (CoverResult::Interrupted, bmc.stats() + induction.stats());
         }
     }
     let stats = bmc.stats() + induction.stats();

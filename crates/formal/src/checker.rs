@@ -21,16 +21,17 @@
 
 use crate::aig::Lit;
 use crate::bmc::{
-    check_cover_detailed, check_safety_detailed, BmcOptions, CoverResult, SafetyResult,
+    check_cover_budgeted, check_safety_budgeted, BmcOptions, CoverResult, SafetyResult,
 };
 use crate::coi::{cone_of_influence, fingerprint, Fingerprint, SliceTarget};
 use crate::compile::{compile, CompiledKind, CompiledTestbench};
 use crate::elab::{elaborate, ElabDesign, ElabOptions, Result};
 use crate::explicit::{ExplicitEngine, ExplicitOptions, ExplicitResult};
-use crate::fuzz::{fuzz_safety_with_stats, FuzzOptions, FuzzStats};
+use crate::fuzz::{fuzz_safety_budgeted, FuzzOptions, FuzzStats};
+use crate::interrupt::{self, Interrupt, InterruptReason};
 use crate::lint::{LintOptions, LintReport};
 use crate::model::{LivenessSafetyModel, Model};
-use crate::pdr::{check_pdr_detailed, check_pdr_lit_detailed, PdrOptions, PdrResult};
+use crate::pdr::{check_pdr_budgeted, PdrOptions, PdrResult};
 use crate::portfolio::{
     run_ordered, CacheKey, CacheStats, CachedOutcome, CachedVerdict, ParallelOptions, ProofCache,
 };
@@ -44,9 +45,10 @@ use autosva::sva::{Directive, PropertyClass};
 use autosva::FormalTestbench;
 use std::collections::HashMap;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Options for a verification run.
@@ -218,6 +220,20 @@ pub enum PropertyStatus {
     Unknown,
     /// Not checked by the formal engine (assumptions, X-prop checks).
     NotChecked(&'static str),
+    /// The engine checking this property panicked.  The fault is contained
+    /// to this row: every other property's verdict is unaffected and the
+    /// report still renders.  Equivalent to [`PropertyStatus::Unknown`] for
+    /// pass/fail purposes, but kept distinct so reports (and exit codes
+    /// built on them) can surface the crash instead of silently reading it
+    /// as "bounds too small".
+    Error {
+        /// The cascade stage that was running when the panic unwound
+        /// (`"fuzz"`, `"bmc"`, `"pdr"`, `"explicit"`, or `"task"` when it
+        /// escaped outside any engine stage).
+        engine: &'static str,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
 }
 
 impl PropertyStatus {
@@ -266,6 +282,9 @@ impl fmt::Display for PropertyStatus {
             PropertyStatus::Unreachable => write!(f, "unreachable"),
             PropertyStatus::Unknown => write!(f, "unknown"),
             PropertyStatus::NotChecked(reason) => write!(f, "not checked ({reason})"),
+            PropertyStatus::Error { engine, message } => {
+                write!(f, "ERROR in {engine}: {message}")
+            }
         }
     }
 }
@@ -616,13 +635,24 @@ fn verify_elaborated_inner(
     let ctx = TaskCtx {
         options,
         cache,
-        cancel: AtomicBool::new(false),
+        cancel: Arc::new(AtomicBool::new(false)),
         explicit_memo: Mutex::new(HashMap::new()),
     };
 
+    // Register the robustness counters up front so a healthy run's
+    // telemetry still carries them (with zeros): their *absence* would be
+    // indistinguishable from "fault containment not compiled in".
+    telemetry::register_counter("robustness.interrupts");
+    telemetry::register_counter("robustness.timeouts");
+    telemetry::register_counter("robustness.panics_caught");
+
     // Run every property task on the worker pool; statuses are deterministic
     // (each engine is single-threaded on a fixed slice), so only runtimes
-    // depend on the interleaving.
+    // depend on the interleaving.  Each task runs under its own interrupt
+    // handle (deadline from `property_timeout` plus the shared cancellation
+    // flag, polled inside every engine loop) and inside `catch_unwind`, so
+    // a stalled or panicking engine degrades that one property — the run
+    // always comes back with a complete report.
     let threads = options.parallel.effective_threads();
     let names: Vec<String> = compiled
         .properties
@@ -632,7 +662,38 @@ fn verify_elaborated_inner(
     let outcomes = run_ordered(&tasks, threads, &ctx.cancel, run_telemetry, |i, task| {
         let _task_span = telemetry::span("task", &names[i]);
         let t0 = Instant::now();
-        let outcome = run_task(task, &ctx);
+        let deadline = options
+            .parallel
+            .property_timeout
+            .and_then(|limit| Instant::now().checked_add(limit));
+        let interrupt = Interrupt::new(deadline, None, Some(ctx.cancel.clone()));
+        interrupt::set_task_context(&names[i], interrupt.clone());
+        let outcome = match catch_unwind(AssertUnwindSafe(|| run_task(task, &ctx, &interrupt))) {
+            Ok(outcome) => outcome,
+            Err(payload) => {
+                telemetry::count("robustness.panics_caught", 1);
+                TaskOutcome::new(
+                    PropertyStatus::Error {
+                        engine: interrupt::current_engine(),
+                        message: panic_message(payload.as_ref()),
+                    },
+                    Some(
+                        "engine panic isolated to this property; other verdicts are unaffected"
+                            .to_string(),
+                    ),
+                    SolverStats::default(),
+                )
+            }
+        };
+        interrupt::clear_task_context();
+        match interrupt.triggered() {
+            Some(InterruptReason::Timeout) => {
+                telemetry::count("robustness.interrupts", 1);
+                telemetry::count("robustness.timeouts", 1);
+            }
+            Some(_) => telemetry::count("robustness.interrupts", 1),
+            None => {}
+        }
         if ctx.options.parallel.stop_on_violation && outcome.status.is_violation() {
             ctx.cancel.store(true, Ordering::Relaxed);
         }
@@ -715,6 +776,7 @@ fn verify_elaborated_inner(
                 PropertyStatus::Unreachable => verdicts.unreachable += 1,
                 PropertyStatus::Unknown => verdicts.unknown += 1,
                 PropertyStatus::NotChecked(_) => verdicts.not_checked += 1,
+                PropertyStatus::Error { .. } => verdicts.errors += 1,
             }
             if !matches!(r.status, PropertyStatus::NotChecked(_)) {
                 slice_latches += r.slice_latches;
@@ -954,13 +1016,31 @@ struct TaskCtx<'a> {
     /// a disk-backed cache opened from [`CacheOptions::dir`]).
     cache: Option<ProofCache>,
     /// Raised by `stop_on_violation` (or future external cancellation):
-    /// tasks not yet started report `Unknown` instead of running.
-    cancel: AtomicBool,
+    /// tasks not yet started report `Unknown` instead of running; started
+    /// tasks observe the flag through their interrupt handle and wind down
+    /// at the next poll.  Shared with every task's [`Interrupt`], hence the
+    /// `Arc`.
+    cancel: Arc<AtomicBool>,
     /// Explicit-state engines shared across tasks with content-identical
-    /// models; the per-fingerprint `OnceLock` serializes construction
-    /// without holding the map lock during exploration.
+    /// models; the per-fingerprint mutex serializes construction without
+    /// holding the map lock during exploration.  The memo records only
+    /// *completed* explorations: an exploration cut short by one task's
+    /// interrupt (or unwound by a panic) is not cached, so it cannot
+    /// degrade sibling properties that still have budget.
     #[allow(clippy::type_complexity)]
-    explicit_memo: Mutex<HashMap<Fingerprint, Arc<OnceLock<Option<Arc<ExplicitBundle>>>>>>,
+    explicit_memo: Mutex<HashMap<Fingerprint, Arc<Mutex<ExplicitMemo>>>>,
+}
+
+/// Memoization state of one fingerprint's shared explicit-state engine.
+#[derive(Default)]
+enum ExplicitMemo {
+    /// Not explored yet (or a previous attempt was interrupted/panicked
+    /// and must not be trusted): the next task with budget explores.
+    #[default]
+    Pending,
+    /// Exploration ran to its natural end (`None`: the engine declined or
+    /// exceeded its own limits — a definitive, cacheable answer).
+    Done(Option<Arc<ExplicitBundle>>),
 }
 
 /// The explicit-state engine together with the monitor literals needed for
@@ -972,58 +1052,79 @@ struct ExplicitBundle {
 }
 
 /// Returns the shared explicit-engine bundle for `model`, building it on
-/// first use.  `None` when the engine is disabled or exploration exceeded
-/// its limits (memoized, so the exploration cost is paid at most once per
-/// fingerprint).
+/// first use.  `None` when the engine is disabled, exploration exceeded its
+/// limits, or `interrupt` fired mid-exploration.  Completed explorations
+/// (including definitive "declined/exceeded" answers) are memoized so the
+/// cost is paid at most once per fingerprint; interrupted ones are not —
+/// the truncated state space must never answer a sibling property's query.
 fn explicit_bundle(
     ctx: &TaskCtx<'_>,
     fp: Fingerprint,
     model: &Model,
+    interrupt: &Interrupt,
 ) -> Option<Arc<ExplicitBundle>> {
     if ctx.options.disable_explicit {
         return None;
     }
     let cell = {
-        let mut memo = ctx.explicit_memo.lock().expect("explicit memo");
+        let mut memo = ctx
+            .explicit_memo
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         memo.entry(fp).or_default().clone()
     };
-    cell.get_or_init(|| {
-        let (augmented, assert_pendings, fair_pendings) = model.with_pending_monitors();
-        ExplicitEngine::explore(&augmented, &ctx.options.explicit).map(|engine| {
-            Arc::new(ExplicitBundle {
-                engine,
-                assert_pendings,
-                fair_pendings,
-            })
+    // The per-fingerprint lock is held across exploration so concurrent
+    // tasks over the same slice wait for one exploration instead of racing
+    // their own.  Recover from poisoning: a panic that unwound a previous
+    // attempt left the state `Pending` (it is only ever set after a
+    // completed exploration), so retrying here is sound.
+    let mut state = cell.lock().unwrap_or_else(PoisonError::into_inner);
+    if let ExplicitMemo::Done(bundle) = &*state {
+        return bundle.clone();
+    }
+    let (augmented, assert_pendings, fair_pendings) = model.with_pending_monitors();
+    let engine = ExplicitEngine::explore_budgeted(&augmented, &ctx.options.explicit, interrupt);
+    if engine.as_ref().is_some_and(ExplicitEngine::was_interrupted) {
+        // This task ran out of budget mid-exploration; leave the memo
+        // `Pending` so a sibling with budget explores from scratch.
+        return None;
+    }
+    let bundle = engine.map(|engine| {
+        Arc::new(ExplicitBundle {
+            engine,
+            assert_pendings,
+            fair_pendings,
         })
-    })
-    .clone()
+    });
+    *state = ExplicitMemo::Done(bundle.clone());
+    bundle
 }
 
-/// The per-property wall-clock budget, checked between engine stages (the
-/// engines themselves bound their work by depth/query budgets).
-struct Budget {
-    deadline: Option<Instant>,
-}
-
-impl Budget {
-    fn start(options: &CheckOptions) -> Budget {
-        Budget {
-            deadline: options
-                .parallel
-                .property_timeout
-                .map(|limit| Instant::now() + limit),
+/// The "undecided" note for an interrupted property, naming the cascade
+/// stage that was running when the interrupt was observed (read from the
+/// task-local engine tag, which every stage sets on entry).
+fn interrupt_unknown(reason: InterruptReason) -> (PropertyStatus, Option<String>) {
+    let engine = interrupt::current_engine();
+    let note = match reason {
+        InterruptReason::Cancelled => {
+            format!("undecided: cancelled during {engine} (the run's cancellation flag was raised)")
         }
-    }
+        InterruptReason::Timeout | InterruptReason::Budget => {
+            format!("undecided: budget exhausted in {engine}")
+        }
+    };
+    (PropertyStatus::Unknown, Some(note))
+}
 
-    fn exhausted(&self) -> bool {
-        self.deadline.is_some_and(|d| Instant::now() > d)
-    }
-
-    fn note(&self, options: &CheckOptions) -> Option<String> {
-        options.parallel.property_timeout.map(|limit| {
-            format!("undecided: the per-property time budget ({limit:?}) was exhausted")
-        })
+/// Renders a caught panic payload (`String` and `&str` payloads verbatim,
+/// anything else as a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else if let Some(message) = payload.downcast_ref::<&str>() {
+        (*message).to_string()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -1082,12 +1183,14 @@ impl TaskOutcome {
     }
 }
 
-fn run_task(task: &PropertyTask, ctx: &TaskCtx<'_>) -> TaskOutcome {
+fn run_task(task: &PropertyTask, ctx: &TaskCtx<'_>, interrupt: &Interrupt) -> TaskOutcome {
     match &task.kind {
         TaskKind::Done(status) => TaskOutcome::new(status.clone(), None, SolverStats::default()),
-        TaskKind::Safety { model, index, fp } => check_safety_task(model, *index, *fp, ctx),
+        TaskKind::Safety { model, index, fp } => {
+            check_safety_task(model, *index, *fp, ctx, interrupt)
+        }
         TaskKind::Cover { model, index, fp } => {
-            let (status, note, stats) = check_cover_task(model, *index, *fp, ctx);
+            let (status, note, stats) = check_cover_task(model, *index, *fp, ctx, interrupt);
             TaskOutcome::new(status, note, stats)
         }
         TaskKind::Liveness {
@@ -1096,7 +1199,7 @@ fn run_task(task: &PropertyTask, ctx: &TaskCtx<'_>) -> TaskOutcome {
             index,
             fp,
         } => {
-            let (status, note, stats) = check_liveness_task(base, l2s, *index, *fp, ctx);
+            let (status, note, stats) = check_liveness_task(base, l2s, *index, *fp, ctx, interrupt);
             TaskOutcome::new(status, note, stats)
         }
     }
@@ -1109,13 +1212,15 @@ fn run_task(task: &PropertyTask, ctx: &TaskCtx<'_>) -> TaskOutcome {
 /// strike; re-minimizing makes the reported trace length a function of the
 /// model alone, so `render()` is byte-identical no matter which engine got
 /// there first.  A no-op under `disable_bmc` (the ablation configurations
-/// keep each engine's raw trace).
+/// keep each engine's raw trace).  An interrupt mid-minimization keeps the
+/// original (unminimized but correct) trace — the verdict is never lost.
 fn minimize_safety_cex(
     model: &Model,
     index: usize,
     trace: Trace,
     options: &CheckOptions,
     stats: &mut SolverStats,
+    interrupt: &Interrupt,
 ) -> Trace {
     if options.disable_bmc || trace.is_empty() {
         return trace;
@@ -1130,12 +1235,13 @@ fn minimize_safety_cex(
         max_depth: trace.len() - 1,
         max_induction: 0,
     };
-    let (result, s) = check_safety_detailed(model, index, &bound, options.solver);
+    let (result, s) = check_safety_budgeted(model, index, &bound, options.solver, interrupt);
     *stats += s;
     match result {
         SafetyResult::Violated(minimal) => minimal,
-        // Unreachable (a concrete witness exists at this depth), but never
-        // let the minimizer lose the verdict.
+        // Unreachable (a concrete witness exists at this depth) and
+        // Interrupted both fall back to the witnessed trace: never let the
+        // minimizer lose the verdict.
         _ => trace,
     }
 }
@@ -1145,6 +1251,7 @@ fn check_safety_task(
     index: usize,
     fp: Fingerprint,
     ctx: &TaskCtx<'_>,
+    interrupt: &Interrupt,
 ) -> TaskOutcome {
     let options = ctx.options;
     let cache = ctx.cache.as_ref();
@@ -1177,7 +1284,6 @@ fn check_safety_task(
             done!(cached_status(verdict, model), None, None);
         }
     }
-    let budget = Budget::start(options);
     // The simulation fuzzer runs before any SAT query: concrete 64-lane
     // stimulus over the slice, with every hit replay-confirmed.  The SAT
     // engines only ever see the survivors.  A confirmed hit is re-minimized
@@ -1185,31 +1291,35 @@ fn check_safety_task(
     // minimal length the fuzz-off cascade reports and `render()` stays
     // byte-identical with the stage on or off, for any seed.
     if options.fuzz.enabled {
+        interrupt::set_current_engine(FUZZ_ENGINE);
         let (hit, fstats) = {
             let _span =
                 telemetry::span_detail("engine.fuzz", &key.property, Some(FUZZ_ENGINE), Some(fp));
-            fuzz_safety_with_stats(model, index, &options.fuzz)
+            fuzz_safety_budgeted(model, index, &options.fuzz, interrupt)
         };
         fuzz_stats = Some(fstats);
         if let Some(hit) = hit {
-            let trace = minimize_safety_cex(model, index, hit.trace, options, &mut stats);
+            let trace =
+                minimize_safety_cex(model, index, hit.trace, options, &mut stats, interrupt);
             store(cache, &key, CachedOutcome::Violated(trace.clone()));
             done!(PropertyStatus::Violated(trace), None, Some(FUZZ_ENGINE));
         }
-    }
-    if budget.exhausted() {
-        done!(PropertyStatus::Unknown, budget.note(options), None);
+        if let Some(reason) = interrupt.triggered() {
+            let (status, note) = interrupt_unknown(reason);
+            done!(status, note, None);
+        }
     }
     // Quick, shallow BMC first: it produces the shortest traces for the
     // common "bug within a few cycles" case at minimal cost.
     if !options.disable_bmc {
+        interrupt::set_current_engine("bmc");
         let quick = BmcOptions {
             max_depth: options.quick_bmc_depth.min(options.bmc.max_depth),
             max_induction: 3.min(options.bmc.max_induction),
         };
         let (result, s) = {
             let _span = telemetry::span_detail("engine.bmc", &key.property, Some("bmc"), Some(fp));
-            check_safety_detailed(model, index, &quick, options.solver)
+            check_safety_budgeted(model, index, &quick, options.solver, interrupt)
         };
         stats += s;
         match result {
@@ -1233,19 +1343,22 @@ fn check_safety_task(
                 store(cache, &key, CachedOutcome::Violated(trace.clone()));
                 done!(PropertyStatus::Violated(trace), None, None);
             }
+            SafetyResult::Interrupted => {
+                let (status, note) =
+                    interrupt_unknown(interrupt.triggered().unwrap_or(InterruptReason::Timeout));
+                done!(status, note, None);
+            }
             SafetyResult::Unknown { .. } => {}
         }
-    }
-    if budget.exhausted() {
-        done!(PropertyStatus::Unknown, budget.note(options), None);
     }
     // PDR: the unbounded engine that closes the reachability-dependent
     // proofs (counter-vs-state invariants) induction cannot, without the
     // explicit engine's exponential cliff.
     if !options.disable_pdr {
+        interrupt::set_current_engine("pdr");
         let (result, s) = {
             let _span = telemetry::span_detail("engine.pdr", &key.property, Some("pdr"), Some(fp));
-            check_pdr_detailed(model, index, &options.pdr, options.solver)
+            check_pdr_budgeted(model, bad, &options.pdr, options.solver, interrupt)
         };
         stats += s;
         match result {
@@ -1265,17 +1378,21 @@ fn check_safety_task(
                 );
             }
             PdrResult::Violated(trace) => {
-                let trace = minimize_safety_cex(model, index, trace, options, &mut stats);
+                let trace =
+                    minimize_safety_cex(model, index, trace, options, &mut stats, interrupt);
                 store(cache, &key, CachedOutcome::Violated(trace.clone()));
                 done!(PropertyStatus::Violated(trace), None, None);
+            }
+            PdrResult::Interrupted => {
+                let (status, note) =
+                    interrupt_unknown(interrupt.triggered().unwrap_or(InterruptReason::Timeout));
+                done!(status, note, None);
             }
             PdrResult::Unknown { .. } => {}
         }
     }
-    if budget.exhausted() {
-        done!(PropertyStatus::Unknown, budget.note(options), None);
-    }
-    if let Some(bundle) = explicit_bundle(ctx, fp, model) {
+    interrupt::set_current_engine("explicit");
+    if let Some(bundle) = explicit_bundle(ctx, fp, model, interrupt) {
         let _span =
             telemetry::span_detail("engine.explicit", &key.property, Some("explicit"), Some(fp));
         match bundle.engine.check_bad(bad) {
@@ -1284,24 +1401,30 @@ fn check_safety_task(
                 done!(PropertyStatus::Proven(Proof::Reachability), None, None);
             }
             ExplicitResult::Violated(trace) => {
-                let trace = minimize_safety_cex(model, index, trace, options, &mut stats);
+                let trace =
+                    minimize_safety_cex(model, index, trace, options, &mut stats, interrupt);
                 store(cache, &key, CachedOutcome::Violated(trace.clone()));
                 done!(PropertyStatus::Violated(trace), None, None);
             }
             ExplicitResult::Exceeded => {}
         }
     }
-    if budget.exhausted() || options.disable_bmc {
-        done!(PropertyStatus::Unknown, budget.note(options), None);
+    if let Some(reason) = interrupt.poll() {
+        let (status, note) = interrupt_unknown(reason);
+        done!(status, note, None);
+    }
+    if options.disable_bmc {
+        done!(PropertyStatus::Unknown, None, None);
     }
     // Exact engines unavailable: fall back to the full-depth bounded
     // engines.
+    interrupt::set_current_engine("bmc");
     let (result, s) = {
         let _span = telemetry::span_detail("engine.bmc", &key.property, Some("bmc"), Some(fp));
-        check_safety_detailed(model, index, &options.bmc, options.solver)
+        check_safety_budgeted(model, index, &options.bmc, options.solver, interrupt)
     };
     stats += s;
-    let status = match result {
+    let (status, note) = match result {
         SafetyResult::Proven { induction_depth } => {
             store(
                 cache,
@@ -1310,19 +1433,25 @@ fn check_safety_task(
                     depth: induction_depth,
                 },
             );
-            PropertyStatus::Proven(Proof::Induction {
-                depth: induction_depth,
-            })
+            (
+                PropertyStatus::Proven(Proof::Induction {
+                    depth: induction_depth,
+                }),
+                None,
+            )
         }
         SafetyResult::Violated(trace) => {
             store(cache, &key, CachedOutcome::Violated(trace.clone()));
-            PropertyStatus::Violated(trace)
+            (PropertyStatus::Violated(trace), None)
         }
-        SafetyResult::Unknown { .. } => PropertyStatus::Unknown,
+        SafetyResult::Interrupted => {
+            interrupt_unknown(interrupt.triggered().unwrap_or(InterruptReason::Timeout))
+        }
+        SafetyResult::Unknown { .. } => (PropertyStatus::Unknown, None),
     };
     TaskOutcome {
         status,
-        note: None,
+        note,
         stats,
         engine: None,
         fuzz: fuzz_stats,
@@ -1334,6 +1463,7 @@ fn check_cover_task(
     index: usize,
     fp: Fingerprint,
     ctx: &TaskCtx<'_>,
+    interrupt: &Interrupt,
 ) -> (PropertyStatus, Option<String>, SolverStats) {
     let options = ctx.options;
     let cache = ctx.cache.as_ref();
@@ -1352,15 +1482,15 @@ fn check_cover_task(
             return (cached_status(verdict, model), None, stats);
         }
     }
-    let budget = Budget::start(options);
     if !options.disable_bmc {
+        interrupt::set_current_engine("bmc");
         let quick = BmcOptions {
             max_depth: options.quick_bmc_depth.min(options.bmc.max_depth),
             max_induction: 3.min(options.bmc.max_induction),
         };
         let (result, s) = {
             let _span = telemetry::span_detail("engine.bmc", &key.property, Some("bmc"), Some(fp));
-            check_cover_detailed(model, index, &quick, options.solver)
+            check_cover_budgeted(model, index, &quick, options.solver, interrupt)
         };
         stats += s;
         match result {
@@ -1376,18 +1506,21 @@ fn check_cover_task(
                 );
                 return (PropertyStatus::Unreachable, None, stats);
             }
+            CoverResult::Interrupted => {
+                let (status, note) =
+                    interrupt_unknown(interrupt.triggered().unwrap_or(InterruptReason::Timeout));
+                return (status, note, stats);
+            }
             CoverResult::Unknown { .. } => {}
         }
-    }
-    if budget.exhausted() {
-        return (PropertyStatus::Unknown, budget.note(options), stats);
     }
     // PDR decides reachability of the cover target: a "proof" means the
     // target is unreachable, a "counterexample" is the witness.
     if !options.disable_pdr {
+        interrupt::set_current_engine("pdr");
         let (result, s) = {
             let _span = telemetry::span_detail("engine.pdr", &key.property, Some("pdr"), Some(fp));
-            check_pdr_lit_detailed(model, target, &options.pdr, options.solver)
+            check_pdr_budgeted(model, target, &options.pdr, options.solver, interrupt)
         };
         stats += s;
         match result {
@@ -1408,13 +1541,16 @@ fn check_cover_task(
                 store(cache, &key, CachedOutcome::Covered(trace.clone()));
                 return (PropertyStatus::Covered(trace), None, stats);
             }
+            PdrResult::Interrupted => {
+                let (status, note) =
+                    interrupt_unknown(interrupt.triggered().unwrap_or(InterruptReason::Timeout));
+                return (status, note, stats);
+            }
             PdrResult::Unknown { .. } => {}
         }
     }
-    if budget.exhausted() {
-        return (PropertyStatus::Unknown, budget.note(options), stats);
-    }
-    if let Some(bundle) = explicit_bundle(ctx, fp, model) {
+    interrupt::set_current_engine("explicit");
+    if let Some(bundle) = explicit_bundle(ctx, fp, model, interrupt) {
         let _span =
             telemetry::span_detail("engine.explicit", &key.property, Some("explicit"), Some(fp));
         match bundle.engine.check_cover(target) {
@@ -1433,12 +1569,17 @@ fn check_cover_task(
             ExplicitResult::Exceeded => {}
         }
     }
-    if budget.exhausted() || options.disable_bmc {
-        return (PropertyStatus::Unknown, budget.note(options), stats);
+    if let Some(reason) = interrupt.poll() {
+        let (status, note) = interrupt_unknown(reason);
+        return (status, note, stats);
     }
+    if options.disable_bmc {
+        return (PropertyStatus::Unknown, None, stats);
+    }
+    interrupt::set_current_engine("bmc");
     let (result, s) = {
         let _span = telemetry::span_detail("engine.bmc", &key.property, Some("bmc"), Some(fp));
-        check_cover_detailed(model, index, &options.bmc, options.solver)
+        check_cover_budgeted(model, index, &options.bmc, options.solver, interrupt)
     };
     stats += s;
     match result {
@@ -1454,6 +1595,11 @@ fn check_cover_task(
             );
             (PropertyStatus::Unreachable, None, stats)
         }
+        CoverResult::Interrupted => {
+            let (status, note) =
+                interrupt_unknown(interrupt.triggered().unwrap_or(InterruptReason::Timeout));
+            (status, note, stats)
+        }
         CoverResult::Unknown { .. } => (PropertyStatus::Unknown, None, stats),
     }
 }
@@ -1464,6 +1610,7 @@ fn check_liveness_task(
     index: usize,
     fp: Fingerprint,
     ctx: &TaskCtx<'_>,
+    interrupt: &Interrupt,
 ) -> (PropertyStatus, Option<String>, SolverStats) {
     let options = ctx.options;
     let cache = ctx.cache.as_ref();
@@ -1483,19 +1630,19 @@ fn check_liveness_task(
             return (cached_status(verdict, model), None, stats);
         }
     }
-    let budget = Budget::start(options);
     // The index into the base model's liveness vector equals the index into
     // the transformed model's bad vector.  BMC on the transformed model
     // finds short counterexample lassos; proofs fall through to PDR and
     // then to the exact engine.
     if !options.disable_bmc {
+        interrupt::set_current_engine("bmc");
         let quick = BmcOptions {
             max_depth: options.quick_bmc_depth.min(options.liveness_bmc.max_depth),
             max_induction: options.liveness_bmc.max_induction.min(3),
         };
         let (result, s) = {
             let _span = telemetry::span_detail("engine.bmc", &key.property, Some("bmc"), Some(fp));
-            check_safety_detailed(model, index, &quick, options.solver)
+            check_safety_budgeted(model, index, &quick, options.solver, interrupt)
         };
         stats += s;
         match result {
@@ -1519,16 +1666,19 @@ fn check_liveness_task(
                 store(cache, &key, CachedOutcome::Violated(trace.clone()));
                 return (PropertyStatus::Violated(trace), None, stats);
             }
+            SafetyResult::Interrupted => {
+                let (status, note) =
+                    interrupt_unknown(interrupt.triggered().unwrap_or(InterruptReason::Timeout));
+                return (status, note, stats);
+            }
             SafetyResult::Unknown { .. } => {}
         }
     }
-    if budget.exhausted() {
-        return (PropertyStatus::Unknown, budget.note(options), stats);
-    }
     if !options.disable_pdr {
+        interrupt::set_current_engine("pdr");
         let (result, s) = {
             let _span = telemetry::span_detail("engine.pdr", &key.property, Some("pdr"), Some(fp));
-            check_pdr_detailed(model, index, &options.pdr, options.solver)
+            check_pdr_budgeted(model, bad, &options.pdr, options.solver, interrupt)
         };
         stats += s;
         match result {
@@ -1551,13 +1701,16 @@ fn check_liveness_task(
                 store(cache, &key, CachedOutcome::Violated(trace.clone()));
                 return (PropertyStatus::Violated(trace), None, stats);
             }
+            PdrResult::Interrupted => {
+                let (status, note) =
+                    interrupt_unknown(interrupt.triggered().unwrap_or(InterruptReason::Timeout));
+                return (status, note, stats);
+            }
             PdrResult::Unknown { .. } => {}
         }
     }
-    if budget.exhausted() {
-        return (PropertyStatus::Unknown, budget.note(options), stats);
-    }
-    if let Some(bundle) = explicit_bundle(ctx, fp, base) {
+    interrupt::set_current_engine("explicit");
+    if let Some(bundle) = explicit_bundle(ctx, fp, base, interrupt) {
         let _span =
             telemetry::span_detail("engine.explicit", &key.property, Some("explicit"), Some(fp));
         let pending = bundle.assert_pendings[index];
@@ -1575,15 +1728,23 @@ fn check_liveness_task(
             ExplicitResult::Exceeded => {}
         }
     }
-    if budget.exhausted() {
-        return (PropertyStatus::Unknown, budget.note(options), stats);
+    if let Some(reason) = interrupt.poll() {
+        let (status, note) = interrupt_unknown(reason);
+        return (status, note, stats);
     }
     if options.disable_bmc {
         return (PropertyStatus::Unknown, None, stats);
     }
+    interrupt::set_current_engine("bmc");
     let (result, s) = {
         let _span = telemetry::span_detail("engine.bmc", &key.property, Some("bmc"), Some(fp));
-        check_safety_detailed(model, index, &options.liveness_bmc, options.solver)
+        check_safety_budgeted(
+            model,
+            index,
+            &options.liveness_bmc,
+            options.solver,
+            interrupt,
+        )
     };
     stats += s;
     match result {
@@ -1606,6 +1767,11 @@ fn check_liveness_task(
         SafetyResult::Violated(trace) => {
             store(cache, &key, CachedOutcome::Violated(trace.clone()));
             (PropertyStatus::Violated(trace), None, stats)
+        }
+        SafetyResult::Interrupted => {
+            let (status, note) =
+                interrupt_unknown(interrupt.triggered().unwrap_or(InterruptReason::Timeout));
+            (status, note, stats)
         }
         SafetyResult::Unknown { .. } => (
             PropertyStatus::Unknown,
@@ -1987,8 +2153,10 @@ endmodule
         // report as the default full-featured configuration.
         let ft = generate_ft(ECHO_SLOW, &AutosvaOptions::default()).unwrap();
         let full = verify(ECHO_SLOW, &ft, &CheckOptions::default()).unwrap();
-        let mut stripped = CheckOptions::default();
-        stripped.solver = crate::sat::SolverConfig::baseline();
+        let stripped = CheckOptions {
+            solver: crate::sat::SolverConfig::baseline(),
+            ..CheckOptions::default()
+        };
         let baseline = verify(ECHO_SLOW, &ft, &stripped).unwrap();
         assert_eq!(full.render(), baseline.render());
     }
@@ -1999,12 +2167,14 @@ endmodule
         // (true) eventual-response obligation of the slow echo cannot be
         // decided within the lasso bound — the report must say so.
         let ft = generate_ft(ECHO_SLOW, &AutosvaOptions::default()).unwrap();
-        let mut options = CheckOptions::default();
-        options.disable_pdr = true;
-        options.disable_explicit = true;
-        options.liveness_bmc = BmcOptions {
-            max_depth: 2,
-            max_induction: 0,
+        let options = CheckOptions {
+            disable_pdr: true,
+            disable_explicit: true,
+            liveness_bmc: BmcOptions {
+                max_depth: 2,
+                max_induction: 0,
+            },
+            ..CheckOptions::default()
         };
         let report = verify(ECHO_SLOW, &ft, &options).unwrap();
         let undecided = report

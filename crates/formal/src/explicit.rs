@@ -18,6 +18,7 @@
 //!   for a counterexample lasso.
 
 use crate::aig::{Aig, Lit, Node};
+use crate::interrupt::Interrupt;
 use crate::model::Model;
 use crate::trace::Trace;
 use std::collections::HashMap;
@@ -88,6 +89,9 @@ pub struct ExplicitEngine {
     /// Deduplicated successors per state.
     succs: Vec<Vec<u32>>,
     complete: bool,
+    /// The exploration was preempted by its interrupt handle (implies
+    /// `!complete`); callers must not cache or reuse the truncated graph.
+    interrupted: bool,
 }
 
 struct Evaluator<'a> {
@@ -147,6 +151,19 @@ impl ExplicitEngine {
     /// Returns `None` when the model is outside the engine's limits (too many
     /// latches or inputs).
     pub fn explore(model: &Model, options: &ExplicitOptions) -> Option<ExplicitEngine> {
+        ExplicitEngine::explore_budgeted(model, options, &Interrupt::none())
+    }
+
+    /// Like [`ExplicitEngine::explore`], preemptible: the [`Interrupt`]
+    /// handle is polled once per frontier state.  A preempted engine
+    /// reports [`ExplicitEngine::was_interrupted`] and is never complete,
+    /// so every query on it answers [`ExplicitResult::Exceeded`] at worst —
+    /// the truncated graph can still witness violations it already found.
+    pub fn explore_budgeted(
+        model: &Model,
+        options: &ExplicitOptions,
+        interrupt: &Interrupt,
+    ) -> Option<ExplicitEngine> {
         let aig = model.aig.clone();
         let latch_nodes: Vec<usize> = aig.latches().iter().map(|l| l.node).collect();
         let input_nodes: Vec<usize> = aig.inputs().to_vec();
@@ -164,9 +181,10 @@ impl ExplicitEngine {
             preds: Vec::new(),
             succs: Vec::new(),
             complete: false,
+            interrupted: false,
             aig,
         };
-        engine.run();
+        engine.run(interrupt);
         crate::telemetry::count("explicit.states", engine.states.len() as u64);
         Some(engine)
     }
@@ -191,7 +209,7 @@ impl ExplicitEngine {
         1u32 << low
     }
 
-    fn run(&mut self) {
+    fn run(&mut self, interrupt: &Interrupt) {
         let init = self.initial_state();
         self.states.push(init);
         self.index.insert(init, 0);
@@ -202,6 +220,13 @@ impl ExplicitEngine {
         let mut eval = Evaluator::new(&aig);
         let mut frontier = 0usize;
         while frontier < self.states.len() {
+            #[cfg(any(test, feature = "fault-injection"))]
+            crate::faults::point("explicit.step");
+            if interrupt.charge(1).is_some() || interrupt.poll().is_some() {
+                self.complete = false;
+                self.interrupted = true;
+                return;
+            }
             let state = self.states[frontier];
             let mut local_succs: Vec<u32> = Vec::new();
             for high in 0..self.num_input_words() {
@@ -271,6 +296,13 @@ impl ExplicitEngine {
         self.complete
     }
 
+    /// `true` when the exploration was preempted by its interrupt handle
+    /// before exhausting the reachable state space.  Such an engine must
+    /// not be memoized: a later property would inherit its truncation.
+    pub fn was_interrupted(&self) -> bool {
+        self.interrupted
+    }
+
     /// Checks a safety property: can `bad` be true in any reachable state
     /// under any constraint-satisfying input valuation?
     pub fn check_bad(&self, bad: Lit) -> ExplicitResult {
@@ -286,6 +318,12 @@ impl ExplicitEngine {
     }
 
     fn search_condition(&self, condition: Lit, want: bool) -> ExplicitResult {
+        // Per-property query step: unlike `run`, which executes once per
+        // memoized bundle, this runs under the asking property's task, so
+        // an armed fault with a property filter fires deterministically
+        // regardless of which sibling task performed the exploration.
+        #[cfg(any(test, feature = "fault-injection"))]
+        crate::faults::point("explicit.step");
         let mut eval = Evaluator::new(&self.aig);
         for (idx, &state) in self.states.iter().enumerate() {
             for high in 0..self.num_input_words() {

@@ -142,8 +142,30 @@ pub fn fuzz_safety_with_stats(
     bad_index: usize,
     options: &FuzzOptions,
 ) -> (Option<FuzzHit>, FuzzStats) {
+    fuzz_safety_budgeted(
+        model,
+        bad_index,
+        options,
+        &crate::interrupt::Interrupt::none(),
+    )
+}
+
+/// Like [`fuzz_safety_with_stats`], preemptible: the [`Interrupt`]
+/// handle is polled at every round start and once per simulated cycle.
+/// An interrupted search simply reports no hit — the fuzzer can only
+/// ever *find* violations, so stopping early loses no soundness; the
+/// caller reads the handle to distinguish "budget drained" from
+/// "preempted".
+///
+/// [`Interrupt`]: crate::interrupt::Interrupt
+pub fn fuzz_safety_budgeted(
+    model: &Model,
+    bad_index: usize,
+    options: &FuzzOptions,
+    interrupt: &crate::interrupt::Interrupt,
+) -> (Option<FuzzHit>, FuzzStats) {
     let mut stats = FuzzStats::default();
-    let hit = fuzz_safety_inner(model, bad_index, options, &mut stats);
+    let hit = fuzz_safety_inner(model, bad_index, options, &mut stats, interrupt);
     crate::telemetry::count("fuzz.rounds", stats.rounds);
     crate::telemetry::count("fuzz.cycles", stats.cycles);
     crate::telemetry::count("fuzz.lanes_retired", stats.lanes_retired);
@@ -158,6 +180,7 @@ fn fuzz_safety_inner(
     bad_index: usize,
     options: &FuzzOptions,
     stats: &mut FuzzStats,
+    interrupt: &crate::interrupt::Interrupt,
 ) -> Option<FuzzHit> {
     let bad = model.bads[bad_index].lit;
     let name = &model.bads[bad_index].name;
@@ -168,6 +191,11 @@ fn fuzz_safety_inner(
     let mut history: Vec<Vec<LaneWord>> = Vec::with_capacity(options.cycles);
 
     for round in 0..options.rounds {
+        #[cfg(any(test, feature = "fault-injection"))]
+        crate::faults::point("fuzz.round");
+        if interrupt.poll().is_some() {
+            return None;
+        }
         let _round_span = crate::telemetry::span("fuzz.round", name);
         stats.rounds += 1;
         // SplitMix-style round-seed derivation keeps the rounds' streams
@@ -182,6 +210,9 @@ fn fuzz_safety_inner(
         let mut alive = ALL_LANES;
 
         for cycle in 0..options.cycles {
+            if interrupt.charge(1).is_some() || interrupt.poll().is_some() {
+                return None;
+            }
             for word in inputs.iter_mut() {
                 let a = rng.next_u64();
                 let b = rng.next_u64();

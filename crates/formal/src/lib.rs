@@ -46,6 +46,13 @@
 //!   fixed-key-order JSON run report, a Chrome trace-event sink (one
 //!   track per pool worker) and a human summary in the timed rendering —
 //!   all behind `CheckOptions::telemetry`, zero-cost when off;
+//! * [`interrupt`] — the fault-containment layer's cooperative
+//!   preemption handle: a per-property wall-clock deadline, step budget
+//!   and cancellation flag polled inside every engine loop, so
+//!   `property_timeout` interrupts a solve in flight instead of waiting
+//!   for the cascade stage to finish (an interrupted property degrades
+//!   to `Unknown`; a panicking one to `Error` — the run always renders
+//!   a complete report);
 //! * [`checker`] — the portfolio driver tying everything together (each
 //!   property runs the fuzz → BMC → k-induction → PDR → explicit cascade
 //!   on its own slice, concurrently) and producing deterministic
@@ -87,13 +94,18 @@ pub mod coi;
 pub mod compile;
 pub mod elab;
 pub mod explicit;
+#[cfg(any(test, feature = "fault-injection"))]
+pub mod faults;
 pub mod fuzz;
+pub mod interrupt;
 pub mod lint;
 pub mod model;
 pub mod opt;
 pub mod pdr;
 pub mod portfolio;
 pub mod psim;
+#[cfg(test)]
+mod robustness_tests;
 pub mod sat;
 pub mod sim;
 pub mod telemetry;

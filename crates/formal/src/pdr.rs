@@ -32,6 +32,7 @@
 //!   independent, freshly-encoded SAT check.
 
 use crate::aig::{Aig, Lit, Node};
+use crate::interrupt::Interrupt;
 use crate::model::Model;
 use crate::sat::{SatLit, SatResult, SolverConfig, SolverStats};
 use crate::trace::Trace;
@@ -184,6 +185,9 @@ pub enum PdrResult {
         /// Number of frames reached before giving up.
         frames_explored: usize,
     },
+    /// The run was preempted by its [`Interrupt`] handle (deadline,
+    /// budget or cancellation) before reaching a verdict.
+    Interrupted,
 }
 
 impl PdrResult {
@@ -233,8 +237,22 @@ pub fn check_pdr_lit_detailed(
     options: &PdrOptions,
     solver: SolverConfig,
 ) -> (PdrResult, SolverStats) {
+    check_pdr_budgeted(model, bad, options, solver, &Interrupt::none())
+}
+
+/// Like [`check_pdr_lit_detailed`], preemptible: the [`Interrupt`]
+/// handle is checked in the obligation queue (alongside the existing
+/// query budget) and inside the incremental solver's search loop; when
+/// it fires the run returns [`PdrResult::Interrupted`].
+pub fn check_pdr_budgeted(
+    model: &Model,
+    bad: Lit,
+    options: &PdrOptions,
+    solver: SolverConfig,
+    interrupt: &Interrupt,
+) -> (PdrResult, SolverStats) {
     let _span = crate::telemetry::span("pdr.solve", "");
-    let mut pdr = Pdr::new(model, bad, options, solver);
+    let mut pdr = Pdr::new(model, bad, options, solver, interrupt.clone());
     let result = pdr.run();
     let stats = pdr.unroller.stats();
     crate::telemetry::count_solver("pdr", &stats);
@@ -265,6 +283,19 @@ enum BlockOutcome {
     Blocked,
     Cex(Trace),
     Budget,
+    Interrupted,
+}
+
+/// Three-way answer of a relative-induction query, so an interrupted
+/// solve can never be misread as "blocked" (which would over-block and
+/// could close a false proof) or as a concrete predecessor.
+enum RelQuery {
+    /// SAT: a lifted predecessor cube plus the concrete inputs.
+    Pred(Cube, Vec<bool>),
+    /// UNSAT: the subset of the queried cube kept by the final conflict.
+    Blocked(Cube),
+    /// The solver was preempted before answering.
+    Interrupted,
 }
 
 struct Pdr<'a> {
@@ -293,12 +324,21 @@ struct Pdr<'a> {
     seq: usize,
     /// Ternary-simulation scratch (one value per AIG node; `None` = X).
     val3: Vec<Option<bool>>,
+    /// Cooperative preemption handle, checked alongside the query budget.
+    interrupt: Interrupt,
 }
 
 impl<'a> Pdr<'a> {
-    fn new(model: &'a Model, bad: Lit, options: &'a PdrOptions, solver: SolverConfig) -> Self {
+    fn new(
+        model: &'a Model,
+        bad: Lit,
+        options: &'a PdrOptions,
+        solver: SolverConfig,
+        interrupt: Interrupt,
+    ) -> Self {
         let aig = &model.aig;
         let mut unroller = Unroller::with_config(aig, false, solver);
+        unroller.set_interrupt(interrupt.clone());
         let latch_nodes: Vec<usize> = aig.latches().iter().map(|l| l.node).collect();
         let latch_init: Vec<bool> = aig.latches().iter().map(|l| l.init).collect();
         let latch_next: Vec<Lit> = aig.latches().iter().map(|l| l.next).collect();
@@ -361,11 +401,18 @@ impl<'a> Pdr<'a> {
             arena: Vec::new(),
             seq: 0,
             val3: vec![None; num_nodes],
+            interrupt,
         }
     }
 
     fn over_budget(&self) -> bool {
         self.queries > self.options.max_queries
+    }
+
+    /// `true` once the interrupt handle has fired (checked at the same
+    /// places as [`Pdr::over_budget`], plus after solver answers).
+    fn interrupted(&self) -> bool {
+        self.interrupt.triggered().is_some()
     }
 
     fn frame_assumptions(&self, frame: usize) -> Vec<SatLit> {
@@ -377,6 +424,12 @@ impl<'a> Pdr<'a> {
 
     fn solve(&mut self, assumptions: &[SatLit]) -> SatResult {
         self.queries += 1;
+        // Each query costs one budget step (the SAT loop additionally
+        // charges its conflicts) and is a deadline checkpoint, so a
+        // cascade of short solves cannot outlive the deadline either.
+        if self.interrupt.charge(1).is_some() || self.interrupt.poll().is_some() {
+            return SatResult::Interrupted;
+        }
         self.unroller.solve_sat(assumptions)
     }
 
@@ -405,7 +458,7 @@ impl<'a> Pdr<'a> {
     /// Queries `F_fi ∧ ¬cube ∧ T ∧ cube'`.  On SAT returns the lifted
     /// predecessor (cube + concrete inputs); on UNSAT returns the subset of
     /// `cube` kept by the final conflict.
-    fn relative_query(&mut self, fi: usize, cube: &Cube) -> Result<(Cube, Vec<bool>), Cube> {
+    fn relative_query(&mut self, fi: usize, cube: &Cube) -> RelQuery {
         // Temporary ¬cube clause, guarded so it can be retired afterwards.
         let t = SatLit::pos(self.unroller.new_var());
         let mut neg_cube = vec![t.negate()];
@@ -433,7 +486,7 @@ impl<'a> Pdr<'a> {
                     .map(|&sl| self.unroller.sat_value(sl))
                     .collect();
                 let pred = self.lift_predecessor(state, &inputs, cube);
-                Ok((pred, inputs))
+                RelQuery::Pred(pred, inputs)
             }
             SatResult::Unsat => {
                 let core = self.unroller.unsat_core().to_vec();
@@ -443,8 +496,9 @@ impl<'a> Pdr<'a> {
                     .filter(|&(_, sl)| core.contains(sl))
                     .map(|(&entry, _)| entry)
                     .collect();
-                Err(kept)
+                RelQuery::Blocked(kept)
             }
+            SatResult::Interrupted => RelQuery::Interrupted,
         };
         // Retire the temporary clause for good.
         self.unroller.add_clause(&[t.negate()]);
@@ -573,8 +627,13 @@ impl<'a> Pdr<'a> {
         queue.push(Reverse((frontier, self.seq, root)));
 
         while let Some(Reverse((frame, _, id))) = queue.pop() {
+            #[cfg(any(test, feature = "fault-injection"))]
+            crate::faults::point("pdr.block_cube");
             if self.over_budget() {
                 return BlockOutcome::Budget;
+            }
+            if self.interrupt.poll().is_some() {
+                return BlockOutcome::Interrupted;
             }
             if self.cube_contains_init(&self.arena[id].cube) {
                 return BlockOutcome::Cex(self.trace_from_chain(id));
@@ -582,7 +641,8 @@ impl<'a> Pdr<'a> {
             debug_assert!(frame >= 1, "non-init obligations sit at frame >= 1");
             let cube = self.arena[id].cube.clone();
             match self.relative_query(frame - 1, &cube) {
-                Ok((pred, pinputs)) => {
+                RelQuery::Interrupted => return BlockOutcome::Interrupted,
+                RelQuery::Pred(pred, pinputs) => {
                     // A predecessor reaches the cube: chase it one frame
                     // down and retry this obligation afterwards.
                     let pid = self.arena_push(pred, pinputs, Some(id));
@@ -591,20 +651,22 @@ impl<'a> Pdr<'a> {
                     self.seq += 1;
                     queue.push(Reverse((frame, self.seq, id)));
                 }
-                Err(core_cube) => {
+                RelQuery::Blocked(core_cube) => {
                     let mut gen = core_cube;
                     self.ensure_init_excluded(&mut gen, &cube);
                     self.drop_literals(&mut gen, frame - 1);
                     // Push the clause as far up the trapezoid as it stays
-                    // relatively inductive.
+                    // relatively inductive.  An interrupt stops the
+                    // climb; `gen` is already blocked at `frame`, so
+                    // recording it at the level reached stays sound.
                     let mut level = frame;
                     while level + 1 < self.frames.len() {
-                        if self.over_budget() {
+                        if self.over_budget() || self.interrupted() {
                             break;
                         }
                         match self.relative_query(level, &gen) {
-                            Err(_) => level += 1,
-                            Ok(_) => break,
+                            RelQuery::Blocked(_) => level += 1,
+                            RelQuery::Pred(..) | RelQuery::Interrupted => break,
                         }
                     }
                     self.add_blocked_cube(gen, level);
@@ -629,7 +691,10 @@ impl<'a> Pdr<'a> {
             let mut changed = false;
             let mut idx = 0;
             while idx < gen.len() && gen.len() > 1 {
-                if self.over_budget() {
+                if self.over_budget() || self.interrupted() {
+                    // `gen` is valid as-is (blocked by its last accepted
+                    // query); stopping the shrink early loses only
+                    // generality, never soundness.
                     return;
                 }
                 let mut candidate = gen.clone();
@@ -639,13 +704,14 @@ impl<'a> Pdr<'a> {
                     continue;
                 }
                 match self.relative_query(fi, &candidate) {
-                    Err(mut core_cube) => {
+                    RelQuery::Blocked(mut core_cube) => {
                         self.ensure_init_excluded(&mut core_cube, &candidate);
                         *gen = core_cube;
                         changed = true;
                         idx = 0;
                     }
-                    Ok(_) => idx += 1,
+                    RelQuery::Pred(..) => idx += 1,
+                    RelQuery::Interrupted => return,
                 }
             }
             if !changed {
@@ -660,10 +726,10 @@ impl<'a> Pdr<'a> {
         for i in 1..self.frames.len() - 1 {
             let cubes = self.frames[i].cubes.clone();
             for cube in cubes {
-                if self.over_budget() {
+                if self.over_budget() || self.interrupted() {
                     return None;
                 }
-                if self.relative_query(i, &cube).is_err() {
+                if matches!(self.relative_query(i, &cube), RelQuery::Blocked(_)) {
                     // add_blocked_cube prunes the frame-i copy (it subsumes
                     // itself), completing the move to frame i + 1.
                     self.add_blocked_cube(cube, i + 1);
@@ -737,14 +803,18 @@ impl<'a> Pdr<'a> {
             a.push(self.bad0);
             a
         };
-        if self.solve(&init_assumptions) == SatResult::Sat {
-            let inputs: Vec<bool> = self
-                .input_f0
-                .iter()
-                .map(|&sl| self.unroller.sat_value(sl))
-                .collect();
-            let id = self.arena_push(Vec::new(), inputs, None);
-            return PdrResult::Violated(self.trace_from_chain(id));
+        match self.solve(&init_assumptions) {
+            SatResult::Sat => {
+                let inputs: Vec<bool> = self
+                    .input_f0
+                    .iter()
+                    .map(|&sl| self.unroller.sat_value(sl))
+                    .collect();
+                let id = self.arena_push(Vec::new(), inputs, None);
+                return PdrResult::Violated(self.trace_from_chain(id));
+            }
+            SatResult::Unsat => {}
+            SatResult::Interrupted => return PdrResult::Interrupted,
         }
         self.push_frame();
 
@@ -752,16 +822,22 @@ impl<'a> Pdr<'a> {
             // Blocking phase: clear every counterexample-to-induction at
             // the frontier.
             loop {
+                #[cfg(any(test, feature = "fault-injection"))]
+                crate::faults::point("pdr.block_cube");
                 if self.over_budget() {
                     return PdrResult::Unknown {
                         frames_explored: self.frames.len() - 1,
                     };
+                }
+                if self.interrupted() {
+                    return PdrResult::Interrupted;
                 }
                 let frontier = self.frames.len() - 1;
                 let mut assumptions = self.frame_assumptions(frontier);
                 assumptions.push(self.bad0);
                 match self.solve(&assumptions) {
                     SatResult::Unsat => break,
+                    SatResult::Interrupted => return PdrResult::Interrupted,
                     SatResult::Sat => {
                         let state: Vec<bool> = (0..self.f0.len())
                             .map(|p| self.unroller.sat_value(self.f0[p]))
@@ -780,6 +856,7 @@ impl<'a> Pdr<'a> {
                                     frames_explored: self.frames.len() - 1,
                                 }
                             }
+                            BlockOutcome::Interrupted => return PdrResult::Interrupted,
                         }
                     }
                 }

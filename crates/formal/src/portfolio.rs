@@ -40,9 +40,10 @@ use std::collections::HashMap;
 use std::fmt;
 use std::fmt::Write as _;
 use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
 
 /// Orchestration options for a verification run (part of
@@ -107,9 +108,24 @@ impl ParallelOptions {
 /// returns the results in item order.
 ///
 /// Workers self-schedule from a shared queue head, so long-running
-/// properties never block short ones behind a static partition.  When
-/// `cancel` is raised, remaining unstarted items yield `None`; items whose
-/// run already started complete normally.
+/// properties never block short ones behind a static partition.
+///
+/// # Cancellation semantics
+///
+/// When `cancel` is raised, items not yet *started* yield `None`; items
+/// whose run already started are never preempted here — they complete
+/// normally (or wind down early by observing the flag themselves, e.g.
+/// through an [`crate::interrupt::Interrupt`] carrying it) and their
+/// results are kept.  A slot is therefore `None` only for "never ran",
+/// not "ran and was discarded".
+///
+/// # Fault containment
+///
+/// The checker wraps engine work in its own `catch_unwind`, but this pool
+/// is the last line of defense: a panic that escapes `run` is caught here
+/// so one poisoned item cannot tear down the scope at join time and lose
+/// every completed verdict.  The panicking item's slot stays `None`; the
+/// result mutex is recovered from poisoning rather than propagating it.
 pub(crate) fn run_ordered<T, R, F>(
     items: &[T],
     threads: usize,
@@ -137,7 +153,7 @@ where
                         "pool.queue_depth",
                         items.len().saturating_sub(i) as u64,
                     );
-                    Some(run(i, item))
+                    catch_unwind(AssertUnwindSafe(|| run(i, item))).ok()
                 }
             })
             .collect();
@@ -162,14 +178,20 @@ where
                         "pool.queue_depth",
                         items.len().saturating_sub(i) as u64,
                     );
-                    let r = run(i, &items[i]);
-                    let mut slots = results.lock().expect("result slots");
-                    slots[i] = Some(r);
+                    let r = catch_unwind(AssertUnwindSafe(|| run(i, &items[i])));
+                    // Recover rather than propagate poisoning: the vector
+                    // of `Option` slots is always in a consistent state
+                    // (each slot is written exactly once, after its run),
+                    // so a panic elsewhere cannot have corrupted it.
+                    let mut slots = results.lock().unwrap_or_else(PoisonError::into_inner);
+                    if let Ok(r) = r {
+                        slots[i] = Some(r);
+                    }
                 }
             });
         }
     });
-    results.into_inner().expect("result slots")
+    results.into_inner().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Counters describing the effectiveness of a [`ProofCache`].
@@ -311,7 +333,7 @@ pub struct ProofCache {
 
 impl fmt::Debug for ProofCache {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let inner = self.inner.lock().expect("cache lock");
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         f.debug_struct("ProofCache")
             .field("entries", &inner.entries.len())
             .field("stats", &inner.stats)
@@ -339,7 +361,7 @@ impl ProofCache {
         let path = dir.join(CACHE_FILE);
         let cache = ProofCache::new();
         {
-            let mut inner = cache.inner.lock().expect("cache lock");
+            let mut inner = cache.inner.lock().unwrap_or_else(PoisonError::into_inner);
             if let Ok(text) = std::fs::read_to_string(&path) {
                 inner.entries = parse_cache_file(&text);
                 inner.stats.loaded = inner.entries.len() as u64;
@@ -352,7 +374,11 @@ impl ProofCache {
     /// The spill file backing this cache, if it was opened with
     /// [`ProofCache::open`].
     pub fn spill_path(&self) -> Option<PathBuf> {
-        self.inner.lock().expect("cache lock").path.clone()
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .path
+            .clone()
     }
 
     /// Writes the entries to the on-disk spill file (atomically, via a
@@ -363,7 +389,7 @@ impl ProofCache {
     ///
     /// Propagates I/O errors from writing or renaming the spill file.
     pub fn flush(&self) -> std::io::Result<()> {
-        let mut inner = self.inner.lock().expect("cache lock");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         let Some(path) = inner.path.clone() else {
             return Ok(());
         };
@@ -407,7 +433,11 @@ impl ProofCache {
 
     /// Number of stored verdicts.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("cache lock").entries.len()
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entries
+            .len()
     }
 
     /// `true` when nothing is cached.
@@ -417,19 +447,22 @@ impl ProofCache {
 
     /// Current hit/miss/insert/reject counters.
     pub fn stats(&self) -> CacheStats {
-        self.inner.lock().expect("cache lock").stats
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .stats
     }
 
     /// Drops every entry (counters are kept).
     pub fn clear(&self) {
-        let mut inner = self.inner.lock().expect("cache lock");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         inner.entries.clear();
         inner.dirty = true;
     }
 
     /// Stores a verdict (last write wins).
     pub(crate) fn store(&self, key: CacheKey, outcome: CachedOutcome) {
-        let mut inner = self.inner.lock().expect("cache lock");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         inner.stats.insertions += 1;
         inner.entries.insert(
             key,
@@ -455,7 +488,7 @@ impl ProofCache {
         target: Lit,
     ) -> Option<CachedVerdict> {
         let entry = {
-            let mut inner = self.inner.lock().expect("cache lock");
+            let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
             match inner.entries.get(key) {
                 Some(entry) => entry.clone(),
                 None => {
@@ -523,7 +556,7 @@ impl ProofCache {
                 }
             }
         };
-        let mut inner = self.inner.lock().expect("cache lock");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         match verdict {
             Some(v) => {
                 inner.stats.hits += 1;

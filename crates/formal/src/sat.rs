@@ -82,6 +82,14 @@ pub enum SatResult {
     Sat,
     /// No satisfying assignment exists under the given assumptions.
     Unsat,
+    /// The search was preempted by the solver's [`Interrupt`] handle
+    /// (deadline, step budget or cancellation) before reaching an
+    /// answer.  The solver state stays valid — a later `solve` call may
+    /// still conclude — but callers must never treat this as either
+    /// verdict.
+    ///
+    /// [`Interrupt`]: crate::interrupt::Interrupt
+    Interrupted,
 }
 
 /// Toggles for the modern search-loop techniques.
@@ -356,9 +364,19 @@ pub struct Solver {
     pub config: SolverConfig,
     /// Cumulative search counters.
     pub stats: SolverStats,
+    /// Cooperative preemption handle, polled every
+    /// [`INTERRUPT_POLL_INTERVAL`] search-loop iterations.  Disarmed by
+    /// default (one branch per poll site).
+    interrupt: crate::interrupt::Interrupt,
 }
 
 const NO_REASON: usize = usize::MAX;
+
+/// Search-loop iterations between interrupt polls.  Power of two so the
+/// cadence check is a mask; coarse enough that the `Instant::now` in
+/// `Interrupt::poll` is amortized to noise, fine enough that a 50 ms
+/// deadline preempts a solve within a small multiple of itself.
+const INTERRUPT_POLL_INTERVAL: u64 = 1024;
 
 impl Solver {
     /// Creates an empty solver with the default configuration.
@@ -377,6 +395,14 @@ impl Solver {
             config,
             ..Solver::new()
         }
+    }
+
+    /// Installs the cooperative preemption handle.  The search loop
+    /// polls it every [`INTERRUPT_POLL_INTERVAL`] iterations and charges
+    /// accumulated conflicts against its step budget; when it fires,
+    /// `solve` returns [`SatResult::Interrupted`].
+    pub fn set_interrupt(&mut self, interrupt: crate::interrupt::Interrupt) {
+        self.interrupt = interrupt;
     }
 
     /// Number of variables allocated so far.
@@ -1011,8 +1037,28 @@ impl Solver {
         if self.max_learnts == 0 {
             self.max_learnts = self.config.reduce_base.max(16);
         }
+        // An interrupt latched before this query (deadline already past,
+        // budget already spent) preempts it outright.
+        if self.interrupt.poll().is_some() {
+            self.backtrack(0);
+            return SatResult::Interrupted;
+        }
+        let mut iterations: u64 = 0;
+        let mut conflicts_charged = self.stats.conflicts;
 
         loop {
+            // Cooperative preemption: every INTERRUPT_POLL_INTERVAL loop
+            // iterations, charge the conflicts since the last poll to
+            // the step budget and check the deadline/cancel sources.
+            iterations += 1;
+            if iterations & (INTERRUPT_POLL_INTERVAL - 1) == 0 {
+                let delta = self.stats.conflicts - conflicts_charged;
+                conflicts_charged = self.stats.conflicts;
+                if self.interrupt.charge(delta).is_some() || self.interrupt.poll().is_some() {
+                    self.backtrack(0);
+                    return SatResult::Interrupted;
+                }
+            }
             // Luby restart: abandon the current prefix (saved phases make
             // the replay cheap); assumptions are re-applied below.
             if self.config.restarts && self.stats.conflicts >= self.restart_next {

@@ -65,6 +65,15 @@ impl<'a> Unroller<'a> {
         self.solver.stats
     }
 
+    /// Installs a cooperative preemption handle on the underlying solver
+    /// (see [`Solver::set_interrupt`]).  Callers that arm one must check
+    /// `Interrupt::triggered` after every query before trusting its
+    /// answer: the boolean [`Unroller::solve_with`] reports an
+    /// interrupted query as "not satisfiable".
+    pub fn set_interrupt(&mut self, interrupt: crate::interrupt::Interrupt) {
+        self.solver.set_interrupt(interrupt);
+    }
+
     /// Allocates a fresh SAT variable in the underlying solver without tying
     /// it to any AIG node (activation literals, helper encodings).
     pub fn new_var(&mut self) -> crate::sat::Var {
@@ -198,6 +207,12 @@ impl<'a> Unroller<'a> {
 
     /// Solves under the given AIG-literal assumptions (each `(lit, frame,
     /// value)` is assumed, not asserted).
+    ///
+    /// Returns `true` only for a completed satisfiable answer.  Both
+    /// `Unsat` and `Interrupted` collapse to `false` here — when an
+    /// interrupt handle is armed (see [`Unroller::set_interrupt`]), the
+    /// caller must consult `Interrupt::triggered` after the call before
+    /// reading `false` as a proof of unsatisfiability.
     pub fn solve_with(&mut self, assumptions: &[(Lit, usize, bool)]) -> bool {
         let sat_assumptions: Vec<SatLit> = assumptions
             .iter()

@@ -1,0 +1,131 @@
+//! Proof-cache corruption fuzzing (fault-containment satellite).
+//!
+//! The on-disk spill file is advisory: any corruption — bit flips,
+//! truncation, garbage bytes — must never panic the loader and must never
+//! change a verdict.  [`ProofCache::open`] keeps the clean prefix of the
+//! file and drops everything from the first damaged line on; every
+//! surviving entry is still re-validated on lookup.  So a run against a
+//! corrupted cache renders byte-identically to a cache-less run.
+
+use autosva::{generate_ft, AutosvaOptions};
+use autosva_formal::checker::{verify, CheckOptions};
+use autosva_formal::portfolio::ProofCache;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+const ECHO: &str = r#"
+/*AUTOSVA
+cache_txn: req -in> res
+req_val = req_val
+req_ack = req_ack
+[1:0] req_transid = req_id
+res_val = res_val
+[1:0] res_transid = res_id
+*/
+module cache_echo (
+  input  logic clk_i,
+  input  logic rst_ni,
+  input  logic req_val,
+  output logic req_ack,
+  input  logic [1:0] req_id,
+  output logic res_val,
+  output logic [1:0] res_id
+);
+  logic busy_q;
+  logic [1:0] id_q;
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) begin
+      busy_q <= 1'b0;
+      id_q <= 2'b0;
+    end else begin
+      if (req_val && req_ack) begin
+        busy_q <= 1'b1;
+        id_q <= req_id;
+      end else if (busy_q) begin
+        busy_q <= 1'b0;
+      end
+    end
+  end
+  assign req_ack = !busy_q;
+  assign res_val = busy_q;
+  assign res_id = id_q;
+endmodule
+"#;
+
+fn run_render(cache_dir: Option<PathBuf>) -> String {
+    let ft = generate_ft(ECHO, &AutosvaOptions::default()).unwrap();
+    let mut options = CheckOptions::default();
+    options.cache.dir = cache_dir;
+    verify(ECHO, &ft, &options).unwrap().render()
+}
+
+/// The cache-less report and a pristine spill file, computed once.
+fn fixtures() -> &'static (String, Vec<u8>) {
+    static FIXTURES: OnceLock<(String, Vec<u8>)> = OnceLock::new();
+    FIXTURES.get_or_init(|| {
+        let baseline = run_render(None);
+        let seed_dir =
+            std::env::temp_dir().join(format!("autosva-cache-corrupt-seed-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&seed_dir);
+        let cached = run_render(Some(seed_dir.clone()));
+        assert_eq!(
+            baseline, cached,
+            "cache-backed run diverged before any corruption"
+        );
+        let bytes = std::fs::read(seed_dir.join("proofs.cache")).expect("spill file written");
+        assert!(
+            !bytes.is_empty(),
+            "spill file is empty — nothing to corrupt"
+        );
+        let _ = std::fs::remove_dir_all(&seed_dir);
+        (baseline, bytes)
+    })
+}
+
+proptest! {
+    #[test]
+    fn corrupted_spill_files_never_panic_or_change_verdicts(
+        kind in 0usize..3,
+        pos in 0usize..65_536,
+        mask in 1u8..255,
+    ) {
+        let (baseline, pristine) = fixtures();
+        let mut bytes = pristine.clone();
+        let pos = pos % bytes.len();
+        match kind {
+            // One flipped byte.
+            0 => bytes[pos] ^= mask,
+            // Truncation mid-file (a crashed writer's torn tail).
+            1 => bytes.truncate(pos),
+            // A run of three clobbered bytes (may break UTF-8 entirely,
+            // which must degrade to "no cache", not a panic).
+            _ => {
+                for i in 0..3 {
+                    let p = (pos + i) % bytes.len();
+                    bytes[p] ^= mask;
+                }
+            }
+        }
+
+        static CASE: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "autosva-cache-corrupt-{}-{}",
+            std::process::id(),
+            CASE.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("proofs.cache"), &bytes).unwrap();
+
+        // Opening the corrupted file must not panic, and the clean prefix
+        // (whatever it is) must load as ordinary advisory entries.
+        let _cache = ProofCache::open(&dir);
+
+        // A full run against the corrupted cache re-validates every hit,
+        // re-proves every reject, and renders exactly the cache-less report.
+        let render = run_render(Some(dir.clone()));
+        let _ = std::fs::remove_dir_all(&dir);
+        prop_assert_eq!(&render, baseline);
+    }
+}

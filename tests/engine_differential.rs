@@ -150,6 +150,8 @@ proptest! {
                 prop_assert!(!exact_safe, "BMC refuted a safe model (seed {seed})"),
             SafetyResult::Unknown { .. } =>
                 panic!("bounded engines undecided on a tiny model (seed {seed})"),
+            SafetyResult::Interrupted =>
+                panic!("bounded engines interrupted with no interrupt armed (seed {seed})"),
         }
 
         // PDR, with its invariant certified by an independent SAT check and
@@ -171,6 +173,9 @@ proptest! {
             }
             PdrResult::Unknown { frames_explored } => {
                 panic!("PDR undecided on a tiny model (seed {seed}, {frames_explored} frames)")
+            }
+            PdrResult::Interrupted => {
+                panic!("PDR interrupted with no interrupt armed (seed {seed})")
             }
         }
     }
@@ -220,6 +225,9 @@ proptest! {
                 }
                 PdrResult::Unknown { frames_explored } => {
                     panic!("{label}: PDR undecided on a tiny model (seed {seed}, {frames_explored} frames)")
+                }
+                PdrResult::Interrupted => {
+                    panic!("{label}: PDR interrupted with no interrupt armed (seed {seed})")
                 }
             };
             verdicts.push((label, safe));
@@ -357,6 +365,8 @@ proptest! {
                 prop_assert!(!exact_safe, "sliced BMC refuted a safe model (seed {seed})"),
             SafetyResult::Unknown { .. } =>
                 panic!("sliced bounded engines undecided on a tiny model (seed {seed})"),
+            SafetyResult::Interrupted =>
+                panic!("sliced bounded engines interrupted with no interrupt armed (seed {seed})"),
         }
 
         // PDR on the slice, with certification against the slice.
@@ -377,6 +387,9 @@ proptest! {
             }
             PdrResult::Unknown { frames_explored } => {
                 panic!("sliced PDR undecided on a tiny model (seed {seed}, {frames_explored} frames)")
+            }
+            PdrResult::Interrupted => {
+                panic!("sliced PDR interrupted with no interrupt armed (seed {seed})")
             }
         }
     }
@@ -443,6 +456,8 @@ proptest! {
                 prop_assert!(!exact_safe, "optimized BMC refuted a safe model (seed {seed})"),
             SafetyResult::Unknown { .. } =>
                 panic!("optimized bounded engines undecided on a tiny model (seed {seed})"),
+            SafetyResult::Interrupted =>
+                panic!("optimized bounded engines interrupted with no interrupt armed (seed {seed})"),
         }
 
         // PDR on the optimized model, certifying against it.
@@ -463,6 +478,9 @@ proptest! {
             }
             PdrResult::Unknown { frames_explored } => {
                 panic!("optimized PDR undecided on a tiny model (seed {seed}, {frames_explored} frames)")
+            }
+            PdrResult::Interrupted => {
+                panic!("optimized PDR interrupted with no interrupt armed (seed {seed})")
             }
         }
     }

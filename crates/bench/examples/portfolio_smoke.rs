@@ -1,0 +1,313 @@
+//! Portfolio smoke: the clause-sharing portfolio race end to end, in a
+//! fresh process.  Two halves:
+//!
+//! - **Direct race exercise** — two deterministic hard BMC instances (a
+//!   pigeonhole refutation and an unsatisfiable phase-transition 3-SAT
+//!   formula) through [`race_safety_budgeted`]: the race must agree with
+//!   the plain single-solver loop on the verdict, clauses must actually
+//!   cross the shared pool in both directions (exported *and* imported),
+//!   and the shared race must need strictly fewer summed conflicts than
+//!   the same race run dry (glue bound 0 filters every export).
+//! - **Checker-level race exercise** — the full cascade only races
+//!   properties that survive quick BMC, PDR and the explicit engine, and
+//!   every Table III property is decided before that point.  To prove the
+//!   checker genuinely routes hard properties through the portfolio, O2
+//!   (whose scaled L1.5 miss-path proof is reachability-dependent) runs
+//!   with PDR and the explicit engine disabled: the undecided properties
+//!   fall through to the full-depth race, the
+//!   `sharing.{exported,imported}` telemetry counters must fire, and the
+//!   report must stay byte-identical to the same bounded cascade with
+//!   sharing off.
+//! - **Corpus determinism contract** — every Table III case/variant
+//!   verifies with sharing off, with sharing on (the default), and with
+//!   sharing on sequentially (`threads = 1`); all three must render
+//!   byte-identical reports.
+//!
+//! ```sh
+//! cargo run --release -p autosva-bench --example portfolio_smoke
+//! ```
+
+use autosva_bench::{build_testbench, default_check_options};
+use autosva_designs::{all_cases, Variant};
+use autosva_formal::aig::{Aig, Lit};
+use autosva_formal::bmc::{
+    check_safety_budgeted, race_safety_budgeted, BmcOptions, RaceOptions, SafetyResult,
+};
+use autosva_formal::checker::verify;
+use autosva_formal::interrupt::Interrupt;
+use autosva_formal::model::{BadProperty, Model};
+use autosva_formal::portfolio::{racer_configs, SharingOptions};
+use autosva_formal::sat::SolverConfig;
+use std::collections::{BTreeMap, HashMap};
+use std::time::Instant;
+
+/// Pigeonhole: `holes + 1` pigeons, bad = "every pigeon sits somewhere
+/// and no hole holds two" — combinationally unsatisfiable, a hard
+/// resolution instance at every BMC frame.
+fn php_model(holes: usize) -> Model {
+    let mut aig = Aig::new();
+    let p: Vec<Vec<Lit>> = (0..holes + 1)
+        .map(|i| {
+            (0..holes)
+                .map(|j| aig.add_input(format!("p_{i}_{j}")))
+                .collect()
+        })
+        .collect();
+    let mut bad = Lit::TRUE;
+    for row in &p {
+        let mut somewhere = Lit::FALSE;
+        for &l in row {
+            somewhere = aig.or(somewhere, l);
+        }
+        bad = aig.and(bad, somewhere);
+    }
+    for hole in 0..holes {
+        for (i1, row1) in p.iter().enumerate() {
+            for row2 in p.iter().skip(i1 + 1) {
+                let both = aig.and(row1[hole], row2[hole]);
+                bad = aig.and(bad, both.invert());
+            }
+        }
+    }
+    let mut model = Model::new(aig);
+    model.bads.push(BadProperty {
+        name: "php_bad".into(),
+        lit: bad,
+    });
+    model
+}
+
+/// Random 3-SAT as a depth-0 BMC instance: variables become inputs, bad
+/// = the conjunction of all clauses.
+fn threesat_model(seed: u64, num_vars: usize, num_clauses: usize) -> Model {
+    let mut aig = Aig::new();
+    let vars: Vec<Lit> = (0..num_vars)
+        .map(|i| aig.add_input(format!("x{i}")))
+        .collect();
+    let mut state = (seed ^ ((num_vars as u64) << 32)).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut bad = Lit::TRUE;
+    for _ in 0..num_clauses {
+        let mut clause = Lit::FALSE;
+        for _ in 0..3 {
+            let v = vars[(next() % num_vars as u64) as usize];
+            clause = aig.or(clause, v.invert_if(next() % 2 != 0));
+        }
+        bad = aig.and(bad, clause);
+    }
+    let mut model = Model::new(aig);
+    model.bads.push(BadProperty {
+        name: "threesat_bad".into(),
+        lit: bad,
+    });
+    model
+}
+
+/// Race verdicts compare by kind and depth: a `Violated` trace is a
+/// genuine but not necessarily canonical assignment.
+fn verdict_kind(result: &SafetyResult) -> (u8, usize) {
+    match result {
+        SafetyResult::Proven { induction_depth } => (0, *induction_depth),
+        SafetyResult::Violated(trace) => (1, trace.len()),
+        SafetyResult::Unknown { explored_depth } => (2, *explored_depth),
+        SafetyResult::Interrupted => (3, 0),
+    }
+}
+
+fn race_exercise(label: &str, model: &Model) {
+    let options = BmcOptions {
+        max_depth: 0,
+        max_induction: 0,
+    };
+    let (single, _) = check_safety_budgeted(
+        model,
+        0,
+        &options,
+        SolverConfig::default(),
+        &Interrupt::none(),
+    );
+    let race = RaceOptions {
+        configs: racer_configs(SolverConfig::default(), 3),
+        quantum: 1024,
+        glue_bound: 4,
+        lemmas: Vec::new(),
+        seeds: HashMap::new(),
+        pools: None,
+    };
+    let (shared_verdict, shared_stats, traffic) =
+        race_safety_budgeted(model, 0, &options, &race, &Interrupt::none());
+    let dry = RaceOptions {
+        glue_bound: 0,
+        ..race
+    };
+    let (dry_verdict, dry_stats, _) =
+        race_safety_budgeted(model, 0, &options, &dry, &Interrupt::none());
+
+    assert_eq!(
+        verdict_kind(&single),
+        verdict_kind(&shared_verdict),
+        "{label}: the race disagrees with the single-solver loop"
+    );
+    assert_eq!(
+        verdict_kind(&shared_verdict),
+        verdict_kind(&dry_verdict),
+        "{label}: sharing changed the race verdict"
+    );
+    assert!(
+        traffic.exported > 0,
+        "{label}: no learnt clause was exported to the pool"
+    );
+    assert!(
+        traffic.imported > 0,
+        "{label}: no shared clause was imported by a racer"
+    );
+    assert!(
+        shared_stats.conflicts < dry_stats.conflicts,
+        "{label}: sharing did not reduce the portfolio's summed conflicts \
+         (shared {} vs. dry {})",
+        shared_stats.conflicts,
+        dry_stats.conflicts
+    );
+    println!(
+        "{label:<18} shared {:>6} conflicts vs. dry {:>6} ({:.2}x) — exported {:>5}, imported {:>5}, filtered {:>5}",
+        shared_stats.conflicts,
+        dry_stats.conflicts,
+        dry_stats.conflicts as f64 / shared_stats.conflicts.max(1) as f64,
+        traffic.exported,
+        traffic.imported,
+        traffic.filtered
+    );
+}
+
+/// The checker-level exercise: O2 with PDR and the explicit engine
+/// disabled, so its reachability-dependent properties fall through to
+/// the full-depth portfolio race.  Returns the summed `sharing.*`
+/// counters of the instrumented run.
+fn checker_race_exercise() -> BTreeMap<String, u64> {
+    let case = autosva_designs::by_id("O2").expect("O2 exists");
+    let ft = build_testbench(&case);
+    let bounded = |sharing: SharingOptions| {
+        let mut options = default_check_options(&case, Variant::Fixed);
+        options.disable_pdr = true;
+        options.disable_explicit = true;
+        options.bmc = BmcOptions {
+            max_depth: 15,
+            max_induction: 10,
+        };
+        options.sharing = sharing;
+        options
+    };
+
+    let off_render = verify(case.source, &ft, &bounded(SharingOptions::disabled()))
+        .expect("sharing-off bounded run")
+        .render();
+    // A fine turn quantum: with the 2048-conflict default the lead racer
+    // decides O2's bounded queries within its first turn and the other
+    // racers never run, so nothing would be imported.  Quantum 8 is well
+    // below the per-query conflict counts, so the solve-exit tail charge
+    // preempts the leader between queries and the siblings genuinely
+    // interleave.  The determinism contract must hold for *any* sharing
+    // configuration, so the render comparison below is unweakened.
+    let mut on = bounded(SharingOptions {
+        quantum: 8,
+        ..SharingOptions::default()
+    });
+    on.telemetry.enabled = true;
+    let report = verify(case.source, &ft, &on).expect("sharing-on bounded run");
+    assert_eq!(
+        off_render,
+        report.render(),
+        "O2 bounded: sharing-on and sharing-off reports diverge"
+    );
+
+    let telemetry = report.telemetry.as_ref().expect("telemetry attached");
+    let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+    for &(name, value) in &telemetry.counters {
+        if name.starts_with("sharing.") {
+            *counters.entry(name.to_string()).or_insert(0) += value;
+        }
+    }
+    let exported = counters.get("sharing.exported").copied().unwrap_or(0);
+    let imported = counters.get("sharing.imported").copied().unwrap_or(0);
+    assert!(
+        exported > 0,
+        "O2's undecided properties never exported a clause — is the race gate dead?"
+    );
+    assert!(
+        imported > 0,
+        "O2's undecided properties never imported a shared clause — are the pools wired up?"
+    );
+    println!(
+        "O2, bounded cascade: report byte-identical to sharing-off; {}",
+        counters
+            .iter()
+            .map(|(name, value)| format!("{name}={value}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    counters
+}
+
+fn main() {
+    let start = Instant::now();
+
+    println!("direct race exercise: 3-racer portfolio on deterministic hard instances");
+    race_exercise("php(8,7)", &php_model(7));
+    race_exercise("3sat(150,639) s2", &threesat_model(2, 150, 639));
+
+    println!("\nchecker-level race exercise: O2 with the unbounded engines disabled");
+    checker_race_exercise();
+
+    println!("\ncorpus determinism contract: sharing off vs. on vs. on-sequential");
+    let mut runs = 0usize;
+    for case in all_cases() {
+        let variants: &[Variant] = if case.has_bug_parameter {
+            &[Variant::Fixed, Variant::Buggy]
+        } else {
+            &[Variant::Fixed]
+        };
+        for &variant in variants {
+            let ft = build_testbench(&case);
+
+            let mut off = default_check_options(&case, variant);
+            off.sharing = SharingOptions::disabled();
+            let off_render = verify(case.source, &ft, &off)
+                .expect("sharing-off run")
+                .render();
+
+            let on = default_check_options(&case, variant);
+            let on_render = verify(case.source, &ft, &on)
+                .expect("sharing-on run")
+                .render();
+            assert_eq!(
+                off_render, on_render,
+                "{} ({variant:?}): sharing-on and sharing-off reports diverge",
+                case.id
+            );
+
+            let mut sequential = default_check_options(&case, variant);
+            sequential.parallel.threads = 1;
+            let seq_render = verify(case.source, &ft, &sequential)
+                .expect("sharing-on sequential run")
+                .render();
+            assert_eq!(
+                off_render, seq_render,
+                "{} ({variant:?}): the report depends on the thread count",
+                case.id
+            );
+
+            runs += 1;
+            println!("{:12} {variant:?}: reports byte-identical", case.id);
+        }
+    }
+
+    eprintln!(
+        "portfolio_smoke: {runs} corpus run(s) x 3 configurations in {:.1?}",
+        start.elapsed()
+    );
+}

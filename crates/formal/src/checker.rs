@@ -21,25 +21,32 @@
 
 use crate::aig::Lit;
 use crate::bmc::{
-    check_cover_budgeted, check_safety_budgeted, BmcOptions, CoverResult, SafetyResult,
+    check_cover_budgeted, check_safety_budgeted, race_safety_budgeted, BmcOptions, CoverResult,
+    RaceOptions, SafetyResult,
 };
-use crate::coi::{cone_of_influence, fingerprint, Fingerprint, SliceTarget};
+use crate::coi::{
+    cone_of_influence, fingerprint, signature_overlap, state_signature, Fingerprint, SliceTarget,
+};
 use crate::compile::{compile, CompiledKind, CompiledTestbench};
-use crate::elab::{elaborate, ElabDesign, ElabOptions, Result};
+use crate::elab::{elaborate_budgeted, ElabDesign, ElabOptions, Result};
 use crate::explicit::{ExplicitEngine, ExplicitOptions, ExplicitResult};
 use crate::fuzz::{fuzz_safety_budgeted, FuzzOptions, FuzzStats};
 use crate::interrupt::{self, Interrupt, InterruptReason};
 use crate::lint::{LintOptions, LintReport};
 use crate::model::{LivenessSafetyModel, Model};
-use crate::pdr::{check_pdr_budgeted, PdrOptions, PdrResult};
+use crate::pdr::{
+    check_pdr_budgeted, check_pdr_budgeted_lemmas, FrameLemma, PdrOptions, PdrResult,
+};
 use crate::portfolio::{
-    run_ordered, CacheKey, CacheStats, CachedOutcome, CachedVerdict, ParallelOptions, ProofCache,
+    racer_configs, run_ordered, CacheKey, CacheStats, CachedOutcome, CachedVerdict,
+    ParallelOptions, PoolKind, ProofCache, SharedPools, SharingOptions,
 };
 use crate::sat::{SolverConfig, SolverStats};
 use crate::telemetry::{
     self, RunSummary, Telemetry, TelemetryOptions, TelemetryReport, VerdictCounts,
 };
 use crate::trace::Trace;
+use crate::unroll::SeedHint;
 use crate::vcd::VcdOptions;
 use autosva::sva::{Directive, PropertyClass};
 use autosva::FormalTestbench;
@@ -112,6 +119,26 @@ pub struct CheckOptions {
     /// probe is a thread-local no-op.  [`VerificationReport::render`] is
     /// byte-identical with telemetry on or off.
     pub telemetry: TelemetryOptions,
+    /// Wall-clock budget for the *front end* (parse, elaboration,
+    /// compilation, lint).  The engine cascade has per-property deadlines
+    /// ([`ParallelOptions::property_timeout`]), but before this budget
+    /// existed a pathological design could stall the run *before* any
+    /// engine — and any deadline — was reached.  The budget is checked
+    /// between the front-end phases and inside elaboration's own loops;
+    /// exceeding it fails the run with a phase-naming error.  `None`
+    /// (the default) leaves the front end unbudgeted.
+    pub frontend_timeout: Option<Duration>,
+    /// The clause-sharing SAT portfolio raced on hard properties: when
+    /// enabled (the default, 2–4 diverse solver configurations), the
+    /// full-depth BMC/k-induction stage races the configurations in
+    /// deterministic lockstep, exchanging learnt clauses through a shared
+    /// pool keyed by the slice fingerprint, with PDR's frame lemmas and
+    /// cross-property phase/activity seeds warming the search.  Verdicts —
+    /// and [`VerificationReport::render`] — are byte-identical with
+    /// sharing on or off: imported clauses only ever strengthen, never
+    /// change, answers, and counterexamples are re-canonicalized to the
+    /// minimal single-solver trace.
+    pub sharing: SharingOptions,
 }
 
 /// Proof-cache persistence knobs (part of [`CheckOptions`]).
@@ -158,6 +185,8 @@ impl Default for CheckOptions {
             solver: SolverConfig::default(),
             lint: LintOptions::default(),
             telemetry: TelemetryOptions::default(),
+            frontend_timeout: None,
+            sharing: SharingOptions::default(),
         }
     }
 }
@@ -555,17 +584,27 @@ pub fn verify(
 ) -> Result<VerificationReport> {
     let run_telemetry = Telemetry::new(&options.telemetry);
     let _scope = telemetry::enter(&run_telemetry);
+    let frontend = frontend_guard(options);
     let file = {
         let _span = telemetry::span("parse", &testbench.dut_name);
         svparse::parse(source)
             .map_err(|e| crate::elab::ElabError::new(format!("parse error: {e}")))?
     };
+    frontend_check(&frontend, "parse")?;
     let mut elab_options = options.elab.clone();
     if elab_options.top.is_none() {
         elab_options.top = Some(testbench.dut_name.clone());
     }
-    let design = elaborate(&file, &elab_options)?;
-    verify_elaborated_inner(&design, testbench, Some(source), options, &run_telemetry)
+    let design = elaborate_budgeted(&file, &elab_options, &frontend)?;
+    frontend_check(&frontend, "elaboration")?;
+    verify_elaborated_inner(
+        &design,
+        testbench,
+        Some(source),
+        options,
+        &run_telemetry,
+        &frontend,
+    )
 }
 
 /// Like [`verify`], but for an already elaborated design.  Without the
@@ -591,7 +630,42 @@ pub fn verify_elaborated_with_source(
 ) -> Result<VerificationReport> {
     let run_telemetry = Telemetry::new(&options.telemetry);
     let _scope = telemetry::enter(&run_telemetry);
-    verify_elaborated_inner(design, testbench, source, options, &run_telemetry)
+    let frontend = frontend_guard(options);
+    verify_elaborated_inner(
+        design,
+        testbench,
+        source,
+        options,
+        &run_telemetry,
+        &frontend,
+    )
+}
+
+/// Creates the front-end deadline guard from
+/// [`CheckOptions::frontend_timeout`] (an unarmed interrupt when no budget
+/// is configured, so polling it is free).
+fn frontend_guard(options: &CheckOptions) -> Interrupt {
+    Interrupt::new(
+        options
+            .frontend_timeout
+            .and_then(|limit| Instant::now().checked_add(limit)),
+        None,
+        None,
+    )
+}
+
+/// Fails the run when the front-end budget expired during `phase`.  Called
+/// between the front-end phases (and, through
+/// [`crate::elab::elaborate_budgeted`], inside elaboration's own loops) so
+/// a stalled front end surfaces as a named error instead of an unbounded
+/// hang.
+fn frontend_check(guard: &Interrupt, phase: &str) -> Result<()> {
+    if guard.poll().is_some() {
+        return Err(crate::elab::ElabError::new(format!(
+            "front-end deadline exceeded during {phase}"
+        )));
+    }
+    Ok(())
 }
 
 /// The shared body of [`verify`] and [`verify_elaborated_with_source`].
@@ -603,9 +677,11 @@ fn verify_elaborated_inner(
     source: Option<&str>,
     options: &CheckOptions,
     run_telemetry: &Telemetry,
+    frontend: &Interrupt,
 ) -> Result<VerificationReport> {
     let start = Instant::now();
     let compiled = compile(design, testbench)?;
+    frontend_check(frontend, "compilation")?;
 
     // Level-1 static analysis between compile and the cascade: error
     // findings (multiply-driven signals, or anything under deny-warnings)
@@ -618,6 +694,7 @@ fn verify_elaborated_inner(
             lint.render()
         )));
     }
+    frontend_check(frontend, "lint")?;
 
     let tasks = build_tasks(&compiled, options);
     // The effective proof cache: an explicit in-process handle wins;
@@ -632,11 +709,14 @@ fn verify_elaborated_inner(
     // even when the handle is a long-lived in-process cache shared across
     // runs (`loaded` stays absolute — it describes the open).
     let cache_base = cache.as_ref().map(|c| c.stats());
+    let seeds = build_seed_plans(&tasks, &options.sharing);
     let ctx = TaskCtx {
         options,
         cache,
         cancel: Arc::new(AtomicBool::new(false)),
         explicit_memo: Mutex::new(HashMap::new()),
+        pools: SharedPools::new(),
+        seeds,
     };
 
     // Register the robustness counters up front so a healthy run's
@@ -668,7 +748,7 @@ fn verify_elaborated_inner(
             .and_then(|limit| Instant::now().checked_add(limit));
         let interrupt = Interrupt::new(deadline, None, Some(ctx.cancel.clone()));
         interrupt::set_task_context(&names[i], interrupt.clone());
-        let outcome = match catch_unwind(AssertUnwindSafe(|| run_task(task, &ctx, &interrupt))) {
+        let outcome = match catch_unwind(AssertUnwindSafe(|| run_task(i, task, &ctx, &interrupt))) {
             Ok(outcome) => outcome,
             Err(payload) => {
                 telemetry::count("robustness.panics_caught", 1);
@@ -1009,6 +1089,53 @@ fn build_tasks(compiled: &CompiledTestbench, options: &CheckOptions) -> Vec<Prop
         .collect()
 }
 
+/// Builds the deterministic cross-property seed plan: each safety task
+/// with a high-overlap *earlier* safety task (annotation order) on a
+/// *distinct* slice gets phase/activity hints on the state elements the
+/// two cones share, so it starts its race warm instead of cold.  The plan
+/// derives purely from slice structure — signal names and latch reset
+/// values — never from runtime solver state or completion order, so it
+/// (and the `sharing.seeded` counter) is identical for sequential and
+/// parallel runs at any thread count.  Identical fingerprints are skipped
+/// as donors: those tasks already share a clause pool, which is strictly
+/// stronger than seeding.
+fn build_seed_plans(
+    tasks: &[PropertyTask],
+    sharing: &SharingOptions,
+) -> Vec<HashMap<usize, SeedHint>> {
+    let mut plans = vec![HashMap::new(); tasks.len()];
+    if !sharing.enabled() {
+        return plans;
+    }
+    let sigs: Vec<(usize, Fingerprint, &Arc<Model>, Vec<u64>)> = tasks
+        .iter()
+        .enumerate()
+        .filter_map(|(i, t)| match &t.kind {
+            TaskKind::Safety { model, fp, .. } => Some((i, *fp, model, state_signature(model))),
+            _ => None,
+        })
+        .collect();
+    for (pos, (i, fp, model, sig)) in sigs.iter().enumerate() {
+        // Best earlier donor by Jaccard overlap; strict `>` keeps the
+        // earliest donor on ties, so the plan is a pure function of the
+        // task list.
+        let mut best: Option<(f64, usize)> = None;
+        for (donor_pos, (_, donor_fp, _, donor_sig)) in sigs[..pos].iter().enumerate() {
+            if donor_fp == fp {
+                continue;
+            }
+            let overlap = signature_overlap(sig, donor_sig);
+            if overlap >= sharing.seed_overlap && best.is_none_or(|(b, _)| overlap > b) {
+                best = Some((overlap, donor_pos));
+            }
+        }
+        if let Some((_, donor_pos)) = best {
+            plans[*i] = crate::coi::seed_hints_from(model, &sigs[donor_pos].3);
+        }
+    }
+    plans
+}
+
 /// Shared, immutable context of one verification run.
 struct TaskCtx<'a> {
     options: &'a CheckOptions,
@@ -1029,6 +1156,17 @@ struct TaskCtx<'a> {
     /// degrade sibling properties that still have budget.
     #[allow(clippy::type_complexity)]
     explicit_memo: Mutex<HashMap<Fingerprint, Arc<Mutex<ExplicitMemo>>>>,
+    /// Learnt-clause pools shared across tasks and racers, keyed by slice
+    /// fingerprint and frame kind.  Identical fingerprints imply identical
+    /// models and hence identical deterministic variable numbering, which
+    /// is what makes verbatim clause transfer sound; distinct cones never
+    /// share a pool (they exchange phase/activity *seeds* instead).  Only
+    /// consulted when [`CheckOptions::sharing`] is enabled.
+    pools: SharedPools,
+    /// Per-task phase/activity seed plans, indexed in annotation order
+    /// (empty maps for tasks without a high-overlap donor).  Built once,
+    /// up front, from slice structure alone — see [`build_seed_plans`].
+    seeds: Vec<HashMap<usize, SeedHint>>,
 }
 
 /// Memoization state of one fingerprint's shared explicit-state engine.
@@ -1150,7 +1288,24 @@ fn cached_status(verdict: CachedVerdict, model: &Model) -> PropertyStatus {
     }
 }
 
-fn store(cache: Option<&ProofCache>, key: &CacheKey, outcome: CachedOutcome) {
+/// The single cache-insert funnel of every task.  A task whose interrupt
+/// has fired never publishes: a cancelled portfolio racer, a task wound
+/// down by the run's cancellation flag, or a verdict whose trace
+/// re-minimization was cut short may all be correct-but-partial, and the
+/// cache must only ever carry artifacts produced with full budget (an
+/// interrupted minimization, for example, would cache a non-canonical
+/// trace and make a later cache-hit run render differently from a fresh
+/// one).  The cache is advisory, so skipping the insert costs only a
+/// recomputation.
+fn store(
+    cache: Option<&ProofCache>,
+    key: &CacheKey,
+    outcome: CachedOutcome,
+    interrupt: &Interrupt,
+) {
+    if interrupt.triggered().is_some() {
+        return;
+    }
     if let Some(cache) = cache {
         cache.store(key.clone(), outcome);
     }
@@ -1183,11 +1338,16 @@ impl TaskOutcome {
     }
 }
 
-fn run_task(task: &PropertyTask, ctx: &TaskCtx<'_>, interrupt: &Interrupt) -> TaskOutcome {
+fn run_task(
+    task_index: usize,
+    task: &PropertyTask,
+    ctx: &TaskCtx<'_>,
+    interrupt: &Interrupt,
+) -> TaskOutcome {
     match &task.kind {
         TaskKind::Done(status) => TaskOutcome::new(status.clone(), None, SolverStats::default()),
         TaskKind::Safety { model, index, fp } => {
-            check_safety_task(model, *index, *fp, ctx, interrupt)
+            check_safety_task(model, *index, *fp, &ctx.seeds[task_index], ctx, interrupt)
         }
         TaskKind::Cover { model, index, fp } => {
             let (status, note, stats) = check_cover_task(model, *index, *fp, ctx, interrupt);
@@ -1250,6 +1410,7 @@ fn check_safety_task(
     model: &Model,
     index: usize,
     fp: Fingerprint,
+    seeds: &HashMap<usize, SeedHint>,
     ctx: &TaskCtx<'_>,
     interrupt: &Interrupt,
 ) -> TaskOutcome {
@@ -1301,7 +1462,12 @@ fn check_safety_task(
         if let Some(hit) = hit {
             let trace =
                 minimize_safety_cex(model, index, hit.trace, options, &mut stats, interrupt);
-            store(cache, &key, CachedOutcome::Violated(trace.clone()));
+            store(
+                cache,
+                &key,
+                CachedOutcome::Violated(trace.clone()),
+                interrupt,
+            );
             done!(PropertyStatus::Violated(trace), None, Some(FUZZ_ENGINE));
         }
         if let Some(reason) = interrupt.triggered() {
@@ -1330,6 +1496,7 @@ fn check_safety_task(
                     CachedOutcome::Induction {
                         depth: induction_depth,
                     },
+                    interrupt,
                 );
                 done!(
                     PropertyStatus::Proven(Proof::Induction {
@@ -1340,7 +1507,12 @@ fn check_safety_task(
                 );
             }
             SafetyResult::Violated(trace) => {
-                store(cache, &key, CachedOutcome::Violated(trace.clone()));
+                store(
+                    cache,
+                    &key,
+                    CachedOutcome::Violated(trace.clone()),
+                    interrupt,
+                );
                 done!(PropertyStatus::Violated(trace), None, None);
             }
             SafetyResult::Interrupted => {
@@ -1353,13 +1525,18 @@ fn check_safety_task(
     }
     // PDR: the unbounded engine that closes the reachability-dependent
     // proofs (counter-vs-state invariants) induction cannot, without the
-    // explicit engine's exponential cliff.
+    // explicit engine's exponential cliff.  When PDR itself is
+    // inconclusive, its frame clauses — facts about states reachable
+    // within k steps — are harvested as lemmas for the full-depth BMC
+    // race below.
+    let mut lemmas: Vec<FrameLemma> = Vec::new();
     if !options.disable_pdr {
         interrupt::set_current_engine("pdr");
-        let (result, s) = {
+        let (result, s, frame_lemmas) = {
             let _span = telemetry::span_detail("engine.pdr", &key.property, Some("pdr"), Some(fp));
-            check_pdr_budgeted(model, bad, &options.pdr, options.solver, interrupt)
+            check_pdr_budgeted_lemmas(model, bad, &options.pdr, options.solver, interrupt)
         };
+        lemmas = frame_lemmas;
         stats += s;
         match result {
             PdrResult::Proven(invariant) => {
@@ -1370,6 +1547,7 @@ fn check_safety_task(
                         clauses: invariant.clauses().to_vec(),
                         frames: invariant.frames_explored,
                     },
+                    interrupt,
                 );
                 done!(
                     PropertyStatus::Proven(invariant_proof(&invariant, &model.aig)),
@@ -1380,7 +1558,12 @@ fn check_safety_task(
             PdrResult::Violated(trace) => {
                 let trace =
                     minimize_safety_cex(model, index, trace, options, &mut stats, interrupt);
-                store(cache, &key, CachedOutcome::Violated(trace.clone()));
+                store(
+                    cache,
+                    &key,
+                    CachedOutcome::Violated(trace.clone()),
+                    interrupt,
+                );
                 done!(PropertyStatus::Violated(trace), None, None);
             }
             PdrResult::Interrupted => {
@@ -1397,13 +1580,18 @@ fn check_safety_task(
             telemetry::span_detail("engine.explicit", &key.property, Some("explicit"), Some(fp));
         match bundle.engine.check_bad(bad) {
             ExplicitResult::Proven => {
-                store(cache, &key, CachedOutcome::Reachability);
+                store(cache, &key, CachedOutcome::Reachability, interrupt);
                 done!(PropertyStatus::Proven(Proof::Reachability), None, None);
             }
             ExplicitResult::Violated(trace) => {
                 let trace =
                     minimize_safety_cex(model, index, trace, options, &mut stats, interrupt);
-                store(cache, &key, CachedOutcome::Violated(trace.clone()));
+                store(
+                    cache,
+                    &key,
+                    CachedOutcome::Violated(trace.clone()),
+                    interrupt,
+                );
                 done!(PropertyStatus::Violated(trace), None, None);
             }
             ExplicitResult::Exceeded => {}
@@ -1417,11 +1605,50 @@ fn check_safety_task(
         done!(PropertyStatus::Unknown, None, None);
     }
     // Exact engines unavailable: fall back to the full-depth bounded
-    // engines.
+    // engines.  This is where the hard properties land, so when the
+    // clause-sharing portfolio is enabled (the default) the stage races
+    // diverse solver configurations in deterministic lockstep — learnt
+    // clauses flow through the fingerprint-keyed shared pools, PDR's
+    // harvested lemmas prune the unrolling, and the cross-property seed
+    // plan warms the search.  None of it can change the verdict: pools
+    // only carry implied clauses, lemmas are reachability facts, and
+    // seeds steer heuristics only.
     interrupt::set_current_engine("bmc");
-    let (result, s) = {
+    let sharing = &options.sharing;
+    let (result, s, raced) = {
         let _span = telemetry::span_detail("engine.bmc", &key.property, Some("bmc"), Some(fp));
-        check_safety_budgeted(model, index, &options.bmc, options.solver, interrupt)
+        if sharing.enabled() {
+            let race = RaceOptions {
+                configs: racer_configs(options.solver, sharing.racers),
+                quantum: sharing.quantum,
+                glue_bound: sharing.glue_bound,
+                lemmas,
+                seeds: seeds.clone(),
+                pools: Some((
+                    ctx.pools.pool(fp, PoolKind::Bmc, sharing.glue_bound),
+                    ctx.pools.pool(fp, PoolKind::Step, sharing.glue_bound),
+                )),
+            };
+            let (result, s, traffic) =
+                race_safety_budgeted(model, index, &options.bmc, &race, interrupt);
+            if traffic.exported > 0 {
+                telemetry::count("sharing.exported", traffic.exported);
+            }
+            if traffic.imported > 0 {
+                telemetry::count("sharing.imported", traffic.imported);
+            }
+            if traffic.filtered > 0 {
+                telemetry::count("sharing.filtered", traffic.filtered);
+            }
+            if !seeds.is_empty() {
+                telemetry::count("sharing.seeded", seeds.len() as u64);
+            }
+            (result, s, true)
+        } else {
+            let (result, s) =
+                check_safety_budgeted(model, index, &options.bmc, options.solver, interrupt);
+            (result, s, false)
+        }
     };
     stats += s;
     let (status, note) = match result {
@@ -1432,6 +1659,7 @@ fn check_safety_task(
                 CachedOutcome::Induction {
                     depth: induction_depth,
                 },
+                interrupt,
             );
             (
                 PropertyStatus::Proven(Proof::Induction {
@@ -1441,7 +1669,20 @@ fn check_safety_task(
             )
         }
         SafetyResult::Violated(trace) => {
-            store(cache, &key, CachedOutcome::Violated(trace.clone()));
+            // A racer's trace depends on which configuration won the
+            // race; re-minimize to the canonical single-solver trace so
+            // `render()` is byte-identical with sharing on or off.
+            let trace = if raced {
+                minimize_safety_cex(model, index, trace, options, &mut stats, interrupt)
+            } else {
+                trace
+            };
+            store(
+                cache,
+                &key,
+                CachedOutcome::Violated(trace.clone()),
+                interrupt,
+            );
             (PropertyStatus::Violated(trace), None)
         }
         SafetyResult::Interrupted => {
@@ -1495,7 +1736,12 @@ fn check_cover_task(
         stats += s;
         match result {
             CoverResult::Covered(trace) => {
-                store(cache, &key, CachedOutcome::Covered(trace.clone()));
+                store(
+                    cache,
+                    &key,
+                    CachedOutcome::Covered(trace.clone()),
+                    interrupt,
+                );
                 return (PropertyStatus::Covered(trace), None, stats);
             }
             CoverResult::Unreachable => {
@@ -1503,6 +1749,7 @@ fn check_cover_task(
                     cache,
                     &key,
                     CachedOutcome::Unreachable { certificate: None },
+                    interrupt,
                 );
                 return (PropertyStatus::Unreachable, None, stats);
             }
@@ -1534,11 +1781,17 @@ fn check_cover_task(
                             invariant.frames_explored,
                         )),
                     },
+                    interrupt,
                 );
                 return (PropertyStatus::Unreachable, None, stats);
             }
             PdrResult::Violated(trace) => {
-                store(cache, &key, CachedOutcome::Covered(trace.clone()));
+                store(
+                    cache,
+                    &key,
+                    CachedOutcome::Covered(trace.clone()),
+                    interrupt,
+                );
                 return (PropertyStatus::Covered(trace), None, stats);
             }
             PdrResult::Interrupted => {
@@ -1559,11 +1812,17 @@ fn check_cover_task(
                     cache,
                     &key,
                     CachedOutcome::Unreachable { certificate: None },
+                    interrupt,
                 );
                 return (PropertyStatus::Unreachable, None, stats);
             }
             ExplicitResult::Violated(trace) => {
-                store(cache, &key, CachedOutcome::Covered(trace.clone()));
+                store(
+                    cache,
+                    &key,
+                    CachedOutcome::Covered(trace.clone()),
+                    interrupt,
+                );
                 return (PropertyStatus::Covered(trace), None, stats);
             }
             ExplicitResult::Exceeded => {}
@@ -1584,7 +1843,12 @@ fn check_cover_task(
     stats += s;
     match result {
         CoverResult::Covered(trace) => {
-            store(cache, &key, CachedOutcome::Covered(trace.clone()));
+            store(
+                cache,
+                &key,
+                CachedOutcome::Covered(trace.clone()),
+                interrupt,
+            );
             (PropertyStatus::Covered(trace), None, stats)
         }
         CoverResult::Unreachable => {
@@ -1592,6 +1856,7 @@ fn check_cover_task(
                 cache,
                 &key,
                 CachedOutcome::Unreachable { certificate: None },
+                interrupt,
             );
             (PropertyStatus::Unreachable, None, stats)
         }
@@ -1653,6 +1918,7 @@ fn check_liveness_task(
                     CachedOutcome::Induction {
                         depth: induction_depth,
                     },
+                    interrupt,
                 );
                 return (
                     PropertyStatus::Proven(Proof::Induction {
@@ -1663,7 +1929,12 @@ fn check_liveness_task(
                 );
             }
             SafetyResult::Violated(trace) => {
-                store(cache, &key, CachedOutcome::Violated(trace.clone()));
+                store(
+                    cache,
+                    &key,
+                    CachedOutcome::Violated(trace.clone()),
+                    interrupt,
+                );
                 return (PropertyStatus::Violated(trace), None, stats);
             }
             SafetyResult::Interrupted => {
@@ -1690,6 +1961,7 @@ fn check_liveness_task(
                         clauses: invariant.clauses().to_vec(),
                         frames: invariant.frames_explored,
                     },
+                    interrupt,
                 );
                 return (
                     PropertyStatus::Proven(invariant_proof(&invariant, &model.aig)),
@@ -1698,7 +1970,12 @@ fn check_liveness_task(
                 );
             }
             PdrResult::Violated(trace) => {
-                store(cache, &key, CachedOutcome::Violated(trace.clone()));
+                store(
+                    cache,
+                    &key,
+                    CachedOutcome::Violated(trace.clone()),
+                    interrupt,
+                );
                 return (PropertyStatus::Violated(trace), None, stats);
             }
             PdrResult::Interrupted => {
@@ -1716,7 +1993,7 @@ fn check_liveness_task(
         let pending = bundle.assert_pendings[index];
         match bundle.engine.check_liveness(pending, &bundle.fair_pendings) {
             ExplicitResult::Proven => {
-                store(cache, &key, CachedOutcome::Reachability);
+                store(cache, &key, CachedOutcome::Reachability, interrupt);
                 return (PropertyStatus::Proven(Proof::Reachability), None, stats);
             }
             // The explicit lasso lives on the monitor-augmented base model,
@@ -1755,6 +2032,7 @@ fn check_liveness_task(
                 CachedOutcome::Induction {
                     depth: induction_depth,
                 },
+                interrupt,
             );
             (
                 PropertyStatus::Proven(Proof::Induction {
@@ -1765,7 +2043,12 @@ fn check_liveness_task(
             )
         }
         SafetyResult::Violated(trace) => {
-            store(cache, &key, CachedOutcome::Violated(trace.clone()));
+            store(
+                cache,
+                &key,
+                CachedOutcome::Violated(trace.clone()),
+                interrupt,
+            );
             (PropertyStatus::Violated(trace), None, stats)
         }
         SafetyResult::Interrupted => {

@@ -423,6 +423,25 @@ impl ElabDesign {
 /// supported subset, when widths cannot be determined, or when combinational
 /// cycles are detected.
 pub fn elaborate(file: &SourceFile, options: &ElabOptions) -> Result<ElabDesign> {
+    elaborate_budgeted(file, options, &crate::interrupt::Interrupt::none())
+}
+
+/// Like [`elaborate`], under a deadline: the interrupt is polled between
+/// the elaboration phases *and inside the unbounded loops* (the typedef
+/// resolution fixpoint and the per-signal resolution sweep), so a
+/// pathological design — deeply recursive typedefs, enormous generated
+/// signal lists — fails with a front-end deadline error instead of
+/// stalling the run before any engine budget applies.
+///
+/// # Errors
+///
+/// As [`elaborate`], plus a deadline-exceeded error naming the phase the
+/// budget ran out in.
+pub fn elaborate_budgeted(
+    file: &SourceFile,
+    options: &ElabOptions,
+    interrupt: &crate::interrupt::Interrupt,
+) -> Result<ElabDesign> {
     let _span = crate::telemetry::span("elab", options.top.as_deref().unwrap_or(""));
     let top = match &options.top {
         Some(name) => file
@@ -433,10 +452,11 @@ pub fn elaborate(file: &SourceFile, options: &ElabOptions) -> Result<ElabDesign>
             .next()
             .ok_or_else(|| ElabError::new("source contains no modules"))?,
     };
-    let (types, pkg_params) = build_type_table(file)?;
+    let (types, pkg_params) = build_type_table(file, interrupt)?;
     let mut ctx = Elaborator {
         file,
         options,
+        interrupt,
         aig: Aig::new(),
         symbols: HashMap::new(),
         signal_types: HashMap::new(),
@@ -467,7 +487,10 @@ pub fn elaborate(file: &SourceFile, options: &ElabOptions) -> Result<ElabDesign>
 /// into widths, struct layouts, and enum constants.  Also returns the
 /// package parameters under their scoped names (`pkg::PARAM`) so module
 /// expressions can reference them.
-fn build_type_table(file: &SourceFile) -> Result<(TypeTable, HashMap<String, u128>)> {
+fn build_type_table(
+    file: &SourceFile,
+    interrupt: &crate::interrupt::Interrupt,
+) -> Result<(TypeTable, HashMap<String, u128>)> {
     let mut table = TypeTable::default();
     let mut scoped_params: HashMap<String, u128> = HashMap::new();
 
@@ -585,8 +608,15 @@ fn build_type_table(file: &SourceFile) -> Result<(TypeTable, HashMap<String, u12
 
     // Typedefs may reference each other (a struct field of an enum type);
     // iterate until a fixpoint, deferring entries whose named types are not
-    // resolved yet.
+    // resolved yet.  The rounds are bounded by the typedef count, but each
+    // can be large and the bound quadratic — poll the front-end deadline
+    // every round.
     while !work.is_empty() {
+        if interrupt.poll().is_some() {
+            return Err(ElabError::new(
+                "front-end deadline exceeded during typedef resolution",
+            ));
+        }
         let mut next: Vec<TdWork> = Vec::new();
         let before = work.len();
         for (scope, alias, env, td) in work {
@@ -911,6 +941,9 @@ struct SigInfo {
 struct Elaborator<'a> {
     file: &'a SourceFile,
     options: &'a ElabOptions,
+    /// The front-end deadline guard (unarmed when no budget is set),
+    /// polled inside the per-signal resolution sweep.
+    interrupt: &'a crate::interrupt::Interrupt,
     aig: Aig,
     symbols: HashMap<String, Vec<Lit>>,
     /// Exported symbol name → struct layout index.
@@ -1339,7 +1372,15 @@ impl<'a> Elaborator<'a> {
         // is byte-stable across processes.
         let mut all_names: Vec<String> = scope.infos.keys().cloned().collect();
         all_names.sort_unstable();
+        // Each resolution can recurse through a whole combinational cone;
+        // generated designs make this list arbitrarily long, so the
+        // front-end deadline is polled per signal.
         for name in &all_names {
+            if self.interrupt.poll().is_some() {
+                return Err(ElabError::new(
+                    "front-end deadline exceeded during signal resolution",
+                ));
+            }
             self.resolve_signal(module, scope, drivers, name)?;
         }
         self.finalize_instances(module, scope, drivers)?;

@@ -371,11 +371,14 @@ fn generous_timeout_renders_identically_to_unbounded() {
     }
 }
 
-/// The acceptance bound for the tentpole: on a BMC-hard instance a 50 ms
-/// property budget comes back `Unknown` with a note naming the engine,
-/// and the property's wall clock stays within ~4x the budget (the engine
-/// polls its interrupt inside the depth loop and the SAT search, so the
-/// overshoot is one polling interval, not one cascade stage).
+/// The acceptance bound for prompt cancellation: on a BMC-hard instance a
+/// 50 ms property budget comes back `Unknown` with a note naming the
+/// engine, and the property's wall clock stays within 2x the budget.  The
+/// SAT search polls its interrupt on a conflict cadence *and* a
+/// propagation-count cadence (long unit-propagation storms between
+/// conflicts used to stretch the overshoot to several polling intervals,
+/// hence the old 4x bound), so the overshoot is now one short polling
+/// interval, not one cascade stage.
 #[test]
 fn hard_bmc_instance_times_out_promptly_with_an_engine_note() {
     let timeout = Duration::from_millis(50);
@@ -406,10 +409,36 @@ fn hard_bmc_instance_times_out_promptly_with_an_engine_note() {
     for r in budgeted {
         assert_eq!(r.status, PropertyStatus::Unknown);
         assert!(
-            r.runtime <= 4 * timeout,
+            r.runtime <= 2 * timeout,
             "property {} overshot its {timeout:?} budget: ran {:?}",
             r.name,
             r.runtime
         );
     }
+}
+
+/// The front-end deadline (parse/elaborate/compile/lint) fails the run
+/// with a phase-naming error instead of hanging, while a generous budget
+/// changes nothing about the report.
+#[test]
+fn frontend_deadline_fails_fast_and_a_generous_one_is_invisible() {
+    let ft = generate_ft(FAULT_ECHO, &AutosvaOptions::default()).unwrap();
+    let mut options = CheckOptions::default();
+    options.parallel.threads = 1;
+    options.frontend_timeout = Some(Duration::ZERO);
+    let err = verify(FAULT_ECHO, &ft, &options).expect_err("zero front-end budget must fail");
+    let message = err.to_string();
+    assert!(
+        message.contains("front-end deadline exceeded during"),
+        "error does not name the front-end phase: {message}"
+    );
+
+    let unbudgeted = run_with(&options_with_threads(1));
+    options.frontend_timeout = Some(Duration::from_secs(3600));
+    let budgeted = verify(FAULT_ECHO, &ft, &options).unwrap();
+    assert_eq!(
+        unbudgeted.render(),
+        budgeted.render(),
+        "a generous front-end budget must not perturb the report"
+    );
 }
